@@ -1,0 +1,114 @@
+//! The [`MsaEngine`] abstraction: "any sequential multiple alignment
+//! system", exactly the role MUSCLE plays inside each Sample-Align-D
+//! processor.
+
+use bioseq::{Msa, Sequence, Work};
+use serde::{Deserialize, Serialize};
+
+/// A sequential multiple sequence alignment system.
+///
+/// Implementations must be deterministic: the virtual cluster's timing
+/// model assumes a rerun performs identical work.
+pub trait MsaEngine: Send + Sync {
+    /// Engine name for reports (e.g. `"muscle-lite-fast"`).
+    fn name(&self) -> String;
+
+    /// Align the sequences and report the work performed.
+    ///
+    /// The returned alignment contains exactly the input sequences (same
+    /// ids, same residues once ungapped), rows in input order.
+    fn align_with_work(&self, seqs: &[Sequence]) -> (Msa, Work);
+
+    /// Align without work accounting.
+    fn align(&self, seqs: &[Sequence]) -> Msa {
+        self.align_with_work(seqs).0
+    }
+}
+
+/// Serializable engine selector used by configuration surfaces (CLI,
+/// benches, the distributed system's config messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineChoice {
+    /// MUSCLE-like, stage 1 only (fast draft).
+    #[default]
+    MuscleFast,
+    /// MUSCLE-like with tree re-estimation and refinement.
+    MuscleStandard,
+    /// CLUSTALW-like.
+    Clustal,
+}
+
+impl EngineChoice {
+    /// Instantiate the engine with default parameters.
+    pub fn build(self) -> Box<dyn MsaEngine> {
+        match self {
+            EngineChoice::MuscleFast => Box::new(crate::muscle::MuscleLite::fast()),
+            EngineChoice::MuscleStandard => Box::new(crate::muscle::MuscleLite::standard()),
+            EngineChoice::Clustal => Box::new(crate::clustal::ClustalLite::default()),
+        }
+    }
+
+    /// Stable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineChoice::MuscleFast => "muscle-fast",
+            EngineChoice::MuscleStandard => "muscle",
+            EngineChoice::Clustal => "clustalw",
+        }
+    }
+
+    /// All selectable engines (for sweeps).
+    pub const ALL: [EngineChoice; 3] = [
+        EngineChoice::MuscleFast,
+        EngineChoice::MuscleStandard,
+        EngineChoice::Clustal,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(texts: &[&str]) -> Vec<Sequence> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Sequence::from_str(format!("s{i}"), t).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn every_engine_satisfies_the_contract() {
+        let ss = seqs(&["MKVLAWGKVL", "MKILAWKIL", "MKVLWGKVL", "MKILAWGKIL"]);
+        for choice in EngineChoice::ALL {
+            let engine = choice.build();
+            let (msa, work) = engine.align_with_work(&ss);
+            msa.validate().unwrap();
+            assert_eq!(msa.num_rows(), ss.len(), "{}", engine.name());
+            for (i, s) in ss.iter().enumerate() {
+                assert_eq!(msa.ids()[i], s.id, "{}", engine.name());
+                assert_eq!(
+                    msa.ungapped(i).to_letters(),
+                    s.to_letters(),
+                    "{}",
+                    engine.name()
+                );
+            }
+            assert!(!work.is_zero(), "{} reported no work", engine.name());
+        }
+    }
+
+    #[test]
+    fn align_defaults_to_align_with_work() {
+        let ss = seqs(&["MKVL", "MKIL"]);
+        let engine = EngineChoice::MuscleFast.build();
+        assert_eq!(engine.align(&ss), engine.align_with_work(&ss).0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            EngineChoice::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), EngineChoice::ALL.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! # align — pairwise, profile and progressive multiple sequence alignment
+//!
+//! This crate reimplements, from the published descriptions, the sequential
+//! MSA machinery that Sample-Align-D runs inside every processor:
+//!
+//! * [`pairwise`] — global alignment with affine gaps (Gotoh) and local
+//!   alignment (Smith–Waterman), with full tracebacks;
+//! * [`profile`] — weighted profile columns (sparse PSSMs) and the
+//!   profile–profile substitution score (PSP);
+//! * [`papro`] — profile–profile alignment: affine-gap DP over columns that
+//!   merges two sub-alignments into one;
+//! * [`distance`] — k-mer and Kimura-corrected %-identity distance
+//!   matrices;
+//! * [`progressive`] — progressive alignment along a guide tree;
+//! * [`refine`] — MUSCLE-style tree-bipartition iterative refinement;
+//! * [`consensus`] — consensus/“ancestor” extraction from an alignment
+//!   (the local/global ancestors of the paper);
+//! * [`engine`] — the [`MsaEngine`](engine::MsaEngine) trait plus two full
+//!   systems: [`muscle::MuscleLite`] (k-mer distance → UPGMA → progressive →
+//!   optional re-estimation and refinement; a faithful skeleton of MUSCLE
+//!   3.x) and [`clustal::ClustalLite`] (identity distance → neighbor
+//!   joining → weighted progressive; the CLUSTALW shape).
+//!
+//! Every kernel reports [`bioseq::Work`] so the virtual cluster can convert
+//! compute into deterministic virtual time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustal;
+pub mod consensus;
+pub mod distance;
+pub mod engine;
+pub mod muscle;
+pub mod papro;
+pub mod pairwise;
+pub mod profile;
+pub mod progressive;
+pub mod refine;
+
+pub use clustal::ClustalLite;
+pub use engine::{EngineChoice, MsaEngine};
+pub use muscle::MuscleLite;
+pub use profile::Profile;

@@ -1,0 +1,628 @@
+//! Pairwise sequence alignment: Needleman–Wunsch/Gotoh global alignment
+//! with affine gaps, and Smith–Waterman local alignment.
+
+use bioseq::alphabet::GAP_CODE;
+use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
+
+/// The outcome of a pairwise alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairAlignment {
+    /// Gapped row for the first sequence.
+    pub row_a: Vec<u8>,
+    /// Gapped row for the second sequence.
+    pub row_b: Vec<u8>,
+    /// Alignment score in matrix units.
+    pub score: i64,
+    /// Work performed (DP cells filled).
+    pub work: Work,
+}
+
+impl PairAlignment {
+    /// Package the rows as a two-row [`Msa`].
+    pub fn into_msa(self, id_a: impl Into<String>, id_b: impl Into<String>) -> Msa {
+        Msa::from_rows(vec![id_a.into(), id_b.into()], vec![self.row_a, self.row_b])
+    }
+
+    /// Fractional identity over aligned residue pairs.
+    pub fn identity(&self) -> f64 {
+        bioseq::msa::row_identity(&self.row_a, &self.row_b)
+    }
+}
+
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// Gotoh global alignment with affine gap penalties.
+///
+/// Terminal gaps are charged like internal ones, matching
+/// [`bioseq::Msa::sp_score`]'s convention so that a pairwise alignment's
+/// score equals its SP score.
+pub fn global_align(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+) -> PairAlignment {
+    let (n, m) = (a.len(), b.len());
+    let (open, extend) = (gaps.open as i64, gaps.extend as i64);
+    let ac = a.codes();
+    let bc = b.codes();
+
+    // Three DP layers: M (match), X (gap in b / consuming a), Y (gap in a /
+    // consuming b). Stored row-major with m+1 columns.
+    let w = m + 1;
+    let mut mm = vec![NEG_INF; (n + 1) * w];
+    let mut xx = vec![NEG_INF; (n + 1) * w];
+    let mut yy = vec![NEG_INF; (n + 1) * w];
+    // Traceback: 2 bits per layer choice packed into a byte per cell/layer.
+    // tb_m: which layer fed M's diagonal move; tb_x / tb_y: whether the gap
+    // was opened (from best) or extended.
+    let mut tb_m = vec![0u8; (n + 1) * w];
+    let mut tb_x = vec![0u8; (n + 1) * w];
+    let mut tb_y = vec![0u8; (n + 1) * w];
+
+    mm[0] = 0;
+    for i in 1..=n {
+        let v = -(open + (i as i64 - 1) * extend);
+        xx[i * w] = v;
+        tb_x[i * w] = u8::from(i > 1); // extend after the first row
+    }
+    for j in 1..=m {
+        let v = -(open + (j as i64 - 1) * extend);
+        yy[j] = v;
+        tb_y[j] = u8::from(j > 1);
+    }
+
+    for i in 1..=n {
+        let arow = matrix.row(ac[i - 1]);
+        for j in 1..=m {
+            let idx = i * w + j;
+            let diag = (i - 1) * w + (j - 1);
+            let up = (i - 1) * w + j;
+            let left = i * w + (j - 1);
+            // M: consume both.
+            let sub = arow[bc[j - 1] as usize] as i64;
+            let (best_prev, from) = best3(mm[diag], xx[diag], yy[diag]);
+            if best_prev > NEG_INF {
+                mm[idx] = best_prev + sub;
+                tb_m[idx] = from;
+            }
+            // X: consume from a (gap in b). Open from M/Y or extend X.
+            let open_x = mm[up].max(yy[up]).saturating_sub(open);
+            let ext_x = xx[up].saturating_sub(extend);
+            if ext_x >= open_x {
+                xx[idx] = ext_x;
+                tb_x[idx] = 1;
+            } else {
+                xx[idx] = open_x;
+                tb_x[idx] = 0;
+            }
+            // Y: consume from b (gap in a).
+            let open_y = mm[left].max(xx[left]).saturating_sub(open);
+            let ext_y = yy[left].saturating_sub(extend);
+            if ext_y >= open_y {
+                yy[idx] = ext_y;
+                tb_y[idx] = 1;
+            } else {
+                yy[idx] = open_y;
+                tb_y[idx] = 0;
+            }
+        }
+    }
+
+    let end = n * w + m;
+    let (score, mut layer) = best3_tagged(mm[end], xx[end], yy[end]);
+    // Traceback.
+    let mut row_a = Vec::with_capacity(n + m);
+    let mut row_b = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let idx = i * w + j;
+        match layer {
+            0 => {
+                debug_assert!(i > 0 && j > 0);
+                row_a.push(ac[i - 1]);
+                row_b.push(bc[j - 1]);
+                layer = tb_m[idx];
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                debug_assert!(i > 0);
+                row_a.push(ac[i - 1]);
+                row_b.push(GAP_CODE);
+                let extended = tb_x[idx] == 1;
+                i -= 1;
+                if !extended {
+                    // Re-derive which of M/Y opened this gap.
+                    let prev = i * w + j;
+                    layer = if mm[prev] >= yy[prev] { 0 } else { 2 };
+                }
+            }
+            _ => {
+                debug_assert!(j > 0);
+                row_a.push(GAP_CODE);
+                row_b.push(bc[j - 1]);
+                let extended = tb_y[idx] == 1;
+                j -= 1;
+                if !extended {
+                    let prev = i * w + j;
+                    layer = if mm[prev] >= xx[prev] { 0 } else { 1 };
+                }
+            }
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    PairAlignment {
+        row_a,
+        row_b,
+        score,
+        work: Work::dp((n as u64) * (m as u64) * 3),
+    }
+}
+
+#[inline]
+fn best3(m: i64, x: i64, y: i64) -> (i64, u8) {
+    best3_tagged(m, x, y)
+}
+
+#[inline]
+fn best3_tagged(m: i64, x: i64, y: i64) -> (i64, u8) {
+    if m >= x && m >= y {
+        (m, 0)
+    } else if x >= y {
+        (x, 1)
+    } else {
+        (y, 2)
+    }
+}
+
+/// Result of a local alignment: the aligned segment plus its coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalAlignment {
+    /// Gapped row for the aligned segment of the first sequence.
+    pub row_a: Vec<u8>,
+    /// Gapped row for the aligned segment of the second sequence.
+    pub row_b: Vec<u8>,
+    /// Start offset (0-based residue index) of the segment in `a`.
+    pub start_a: usize,
+    /// Start offset of the segment in `b`.
+    pub start_b: usize,
+    /// Smith–Waterman score (≥ 0).
+    pub score: i64,
+    /// Work performed.
+    pub work: Work,
+}
+
+/// Smith–Waterman local alignment with affine gaps.
+pub fn local_align(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+) -> LocalAlignment {
+    let (n, m) = (a.len(), b.len());
+    let (open, extend) = (gaps.open as i64, gaps.extend as i64);
+    let ac = a.codes();
+    let bc = b.codes();
+    let w = m + 1;
+    let mut mm = vec![0i64; (n + 1) * w];
+    let mut xx = vec![NEG_INF; (n + 1) * w];
+    let mut yy = vec![NEG_INF; (n + 1) * w];
+    let (mut best, mut bi, mut bj) = (0i64, 0usize, 0usize);
+    for i in 1..=n {
+        let arow = matrix.row(ac[i - 1]);
+        for j in 1..=m {
+            let idx = i * w + j;
+            let diag = (i - 1) * w + (j - 1);
+            let up = (i - 1) * w + j;
+            let left = i * w + (j - 1);
+            let sub = arow[bc[j - 1] as usize] as i64;
+            let prev = mm[diag].max(xx[diag]).max(yy[diag]).max(0);
+            mm[idx] = prev + sub;
+            xx[idx] = (mm[up].max(yy[up]) - open).max(xx[up] - extend);
+            yy[idx] = (mm[left].max(xx[left]) - open).max(yy[left] - extend);
+            if mm[idx] > best {
+                best = mm[idx];
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    // Traceback from the best cell while scores stay positive, M layer
+    // preferred (sufficient for the local alignment's use as a seed
+    // finder in examples/tests).
+    let mut row_a = Vec::new();
+    let mut row_b = Vec::new();
+    let (mut i, mut j) = (bi, bj);
+    while i > 0 && j > 0 {
+        let idx = i * w + j;
+        if mm[idx] <= 0 {
+            break;
+        }
+        let diag = (i - 1) * w + (j - 1);
+        let sub = matrix.score(ac[i - 1], bc[j - 1]) as i64;
+        let from_m = mm[diag].max(0) + sub == mm[idx];
+        if from_m || (mm[diag].max(xx[diag]).max(yy[diag]).max(0) + sub == mm[idx]
+            && mm[diag] >= xx[diag].max(yy[diag]))
+        {
+            row_a.push(ac[i - 1]);
+            row_b.push(bc[j - 1]);
+            i -= 1;
+            j -= 1;
+        } else if xx[diag] >= yy[diag] {
+            // Gap in b: walk up through the X run.
+            row_a.push(ac[i - 1]);
+            row_b.push(bc[j - 1]);
+            i -= 1;
+            j -= 1;
+        } else {
+            row_a.push(ac[i - 1]);
+            row_b.push(bc[j - 1]);
+            i -= 1;
+            j -= 1;
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    LocalAlignment {
+        row_a,
+        row_b,
+        start_a: i,
+        start_b: j,
+        score: best,
+        work: Work::dp((n as u64) * (m as u64) * 3),
+    }
+}
+
+/// Banded Gotoh global alignment: the DP is restricted to a diagonal band
+/// of half-width `band`, the classic speed/optimality trade-off for
+/// near-homologous sequences (MUSCLE's `-diags` spirit). With
+/// `band ≥ max(n, m)` the result equals [`global_align`]; narrow bands can
+/// miss alignments requiring large shifts.
+///
+/// # Panics
+/// Panics if `band == 0`.
+pub fn banded_global_align(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    band: usize,
+) -> PairAlignment {
+    assert!(band >= 1, "band must be at least 1");
+    let (n, m) = (a.len(), b.len());
+    // The band must at least cover the length difference or no path exists.
+    let band = band.max(n.abs_diff(m) + 1);
+    let (open, extend) = (gaps.open as i64, gaps.extend as i64);
+    let ac = a.codes();
+    let bc = b.codes();
+    let w = m + 1;
+    let inside = |i: usize, j: usize| -> bool {
+        // Band around the rescaled diagonal j ≈ i·m/n.
+        let centre = if n == 0 { 0i64 } else { (i as i64 * m as i64) / n as i64 };
+        (j as i64 - centre).unsigned_abs() as usize <= band
+    };
+    let mut mm = vec![NEG_INF; (n + 1) * w];
+    let mut xx = vec![NEG_INF; (n + 1) * w];
+    let mut yy = vec![NEG_INF; (n + 1) * w];
+    mm[0] = 0;
+    for i in 1..=n {
+        if inside(i, 0) {
+            xx[i * w] = -(open + (i as i64 - 1) * extend);
+        }
+    }
+    for j in 1..=m {
+        if inside(0, j) {
+            yy[j] = -(open + (j as i64 - 1) * extend);
+        }
+    }
+    let mut cells = 0u64;
+    for i in 1..=n {
+        let arow = matrix.row(ac[i - 1]);
+        for j in 1..=m {
+            if !inside(i, j) {
+                continue;
+            }
+            cells += 1;
+            let idx = i * w + j;
+            let diag = (i - 1) * w + (j - 1);
+            let up = (i - 1) * w + j;
+            let left = i * w + (j - 1);
+            let sub = arow[bc[j - 1] as usize] as i64;
+            let best_prev = mm[diag].max(xx[diag]).max(yy[diag]);
+            if best_prev > NEG_INF {
+                mm[idx] = best_prev + sub;
+            }
+            xx[idx] = (mm[up].max(yy[up]).saturating_sub(open))
+                .max(xx[up].saturating_sub(extend));
+            yy[idx] = (mm[left].max(xx[left]).saturating_sub(open))
+                .max(yy[left].saturating_sub(extend));
+        }
+    }
+    // Greedy traceback over the three layers (scores are exact within the
+    // band, so following best predecessors reconstructs an optimal banded
+    // path).
+    let end = n * w + m;
+    let (score, mut layer) = best3_tagged(mm[end], xx[end], yy[end]);
+    let mut row_a = Vec::with_capacity(n + m);
+    let mut row_b = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let idx = i * w + j;
+        match layer {
+            0 => {
+                let diag = (i - 1) * w + (j - 1);
+                row_a.push(ac[i - 1]);
+                row_b.push(bc[j - 1]);
+                let sub = matrix.score(ac[i - 1], bc[j - 1]) as i64;
+                let target = mm[idx] - sub;
+                layer = if mm[diag] == target {
+                    0
+                } else if xx[diag] == target {
+                    1
+                } else {
+                    2
+                };
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                let up = (i - 1) * w + j;
+                row_a.push(ac[i - 1]);
+                row_b.push(GAP_CODE);
+                let via_extend = xx[up].saturating_sub(extend) == xx[idx];
+                i -= 1;
+                if !via_extend {
+                    layer = if mm[up] >= yy[up] { 0 } else { 2 };
+                }
+            }
+            _ => {
+                let left = i * w + (j - 1);
+                row_a.push(GAP_CODE);
+                row_b.push(bc[j - 1]);
+                let via_extend = yy[left].saturating_sub(extend) == yy[idx];
+                j -= 1;
+                if !via_extend {
+                    layer = if mm[left] >= xx[left] { 0 } else { 1 };
+                }
+            }
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    PairAlignment { row_a, row_b, score, work: Work::dp(cells * 3) }
+}
+
+/// Percent identity after a global alignment — the CLUSTALW initial
+/// distance (`1 − identity`).
+pub fn alignment_distance(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    work: &mut Work,
+) -> f64 {
+    let aln = global_align(a, b, matrix, gaps);
+    *work += aln.work;
+    1.0 - aln.identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(id: &str, t: &str) -> Sequence {
+        Sequence::from_str(id, t).unwrap()
+    }
+
+    fn setup() -> (SubstMatrix, GapPenalties) {
+        (SubstMatrix::blosum62(), GapPenalties::default())
+    }
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let (m, g) = setup();
+        let a = seq("a", "MKVLAWGKVL");
+        let aln = global_align(&a, &a, &m, g);
+        assert_eq!(aln.row_a, aln.row_b);
+        assert!(!aln.row_a.contains(&GAP_CODE));
+        let expected: i64 = a.codes().iter().map(|&c| m.score(c, c) as i64).sum();
+        assert_eq!(aln.score, expected);
+        assert_eq!(aln.identity(), 1.0);
+    }
+
+    #[test]
+    fn rows_reconstruct_inputs() {
+        let (m, g) = setup();
+        let a = seq("a", "MKVLAW");
+        let b = seq("b", "MKAW");
+        let aln = global_align(&a, &b, &m, g);
+        let ung_a: Vec<u8> = aln.row_a.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        let ung_b: Vec<u8> = aln.row_b.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        assert_eq!(ung_a, a.codes());
+        assert_eq!(ung_b, b.codes());
+        assert_eq!(aln.row_a.len(), aln.row_b.len());
+    }
+
+    #[test]
+    fn score_matches_sp_rescoring() {
+        // The DP score must agree with re-scoring the emitted alignment.
+        let (m, g) = setup();
+        let cases = [
+            ("MKVLAWGKVL", "MKILAWKVL"),
+            ("AAAA", "WWWW"),
+            ("MKVL", "M"),
+            ("ACDEFGHIKLMNPQRSTVWY", "ACDEFGHIKLMNPQRSTVWY"),
+            ("WLKMMKAW", "WKAW"),
+        ];
+        for (ta, tb) in cases {
+            let a = seq("a", ta);
+            let b = seq("b", tb);
+            let aln = global_align(&a, &b, &m, g);
+            let rescored =
+                bioseq::msa::pairwise_row_score(&aln.row_a, &aln.row_b, &m, g);
+            assert_eq!(aln.score, rescored, "case {ta} vs {tb}");
+        }
+    }
+
+    #[test]
+    fn symmetric_scores() {
+        let (m, g) = setup();
+        let a = seq("a", "MKVLAWGKVLMM");
+        let b = seq("b", "MKILWGKIL");
+        let s1 = global_align(&a, &b, &m, g).score;
+        let s2 = global_align(&b, &a, &m, g).score;
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn gap_is_preferred_when_cheaper() {
+        let (m, _) = setup();
+        // Cheap gaps: alignment should drop the unmatched region.
+        let g = GapPenalties { open: 1, extend: 1 };
+        let a = seq("a", "MKVLWWWWAW");
+        let b = seq("b", "MKVLAW");
+        let aln = global_align(&a, &b, &m, g);
+        assert!(aln.row_b.contains(&GAP_CODE));
+        assert!(aln.identity() > 0.9);
+    }
+
+    #[test]
+    fn affine_prefers_one_long_gap() {
+        let m = SubstMatrix::blosum62();
+        let g = GapPenalties { open: 10, extend: 1 };
+        let a = seq("a", "MKVVVVKW");
+        let b = seq("b", "MKKW");
+        let aln = global_align(&a, &b, &m, g);
+        // Count gap runs in row_b; affine should produce exactly one.
+        let mut runs = 0;
+        let mut in_run = false;
+        for &c in &aln.row_b {
+            if c == GAP_CODE && !in_run {
+                runs += 1;
+                in_run = true;
+            } else if c != GAP_CODE {
+                in_run = false;
+            }
+        }
+        assert_eq!(runs, 1, "rows: {:?} / {:?}", aln.row_a, aln.row_b);
+    }
+
+    #[test]
+    fn single_residue_edge_cases() {
+        let (m, g) = setup();
+        let a = seq("a", "M");
+        let b = seq("b", "M");
+        let aln = global_align(&a, &b, &m, g);
+        assert_eq!(aln.score, m.score(12, 12) as i64);
+        let c = seq("c", "W");
+        let aln2 = global_align(&a, &c, &m, g);
+        assert_eq!(aln2.row_a.len(), aln2.row_b.len());
+    }
+
+    #[test]
+    fn work_counts_cells() {
+        let (m, g) = setup();
+        let a = seq("a", "MKVL");
+        let b = seq("b", "MKV");
+        let aln = global_align(&a, &b, &m, g);
+        assert_eq!(aln.work.dp_cells, 4 * 3 * 3);
+    }
+
+    #[test]
+    fn local_alignment_finds_embedded_motif() {
+        let (m, g) = setup();
+        let a = seq("a", "PPPPPMKVLAWPPPPP");
+        let b = seq("b", "GGMKVLAWGG");
+        let loc = local_align(&a, &b, &m, g);
+        assert!(loc.score > 0);
+        let seg: String = loc
+            .row_a
+            .iter()
+            .map(|&c| bioseq::alphabet::code_to_char(c))
+            .collect();
+        assert!(seg.contains("MKVLAW"), "segment {seg}");
+        assert_eq!(loc.start_a, 5);
+        assert_eq!(loc.start_b, 2);
+    }
+
+    #[test]
+    fn local_score_nonnegative_even_for_unrelated() {
+        let (m, g) = setup();
+        let a = seq("a", "AAAA");
+        let b = seq("b", "WWWW");
+        let loc = local_align(&a, &b, &m, g);
+        assert!(loc.score >= 0);
+    }
+
+    #[test]
+    fn banded_with_wide_band_matches_full_dp() {
+        let (m, g) = setup();
+        let cases = [
+            ("MKVLAWGKVL", "MKILAWKVL"),
+            ("ACDEFGHIKLMNPQRSTVWY", "ACDEFGHIKLMNPQRSTVWY"),
+            ("WLKMMKAW", "WKAW"),
+            ("MKVL", "M"),
+        ];
+        for (ta, tb) in cases {
+            let a = seq("a", ta);
+            let b = seq("b", tb);
+            let full = global_align(&a, &b, &m, g);
+            let banded = banded_global_align(&a, &b, &m, g, 64);
+            assert_eq!(banded.score, full.score, "{ta} vs {tb}");
+            let rescored =
+                bioseq::msa::pairwise_row_score(&banded.row_a, &banded.row_b, &m, g);
+            assert_eq!(banded.score, rescored, "{ta} vs {tb} rescoring");
+        }
+    }
+
+    #[test]
+    fn banded_saves_cells() {
+        let (m, g) = setup();
+        let long = "MKVLAWGKVL".repeat(10);
+        let a = seq("a", &long);
+        let b = seq("b", &long);
+        let full = global_align(&a, &b, &m, g);
+        let banded = banded_global_align(&a, &b, &m, g, 5);
+        assert!(banded.work.dp_cells < full.work.dp_cells / 3);
+        // Identical sequences stay on the main diagonal: score preserved.
+        assert_eq!(banded.score, full.score);
+    }
+
+    #[test]
+    fn banded_rows_reconstruct_inputs() {
+        let (m, g) = setup();
+        let a = seq("a", "MKVLAWGKVLMMKK");
+        let b = seq("b", "MKVLWGKVLMM");
+        let aln = banded_global_align(&a, &b, &m, g, 4);
+        let ung_a: Vec<u8> =
+            aln.row_a.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        let ung_b: Vec<u8> =
+            aln.row_b.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        assert_eq!(ung_a, a.codes());
+        assert_eq!(ung_b, b.codes());
+    }
+
+    #[test]
+    fn banded_score_never_exceeds_full() {
+        let (m, g) = setup();
+        let a = seq("a", "MKVLAWWWWWWGKVL");
+        let b = seq("b", "GKVLMKVLAW");
+        let full = global_align(&a, &b, &m, g);
+        for band in [1usize, 2, 4, 8, 32] {
+            let banded = banded_global_align(&a, &b, &m, g, band);
+            assert!(banded.score <= full.score, "band {band}");
+        }
+    }
+
+    #[test]
+    fn alignment_distance_zero_for_identical() {
+        let (m, g) = setup();
+        let a = seq("a", "MKVLAW");
+        let mut w = Work::ZERO;
+        let d = alignment_distance(&a, &a, &m, g, &mut w);
+        assert_eq!(d, 0.0);
+        assert!(w.dp_cells > 0);
+    }
+}

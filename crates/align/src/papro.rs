@@ -1,0 +1,381 @@
+//! Profile–profile alignment: the engine of progressive MSA and of the
+//! paper's ancestor-constrained fine-tuning.
+//!
+//! An affine-gap DP over *columns* (not residues) maximising the summed PSP
+//! score. Gap penalties are scaled by the residue weight of the column
+//! being consumed and the total weight of the profile receiving the gap, so
+//! the objective stays in (weighted) sum-of-pairs units end to end.
+
+use crate::profile::Profile;
+use bioseq::alphabet::{CODE_COUNT, GAP_CODE};
+use bioseq::{GapPenalties, Msa, SubstMatrix, Work};
+
+/// One traceback step of a profile alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColOp {
+    /// Consume one column from each profile (aligned columns).
+    Both,
+    /// Consume a column from the first profile; gap column in the second.
+    FromA,
+    /// Consume a column from the second profile; gap column in the first.
+    FromB,
+}
+
+/// Result of a profile–profile alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileAlignment {
+    /// Column merge script (length = merged alignment width).
+    pub ops: Vec<ColOp>,
+    /// DP objective value (weighted SP units).
+    pub score: f64,
+    /// Work performed.
+    pub work: Work,
+}
+
+const NEG_INF: f64 = f64::NEG_INFINITY;
+
+/// Align two profiles with affine gap penalties.
+pub fn align_profiles(
+    pa: &Profile,
+    pb: &Profile,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+) -> ProfileAlignment {
+    let n = pa.len();
+    let m = pb.len();
+    assert!(n > 0 && m > 0, "profiles must be non-empty");
+    let mut work = Work::ZERO;
+
+    // Dense expected-score vectors for B's columns: psp(i, j) becomes a
+    // sparse dot against eb[j].
+    let eb: Vec<[f64; CODE_COUNT]> = pb.cols.iter().map(|c| c.expected_scores(matrix)).collect();
+    work.col_ops += (m * CODE_COUNT) as u64;
+
+    let resw_a: Vec<f64> = pa.cols.iter().map(|c| c.residue_weight()).collect();
+    let resw_b: Vec<f64> = pb.cols.iter().map(|c| c.residue_weight()).collect();
+    let (wa_tot, wb_tot) = (pa.total_weight, pb.total_weight);
+    let open = gaps.open as f64;
+    let extend = gaps.extend as f64;
+    // Cost rate of gapping B against A's column i (and vice versa).
+    let ga = |i: usize| resw_a[i] * wb_tot;
+    let gb = |j: usize| resw_b[j] * wa_tot;
+
+    let w = m + 1;
+    let mut mm = vec![NEG_INF; (n + 1) * w];
+    let mut xx = vec![NEG_INF; (n + 1) * w];
+    let mut yy = vec![NEG_INF; (n + 1) * w];
+    mm[0] = 0.0;
+    for i in 1..=n {
+        let rate = ga(i - 1);
+        let prev = if i == 1 { mm[0] } else { xx[(i - 1) * w] };
+        let charge = if i == 1 { open } else { extend };
+        xx[i * w] = prev - charge * rate;
+    }
+    for j in 1..=m {
+        let rate = gb(j - 1);
+        let prev = if j == 1 { mm[0] } else { yy[j - 1] };
+        let charge = if j == 1 { open } else { extend };
+        yy[j] = prev - charge * rate;
+    }
+
+    for i in 1..=n {
+        let ca = &pa.cols[i - 1];
+        let rate_a = ga(i - 1);
+        for j in 1..=m {
+            let idx = i * w + j;
+            let diag = (i - 1) * w + (j - 1);
+            let up = (i - 1) * w + j;
+            let left = i * w + (j - 1);
+            // PSP via sparse dot with the dense expected vector.
+            let e = &eb[j - 1];
+            let mut psp = 0.0;
+            for &(a, wgt) in &ca.residues {
+                psp += wgt * e[a as usize];
+            }
+            let best_prev = mm[diag].max(xx[diag]).max(yy[diag]);
+            if best_prev > NEG_INF {
+                mm[idx] = best_prev + psp;
+            }
+            xx[idx] = (mm[up].max(yy[up]) - open * rate_a).max(xx[up] - extend * rate_a);
+            let rate_b = gb(j - 1);
+            yy[idx] = (mm[left].max(xx[left]) - open * rate_b).max(yy[left] - extend * rate_b);
+        }
+    }
+    work.dp_cells += 3 * (n as u64) * (m as u64);
+
+    // Traceback.
+    let end = n * w + m;
+    let (score, mut layer) = best3(mm[end], xx[end], yy[end]);
+    let mut ops_rev = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    let eps = 1e-9;
+    while i > 0 || j > 0 {
+        let idx = i * w + j;
+        match layer {
+            0 => {
+                debug_assert!(i > 0 && j > 0);
+                ops_rev.push(ColOp::Both);
+                let diag = (i - 1) * w + (j - 1);
+                let target = {
+                    let e = &eb[j - 1];
+                    let mut psp = 0.0;
+                    for &(a, wgt) in &pa.cols[i - 1].residues {
+                        psp += wgt * e[a as usize];
+                    }
+                    mm[idx] - psp
+                };
+                layer = pick_layer(mm[diag], xx[diag], yy[diag], target, eps);
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                debug_assert!(i > 0);
+                ops_rev.push(ColOp::FromA);
+                let up = (i - 1) * w + j;
+                let rate = ga(i - 1);
+                if (xx[idx] - (xx[up] - extend * rate)).abs() <= eps {
+                    // extended
+                } else {
+                    layer = if mm[up] >= yy[up] { 0 } else { 2 };
+                }
+                i -= 1;
+            }
+            _ => {
+                debug_assert!(j > 0);
+                ops_rev.push(ColOp::FromB);
+                let left = i * w + (j - 1);
+                let rate = gb(j - 1);
+                if (yy[idx] - (yy[left] - extend * rate)).abs() <= eps {
+                    // extended
+                } else {
+                    layer = if mm[left] >= xx[left] { 0 } else { 1 };
+                }
+                j -= 1;
+            }
+        }
+    }
+    ops_rev.reverse();
+    ProfileAlignment { ops: ops_rev, score, work }
+}
+
+#[inline]
+fn best3(m: f64, x: f64, y: f64) -> (f64, u8) {
+    if m >= x && m >= y {
+        (m, 0)
+    } else if x >= y {
+        (x, 1)
+    } else {
+        (y, 2)
+    }
+}
+
+#[inline]
+fn pick_layer(m: f64, x: f64, y: f64, target: f64, eps: f64) -> u8 {
+    if (m - target).abs() <= eps {
+        0
+    } else if (x - target).abs() <= eps {
+        1
+    } else {
+        debug_assert!((y - target).abs() <= eps.max(target.abs() * 1e-9));
+        2
+    }
+}
+
+/// Apply a column merge script to two alignments, producing the merged
+/// alignment (rows of `a` first).
+///
+/// # Panics
+/// Panics if the script does not consume exactly the columns of `a` and
+/// `b`.
+pub fn merge_msas(a: &Msa, b: &Msa, ops: &[ColOp], work: &mut Work) -> Msa {
+    let out_cols = ops.len();
+    let ra = a.num_rows();
+    let rb = b.num_rows();
+    let mut rows: Vec<Vec<u8>> = (0..ra + rb).map(|_| Vec::with_capacity(out_cols)).collect();
+    let (mut ia, mut ib) = (0usize, 0usize);
+    for &op in ops {
+        match op {
+            ColOp::Both => {
+                for (r, row) in rows.iter_mut().enumerate().take(ra) {
+                    row.push(a.row(r)[ia]);
+                }
+                for (r, row) in rows.iter_mut().enumerate().skip(ra) {
+                    row.push(b.row(r - ra)[ib]);
+                }
+                ia += 1;
+                ib += 1;
+            }
+            ColOp::FromA => {
+                for (r, row) in rows.iter_mut().enumerate().take(ra) {
+                    row.push(a.row(r)[ia]);
+                }
+                for row in rows.iter_mut().skip(ra) {
+                    row.push(GAP_CODE);
+                }
+                ia += 1;
+            }
+            ColOp::FromB => {
+                for row in rows.iter_mut().take(ra) {
+                    row.push(GAP_CODE);
+                }
+                for (r, row) in rows.iter_mut().enumerate().skip(ra) {
+                    row.push(b.row(r - ra)[ib]);
+                }
+                ib += 1;
+            }
+        }
+    }
+    assert_eq!(ia, a.num_cols(), "script must consume all of a");
+    assert_eq!(ib, b.num_cols(), "script must consume all of b");
+    work.col_ops += (out_cols * (ra + rb)) as u64;
+    let mut ids = a.ids().to_vec();
+    ids.extend_from_slice(b.ids());
+    Msa::from_rows(ids, rows)
+}
+
+/// Convenience: profile-align two alignments with uniform weights and merge
+/// them.
+pub fn align_and_merge(
+    a: &Msa,
+    b: &Msa,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    work: &mut Work,
+) -> Msa {
+    let pa = Profile::from_msa(a, work);
+    let pb = Profile::from_msa(b, work);
+    let aln = align_profiles(&pa, &pb, matrix, gaps);
+    *work += aln.work;
+    merge_msas(a, b, &aln.ops, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::fasta;
+    use bioseq::Sequence;
+
+    fn msa(text: &str) -> Msa {
+        fasta::parse_alignment(text).unwrap()
+    }
+
+    fn setup() -> (SubstMatrix, GapPenalties) {
+        (SubstMatrix::blosum62(), GapPenalties::default())
+    }
+
+    #[test]
+    fn identical_profiles_align_diagonally() {
+        let (mat, g) = setup();
+        let a = msa(">a\nMKVLAW\n");
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa(&a, &mut w);
+        let aln = align_profiles(&pa, &pa, &mat, g);
+        assert!(aln.ops.iter().all(|&op| op == ColOp::Both));
+        assert_eq!(aln.ops.len(), 6);
+    }
+
+    #[test]
+    fn merge_preserves_ungapped_rows() {
+        let (mat, g) = setup();
+        let a = msa(">a\nMKVLAW\n>b\nMKV-AW\n");
+        let b = msa(">c\nMKAW\n");
+        let mut w = Work::ZERO;
+        let merged = align_and_merge(&a, &b, &mat, g, &mut w);
+        assert_eq!(merged.num_rows(), 3);
+        merged.validate().unwrap();
+        assert_eq!(merged.ungapped(0).to_letters(), "MKVLAW");
+        assert_eq!(merged.ungapped(1).to_letters(), "MKVAW");
+        assert_eq!(merged.ungapped(2).to_letters(), "MKAW");
+        assert!(w.dp_cells > 0);
+    }
+
+    #[test]
+    fn merged_ids_in_order() {
+        let (mat, g) = setup();
+        let a = msa(">x\nMKVL\n");
+        let b = msa(">y\nMKIL\n>z\nMKIL\n");
+        let mut w = Work::ZERO;
+        let merged = align_and_merge(&a, &b, &mat, g, &mut w);
+        assert_eq!(merged.ids(), &["x".to_string(), "y".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn dp_score_matches_rescoring_pairwise_case() {
+        // For single-sequence profiles the profile DP must agree with a
+        // rescoring of the produced alignment (PSP == pair score, weights 1).
+        let (mat, g) = setup();
+        let texts = [("MKVLAWGKVL", "MKILWGKIL"), ("AAAAW", "WAAA"), ("MW", "M")];
+        for (ta, tb) in texts {
+            let a = Msa::from_sequence(&Sequence::from_str("a", ta).unwrap());
+            let b = Msa::from_sequence(&Sequence::from_str("b", tb).unwrap());
+            let mut w = Work::ZERO;
+            let merged = align_and_merge(&a, &b, &mat, g, &mut w);
+            let pa = Profile::from_msa(&a, &mut w);
+            let pb = Profile::from_msa(&b, &mut w);
+            let aln = align_profiles(&pa, &pb, &mat, g);
+            let rescored =
+                bioseq::msa::pairwise_row_score(merged.row(0), merged.row(1), &mat, g);
+            assert!(
+                (aln.score - rescored as f64).abs() < 1e-6,
+                "{ta} vs {tb}: dp={} rescored={rescored}",
+                aln.score
+            );
+        }
+    }
+
+    #[test]
+    fn profile_alignment_matches_pairwise_alignment_score() {
+        // Single-sequence profile alignment is exactly pairwise Gotoh.
+        let (mat, g) = setup();
+        let a = Sequence::from_str("a", "MKVLAWGKVLPP").unwrap();
+        let b = Sequence::from_str("b", "MKILWGKILGG").unwrap();
+        let pairwise = crate::pairwise::global_align(&a, &b, &mat, g);
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa(&Msa::from_sequence(&a), &mut w);
+        let pb = Profile::from_msa(&Msa::from_sequence(&b), &mut w);
+        let profile = align_profiles(&pa, &pb, &mat, g);
+        assert!(
+            (profile.score - pairwise.score as f64).abs() < 1e-6,
+            "profile {} vs pairwise {}",
+            profile.score,
+            pairwise.score
+        );
+    }
+
+    #[test]
+    fn gap_columns_inserted_where_cheaper() {
+        let (mat, g) = setup();
+        let a = msa(">a\nMKVVVVKW\n");
+        let b = msa(">b\nMKKW\n");
+        let mut w = Work::ZERO;
+        let merged = align_and_merge(&a, &b, &mat, g, &mut w);
+        // The short sequence must receive gap columns.
+        assert!(merged.row(1).contains(&GAP_CODE));
+        assert_eq!(merged.num_cols(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "consume all")]
+    fn bad_script_panics() {
+        let a = msa(">a\nMK\n");
+        let b = msa(">b\nMK\n");
+        let mut w = Work::ZERO;
+        merge_msas(&a, &b, &[ColOp::Both], &mut w);
+    }
+
+    #[test]
+    fn weighted_profiles_shift_alignment() {
+        // Weighting the gappy row heavily should change gap placement
+        // economics but never break structure.
+        let (mat, g) = setup();
+        let a = msa(">a\nMKVLAW\n>b\nMK--AW\n");
+        let b = msa(">c\nMKVLAW\n");
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa_weighted(&a, &[1.0, 10.0], &mut w);
+        let pb = Profile::from_msa(&b, &mut w);
+        let aln = align_profiles(&pa, &pb, &mat, g);
+        let merged = merge_msas(&a, &b, &aln.ops, &mut w);
+        merged.validate().unwrap();
+        assert_eq!(merged.ungapped(2).to_letters(), "MKVLAW");
+    }
+}

@@ -1,0 +1,286 @@
+//! Weighted alignment profiles (sparse PSSM columns) and the
+//! profile–profile substitution score (PSP).
+//!
+//! A profile summarises an alignment column-by-column: each column holds the
+//! summed sequence weights of every residue occurring there plus the weight
+//! of gaps. The PSP score between two columns is the expected (weighted)
+//! sum-of-pairs substitution score
+//! `Σ_a Σ_b w_A(a) · w_B(b) · S(a, b)`, which is what MUSCLE's
+//! profile-alignment DP optimises.
+
+use bioseq::alphabet::{CODE_COUNT, GAP_CODE};
+use bioseq::{Msa, SubstMatrix, Work};
+
+/// One profile column: sparse residue weights plus gap weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileColumn {
+    /// `(residue code, summed weight)` sorted by code; no gap entries.
+    pub residues: Vec<(u8, f64)>,
+    /// Summed weight of sequences with a gap in this column.
+    pub gap_weight: f64,
+}
+
+impl ProfileColumn {
+    /// Total residue (non-gap) weight.
+    #[inline]
+    pub fn residue_weight(&self) -> f64 {
+        self.residues.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Dense expected-score vector against a substitution matrix:
+    /// `E[a] = Σ_b w(b) · S(a, b)`.
+    pub fn expected_scores(&self, matrix: &SubstMatrix) -> [f64; CODE_COUNT] {
+        let mut e = [0.0; CODE_COUNT];
+        for &(b, w) in &self.residues {
+            let row = matrix.row(b);
+            for (a, slot) in e.iter_mut().enumerate() {
+                *slot += w * row[a] as f64;
+            }
+        }
+        e
+    }
+}
+
+/// A weighted profile over an alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Columns, one per alignment column.
+    pub cols: Vec<ProfileColumn>,
+    /// Sum of all sequence weights.
+    pub total_weight: f64,
+    /// Number of sequences summarised.
+    pub n_seqs: usize,
+}
+
+impl Profile {
+    /// Build a profile with explicit per-sequence weights.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != msa.num_rows()` or any weight is
+    /// non-positive.
+    pub fn from_msa_weighted(msa: &Msa, weights: &[f64], work: &mut Work) -> Profile {
+        assert_eq!(weights.len(), msa.num_rows(), "one weight per row");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let ncols = msa.num_cols();
+        let mut cols = Vec::with_capacity(ncols);
+        // Accumulate into a dense scratch per column, then sparsify.
+        let mut dense = [0.0f64; CODE_COUNT];
+        for c in 0..ncols {
+            dense.fill(0.0);
+            let mut gap_weight = 0.0;
+            for (r, row) in msa.rows().iter().enumerate() {
+                let code = row[c];
+                if code == GAP_CODE {
+                    gap_weight += weights[r];
+                } else {
+                    dense[code as usize] += weights[r];
+                }
+            }
+            let residues: Vec<(u8, f64)> = dense
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w > 0.0)
+                .map(|(code, &w)| (code as u8, w))
+                .collect();
+            cols.push(ProfileColumn { residues, gap_weight });
+        }
+        work.col_ops += (ncols * msa.num_rows()) as u64;
+        Profile {
+            cols,
+            total_weight: weights.iter().sum(),
+            n_seqs: msa.num_rows(),
+        }
+    }
+
+    /// Build with uniform unit weights.
+    pub fn from_msa(msa: &Msa, work: &mut Work) -> Profile {
+        let w = vec![1.0; msa.num_rows()];
+        Self::from_msa_weighted(msa, &w, work)
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the profile has no columns (never true for valid MSAs).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// PSP score between column `i` of `self` and column `j` of `other`.
+    pub fn psp(&self, i: usize, other: &Profile, j: usize, matrix: &SubstMatrix) -> f64 {
+        let ca = &self.cols[i];
+        let cb = &other.cols[j];
+        let mut s = 0.0;
+        for &(a, wa) in &ca.residues {
+            let row = matrix.row(a);
+            for &(b, wb) in &cb.residues {
+                s += wa * wb * row[b as usize] as f64;
+            }
+        }
+        s
+    }
+}
+
+/// Henikoff & Henikoff (1994) position-based sequence weights, normalised
+/// to mean 1. Columns that are all gaps (impossible for valid [`Msa`]s) or
+/// single-residue contribute like any other.
+pub fn henikoff_weights(msa: &Msa, work: &mut Work) -> Vec<f64> {
+    let n = msa.num_rows();
+    if n == 1 {
+        return vec![1.0];
+    }
+    let mut weights = vec![0.0f64; n];
+    let mut counts = [0usize; CODE_COUNT];
+    for c in 0..msa.num_cols() {
+        counts.fill(0);
+        let mut distinct = 0usize;
+        for row in msa.rows() {
+            let code = row[c];
+            if code != GAP_CODE {
+                if counts[code as usize] == 0 {
+                    distinct += 1;
+                }
+                counts[code as usize] += 1;
+            }
+        }
+        if distinct == 0 {
+            continue;
+        }
+        for (r, row) in msa.rows().iter().enumerate() {
+            let code = row[c];
+            if code != GAP_CODE {
+                weights[r] += 1.0 / (distinct as f64 * counts[code as usize] as f64);
+            }
+        }
+    }
+    work.col_ops += (msa.num_cols() * n) as u64;
+    // Normalise to mean 1; guard against degenerate all-zero weights.
+    let mean = weights.iter().sum::<f64>() / n as f64;
+    if mean > 0.0 {
+        for w in weights.iter_mut() {
+            *w /= mean;
+        }
+    } else {
+        weights.iter_mut().for_each(|w| *w = 1.0);
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::alphabet::char_to_code;
+    use bioseq::fasta;
+
+    fn msa(text: &str) -> Msa {
+        fasta::parse_alignment(text).unwrap()
+    }
+
+    fn c(ch: char) -> u8 {
+        char_to_code(ch).unwrap()
+    }
+
+    #[test]
+    fn profile_counts_residues_and_gaps() {
+        let m = msa(">a\nMK-V\n>b\nMKIV\n>c\nM-IV\n");
+        let mut w = Work::ZERO;
+        let p = Profile::from_msa(&m, &mut w);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.n_seqs, 3);
+        assert_eq!(p.total_weight, 3.0);
+        // Column 0: three Ms.
+        assert_eq!(p.cols[0].residues, vec![(c('M'), 3.0)]);
+        assert_eq!(p.cols[0].gap_weight, 0.0);
+        // Column 1: two Ks, one gap.
+        assert_eq!(p.cols[1].residues, vec![(c('K'), 2.0)]);
+        assert_eq!(p.cols[1].gap_weight, 1.0);
+        assert!(w.col_ops > 0);
+    }
+
+    #[test]
+    fn psp_matches_manual_sum() {
+        let ma = msa(">a\nM\n>b\nK\n");
+        let mb = msa(">c\nM\n");
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa(&ma, &mut w);
+        let pb = Profile::from_msa(&mb, &mut w);
+        let matrix = SubstMatrix::blosum62();
+        let expect = (matrix.score(c('M'), c('M')) + matrix.score(c('K'), c('M'))) as f64;
+        assert!((pa.psp(0, &pb, 0, &matrix) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psp_scales_with_weights() {
+        let ma = msa(">a\nM\n");
+        let mb = msa(">b\nM\n");
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa_weighted(&ma, &[2.0], &mut w);
+        let pb = Profile::from_msa_weighted(&mb, &[3.0], &mut w);
+        let matrix = SubstMatrix::blosum62();
+        let expect = 6.0 * matrix.score(c('M'), c('M')) as f64;
+        assert!((pa.psp(0, &pb, 0, &matrix) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_scores_agree_with_psp() {
+        let ma = msa(">a\nMKV\n>b\nMKI\n");
+        let mb = msa(">c\nMRV\n>d\nMKL\n");
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa(&ma, &mut w);
+        let pb = Profile::from_msa(&mb, &mut w);
+        let matrix = SubstMatrix::blosum62();
+        for i in 0..3 {
+            let e = pb.cols[i].expected_scores(&matrix);
+            let via_dense: f64 = pa.cols[i]
+                .residues
+                .iter()
+                .map(|&(a, wa)| wa * e[a as usize])
+                .sum();
+            let direct = pa.psp(i, &pb, i, &matrix);
+            assert!((via_dense - direct).abs() < 1e-9, "col {i}");
+        }
+    }
+
+    #[test]
+    fn henikoff_weights_uniform_for_identical_rows() {
+        let m = msa(">a\nMKVL\n>b\nMKVL\n>c\nMKVL\n");
+        let mut w = Work::ZERO;
+        let hw = henikoff_weights(&m, &mut w);
+        for v in &hw {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn henikoff_upweights_the_outlier() {
+        // Two near-identical rows plus one divergent row: the divergent row
+        // must get the largest weight.
+        let m = msa(">a\nMKVLMKVL\n>b\nMKVLMKVL\n>c\nWWPPGGCC\n");
+        let mut w = Work::ZERO;
+        let hw = henikoff_weights(&m, &mut w);
+        assert!(hw[2] > hw[0]);
+        assert!((hw[0] - hw[1]).abs() < 1e-12);
+        // Mean normalised to 1.
+        let mean = hw.iter().sum::<f64>() / 3.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_row_weight_is_one() {
+        let m = msa(">a\nMKVL\n");
+        let mut w = Work::ZERO;
+        assert_eq!(henikoff_weights(&m, &mut w), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per row")]
+    fn weight_arity_checked() {
+        let m = msa(">a\nMK\n>b\nMK\n");
+        let mut w = Work::ZERO;
+        Profile::from_msa_weighted(&m, &[1.0], &mut w);
+    }
+}

@@ -1,0 +1,108 @@
+//! Section 3, executable — empirical scaling exponents of every pipeline
+//! phase against the paper's asymptotic cost table.
+//!
+//! The paper derives per-step costs (`w²L` rank, `w log w` sort, `w⁴+wL²`
+//! alignment, `O(p²L + p log p + (N/p)L + L log p)` communication). This
+//! bench sweeps N at fixed p over prefix workloads and fits `t ∝ N^e`
+//! per phase, printing predicted-vs-measured exponents.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::{banner, paper_scale, rose_workload, table};
+use sad_core::audit::{fit_exponent, phase_exponent, sweep_n};
+use sad_core::SadConfig;
+use vcluster::CostModel;
+
+fn experiment() {
+    let sizes: Vec<usize> = if paper_scale() {
+        vec![500, 1000, 2000, 4000]
+    } else {
+        vec![128, 256, 512]
+    };
+    let p = 4;
+    banner(
+        "Section 3 audit",
+        &format!("per-phase scaling exponents in N at p={p}, N in {sizes:?}"),
+    );
+    // Prefix workloads of one fixed family so only the size varies.
+    let full = rose_workload(*sizes.last().unwrap(), 0xC0_57);
+    let points = sweep_n(
+        &sizes,
+        p,
+        &SadConfig::default(),
+        CostModel::beowulf_2008(),
+        |n| full[..n].to_vec(),
+    );
+
+    // (phase, paper's dominant term at fixed p and L, predicted exponent)
+    let expectations = [
+        ("1-local-kmer-rank", "w^2 L", 2.0),
+        ("2-local-sort", "w log w", 1.0),
+        ("3-sample-exchange", "p^2 L (const in N)", 0.0),
+        ("5-globalized-rank", "w k p L", 1.0),
+        ("6-redistribute", "(N/p) L", 1.0),
+        ("8-local-align", "w^2 L + w L^2", 1.5),
+        ("9-local-ancestor", "w (profile cols)", 0.5),
+        ("10-global-ancestor", "p^4 + p L^2 (const in N)", 0.0),
+        ("11-fine-tune", "w L^2 / w? (profile vs GA)", 0.5),
+        ("12-glue", "N L / p", 1.0),
+    ];
+    let mut rows = Vec::new();
+    for (phase, term, predicted) in expectations {
+        let measured = phase_exponent(&points, phase);
+        rows.push(vec![
+            phase.to_string(),
+            term.to_string(),
+            format!("{predicted:.1}"),
+            measured.map_or("n/a".into(), |e| format!("{e:.2}")),
+        ]);
+    }
+    table(&["phase", "paper term", "predicted e", "measured e"], &rows);
+
+    // Communication: total bytes should grow ~linearly in N (redistribution
+    // dominates the wire).
+    let bytes: Vec<(f64, f64)> =
+        points.iter().map(|pt| (pt.n as f64, pt.bytes as f64)).collect();
+    let eb = fit_exponent(&bytes).unwrap_or(f64::NAN);
+    println!("\ntotal wire bytes exponent in N: {eb:.2} (predicted ~1.0)");
+
+    // Headline checks: the two quadratic-ish compute phases and the
+    // near-constant collective phases.
+    let rank_e = phase_exponent(&points, "1-local-kmer-rank").unwrap_or(f64::NAN);
+    let align_e = phase_exponent(&points, "8-local-align").unwrap_or(f64::NAN);
+    let sample_e = phase_exponent(&points, "3-sample-exchange").unwrap_or(f64::NAN);
+    println!(
+        "check — rank phase quadratic (e in 1.5..2.5): {}",
+        if (1.5..=2.5).contains(&rank_e) { "HOLDS" } else { "does not hold" }
+    );
+    println!(
+        "check — align phase superlinear (e > 1.1): {}",
+        if align_e > 1.1 { "HOLDS" } else { "does not hold (scaled sizes favour the linear wL^2 term)" }
+    );
+    println!(
+        "check — sample exchange ~independent of N (e < 0.5): {}",
+        if sample_e.abs() < 0.5 { "HOLDS" } else { "does not hold" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let full = rose_workload(96, 0xC0_58);
+    c.bench_function("complexity/sweep_3_points_p2", |b| {
+        b.iter(|| {
+            sweep_n(
+                &[24, 48, 96],
+                2,
+                &SadConfig::default(),
+                CostModel::beowulf_2008(),
+                |n| full[..n].to_vec(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

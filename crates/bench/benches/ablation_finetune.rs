@@ -1,0 +1,87 @@
+//! Ablation — what the ancestor-constrained fine-tuning (the paper's
+//! Fig. 2 mechanism) buys.
+//!
+//! Runs Sample-Align-D with and without step 8 on a single rose family
+//! (so a true reference exists) and reports SP score and reference-Q for
+//! both. Without the global ancestor the buckets can only be stacked
+//! block-diagonally, which destroys all cross-bucket columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::{banner, scaled, table};
+use sad_core::{run_distributed, SadConfig};
+use vcluster::{CostModel, VirtualCluster};
+
+fn experiment() {
+    let n = scaled(2400);
+    banner(
+        "Ablation: ancestor fine-tuning",
+        &format!("SP and Q with/without the global-ancestor step, N={n}"),
+    );
+    let fam = rosegen::Family::generate(&rosegen::FamilyConfig {
+        n_seqs: n,
+        avg_len: 120,
+        relatedness: 600.0,
+        seed: 0xAB1A_F,
+        ..Default::default()
+    });
+    let matrix = bioseq::SubstMatrix::blosum62();
+    let gaps = bioseq::GapPenalties::default();
+    let mut rows = Vec::new();
+    for p in [4usize, 8] {
+        for fine_tune in [true, false] {
+            let cfg = SadConfig { fine_tune, ..Default::default() };
+            let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+            let run = run_distributed(&cluster, &fam.seqs, &cfg);
+            let q = bioseq::compare::q_score_msa(&run.msa, &fam.reference).unwrap_or(0.0);
+            rows.push(vec![
+                p.to_string(),
+                if fine_tune { "on" } else { "off" }.to_string(),
+                run.msa.sp_score(&matrix, gaps).to_string(),
+                format!("{q:.3}"),
+                format!("{:.2}", run.makespan),
+            ]);
+        }
+    }
+    table(&["p", "fine_tune", "sp_score", "Q_vs_truth", "time_s"], &rows);
+
+    // Check: at each p, fine-tune on strictly beats off on both metrics.
+    let mut ok = true;
+    for pair in rows.chunks(2) {
+        let sp_on: i64 = pair[0][2].parse().unwrap();
+        let sp_off: i64 = pair[1][2].parse().unwrap();
+        let q_on: f64 = pair[0][3].parse().unwrap();
+        let q_off: f64 = pair[1][3].parse().unwrap();
+        if sp_on <= sp_off || q_on < q_off {
+            ok = false;
+        }
+    }
+    println!(
+        "\ncheck — ancestor fine-tuning improves SP and Q at every p: {}",
+        if ok { "HOLDS" } else { "does not hold" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let fam = rosegen::Family::generate(&rosegen::FamilyConfig {
+        n_seqs: 32,
+        avg_len: 60,
+        relatedness: 600.0,
+        seed: 2,
+        ..Default::default()
+    });
+    let cfg = SadConfig::default();
+    c.bench_function("ablation_finetune/sad_finetune_n32_p4", |b| {
+        b.iter(|| {
+            let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+            run_distributed(&cluster, std::hint::black_box(&fam.seqs), &cfg)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

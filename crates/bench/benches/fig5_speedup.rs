@@ -1,0 +1,88 @@
+//! Fig. 5 — speedup vs number of processors (the paper reports
+//! super-linear speedup, strongest for the largest input).
+//!
+//! Speedup here is `T(1) / T(p)` over the virtual cluster, exactly the
+//! quantity the paper plots. Super-linearity comes from the `O(w²·L)`
+//! k-mer distance term inside the sequential engine: bucketing divides the
+//! quadratic work by `p²`, not `p` — the effect grows with N, matching
+//! the paper's observation that the 20000-sequence curve is the cleanest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::{banner, rose_workload, scaled, table, PAPER_PROCS};
+use sad_core::{run_distributed, SadConfig};
+use vcluster::{CostModel, VirtualCluster};
+
+fn experiment() {
+    let sizes: Vec<usize> = [5000, 10000, 20000].iter().map(|&n| scaled(n)).collect();
+    banner(
+        "Fig. 5",
+        &format!("speedup vs processors, N = {sizes:?} (paper: 5000/10000/20000)"),
+    );
+    let cfg = SadConfig::default();
+    let mut rows = Vec::new();
+    let mut headline = (0usize, 0.0f64); // (largest N, speedup at p=16)
+    for (i, &n) in sizes.iter().enumerate() {
+        let seqs = rose_workload(n, 0xF16_5 + i as u64);
+        let mut times = Vec::new();
+        for &p in &PAPER_PROCS {
+            let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+            times.push(run_distributed(&cluster, &seqs, &cfg).makespan);
+        }
+        let t1 = times[0];
+        let mut row = vec![n.to_string()];
+        for (j, &p) in PAPER_PROCS.iter().enumerate() {
+            let s = t1 / times[j];
+            row.push(format!("{s:.2}"));
+            if p == 16 {
+                headline = (n, s);
+            }
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("N".to_string())
+        .chain(PAPER_PROCS.iter().map(|p| format!("speedup(p={p})")))
+        .collect();
+    let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    table(&hrefs, &rows);
+
+    println!(
+        "\nlargest input N={}: speedup at p=16 is {:.2} (paper: super-linear, up to ~45)",
+        headline.0, headline.1
+    );
+    println!(
+        "paper check — super-linear speedup at the largest N: {}",
+        if headline.1 > 16.0 {
+            "REPRODUCED (speedup > p)"
+        } else if headline.1 > 12.0 {
+            "PARTIAL (near-linear at this scaled size; run SAD_PAPER_SCALE=1)"
+        } else {
+            "NOT reproduced"
+        }
+    );
+    // Monotone growth of speedup with N at p=16.
+    let s_small: f64 = rows[0].last().unwrap().parse().unwrap();
+    let s_large: f64 = rows[2].last().unwrap().parse().unwrap();
+    println!(
+        "paper check — larger inputs scale better: {}",
+        if s_large >= s_small { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let seqs = rose_workload(96, 0xF16_55);
+    let cfg = SadConfig::default();
+    c.bench_function("fig5/sad_n96_p16", |b| {
+        b.iter(|| {
+            let cluster = VirtualCluster::new(16, CostModel::beowulf_2008());
+            run_distributed(&cluster, std::hint::black_box(&seqs), &cfg)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the hot kernels (real wall-clock criterion
+//! measurements, unlike the figure benches which report virtual time).
+
+use align::pairwise::global_align;
+use align::papro::align_and_merge;
+use bioseq::{CompressedAlphabet, GapPenalties, KmerProfile, Msa, SubstMatrix, Work};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::rose_workload;
+
+fn bench(c: &mut Criterion) {
+    let seqs = rose_workload(64, 0x111);
+    let matrix = SubstMatrix::blosum62();
+    let gaps = GapPenalties::default();
+
+    // k-mer profile construction + similarity, L ≈ 300.
+    let pa = KmerProfile::build(&seqs[0], 6, CompressedAlphabet::Dayhoff6).unwrap();
+    let pb = KmerProfile::build(&seqs[1], 6, CompressedAlphabet::Dayhoff6).unwrap();
+    c.bench_function("kernel/kmer_profile_build_L300", |b| {
+        b.iter(|| KmerProfile::build(std::hint::black_box(&seqs[0]), 6, CompressedAlphabet::Dayhoff6))
+    });
+    c.bench_function("kernel/kmer_similarity_L300", |b| {
+        b.iter(|| std::hint::black_box(&pa).similarity(&pb))
+    });
+
+    // Gotoh pairwise alignment, 300×300.
+    c.bench_function("kernel/gotoh_global_300x300", |b| {
+        b.iter(|| global_align(std::hint::black_box(&seqs[0]), &seqs[1], &matrix, gaps))
+    });
+
+    // Profile–profile alignment of two 8-sequence sub-alignments.
+    let engine = align::MuscleLite::fast();
+    let msa_a = engine.align(&seqs[..8]);
+    let msa_b = engine.align(&seqs[8..16]);
+    c.bench_function("kernel/profile_align_8x8_L300", |b| {
+        b.iter(|| {
+            let mut w = Work::ZERO;
+            align_and_merge(
+                std::hint::black_box(&msa_a),
+                &msa_b,
+                &matrix,
+                gaps,
+                &mut w,
+            )
+        })
+    });
+
+    // Consensus extraction.
+    let merged: Msa = engine.align(&seqs[..16]);
+    c.bench_function("kernel/consensus_16xL", |b| {
+        b.iter(|| {
+            let mut w = Work::ZERO;
+            align::consensus::consensus_sequence(std::hint::black_box(&merged), "anc", &mut w)
+        })
+    });
+
+    // Shared-memory sample sort of 10k keys.
+    let keys: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 100_000) as f64).collect();
+    c.bench_function("kernel/sample_sort_10k_p8", |b| {
+        b.iter(|| psrs::shared::sample_sort_by(std::hint::black_box(keys.clone()), 8, |&x| x))
+    });
+
+    // Full MUSCLE-lite on a 32-sequence family (the per-bucket unit of
+    // work at N=512, p=16).
+    let bucket = &seqs[..32];
+    c.bench_function("kernel/muscle_lite_fast_32xL300", |b| {
+        b.iter(|| align::MuscleLite::fast().align(std::hint::black_box(bucket)))
+    });
+}
+
+use align::MsaEngine;
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 1 — statistical comparison of globalized vs centralized k-mer
+//! rank for 5000 sequences.
+//!
+//! Paper's values (for its unspecified rank constants):
+//! (max,min) central (1.44827, 0.0); avg central 0.722962;
+//! (max,min) globalized (1.46207, 0.0); avg globalized 1.11302;
+//! variance w.r.t. centralized 0.33190; stddev 0.576377.
+//! What must reproduce: globalized average above centralized, similar
+//! max/min ranges, and a modest but non-zero stddev of the difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_bench::{banner, rose_workload, scaled, table};
+use sad_core::{rank_experiment, SadConfig};
+
+fn experiment() {
+    let n = scaled(5000);
+    banner("Table 1", &format!("rank statistics, N={n}"));
+    let seqs = rose_workload(n, 0x7AB1E_1);
+    let cfg = SadConfig::default();
+    let exp = rank_experiment(&seqs, 16, &cfg);
+    let sc = bioseq::stats::Summary::of(&exp.centralized).unwrap();
+    let sg = bioseq::stats::Summary::of(&exp.globalized).unwrap();
+    let (var, sd) =
+        bioseq::stats::variance_wrt(&exp.globalized, &exp.centralized).unwrap();
+
+    table(
+        &["statistic", "ours", "paper"],
+        &[
+            vec!["(max,min) central".into(), format!("({:.5},{:.5})", sc.max, sc.min), "(1.44827,0.0)".into()],
+            vec!["avg central".into(), format!("{:.6}", sc.mean), "0.722962".into()],
+            vec!["(max,min) globalized".into(), format!("({:.5},{:.5})", sg.max, sg.min), "(1.46207,0.0)".into()],
+            vec!["avg globalized".into(), format!("{:.6}", sg.mean), "1.11302".into()],
+            vec!["variance w.r.t. central".into(), format!("{:.5}", var), "0.33190".into()],
+            vec!["stddev w.r.t. central".into(), format!("{:.6}", sd), "0.576377".into()],
+        ],
+    );
+    println!(
+        "\npaper check — avg(globalized) > avg(centralized): {}",
+        if sg.mean > sc.mean { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "paper check — ranges overlap (|max_g - max_c| small vs spread): {}",
+        if (sg.max - sc.max).abs() < 4.0 * sc.stddev.max(1e-9) {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let seqs = rose_workload(128, 0x7AB1E_2);
+    let cfg = SadConfig::default();
+    c.bench_function("table1/rank_experiment_n128_p16", |b| {
+        b.iter(|| rank_experiment(std::hint::black_box(&seqs), 16, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

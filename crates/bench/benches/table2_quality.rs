@@ -1,0 +1,90 @@
+//! Table 2 — alignment quality (PREFAB Q scores).
+//!
+//! Paper's Q scores: Sample-Align-D 0.544, MUSCLE 0.645, MUSCLE-p 0.634,
+//! T-Coffee 0.615, NWNSI 0.615, FFTNSI 0.591, CLUSTALW 0.563.
+//!
+//! The shape to reproduce on our PREFAB-like generated benchmark:
+//! the full sequential engines beat the domain-decomposed system by a
+//! modest margin (decomposing 20–30 sequences over 4 processors is "too
+//! fine grain", as the paper itself notes), and Sample-Align-D stays in
+//! the same quality class as CLUSTALW.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
+use sad_bench::{banner, paper_scale, table};
+use sad_core::{run_distributed, SadConfig};
+use vcluster::{CostModel, VirtualCluster};
+
+fn experiment() {
+    let cases = if paper_scale() { 48 } else { 12 };
+    banner("Table 2", &format!("PREFAB-like Q scores, {cases} cases (paper: PREFAB 4)"));
+    let benchmark = Benchmark::generate(&BenchmarkConfig {
+        n_cases: cases,
+        seqs_per_case: 24,
+        avg_len: 120,
+        // PREFAB's hard cases sit well below 50% identity; this range puts
+        // our generated references in the same Q regime as the paper's
+        // Table 2 (see the probe in EXPERIMENTS.md).
+        relatedness: (1100.0, 3000.0),
+        seed: 0x7AB1E_2,
+    });
+
+    let muscle = evaluate_engine(&align::MuscleLite::standard(), &benchmark);
+    let muscle_fast = evaluate_engine(&align::MuscleLite::fast(), &benchmark);
+    let clustal = evaluate_engine(&align::ClustalLite::default(), &benchmark);
+    // Sample-Align-D on a 4-processor cluster, as in the paper's Table 2.
+    let cfg = SadConfig::default();
+    let sad = evaluate_with("sample-align-d(p=4)", &benchmark, |seqs| {
+        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, seqs, &cfg);
+        (run.msa, bioseq::Work::ZERO)
+    });
+
+    let rows = vec![
+        vec!["sample-align-d(p=4)".into(), format!("{:.3}", sad.mean_q), "0.544".into()],
+        vec!["muscle-lite".into(), format!("{:.3}", muscle.mean_q), "0.645".into()],
+        vec!["muscle-lite-fast".into(), format!("{:.3}", muscle_fast.mean_q), "0.634 (MUSCLE-p)".into()],
+        vec!["clustal-lite".into(), format!("{:.3}", clustal.mean_q), "0.563".into()],
+    ];
+    table(&["method", "Q (ours)", "Q (paper)"], &rows);
+    println!("\nTC scores: sad={:.3} muscle={:.3} clustal={:.3}",
+        sad.mean_tc, muscle.mean_tc, clustal.mean_tc);
+
+    println!(
+        "\npaper check — engines rank MUSCLE ≥ CLUSTALW: {}",
+        if muscle.mean_q >= clustal.mean_q - 0.02 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "paper check — SAD within ~0.1 of CLUSTALW-class quality: {}",
+        if (sad.mean_q - clustal.mean_q).abs() < 0.12 || sad.mean_q > clustal.mean_q {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+    println!(
+        "paper check — decomposition costs some quality vs full MUSCLE: {}",
+        if sad.mean_q <= muscle.mean_q + 0.02 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let benchmark = Benchmark::generate(&BenchmarkConfig {
+        n_cases: 2,
+        seqs_per_case: 12,
+        avg_len: 80,
+        relatedness: (400.0, 800.0),
+        seed: 1,
+    });
+    c.bench_function("table2/qbench_muscle_fast_2cases", |b| {
+        b.iter(|| evaluate_engine(&align::MuscleLite::fast(), std::hint::black_box(&benchmark)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

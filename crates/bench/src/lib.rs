@@ -1,0 +1,135 @@
+//! # sad-bench — the evaluation harness
+//!
+//! One bench target per table/figure of the paper (see `benches/`), plus
+//! ablations and micro-kernel benchmarks. This library holds the shared
+//! plumbing: workload construction, paper-vs-scaled sizing, and table
+//! printing.
+//!
+//! Every figure bench runs its experiment **once** (outside criterion's
+//! measurement loop — the figures are deterministic virtual-time results,
+//! not wall-clock samples), prints the series the paper reports, and then
+//! registers a small criterion measurement over a representative kernel so
+//! `cargo bench` retains real benchmarking semantics.
+//!
+//! Sizing: by default workloads are scaled down ~10× so the whole suite
+//! finishes on a small CI box. Set `SAD_PAPER_SCALE=1` to run the paper's
+//! exact sizes (N up to 20 000).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bioseq::Sequence;
+use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
+
+/// Whether the paper's full-size workloads were requested.
+pub fn paper_scale() -> bool {
+    std::env::var("SAD_PAPER_SCALE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scale a paper workload size: identity under `SAD_PAPER_SCALE=1`,
+/// otherwise `n / 10` (minimum 64).
+pub fn scaled(paper_n: usize) -> usize {
+    if paper_scale() {
+        paper_n
+    } else {
+        (paper_n / 10).max(64)
+    }
+}
+
+/// The processor counts of the paper's scaling plots.
+pub const PAPER_PROCS: [usize; 5] = [1, 4, 8, 12, 16];
+
+/// The rose-style workload of the scaling experiments: average length 300,
+/// relatedness 800 ("not very close"), evenly spread k-mer ranks.
+pub fn rose_workload(n: usize, seed: u64) -> Vec<Sequence> {
+    Family::generate(&FamilyConfig {
+        n_seqs: n,
+        avg_len: 300,
+        len_sd: 20.0,
+        relatedness: 800.0,
+        seed,
+        id_prefix: "rose".into(),
+        ..Default::default()
+    })
+    .seqs
+}
+
+/// The Fig. 6 workload: a diverse genome-like sample, average length 316.
+pub fn genome_workload(n: usize, seed: u64) -> Vec<Sequence> {
+    GenomeSample::generate(&GenomeConfig {
+        n_seqs: n,
+        n_families: (n / 50).max(4),
+        avg_len: 316,
+        seed,
+        ..Default::default()
+    })
+    .seqs
+}
+
+/// Print a labelled experiment header so bench output reads like the
+/// paper's evaluation section.
+pub fn banner(experiment: &str, what: &str) {
+    println!("\n================================================================");
+    println!("{experiment}: {what}");
+    println!("(scaled workload; set SAD_PAPER_SCALE=1 for the paper's sizes)");
+    println!("================================================================");
+}
+
+/// Print rows as an aligned table *and* as CSV (for EXPERIMENTS.md).
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: Vec<&str>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(headers.to_vec()));
+    for row in rows {
+        println!("{}", fmt_row(row.iter().map(String::as_str).collect()));
+    }
+    println!("-- csv --");
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_rules() {
+        if !paper_scale() {
+            assert_eq!(scaled(5000), 500);
+            assert_eq!(scaled(200), 64);
+        }
+    }
+
+    #[test]
+    fn workloads_have_requested_sizes() {
+        assert_eq!(rose_workload(70, 1).len(), 70);
+        assert_eq!(genome_workload(80, 1).len(), 80);
+    }
+
+    #[test]
+    fn genome_mean_length_echoes_acetivorans() {
+        let seqs = genome_workload(300, 2);
+        let mean: f64 =
+            seqs.iter().map(|s| s.len() as f64).sum::<f64>() / seqs.len() as f64;
+        assert!((mean - 316.0).abs() < 90.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Alignment quality measures: the PREFAB `Q` score and the total-column
+//! `TC` score.
+//!
+//! `Q` (Edgar 2004): the number of correctly aligned residue *pairs* divided
+//! by the number of residue pairs in the reference alignment. For full MSAs
+//! the pair counts are summed over every row pair present in both test and
+//! reference (rows are matched by identifier).
+
+use crate::alphabet::GAP_CODE;
+use crate::msa::Msa;
+use std::collections::HashMap;
+
+/// Extract the aligned residue-index pairs of two gapped rows: each element
+/// `(i, j)` says "residue `i` of sequence A is in the same column as residue
+/// `j` of sequence B". Pairs are emitted in increasing order of both
+/// components.
+pub fn aligned_pairs(row_a: &[u8], row_b: &[u8]) -> Vec<(u32, u32)> {
+    debug_assert_eq!(row_a.len(), row_b.len());
+    let mut pairs = Vec::new();
+    let (mut ia, mut ib) = (0u32, 0u32);
+    for (&a, &b) in row_a.iter().zip(row_b) {
+        let ra = a != GAP_CODE;
+        let rb = b != GAP_CODE;
+        if ra && rb {
+            pairs.push((ia, ib));
+        }
+        if ra {
+            ia += 1;
+        }
+        if rb {
+            ib += 1;
+        }
+    }
+    pairs
+}
+
+/// Count how many of `reference`'s pairs also occur in `test` (both sorted
+/// ascending, as produced by [`aligned_pairs`]).
+fn matched_pairs(test: &[(u32, u32)], reference: &[(u32, u32)]) -> usize {
+    // Both lists are sorted lexicographically (first components strictly
+    // increase within each list), so a merge works.
+    let mut matched = 0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < test.len() && j < reference.len() {
+        match test[i].cmp(&reference[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                matched += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    matched
+}
+
+/// Q score for a single row pair.
+///
+/// Returns `None` when the reference pair has no aligned residue pairs
+/// (quality is undefined — the paper footnote mentions discarding such
+/// cases).
+pub fn q_score_pair(
+    test_a: &[u8],
+    test_b: &[u8],
+    ref_a: &[u8],
+    ref_b: &[u8],
+) -> Option<f64> {
+    let t = aligned_pairs(test_a, test_b);
+    let r = aligned_pairs(ref_a, ref_b);
+    if r.is_empty() {
+        return None;
+    }
+    Some(matched_pairs(&t, &r) as f64 / r.len() as f64)
+}
+
+/// Q score of a test MSA against a reference MSA.
+///
+/// Rows are matched by identifier; rows present in only one of the two
+/// alignments are ignored. Pair counts are pooled over all matched row
+/// pairs (so big families weigh more, matching PREFAB's convention of
+/// scoring each reference pair).
+///
+/// Returns `None` if fewer than two rows match or the reference contributes
+/// no aligned pairs.
+pub fn q_score_msa(test: &Msa, reference: &Msa) -> Option<f64> {
+    let test_idx: HashMap<&str, usize> = test
+        .ids()
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.as_str(), i))
+        .collect();
+    let mut shared: Vec<(usize, usize)> = Vec::new(); // (ref row, test row)
+    for (ri, id) in reference.ids().iter().enumerate() {
+        if let Some(&ti) = test_idx.get(id.as_str()) {
+            shared.push((ri, ti));
+        }
+    }
+    if shared.len() < 2 {
+        return None;
+    }
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for x in 0..shared.len() {
+        for y in (x + 1)..shared.len() {
+            let (ra, ta) = shared[x];
+            let (rb, tb) = shared[y];
+            let rp = aligned_pairs(reference.row(ra), reference.row(rb));
+            let tp = aligned_pairs(test.row(ta), test.row(tb));
+            matched += matched_pairs(&tp, &rp);
+            total += rp.len();
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(matched as f64 / total as f64)
+    }
+}
+
+/// Total-column score: the fraction of reference columns that appear intact
+/// (same residues of the same sequences, rows matched by id) as a column of
+/// the test alignment. Columns that are all-gap over the shared rows are
+/// skipped.
+pub fn tc_score(test: &Msa, reference: &Msa) -> Option<f64> {
+    let test_idx: HashMap<&str, usize> = test
+        .ids()
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.as_str(), i))
+        .collect();
+    let mut shared: Vec<(usize, usize)> = Vec::new();
+    for (ri, id) in reference.ids().iter().enumerate() {
+        if let Some(&ti) = test_idx.get(id.as_str()) {
+            shared.push((ri, ti));
+        }
+    }
+    if shared.len() < 2 {
+        return None;
+    }
+    // For each shared row, map residue index -> test column.
+    let res_to_col: Vec<HashMap<u32, u32>> = shared
+        .iter()
+        .map(|&(_, ti)| {
+            let mut m = HashMap::new();
+            let mut idx = 0u32;
+            for (col, &c) in test.row(ti).iter().enumerate() {
+                if c != GAP_CODE {
+                    m.insert(idx, col as u32);
+                    idx += 1;
+                }
+            }
+            m
+        })
+        .collect();
+    // Residue counters for reference rows.
+    let mut ref_res_idx = vec![0u32; shared.len()];
+    let mut hit = 0usize;
+    let mut considered = 0usize;
+    for col in 0..reference.num_cols() {
+        let mut test_col: Option<u32> = None;
+        let mut consistent = true;
+        let mut any_residue = false;
+        for (s, &(ri, _)) in shared.iter().enumerate() {
+            let code = reference.row(ri)[col];
+            if code == GAP_CODE {
+                continue;
+            }
+            any_residue = true;
+            let tcol = res_to_col[s].get(&ref_res_idx[s]).copied();
+            match (tcol, test_col) {
+                (Some(tc), None) => test_col = Some(tc),
+                (Some(tc), Some(prev)) if tc == prev => {}
+                _ => consistent = false,
+            }
+            ref_res_idx[s] += 1;
+        }
+        if any_residue {
+            considered += 1;
+            if consistent && test_col.is_some() {
+                hit += 1;
+            }
+        }
+    }
+    if considered == 0 {
+        None
+    } else {
+        Some(hit as f64 / considered as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta;
+
+    fn msa(text: &str) -> Msa {
+        fasta::parse_alignment(text).unwrap()
+    }
+
+    #[test]
+    fn aligned_pairs_basic() {
+        // A: M K - V L     indices 0 1 _ 2 3
+        // B: M - I V L     indices 0 _ 1 2 3
+        let m = msa(">a\nMK-VL\n>b\nM-IVL\n");
+        let p = aligned_pairs(m.row(0), m.row(1));
+        assert_eq!(p, vec![(0, 0), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn q_perfect_agreement() {
+        let reference = msa(">a\nMK-VL\n>b\nM-IVL\n");
+        assert_eq!(
+            q_score_pair(reference.row(0), reference.row(1), reference.row(0), reference.row(1)),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn q_total_disagreement() {
+        // Test aligns nothing that the reference aligns.
+        let reference = msa(">a\nMKV---\n>b\n---MKV\n");
+        // Reference has zero aligned pairs -> undefined.
+        assert_eq!(
+            q_score_pair(reference.row(0), reference.row(1), reference.row(0), reference.row(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn q_partial() {
+        let reference = msa(">a\nMKVL\n>b\nMKVL\n"); // pairs (0,0)..(3,3)
+        let test = msa(">a\nMKVL-\n>b\n-MKVL\n"); // pairs (1,0),(2,1),(3,2)
+        let q = q_score_pair(test.row(0), test.row(1), reference.row(0), reference.row(1))
+            .unwrap();
+        assert_eq!(q, 0.0);
+        // Shift-by-zero variant matches 4/4.
+        let q2 = q_score_pair(
+            reference.row(0),
+            reference.row(1),
+            reference.row(0),
+            reference.row(1),
+        )
+        .unwrap();
+        assert_eq!(q2, 1.0);
+    }
+
+    #[test]
+    fn q_msa_matches_pair_when_two_rows() {
+        let reference = msa(">a\nMK-VL\n>b\nM-IVL\n");
+        let test = msa(">b\nM-IVL\n>a\nMK-VL\n"); // row order permuted
+        assert_eq!(q_score_msa(&test, &reference), Some(1.0));
+    }
+
+    #[test]
+    fn q_msa_ignores_unmatched_rows() {
+        let reference = msa(">a\nMKVL\n>b\nMKVL\n>zzz\nMKVL\n");
+        let test = msa(">a\nMKVL\n>b\nMKVL\n>other\nMKVL\n");
+        assert_eq!(q_score_msa(&test, &reference), Some(1.0));
+    }
+
+    #[test]
+    fn q_msa_requires_two_shared_rows() {
+        let reference = msa(">a\nMKVL\n>b\nMKVL\n");
+        let test = msa(">a\nMKVL\n>c\nMKVL\n");
+        assert_eq!(q_score_msa(&test, &reference), None);
+    }
+
+    #[test]
+    fn tc_perfect() {
+        let reference = msa(">a\nMK-VL\n>b\nM-IVL\n");
+        assert_eq!(tc_score(&reference, &reference), Some(1.0));
+    }
+
+    #[test]
+    fn tc_detects_column_breakage() {
+        let reference = msa(">a\nMKV\n>b\nMKV\n");
+        // Test alignment shifts b by one column: no reference column
+        // survives intact.
+        let test = msa(">a\nMKV-\n>b\n-MKV\n");
+        assert_eq!(tc_score(&test, &reference), Some(0.0));
+    }
+
+    #[test]
+    fn tc_partial_columns() {
+        let reference = msa(">a\nMKV\n>b\nMKV\n");
+        // b's last residue pushed out of the shared column.
+        let test = msa(">a\nMKV-\n>b\nMK-V\n");
+        let tc = tc_score(&test, &reference).unwrap();
+        assert!((tc - 2.0 / 3.0).abs() < 1e-12, "tc={tc}");
+    }
+
+    #[test]
+    fn q_is_in_unit_interval() {
+        let reference = msa(">a\nMKVLAW\n>b\nMK--AW\n");
+        let test = msa(">a\nMKVLAW\n>b\n--MKAW\n");
+        let q = q_score_msa(&test, &reference).unwrap();
+        assert!((0.0..=1.0).contains(&q));
+    }
+}

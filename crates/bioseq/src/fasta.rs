@@ -1,0 +1,248 @@
+//! Minimal FASTA parsing and serialisation.
+//!
+//! Supports the subset of FASTA the pipeline needs: `>` headers (first
+//! whitespace-delimited token is the id), wrapped sequence lines, and both
+//! gapped (alignment) and ungapped records.
+
+use crate::alphabet::{char_to_code, code_to_char, GAP_CODE};
+use crate::msa::Msa;
+use crate::sequence::{Sequence, SequenceError};
+use std::fmt::Write as _;
+
+/// Error while parsing FASTA text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data appeared before the first `>` header.
+    DataBeforeHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A record contained an invalid residue.
+    BadSequence {
+        /// Record identifier.
+        id: String,
+        /// Underlying sequence error.
+        source: SequenceError,
+    },
+    /// A record contained no residues at all.
+    EmptyRecord {
+        /// Record identifier.
+        id: String,
+    },
+    /// Gapped records had inconsistent lengths (for alignment parsing).
+    RaggedAlignment {
+        /// Expected number of columns.
+        expected: usize,
+        /// Actual number of columns in the offending record.
+        got: usize,
+        /// Record identifier.
+        id: String,
+    },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::DataBeforeHeader { line } => {
+                write!(f, "sequence data before first header at line {line}")
+            }
+            FastaError::BadSequence { id, source } => {
+                write!(f, "record {id}: {source}")
+            }
+            FastaError::EmptyRecord { id } => write!(f, "record {id} is empty"),
+            FastaError::RaggedAlignment { expected, got, id } => write!(
+                f,
+                "record {id} has {got} columns, expected {expected} (ragged alignment)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parse ungapped FASTA text into sequences. Gap characters are rejected.
+pub fn parse(text: &str) -> Result<Vec<Sequence>, FastaError> {
+    let records = split_records(text)?;
+    records
+        .into_iter()
+        .map(|(id, body)| {
+            Sequence::from_str(id.clone(), &body).map_err(|source| FastaError::BadSequence {
+                id,
+                source,
+            })
+        })
+        .collect()
+}
+
+/// Parse gapped FASTA text into an alignment. All records must have the same
+/// number of columns.
+pub fn parse_alignment(text: &str) -> Result<Msa, FastaError> {
+    let records = split_records(text)?;
+    let mut ids = Vec::with_capacity(records.len());
+    let mut rows: Vec<Vec<u8>> = Vec::with_capacity(records.len());
+    let mut width: Option<usize> = None;
+    for (id, body) in records {
+        let mut row = Vec::with_capacity(body.len());
+        for (pos, ch) in body.chars().enumerate() {
+            if ch.is_whitespace() {
+                continue;
+            }
+            match char_to_code(ch) {
+                Some(code) => row.push(code),
+                None => {
+                    return Err(FastaError::BadSequence {
+                        id,
+                        source: SequenceError::InvalidResidue { ch, pos },
+                    })
+                }
+            }
+        }
+        if row.is_empty() {
+            return Err(FastaError::EmptyRecord { id });
+        }
+        match width {
+            None => width = Some(row.len()),
+            Some(w) if w != row.len() => {
+                return Err(FastaError::RaggedAlignment { expected: w, got: row.len(), id })
+            }
+            _ => {}
+        }
+        ids.push(id);
+        rows.push(row);
+    }
+    Ok(Msa::from_rows(ids, rows))
+}
+
+fn split_records(text: &str) -> Result<Vec<(String, String)>, FastaError> {
+    let mut records: Vec<(String, String)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            let id = header.split_whitespace().next().unwrap_or("").to_string();
+            records.push((id, String::new()));
+        } else {
+            match records.last_mut() {
+                Some((_, body)) => body.push_str(line),
+                None => return Err(FastaError::DataBeforeHeader { line: lineno + 1 }),
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Serialise sequences as FASTA with 60-column wrapping.
+pub fn write(seqs: &[Sequence]) -> String {
+    let mut out = String::new();
+    for s in seqs {
+        let _ = writeln!(out, ">{}", s.id);
+        wrap_into(&mut out, &s.to_letters());
+    }
+    out
+}
+
+/// Serialise an alignment as gapped FASTA with 60-column wrapping.
+pub fn write_alignment(msa: &Msa) -> String {
+    let mut out = String::new();
+    for i in 0..msa.num_rows() {
+        let _ = writeln!(out, ">{}", msa.ids()[i]);
+        let letters: String = msa.row(i).iter().map(|&c| code_to_char(c)).collect();
+        wrap_into(&mut out, &letters);
+    }
+    out
+}
+
+fn wrap_into(out: &mut String, letters: &str) {
+    let bytes = letters.as_bytes();
+    for chunk in bytes.chunks(60) {
+        out.push_str(std::str::from_utf8(chunk).expect("ASCII"));
+        out.push('\n');
+    }
+}
+
+/// Convenience: whether a parsed alignment row code is a gap.
+#[inline]
+pub fn is_gap(code: u8) -> bool {
+    code == GAP_CODE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let text = ">a desc here\nMKVL\nAW\n>b\nMKIL\n";
+        let seqs = parse(text).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].id, "a");
+        assert_eq!(seqs[0].to_letters(), "MKVLAW");
+        assert_eq!(seqs[1].to_letters(), "MKIL");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = ">a\nMKVLAW\n>b\nMKIL\n";
+        let seqs = parse(text).unwrap();
+        let out = write(&seqs);
+        let again = parse(&out).unwrap();
+        assert_eq!(seqs, again);
+    }
+
+    #[test]
+    fn wrapping_at_60() {
+        let long = "M".repeat(150);
+        let seqs = parse(&format!(">x\n{long}\n")).unwrap();
+        let out = write(&seqs);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1 + 3); // header + 60 + 60 + 30
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 30);
+    }
+
+    #[test]
+    fn data_before_header_rejected() {
+        assert!(matches!(
+            parse("MKVL\n>a\nMK\n"),
+            Err(FastaError::DataBeforeHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn gapped_alignment_parses() {
+        let text = ">a\nMK-VL\n>b\nMKI-L\n";
+        let msa = parse_alignment(text).unwrap();
+        assert_eq!(msa.num_rows(), 2);
+        assert_eq!(msa.num_cols(), 5);
+    }
+
+    #[test]
+    fn ragged_alignment_rejected() {
+        let text = ">a\nMK-VL\n>b\nMKIL\n";
+        assert!(matches!(
+            parse_alignment(text),
+            Err(FastaError::RaggedAlignment { expected: 5, got: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn alignment_roundtrip() {
+        let text = ">a\nMK-VL\n>b\nMKI-L\n";
+        let msa = parse_alignment(text).unwrap();
+        let out = write_alignment(&msa);
+        let again = parse_alignment(&out).unwrap();
+        assert_eq!(msa.rows(), again.rows());
+    }
+
+    #[test]
+    fn gap_in_ungapped_rejected() {
+        assert!(parse(">a\nMK-VL\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(parse("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Hand-rolled argument parsing (keeps the dependency set to the approved
+//! crates).
+
+use align::EngineChoice;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The selected subcommand with its options.
+    pub command: Command,
+}
+
+/// One subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `sad align <in.fasta> [--p N] [--engine E] [--backend B] [--no-fine-tune]`
+    Align(AlignArgs),
+    /// `sad generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]`
+    Generate(GenerateArgs),
+    /// `sad scaling [--n N] [--procs 1,4,8,16]`
+    Scaling(ScalingArgs),
+    /// `sad eval [--cases C] [--p N]`
+    Eval(EvalArgs),
+    /// `sad rank <in.fasta> [--p N]`
+    Rank(RankArgs),
+}
+
+/// Options of `sad align`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignArgs {
+    /// Input FASTA path.
+    pub input: String,
+    /// Virtual ranks / buckets.
+    pub p: usize,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// Distributed (virtual cluster) vs rayon backend.
+    pub backend: Backend,
+    /// Disable the ancestor fine-tuning step.
+    pub no_fine_tune: bool,
+}
+
+/// Execution backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Virtual message-passing cluster (prints virtual timings).
+    Cluster,
+    /// Shared-memory rayon pipeline.
+    Rayon,
+}
+
+/// Options of `sad generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Number of sequences.
+    pub n: usize,
+    /// Average length.
+    pub len: usize,
+    /// Rose relatedness.
+    pub relatedness: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional path to also write the true reference alignment.
+    pub reference: Option<String>,
+}
+
+/// Options of `sad scaling`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingArgs {
+    /// Number of sequences.
+    pub n: usize,
+    /// Processor counts to sweep.
+    pub procs: Vec<usize>,
+}
+
+/// Options of `sad eval`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalArgs {
+    /// Number of benchmark cases.
+    pub cases: usize,
+    /// Cluster size for the Sample-Align-D row.
+    pub p: usize,
+}
+
+/// Options of `sad rank`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankArgs {
+    /// Input FASTA path.
+    pub input: String,
+    /// Emulated processor count for the globalized rank.
+    pub p: usize,
+}
+
+/// Parse failure with a usage hint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.0)?;
+        write!(f, "{USAGE}")
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: sad <command> [options]
+  align <in.fasta> [--p N] [--engine muscle-fast|muscle|clustalw]
+                   [--backend cluster|rayon] [--no-fine-tune]
+  generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]
+  scaling  [--n N] [--procs 1,4,8,16]
+  eval     [--cases C] [--p N]
+  rank <in.fasta> [--p N]
+";
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    it: &mut I,
+) -> Result<&'a str, ParseError> {
+    it.next().ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseError> {
+    v.parse().map_err(|_| ParseError(format!("{flag}: cannot parse {v:?}")))
+}
+
+fn parse_engine(v: &str) -> Result<EngineChoice, ParseError> {
+    match v {
+        "muscle-fast" => Ok(EngineChoice::MuscleFast),
+        "muscle" => Ok(EngineChoice::MuscleStandard),
+        "clustalw" => Ok(EngineChoice::Clustal),
+        _ => Err(ParseError(format!("unknown engine {v:?}"))),
+    }
+}
+
+/// Parse a full argument vector (without the binary name).
+pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseError> {
+    let mut it = argv.into_iter();
+    let cmd = it.next().ok_or_else(|| ParseError("missing command".into()))?;
+    match cmd {
+        "align" => {
+            let mut input = None;
+            let mut a = AlignArgs {
+                input: String::new(),
+                p: 4,
+                engine: EngineChoice::MuscleFast,
+                backend: Backend::Cluster,
+                no_fine_tune: false,
+            };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--p" => a.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    "--engine" => a.engine = parse_engine(take_value("--engine", &mut it)?)?,
+                    "--backend" => {
+                        a.backend = match take_value("--backend", &mut it)? {
+                            "cluster" => Backend::Cluster,
+                            "rayon" => Backend::Rayon,
+                            other => {
+                                return Err(ParseError(format!("unknown backend {other:?}")))
+                            }
+                        }
+                    }
+                    "--no-fine-tune" => a.no_fine_tune = true,
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            a.input = input.ok_or_else(|| ParseError("align needs an input file".into()))?;
+            if a.p == 0 {
+                return Err(ParseError("--p must be at least 1".into()));
+            }
+            Ok(Args { command: Command::Align(a) })
+        }
+        "generate" => {
+            let mut g = GenerateArgs {
+                n: 100,
+                len: 300,
+                relatedness: 800.0,
+                seed: 0,
+                reference: None,
+            };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--n" => g.n = parse_num("--n", take_value("--n", &mut it)?)?,
+                    "--len" => g.len = parse_num("--len", take_value("--len", &mut it)?)?,
+                    "--relatedness" => {
+                        g.relatedness =
+                            parse_num("--relatedness", take_value("--relatedness", &mut it)?)?
+                    }
+                    "--seed" => g.seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+                    "--reference" => {
+                        g.reference = Some(take_value("--reference", &mut it)?.to_string())
+                    }
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            Ok(Args { command: Command::Generate(g) })
+        }
+        "scaling" => {
+            let mut s = ScalingArgs { n: 400, procs: vec![1, 4, 8, 12, 16] };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--n" => s.n = parse_num("--n", take_value("--n", &mut it)?)?,
+                    "--procs" => {
+                        let v = take_value("--procs", &mut it)?;
+                        s.procs = v
+                            .split(',')
+                            .map(|x| parse_num::<usize>("--procs", x))
+                            .collect::<Result<_, _>>()?;
+                        if s.procs.is_empty() || s.procs.contains(&0) {
+                            return Err(ParseError("--procs must be positive".into()));
+                        }
+                    }
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            Ok(Args { command: Command::Scaling(s) })
+        }
+        "eval" => {
+            let mut e = EvalArgs { cases: 8, p: 4 };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--cases" => e.cases = parse_num("--cases", take_value("--cases", &mut it)?)?,
+                    "--p" => e.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            Ok(Args { command: Command::Eval(e) })
+        }
+        "rank" => {
+            let mut input = None;
+            let mut r = RankArgs { input: String::new(), p: 8 };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--p" => r.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            r.input = input.ok_or_else(|| ParseError("rank needs an input file".into()))?;
+            Ok(Args { command: Command::Rank(r) })
+        }
+        "--help" | "-h" | "help" => Err(ParseError("".into())),
+        other => Err(ParseError(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_defaults_and_flags() {
+        let a = parse(["align", "in.fa"]).unwrap();
+        match a.command {
+            Command::Align(a) => {
+                assert_eq!(a.input, "in.fa");
+                assert_eq!(a.p, 4);
+                assert_eq!(a.engine, EngineChoice::MuscleFast);
+                assert_eq!(a.backend, Backend::Cluster);
+                assert!(!a.no_fine_tune);
+            }
+            _ => panic!("wrong command"),
+        }
+        let a = parse(["align", "x.fa", "--p", "16", "--engine", "clustalw",
+                       "--backend", "rayon", "--no-fine-tune"]).unwrap();
+        match a.command {
+            Command::Align(a) => {
+                assert_eq!(a.p, 16);
+                assert_eq!(a.engine, EngineChoice::Clustal);
+                assert_eq!(a.backend, Backend::Rayon);
+                assert!(a.no_fine_tune);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn align_requires_input() {
+        assert!(parse(["align"]).is_err());
+        assert!(parse(["align", "--p", "4"]).is_err());
+    }
+
+    #[test]
+    fn generate_parses_all_options() {
+        let g = parse([
+            "generate", "--n", "50", "--len", "120", "--relatedness", "650.5",
+            "--seed", "9", "--reference", "ref.fa",
+        ])
+        .unwrap();
+        match g.command {
+            Command::Generate(g) => {
+                assert_eq!(g.n, 50);
+                assert_eq!(g.len, 120);
+                assert_eq!(g.relatedness, 650.5);
+                assert_eq!(g.seed, 9);
+                assert_eq!(g.reference.as_deref(), Some("ref.fa"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn scaling_proc_list() {
+        let s = parse(["scaling", "--n", "128", "--procs", "1,2,4"]).unwrap();
+        match s.command {
+            Command::Scaling(s) => {
+                assert_eq!(s.n, 128);
+                assert_eq!(s.procs, vec![1, 2, 4]);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["scaling", "--procs", "1,0"]).is_err());
+        assert!(parse(["scaling", "--procs", "a,b"]).is_err());
+    }
+
+    #[test]
+    fn errors_carry_usage() {
+        let err = parse(["bogus"]).unwrap_err();
+        assert!(format!("{err}").contains("usage: sad"));
+    }
+
+    #[test]
+    fn zero_p_rejected() {
+        assert!(parse(["align", "x.fa", "--p", "0"]).is_err());
+    }
+
+    #[test]
+    fn rank_and_eval() {
+        assert!(matches!(
+            parse(["rank", "in.fa", "--p", "3"]).unwrap().command,
+            Command::Rank(RankArgs { p: 3, .. })
+        ));
+        assert!(matches!(
+            parse(["eval", "--cases", "4", "--p", "2"]).unwrap().command,
+            Command::Eval(EvalArgs { cases: 4, p: 2 })
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! Subcommand implementations.
+
+use crate::args::{AlignArgs, Backend, EvalArgs, GenerateArgs, RankArgs, ScalingArgs};
+use bioseq::{fasta, Sequence};
+use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
+use rosegen::{Family, FamilyConfig};
+use sad_core::{rank_experiment, run_distributed, run_rayon, SadConfig};
+use std::io::Write;
+use vcluster::{CostModel, VirtualCluster};
+
+type Out<'a> = &'a mut dyn Write;
+
+fn read_fasta(path: &str) -> Result<Vec<Sequence>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let seqs = fasta::parse(&text).map_err(|e| format!("bad FASTA in {path}: {e}"))?;
+    if seqs.is_empty() {
+        return Err(format!("{path} contains no sequences"));
+    }
+    Ok(seqs)
+}
+
+/// `sad align`
+pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
+    let seqs = read_fasta(&a.input)?;
+    let cfg = SadConfig {
+        engine: a.engine,
+        fine_tune: !a.no_fine_tune,
+        ..Default::default()
+    };
+    let msa = match a.backend {
+        Backend::Cluster => {
+            let cluster = VirtualCluster::new(a.p, CostModel::beowulf_2008());
+            let run = run_distributed(&cluster, &seqs, &cfg);
+            writeln!(
+                out,
+                "; {} sequences on {} virtual ranks: {:.3} virtual s, load imbalance {:.2}",
+                seqs.len(),
+                a.p,
+                run.makespan,
+                run.load_imbalance()
+            )
+            .ok();
+            run.msa
+        }
+        Backend::Rayon => {
+            let run = run_rayon(&seqs, a.p, &cfg);
+            writeln!(
+                out,
+                "; {} sequences in {} buckets (rayon), total work {} units",
+                seqs.len(),
+                a.p,
+                run.work.total_units()
+            )
+            .ok();
+            run.msa
+        }
+    };
+    write!(out, "{}", fasta::write_alignment(&msa)).map_err(|e| e.to_string())
+}
+
+/// `sad generate`
+pub fn generate(g: GenerateArgs, out: Out) -> Result<(), String> {
+    let fam = Family::generate(&FamilyConfig {
+        n_seqs: g.n,
+        avg_len: g.len,
+        relatedness: g.relatedness,
+        seed: g.seed,
+        ..Default::default()
+    });
+    if let Some(path) = &g.reference {
+        std::fs::write(path, fasta::write_alignment(&fam.reference))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    write!(out, "{}", fasta::write(&fam.seqs)).map_err(|e| e.to_string())
+}
+
+/// `sad scaling`
+pub fn scaling(s: ScalingArgs, out: Out) -> Result<(), String> {
+    let fam = Family::generate(&FamilyConfig {
+        n_seqs: s.n,
+        avg_len: 300,
+        relatedness: 800.0,
+        seed: 0,
+        ..Default::default()
+    });
+    let cfg = SadConfig::default();
+    writeln!(out, "{:>5} {:>12} {:>10} {:>12}", "p", "time(s)", "speedup", "max bucket")
+        .ok();
+    let mut t1: Option<f64> = None;
+    for &p in &s.procs {
+        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, &fam.seqs, &cfg);
+        let base = *t1.get_or_insert(run.makespan);
+        writeln!(
+            out,
+            "{:>5} {:>12.3} {:>10.2} {:>12}",
+            p,
+            run.makespan,
+            base / run.makespan,
+            run.bucket_sizes.iter().max().unwrap()
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+/// `sad eval`
+pub fn eval(e: EvalArgs, out: Out) -> Result<(), String> {
+    let benchmark = Benchmark::generate(&BenchmarkConfig {
+        n_cases: e.cases,
+        seqs_per_case: 20,
+        avg_len: 100,
+        relatedness: (300.0, 1000.0),
+        seed: 0,
+    });
+    let cfg = SadConfig::default();
+    let reports = vec![
+        evaluate_engine(&align::MuscleLite::standard(), &benchmark),
+        evaluate_engine(&align::MuscleLite::fast(), &benchmark),
+        evaluate_engine(&align::ClustalLite::default(), &benchmark),
+        evaluate_with(format!("sample-align-d(p={})", e.p), &benchmark, |seqs| {
+            let cluster = VirtualCluster::new(e.p, CostModel::beowulf_2008());
+            (run_distributed(&cluster, seqs, &cfg).msa, bioseq::Work::ZERO)
+        }),
+    ];
+    writeln!(out, "{:<24} {:>8} {:>8}", "method", "Q", "TC").ok();
+    for r in &reports {
+        writeln!(out, "{:<24} {:>8.3} {:>8.3}", r.name, r.mean_q, r.mean_tc).ok();
+    }
+    Ok(())
+}
+
+/// `sad rank`
+pub fn rank(r: RankArgs, out: Out) -> Result<(), String> {
+    let seqs = read_fasta(&r.input)?;
+    let exp = rank_experiment(&seqs, r.p, &SadConfig::default());
+    writeln!(out, "{:<24} {:>12} {:>12}", "id", "centralized", "globalized").ok();
+    for (i, s) in seqs.iter().enumerate() {
+        writeln!(
+            out,
+            "{:<24} {:>12.5} {:>12.5}",
+            s.id, exp.centralized[i], exp.globalized[i]
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sad-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_str(argv: &[&str]) -> String {
+        let args = parse(argv.iter().copied()).unwrap();
+        let mut buf = Vec::new();
+        crate::run(args, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn generate_then_align_roundtrip() {
+        let dir = tmpdir();
+        let input = dir.join("family.fa");
+        let fasta_text = run_str(&["generate", "--n", "12", "--len", "50", "--seed", "3"]);
+        std::fs::write(&input, &fasta_text).unwrap();
+        let out = run_str(&["align", input.to_str().unwrap(), "--p", "3"]);
+        assert!(out.contains("virtual ranks"));
+        // Output body parses as an alignment with all 12 rows.
+        let body: String =
+            out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+        let msa = fasta::parse_alignment(&body).unwrap();
+        assert_eq!(msa.num_rows(), 12);
+    }
+
+    #[test]
+    fn rayon_backend_runs() {
+        let dir = tmpdir();
+        let input = dir.join("ray.fa");
+        std::fs::write(&input, run_str(&["generate", "--n", "8", "--len", "40"])).unwrap();
+        let out = run_str(&["align", input.to_str().unwrap(), "--backend", "rayon"]);
+        assert!(out.contains("rayon"));
+    }
+
+    #[test]
+    fn generate_writes_reference() {
+        let dir = tmpdir();
+        let refpath = dir.join("truth.fa");
+        let _ = run_str(&[
+            "generate", "--n", "6", "--len", "40", "--reference",
+            refpath.to_str().unwrap(),
+        ]);
+        let reference = fasta::parse_alignment(&std::fs::read_to_string(&refpath).unwrap())
+            .unwrap();
+        assert_eq!(reference.num_rows(), 6);
+    }
+
+    #[test]
+    fn scaling_table_has_all_rows() {
+        let out = run_str(&["scaling", "--n", "48", "--procs", "1,2,4"]);
+        assert_eq!(out.lines().count(), 4); // header + 3 rows
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn rank_lists_every_sequence() {
+        let dir = tmpdir();
+        let input = dir.join("rank.fa");
+        std::fs::write(&input, run_str(&["generate", "--n", "10", "--len", "40"])).unwrap();
+        let out = run_str(&["rank", input.to_str().unwrap(), "--p", "2"]);
+        assert_eq!(out.lines().count(), 11);
+    }
+
+    #[test]
+    fn eval_reports_all_methods() {
+        let out = run_str(&["eval", "--cases", "2", "--p", "2"]);
+        assert!(out.contains("muscle-lite"));
+        assert!(out.contains("clustal-lite"));
+        assert!(out.contains("sample-align-d(p=2)"));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let args = parse(["align", "/nonexistent/xyz.fa"]).unwrap();
+        let mut buf = Vec::new();
+        let err = crate::run(args, &mut buf).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

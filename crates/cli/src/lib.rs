@@ -1,0 +1,35 @@
+//! # sad-cli — command-line interface for the Sample-Align-D system
+//!
+//! Subcommands:
+//!
+//! * `sad align <in.fasta>` — align a FASTA file, write gapped FASTA to
+//!   stdout (`--p`, `--engine`, `--no-fine-tune`, `--backend`);
+//! * `sad generate` — emit a rose-style synthetic family as FASTA
+//!   (`--n`, `--len`, `--relatedness`, `--seed`, `--reference <path>`);
+//! * `sad scaling` — print a Fig. 4/5-style scaling table (`--n`,
+//!   `--procs 1,4,8,16`);
+//! * `sad eval` — PREFAB-like quality table (`--cases`, `--p`);
+//! * `sad rank <in.fasta>` — print per-sequence k-mer ranks
+//!   (centralized and globalized).
+//!
+//! Argument parsing is hand-rolled (no external CLI dependency) and lives
+//! in [`args`]; command implementations live in [`cmd`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod cmd;
+
+pub use args::{Args, Command, ParseError};
+
+/// Run the CLI against parsed arguments, writing human output to `out`.
+pub fn run(args: Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    match args.command {
+        Command::Align(a) => cmd::align(a, out),
+        Command::Generate(g) => cmd::generate(g, out),
+        Command::Scaling(s) => cmd::scaling(s, out),
+        Command::Eval(e) => cmd::eval(e, out),
+        Command::Rank(r) => cmd::rank(r, out),
+    }
+}

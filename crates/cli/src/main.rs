@@ -1,0 +1,20 @@
+//! The `sad` binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+    match sad_cli::args::parse(refs) {
+        Ok(args) => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            if let Err(e) = sad_cli::run(args, &mut lock) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Complexity audit — an executable version of the paper's Section 3 cost
+//! table.
+//!
+//! Section 3 derives per-step computation costs (`w²L` for the local rank,
+//! `w log w` for the local sort, `w⁴ + wL²` for the local alignment, …)
+//! and a total communication cost of `O(p²L + p log p + (N/p)L + L log p)`.
+//! This module measures the actual per-phase virtual times of a run and
+//! fits empirical scaling exponents across a sweep of `(N, p)` so the
+//! analysis can be checked rather than trusted.
+
+use crate::config::SadConfig;
+use crate::distributed::run_distributed;
+use bioseq::Sequence;
+use vcluster::{trace::phase_summary, CostModel, VirtualCluster};
+
+/// Per-phase maxima for one `(N, p)` configuration.
+#[derive(Debug, Clone)]
+pub struct AuditPoint {
+    /// Input size.
+    pub n: usize,
+    /// Ranks.
+    pub p: usize,
+    /// `(phase name, max seconds across ranks)` in pipeline order.
+    pub phases: Vec<(String, f64)>,
+    /// Total makespan.
+    pub makespan: f64,
+    /// Total bytes on the wire.
+    pub bytes: u64,
+}
+
+/// Run the pipeline over a sweep of input sizes at fixed `p`, recording
+/// per-phase timings.
+pub fn sweep_n(
+    sizes: &[usize],
+    p: usize,
+    cfg: &SadConfig,
+    cost: CostModel,
+    mut workload: impl FnMut(usize) -> Vec<Sequence>,
+) -> Vec<AuditPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let seqs = workload(n);
+            let cluster = VirtualCluster::new(p, cost);
+            let run = run_distributed(&cluster, &seqs, cfg);
+            AuditPoint {
+                n,
+                p,
+                phases: phase_summary(&run.traces)
+                    .into_iter()
+                    .map(|(name, max, _)| (name, max))
+                    .collect(),
+                makespan: run.makespan,
+                bytes: run.traces.iter().map(|t| t.bytes_sent).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// scaling exponent `y ∝ x^slope`. Returns `None` with fewer than two
+/// usable (positive) points.
+pub fn fit_exponent(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Empirical exponent of one phase's time in the input size `N` across a
+/// sweep (e.g. `≈ 2` for the `w²L` rank phase at fixed `p`).
+pub fn phase_exponent(points: &[AuditPoint], phase: &str) -> Option<f64> {
+    let series: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|pt| {
+            pt.phases
+                .iter()
+                .find(|(name, _)| name == phase)
+                .map(|&(_, t)| (pt.n as f64, t))
+        })
+        .collect();
+    fit_exponent(&series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rosegen::{Family, FamilyConfig};
+
+    /// Prefixes of one fixed family, so sweeping N changes only the input
+    /// *size*, never its statistics.
+    fn workload(n: usize) -> Vec<Sequence> {
+        let fam = Family::generate(&FamilyConfig {
+            n_seqs: 128,
+            avg_len: 60,
+            relatedness: 300.0,
+            seed: 1,
+            ..Default::default()
+        });
+        fam.seqs[..n].to_vec()
+    }
+
+    #[test]
+    fn exponent_fit_exact_powers() {
+        let quad: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((fit_exponent(&quad).unwrap() - 2.0).abs() < 1e-9);
+        let lin: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((fit_exponent(&lin).unwrap() - 1.0).abs() < 1e-9);
+        assert!(fit_exponent(&[(1.0, 1.0)]).is_none());
+        assert!(fit_exponent(&[(1.0, 0.0), (2.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn rank_phase_scales_quadratically() {
+        // Step 1 is w²L with w = N/p: at fixed p its exponent in N is ≈ 2.
+        let points = sweep_n(
+            &[32, 64, 128],
+            2,
+            &SadConfig::default(),
+            CostModel::beowulf_2008(),
+            workload,
+        );
+        let e = phase_exponent(&points, "1-local-kmer-rank").unwrap();
+        assert!((1.5..=2.5).contains(&e), "rank exponent {e}");
+    }
+
+    #[test]
+    fn align_phase_superlinear() {
+        // Step 8 contains the engine's w² distance term plus the wL²
+        // progressive term: exponent in N must exceed 1.
+        let points = sweep_n(
+            &[32, 64, 128],
+            2,
+            &SadConfig::default(),
+            CostModel::beowulf_2008(),
+            workload,
+        );
+        let e = phase_exponent(&points, "8-local-align").unwrap();
+        assert!(e > 0.8, "align exponent {e}");
+    }
+
+    #[test]
+    fn communication_bytes_grow_roughly_linearly() {
+        // Section 3: redistribution dominates the wire, O((N/p)·L) per
+        // rank ⇒ total bytes ~ N·L.
+        let points = sweep_n(
+            &[32, 64, 128],
+            4,
+            &SadConfig::default(),
+            CostModel::beowulf_2008(),
+            workload,
+        );
+        let series: Vec<(f64, f64)> =
+            points.iter().map(|pt| (pt.n as f64, pt.bytes as f64)).collect();
+        let e = fit_exponent(&series).unwrap();
+        assert!((0.6..=1.5).contains(&e), "bytes exponent {e}");
+    }
+
+    #[test]
+    fn audit_points_carry_all_phases() {
+        let points = sweep_n(
+            &[24],
+            2,
+            &SadConfig::default(),
+            CostModel::beowulf_2008(),
+            workload,
+        );
+        let names: Vec<&str> =
+            points[0].phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"1-local-kmer-rank"));
+        assert!(names.contains(&"8-local-align"));
+        assert!(names.contains(&"12-glue"));
+    }
+}

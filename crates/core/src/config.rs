@@ -1,0 +1,77 @@
+//! Sample-Align-D configuration.
+
+use align::EngineChoice;
+use bioseq::{CompressedAlphabet, GapPenalties, RankTransform, SubstMatrix};
+use serde::Serialize;
+
+/// All knobs of the Sample-Align-D pipeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct SadConfig {
+    /// k-mer length for rank computation (paper/MUSCLE default 6).
+    pub kmer_k: usize,
+    /// Compressed alphabet for k-mer counting.
+    pub alphabet: CompressedAlphabet,
+    /// Transform from average k-mer measure to scalar rank.
+    pub rank_transform: RankTransform,
+    /// Samples contributed per processor (`k` in the paper; defaults to
+    /// `p − 1` when `None`).
+    pub samples_per_rank: Option<usize>,
+    /// The sequential MSA engine run inside each processor.
+    pub engine: EngineChoice,
+    /// Run the ancestor-constrained fine-tuning + glue (step 8). Disabling
+    /// it leaves the buckets block-diagonal — the ablation showing why the
+    /// global ancestor matters.
+    pub fine_tune: bool,
+    /// Substitution matrix for ancestor alignment and fine-tuning.
+    pub matrix: SubstMatrix,
+    /// Gap penalties for ancestor alignment and fine-tuning.
+    pub gaps: GapPenalties,
+}
+
+impl Default for SadConfig {
+    fn default() -> Self {
+        SadConfig {
+            kmer_k: 6,
+            alphabet: CompressedAlphabet::Dayhoff6,
+            rank_transform: RankTransform::PaperLog,
+            samples_per_rank: None,
+            engine: EngineChoice::MuscleFast,
+            fine_tune: true,
+            matrix: SubstMatrix::blosum62(),
+            gaps: GapPenalties::default(),
+        }
+    }
+}
+
+impl SadConfig {
+    /// Effective sample count per rank for a cluster of `p`.
+    pub fn samples_for(&self, p: usize) -> usize {
+        self.samples_per_rank.unwrap_or_else(|| p.saturating_sub(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_samples_follow_paper() {
+        let cfg = SadConfig::default();
+        assert_eq!(cfg.samples_for(16), 15);
+        assert_eq!(cfg.samples_for(1), 1); // never zero samples
+    }
+
+    #[test]
+    fn explicit_sample_count_wins() {
+        let cfg = SadConfig { samples_per_rank: Some(5), ..Default::default() };
+        assert_eq!(cfg.samples_for(16), 5);
+    }
+
+    #[test]
+    fn config_serialises() {
+        // No serde format crate in the dependency set; assert the bound
+        // compiles so downstream tooling can serialise configs.
+        fn assert_serialize<T: serde::Serialize>(_: &T) {}
+        assert_serialize(&SadConfig::default());
+    }
+}

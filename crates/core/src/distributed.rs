@@ -1,0 +1,393 @@
+//! The distributed Sample-Align-D pipeline over the virtual cluster.
+//!
+//! Phase names follow the numbered steps of the algorithm listing in
+//! Section 2 of the paper, so the per-phase timing table lines up with the
+//! cost analysis of Section 3.
+
+use crate::ancestor::{anchor_to_ancestor, glue_anchored, glue_block_diagonal};
+use crate::config::SadConfig;
+use crate::messages::{AnchoredBlockMsg, MaybeSeq, MsaBlockMsg, RankedSeq};
+use align::consensus::consensus_sequence;
+use bioseq::kmer::{self, KmerProfile};
+use bioseq::{Msa, Sequence, Work};
+use vcluster::{Node, RankTrace, VirtualCluster};
+
+/// A batch of sequences for the sample all-gather.
+use crate::messages::SeqBatch;
+
+/// The outcome of one distributed run.
+#[derive(Debug)]
+pub struct SadRun {
+    /// The assembled global alignment (gathered at the root).
+    pub msa: Msa,
+    /// Virtual wall-clock of the run (seconds).
+    pub makespan: f64,
+    /// Per-rank execution traces (phases, bytes, clocks).
+    pub traces: Vec<RankTrace>,
+    /// Post-redistribution bucket sizes, indexed by rank.
+    pub bucket_sizes: Vec<usize>,
+}
+
+impl SadRun {
+    /// The per-phase timing table (max/mean across ranks).
+    pub fn phase_table(&self) -> String {
+        vcluster::trace::phase_table(&self.traces)
+    }
+
+    /// Load imbalance: largest bucket relative to the perfect share.
+    pub fn load_imbalance(&self) -> f64 {
+        let n: usize = self.bucket_sizes.iter().sum();
+        let max = self.bucket_sizes.iter().copied().max().unwrap_or(0);
+        if n == 0 {
+            return 1.0;
+        }
+        max as f64 / (n as f64 / self.bucket_sizes.len() as f64)
+    }
+}
+
+/// Run Sample-Align-D on a virtual cluster. `seqs` plays the role of the
+/// pre-staged input files (the paper stages shards on each node's disk
+/// before timing starts, so the initial slice is free here too).
+///
+/// # Panics
+/// Panics if `seqs` is empty or ids are not unique.
+pub fn run_distributed(cluster: &VirtualCluster, seqs: &[Sequence], cfg: &SadConfig) -> SadRun {
+    assert!(!seqs.is_empty(), "cannot align an empty set");
+    debug_assert_eq!(
+        seqs.iter().map(|s| s.id.as_str()).collect::<std::collections::HashSet<_>>().len(),
+        seqs.len(),
+        "sequence ids must be unique"
+    );
+    let run = cluster.run(|node| sad_node(node, seqs, cfg));
+    let mut msa: Option<Msa> = None;
+    let mut bucket_sizes = Vec::with_capacity(run.results.len());
+    for (rank_msa, bucket) in run.results {
+        if let Some(m) = rank_msa {
+            msa = Some(m);
+        }
+        bucket_sizes.push(bucket);
+    }
+    SadRun {
+        msa: msa.expect("root assembled the alignment"),
+        makespan: run.makespan,
+        traces: run.traces,
+        bucket_sizes,
+    }
+}
+
+/// Build a k-mer profile, degrading to k=1 for ultra-short sequences.
+fn profile_of(seq: &Sequence, cfg: &SadConfig) -> KmerProfile {
+    KmerProfile::build(seq, cfg.kmer_k, cfg.alphabet)
+        .unwrap_or_else(|| KmerProfile::build(seq, 1, cfg.alphabet).expect("k=1 always works"))
+}
+
+fn sort_work(n: usize) -> Work {
+    Work::sort((n.max(2) as f64 * (n.max(2) as f64).log2()).ceil() as u64)
+}
+
+/// One rank's program. Returns (root's assembled alignment, bucket size).
+fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>, usize) {
+    let p = node.size();
+    let rank = node.rank();
+    let n = all_seqs.len();
+    let chunk = n.div_ceil(p);
+    let lo = (rank * chunk).min(n);
+    let hi = ((rank + 1) * chunk).min(n);
+    let mut local: Vec<Sequence> = all_seqs[lo..hi].to_vec();
+
+    // Steps 1–2: local k-mer rank and local sort.
+    node.phase_start("1-local-kmer-rank");
+    let mut w = Work::ZERO;
+    let mut profs: Vec<KmerProfile> = local.iter().map(|s| profile_of(s, cfg)).collect();
+    w.seq_bytes += local.iter().map(|s| s.len() as u64).sum::<u64>();
+    let local_ranks: Vec<f64> = profs
+        .iter()
+        .map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w))
+        .collect();
+    node.compute(w);
+    node.phase_end();
+
+    node.phase_start("2-local-sort");
+    let mut order: Vec<usize> = (0..local.len()).collect();
+    order.sort_by(|&a, &b| local_ranks[a].total_cmp(&local_ranks[b]));
+    local = order.iter().map(|&i| local[i].clone()).collect();
+    profs = order.iter().map(|&i| profs[i].clone()).collect();
+    node.compute(sort_work(local.len()));
+    node.phase_end();
+
+    // Steps 3–4: regular sampling and sample exchange.
+    node.phase_start("3-sample-exchange");
+    let k = cfg.samples_for(p);
+    let m = local.len();
+    let kk = k.min(m);
+    let samples: Vec<Sequence> = (0..kk)
+        .map(|s| local[(((s + 1) * m) / (kk + 1)).min(m - 1)].clone())
+        .collect();
+    let all_samples: Vec<Sequence> = node
+        .all_gather(SeqBatch(samples))
+        .into_iter()
+        .flat_map(|b| b.0)
+        .collect();
+    node.phase_end();
+
+    // Step 5: globalized rank against the pooled sample.
+    node.phase_start("5-globalized-rank");
+    let mut w = Work::ZERO;
+    let sample_profiles: Vec<KmerProfile> =
+        all_samples.iter().map(|s| profile_of(s, cfg)).collect();
+    let granks: Vec<f64> = profs
+        .iter()
+        .map(|pr| kmer::kmer_rank(pr, &sample_profiles, cfg.rank_transform, &mut w))
+        .collect();
+    node.compute(w);
+    node.phase_end();
+
+    // Steps 6–7: PSRS redistribution on the globalized rank.
+    node.phase_start("6-redistribute");
+    let items: Vec<RankedSeq> = local
+        .into_iter()
+        .zip(granks)
+        .map(|(seq, rank)| RankedSeq { seq, rank })
+        .collect();
+    let out = psrs::psrs(node, items, |r| r.rank);
+    let bucket: Vec<Sequence> = out.items.into_iter().map(|r| r.seq).collect();
+    let bucket_size = bucket.len();
+    node.phase_end();
+
+    // Step 8: sequential MSA on the local bucket.
+    node.phase_start("8-local-align");
+    let engine = cfg.engine.build();
+    let local_msa: Option<Msa> = if bucket.is_empty() {
+        None
+    } else {
+        let (msa, work) = engine.align_with_work(&bucket);
+        node.compute(work);
+        Some(msa)
+    };
+    node.phase_end();
+
+    // Degenerate paths: single rank, or fine-tuning disabled.
+    if p == 1 {
+        return (local_msa, bucket_size);
+    }
+    if !cfg.fine_tune {
+        node.phase_start("12-glue");
+        let gathered = node.gather(0, MsaBlockMsg(local_msa));
+        let result = gathered.map(|blocks| {
+            let present: Vec<Msa> = blocks.into_iter().filter_map(|b| b.0).collect();
+            let mut w = Work::ZERO;
+            let glued = if present.len() == 1 {
+                present.into_iter().next().expect("one block")
+            } else {
+                glue_block_diagonal(&present, &mut w)
+            };
+            node.compute(w);
+            glued
+        });
+        node.phase_end();
+        return (result, bucket_size);
+    }
+
+    // Step 9: local ancestor extraction.
+    node.phase_start("9-local-ancestor");
+    let mut w = Work::ZERO;
+    let local_anc: Option<Sequence> = local_msa
+        .as_ref()
+        .map(|msa| consensus_sequence(msa, format!("local-anc-{rank}"), &mut w));
+    node.compute(w);
+    node.phase_end();
+
+    // Step 10: global ancestor at the root, broadcast to everyone.
+    node.phase_start("10-global-ancestor");
+    let gathered = node.gather(0, MaybeSeq(local_anc));
+    let ga_msg: MaybeSeq = node.broadcast(
+        0,
+        gathered.map(|list| {
+            let ancestors: Vec<Sequence> = list.into_iter().filter_map(|m| m.0).collect();
+            assert!(!ancestors.is_empty(), "at least one bucket is non-empty");
+            let ga = if ancestors.len() == 1 {
+                ancestors.into_iter().next().expect("one ancestor")
+            } else {
+                let (anc_msa, work) = engine.align_with_work(&ancestors);
+                node.compute(work);
+                let mut w = Work::ZERO;
+                let ga = consensus_sequence(&anc_msa, "global-ancestor", &mut w);
+                node.compute(w);
+                ga
+            };
+            MaybeSeq(Some(ga))
+        }),
+    );
+    let ga = ga_msg.0.expect("global ancestor broadcast");
+    node.phase_end();
+
+    // Step 11: constrained fine-tuning against the global ancestor.
+    node.phase_start("11-fine-tune");
+    let block: Option<AnchoredBlockMsg> = local_msa.as_ref().map(|msa| {
+        let mut w = Work::ZERO;
+        let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, &mut w);
+        node.compute(w);
+        b
+    });
+    node.phase_end();
+
+    // Step 12: glue at the root.
+    node.phase_start("12-glue");
+    let gathered = node.gather(0, block);
+    let result = gathered.map(|blocks| {
+        let present: Vec<AnchoredBlockMsg> = blocks.into_iter().flatten().collect();
+        let mut w = Work::ZERO;
+        let glued = glue_anchored(ga.len(), &present, &mut w);
+        node.compute(w);
+        glued
+    });
+    node.phase_end();
+    (result, bucket_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rosegen::{Family, FamilyConfig};
+    use std::collections::HashMap;
+    use vcluster::CostModel;
+
+    fn family(n: usize, len: usize, seed: u64) -> Vec<Sequence> {
+        Family::generate(&FamilyConfig {
+            n_seqs: n,
+            avg_len: len,
+            relatedness: 700.0,
+            seed,
+            ..Default::default()
+        })
+        .seqs
+    }
+
+    fn cluster(p: usize) -> VirtualCluster {
+        VirtualCluster::new(p, CostModel::beowulf_2008())
+    }
+
+    fn check_complete(result: &Msa, input: &[Sequence]) {
+        result.validate().unwrap();
+        assert_eq!(result.num_rows(), input.len());
+        let by_id: HashMap<&str, &Sequence> =
+            input.iter().map(|s| (s.id.as_str(), s)).collect();
+        for r in 0..result.num_rows() {
+            let id = &result.ids()[r];
+            let want = by_id.get(id.as_str()).unwrap_or_else(|| panic!("alien row {id}"));
+            assert_eq!(&result.ungapped(r), *want, "row {id} corrupted");
+        }
+    }
+
+    #[test]
+    fn end_to_end_small() {
+        let seqs = family(24, 60, 1);
+        let run = run_distributed(&cluster(4), &seqs, &SadConfig::default());
+        check_complete(&run.msa, &seqs);
+        assert_eq!(run.bucket_sizes.iter().sum::<usize>(), 24);
+        assert!(run.makespan > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let seqs = family(16, 50, 2);
+        let a = run_distributed(&cluster(4), &seqs, &SadConfig::default());
+        let b = run_distributed(&cluster(4), &seqs, &SadConfig::default());
+        assert_eq!(a.msa, b.msa);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.bucket_sizes, b.bucket_sizes);
+    }
+
+    #[test]
+    fn p1_is_one_engine_run_over_everything() {
+        // With one rank the pipeline degenerates to "sort by rank, then run
+        // the engine once" — same sequences, one bucket, no glue artifacts.
+        let seqs = family(10, 50, 3);
+        let run = run_distributed(&cluster(1), &seqs, &SadConfig::default());
+        check_complete(&run.msa, &seqs);
+        assert_eq!(run.bucket_sizes, vec![10]);
+    }
+
+    #[test]
+    fn more_ranks_than_sequences() {
+        let seqs = family(3, 40, 4);
+        let run = run_distributed(&cluster(8), &seqs, &SadConfig::default());
+        check_complete(&run.msa, &seqs);
+    }
+
+    #[test]
+    fn single_sequence() {
+        let seqs = family(1, 40, 5);
+        let run = run_distributed(&cluster(4), &seqs, &SadConfig::default());
+        assert_eq!(run.msa.num_rows(), 1);
+    }
+
+    #[test]
+    fn fine_tune_beats_block_diagonal() {
+        let seqs = family(20, 60, 6);
+        let cfg_on = SadConfig::default();
+        let cfg_off = SadConfig { fine_tune: false, ..Default::default() };
+        let on = run_distributed(&cluster(4), &seqs, &cfg_on);
+        let off = run_distributed(&cluster(4), &seqs, &cfg_off);
+        check_complete(&on.msa, &seqs);
+        check_complete(&off.msa, &seqs);
+        let m = &cfg_on.matrix;
+        let g = cfg_on.gaps;
+        assert!(
+            on.msa.sp_score(m, g) > off.msa.sp_score(m, g),
+            "ancestor fine-tuning must improve the glued SP score"
+        );
+    }
+
+    #[test]
+    fn scaling_reduces_makespan() {
+        // Large enough that the w² distance term dominates.
+        let seqs = family(96, 60, 7);
+        let t1 = run_distributed(&cluster(1), &seqs, &SadConfig::default()).makespan;
+        let t4 = run_distributed(&cluster(4), &seqs, &SadConfig::default()).makespan;
+        assert!(
+            t4 < t1,
+            "4 ranks ({t4:.4}s) should beat 1 rank ({t1:.4}s)"
+        );
+    }
+
+    #[test]
+    fn phases_present_in_trace() {
+        let seqs = family(12, 40, 8);
+        let run = run_distributed(&cluster(2), &seqs, &SadConfig::default());
+        let table = run.phase_table();
+        for phase in [
+            "1-local-kmer-rank",
+            "2-local-sort",
+            "3-sample-exchange",
+            "5-globalized-rank",
+            "6-redistribute",
+            "8-local-align",
+            "9-local-ancestor",
+            "10-global-ancestor",
+            "11-fine-tune",
+            "12-glue",
+        ] {
+            assert!(table.contains(phase), "missing phase {phase}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn load_imbalance_reported() {
+        let seqs = family(64, 50, 9);
+        let run = run_distributed(&cluster(4), &seqs, &SadConfig::default());
+        let imb = run.load_imbalance();
+        assert!(imb >= 1.0);
+        // Regular sampling bound: max ≤ 2·N/p ⇒ imbalance ≤ 2 (+ slack for
+        // duplicate ranks in small samples).
+        assert!(imb <= 3.0, "imbalance {imb} suspiciously high");
+    }
+
+    #[test]
+    fn clustal_engine_works_too() {
+        let seqs = family(12, 40, 10);
+        let cfg = SadConfig { engine: align::EngineChoice::Clustal, ..Default::default() };
+        let run = run_distributed(&cluster(3), &seqs, &cfg);
+        check_complete(&run.msa, &seqs);
+    }
+}

@@ -1,0 +1,43 @@
+//! # sad-core — Sample-Align-D
+//!
+//! The paper's contribution: a SampleSort-inspired distributed multiple
+//! sequence alignment system. The pipeline on `p` processors:
+//!
+//! 1. block-distribute the `N` sequences (`w = N/p` each);
+//! 2. compute each sequence's **k-mer rank** locally and sort by it;
+//! 3. pick `k` regular samples per processor and all-gather them —
+//!    the `k·p` samples represent the whole set;
+//! 4. re-rank every sequence against the global sample (*globalized
+//!    rank*);
+//! 5. redistribute with PSRS bucketing so similar sequences co-locate;
+//! 6. align each bucket independently with any sequential MSA engine
+//!    (MUSCLE in the paper, [`align::MuscleLite`] here);
+//! 7. extract each bucket's **local ancestor** (consensus), align the
+//!    ancestors at the root into a **global ancestor**, broadcast it;
+//! 8. profile-align every bucket against the global ancestor (the
+//!    constrained fine-tuning of Fig. 2) and **glue** the anchored buckets
+//!    into one global alignment at the root.
+//!
+//! Three interchangeable backends:
+//! * [`distributed`] — the real message-passing protocol over
+//!   [`vcluster`] (virtual Beowulf; deterministic virtual time);
+//! * [`rayon_impl`] — a shared-memory equivalent using rayon;
+//! * [`sequential`] — the engine run directly (the speedup baseline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ancestor;
+pub mod audit;
+pub mod config;
+pub mod distributed;
+pub mod messages;
+pub mod rank;
+pub mod rayon_impl;
+pub mod sequential;
+
+pub use config::SadConfig;
+pub use distributed::{run_distributed, SadRun};
+pub use rank::{rank_experiment, RankExperiment};
+pub use rayon_impl::run_rayon;
+pub use sequential::run_sequential;

@@ -1,0 +1,251 @@
+//! Shared-memory Sample-Align-D using rayon.
+//!
+//! Same pipeline as [`crate::distributed`], but buckets are aligned by a
+//! rayon thread pool instead of cluster ranks — the backend a downstream
+//! user on one big multicore machine would pick. Results are deterministic
+//! (bucketing is identical; only scheduling differs).
+
+use crate::ancestor::{anchor_to_ancestor, glue_anchored, glue_block_diagonal};
+use crate::config::SadConfig;
+use align::consensus::consensus_sequence;
+use bioseq::kmer::{self, KmerProfile};
+use bioseq::{Msa, Sequence, Work};
+use rayon::prelude::*;
+
+/// Outcome of the shared-memory run.
+#[derive(Debug)]
+pub struct RayonOutcome {
+    /// The assembled alignment.
+    pub msa: Msa,
+    /// Total work performed (all buckets; the virtual-time analogue of
+    /// aggregate CPU time).
+    pub work: Work,
+    /// Bucket sizes after redistribution.
+    pub bucket_sizes: Vec<usize>,
+}
+
+fn profile_of(seq: &Sequence, cfg: &SadConfig) -> KmerProfile {
+    KmerProfile::build(seq, cfg.kmer_k, cfg.alphabet)
+        .unwrap_or_else(|| KmerProfile::build(seq, 1, cfg.alphabet).expect("k=1 always works"))
+}
+
+/// Run the pipeline with `p` logical buckets on the rayon pool.
+///
+/// # Panics
+/// Panics if `seqs` is empty or `p == 0`.
+pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
+    assert!(!seqs.is_empty(), "cannot align an empty set");
+    assert!(p >= 1, "need at least one bucket");
+    let mut work = Work::ZERO;
+    let n = seqs.len();
+
+    // Emulate the per-rank sampling: split into p blocks, rank locally,
+    // pick regular samples.
+    let chunk = n.div_ceil(p);
+    let k = cfg.samples_for(p);
+    let block_results: Vec<(Vec<usize>, Work)> = (0..p)
+        .into_par_iter()
+        .map(|b| {
+            let lo = (b * chunk).min(n);
+            let hi = ((b + 1) * chunk).min(n);
+            let mut w = Work::ZERO;
+            if lo >= hi {
+                return (Vec::new(), w);
+            }
+            let idx: Vec<usize> = (lo..hi).collect();
+            let profs: Vec<KmerProfile> =
+                idx.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
+            let ranks: Vec<f64> = profs
+                .iter()
+                .map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w))
+                .collect();
+            let mut order: Vec<usize> = (0..idx.len()).collect();
+            order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]));
+            let m = idx.len();
+            let kk = k.min(m);
+            let samples: Vec<usize> = (0..kk)
+                .map(|s| idx[order[(((s + 1) * m) / (kk + 1)).min(m - 1)]])
+                .collect();
+            (samples, w)
+        })
+        .collect();
+    let mut sample_indices: Vec<usize> = Vec::new();
+    for (s, w) in block_results {
+        sample_indices.extend(s);
+        work += w;
+    }
+    let sample_profiles: Vec<KmerProfile> =
+        sample_indices.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
+
+    // Globalized ranks, in parallel.
+    let ranked: Vec<(usize, f64, Work)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut w = Work::ZERO;
+            let pr = profile_of(&seqs[i], cfg);
+            let r = kmer::kmer_rank(&pr, &sample_profiles, cfg.rank_transform, &mut w);
+            (i, r, w)
+        })
+        .collect();
+    let mut keyed: Vec<(usize, f64)> = Vec::with_capacity(n);
+    for (i, r, w) in ranked {
+        keyed.push((i, r));
+        work += w;
+    }
+
+    // Sample-partition into p buckets by rank.
+    let buckets_idx = psrs::shared::sample_partition_by(keyed, p, |&(_, r)| r);
+    let bucket_sizes: Vec<usize> = buckets_idx.iter().map(Vec::len).collect();
+    let buckets: Vec<Vec<Sequence>> = buckets_idx
+        .iter()
+        .map(|b| b.iter().map(|&(i, _)| seqs[i].clone()).collect())
+        .collect();
+
+    // Align buckets in parallel.
+    let aligned: Vec<Option<(Msa, Work)>> = buckets
+        .into_par_iter()
+        .map(|bucket| {
+            if bucket.is_empty() {
+                None
+            } else {
+                Some(cfg.engine.build().align_with_work(&bucket))
+            }
+        })
+        .collect();
+    let mut local_msas: Vec<Msa> = Vec::new();
+    for entry in aligned.into_iter().flatten() {
+        local_msas.push(entry.0);
+        work += entry.1;
+    }
+    assert!(!local_msas.is_empty());
+
+    if p == 1 || local_msas.len() == 1 {
+        return RayonOutcome {
+            msa: local_msas.into_iter().next().expect("one bucket"),
+            work,
+            bucket_sizes,
+        };
+    }
+    if !cfg.fine_tune {
+        let msa = glue_block_diagonal(&local_msas, &mut work);
+        return RayonOutcome { msa, work, bucket_sizes };
+    }
+
+    // Ancestors → global ancestor.
+    let ancestors: Vec<Sequence> = local_msas
+        .iter()
+        .enumerate()
+        .map(|(i, msa)| consensus_sequence(msa, format!("local-anc-{i}"), &mut work))
+        .collect();
+    let ga = if ancestors.len() == 1 {
+        ancestors.into_iter().next().expect("one ancestor")
+    } else {
+        let (anc_msa, w) = cfg.engine.build().align_with_work(&ancestors);
+        work += w;
+        consensus_sequence(&anc_msa, "global-ancestor", &mut work)
+    };
+
+    // Fine-tune each bucket against the global ancestor, in parallel.
+    let blocks: Vec<(crate::messages::AnchoredBlockMsg, Work)> = local_msas
+        .par_iter()
+        .map(|msa| {
+            let mut w = Work::ZERO;
+            let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, &mut w);
+            (b, w)
+        })
+        .collect();
+    let mut anchored = Vec::with_capacity(blocks.len());
+    for (b, w) in blocks {
+        anchored.push(b);
+        work += w;
+    }
+    let msa = glue_anchored(ga.len(), &anchored, &mut work);
+    RayonOutcome { msa, work, bucket_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rosegen::{Family, FamilyConfig};
+    use std::collections::HashMap;
+
+    fn family(n: usize, seed: u64) -> Vec<Sequence> {
+        Family::generate(&FamilyConfig {
+            n_seqs: n,
+            avg_len: 60,
+            relatedness: 700.0,
+            seed,
+            ..Default::default()
+        })
+        .seqs
+    }
+
+    fn check_complete(result: &Msa, input: &[Sequence]) {
+        result.validate().unwrap();
+        assert_eq!(result.num_rows(), input.len());
+        let by_id: HashMap<&str, &Sequence> =
+            input.iter().map(|s| (s.id.as_str(), s)).collect();
+        for r in 0..result.num_rows() {
+            let want = by_id[result.ids()[r].as_str()];
+            assert_eq!(&result.ungapped(r), want);
+        }
+    }
+
+    #[test]
+    fn end_to_end() {
+        let seqs = family(24, 1);
+        let out = run_rayon(&seqs, 4, &SadConfig::default());
+        check_complete(&out.msa, &seqs);
+        assert_eq!(out.bucket_sizes.iter().sum::<usize>(), 24);
+        assert!(!out.work.is_zero());
+    }
+
+    #[test]
+    fn deterministic_despite_parallelism() {
+        let seqs = family(20, 2);
+        let a = run_rayon(&seqs, 4, &SadConfig::default());
+        let b = run_rayon(&seqs, 4, &SadConfig::default());
+        assert_eq!(a.msa, b.msa);
+        assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn p1_is_single_bucket() {
+        let seqs = family(8, 3);
+        let out = run_rayon(&seqs, 1, &SadConfig::default());
+        check_complete(&out.msa, &seqs);
+        assert_eq!(out.bucket_sizes, vec![8]);
+    }
+
+    #[test]
+    fn agrees_with_distributed_on_bucketing() {
+        // Same sampling rules ⇒ same bucket sizes as the message-passing
+        // backend.
+        let seqs = family(32, 4);
+        let cfg = SadConfig::default();
+        let ray = run_rayon(&seqs, 4, &cfg);
+        let cluster = vcluster::VirtualCluster::new(4, vcluster::CostModel::beowulf_2008());
+        let dist = crate::distributed::run_distributed(&cluster, &seqs, &cfg);
+        assert_eq!(ray.bucket_sizes, dist.bucket_sizes);
+        // And the same final alignment (pipelines are step-identical).
+        assert_eq!(ray.msa, dist.msa);
+    }
+
+    #[test]
+    fn fine_tune_off_is_block_diagonal() {
+        let seqs = family(16, 5);
+        let cfg = SadConfig { fine_tune: false, ..Default::default() };
+        let out = run_rayon(&seqs, 4, &cfg);
+        check_complete(&out.msa, &seqs);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let seqs = family(1, 6);
+        let out = run_rayon(&seqs, 4, &SadConfig::default());
+        assert_eq!(out.msa.num_rows(), 1);
+        let seqs3 = family(3, 7);
+        let out3 = run_rayon(&seqs3, 8, &SadConfig::default());
+        check_complete(&out3.msa, &seqs3);
+    }
+}

@@ -1,0 +1,57 @@
+//! The sequential baseline: the configured engine run on the whole set
+//! (what "MUSCLE on a single cluster node" is to the paper's Fig. 6).
+
+use crate::config::SadConfig;
+use bioseq::{Msa, Sequence, Work};
+
+/// Align everything with the configured sequential engine.
+pub fn run_sequential(seqs: &[Sequence], cfg: &SadConfig) -> (Msa, Work) {
+    cfg.engine.build().align_with_work(seqs)
+}
+
+/// Virtual seconds the sequential baseline would take on the given cost
+/// model (the denominator of every speedup in the paper).
+pub fn sequential_seconds(
+    seqs: &[Sequence],
+    cfg: &SadConfig,
+    cost: &vcluster::CostModel,
+) -> (Msa, f64) {
+    let (msa, work) = run_sequential(seqs, cfg);
+    (msa, cost.work_seconds(&work))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rosegen::{Family, FamilyConfig};
+
+    #[test]
+    fn baseline_aligns_and_costs_time() {
+        let seqs = Family::generate(&FamilyConfig {
+            n_seqs: 10,
+            avg_len: 50,
+            seed: 1,
+            ..Default::default()
+        })
+        .seqs;
+        let cfg = SadConfig::default();
+        let (msa, secs) = sequential_seconds(&seqs, &cfg, &vcluster::CostModel::beowulf_2008());
+        msa.validate().unwrap();
+        assert_eq!(msa.num_rows(), 10);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn matches_engine_directly() {
+        let seqs = Family::generate(&FamilyConfig {
+            n_seqs: 6,
+            avg_len: 40,
+            seed: 2,
+            ..Default::default()
+        })
+        .seqs;
+        let cfg = SadConfig::default();
+        let (a, _) = run_sequential(&seqs, &cfg);
+        assert_eq!(a, cfg.engine.build().align(&seqs));
+    }
+}

@@ -1,0 +1,262 @@
+//! Newick tree serialisation and parsing.
+//!
+//! Leaves are labelled through a caller-provided name table (or `L<i>` by
+//! default); branch lengths are written with 6 significant digits.
+
+use crate::tree::{NodeId, Tree};
+
+/// Serialise a tree to Newick, labelling leaf item `i` with `names[i]`
+/// (falls back to `L<i>` when the table is short).
+pub fn to_newick(tree: &Tree, names: &[String]) -> String {
+    fn rec(tree: &Tree, id: NodeId, names: &[String], out: &mut String) {
+        let node = tree.node(id);
+        match node.children {
+            Some((a, b)) => {
+                out.push('(');
+                rec(tree, a, names, out);
+                out.push(',');
+                rec(tree, b, names, out);
+                out.push(')');
+            }
+            None => {
+                let leaf = node.leaf.expect("leaf node");
+                match names.get(leaf) {
+                    Some(n) => out.push_str(n),
+                    None => out.push_str(&format!("L{leaf}")),
+                }
+            }
+        }
+        if tree.node(id).parent.is_some() {
+            out.push_str(&format!(":{:.6}", node.branch_len));
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), names, &mut out);
+    out.push(';');
+    out
+}
+
+/// Error while parsing Newick text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewickError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the error was noticed.
+    pub at: usize,
+}
+
+impl std::fmt::Display for NewickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "newick parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for NewickError {}
+
+/// Parse a strictly binary Newick string. Returns the tree plus the leaf
+/// names in leaf-index order.
+pub fn parse_newick(text: &str) -> Result<(Tree, Vec<String>), NewickError> {
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+        names: Vec<String>,
+        // (left, right, branch length pending assignment)
+        merges: Vec<(usize, usize, f64)>,
+        next_internal: usize,
+        branch: Vec<(usize, f64)>,
+    }
+    enum Parsed {
+        Node(usize),
+    }
+    impl<'a> Parser<'a> {
+        fn err<T>(&self, message: &str) -> Result<T, NewickError> {
+            Err(NewickError { message: message.into(), at: self.pos })
+        }
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+        fn node(&mut self, leaf_budget: &mut usize) -> Result<Parsed, NewickError> {
+            match self.peek() {
+                Some(b'(') => {
+                    self.pos += 1;
+                    let Parsed::Node(a) = self.subtree(leaf_budget)?;
+                    if self.peek() != Some(b',') {
+                        return self.err("expected ','");
+                    }
+                    self.pos += 1;
+                    let Parsed::Node(b) = self.subtree(leaf_budget)?;
+                    if self.peek() != Some(b')') {
+                        return self.err("expected ')' (trees must be binary)");
+                    }
+                    self.pos += 1;
+                    let id = self.next_internal;
+                    self.next_internal += 1;
+                    self.merges.push((a, b, 0.0));
+                    Ok(Parsed::Node(id))
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if matches!(c, b',' | b')' | b':' | b';' | b'(') {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos == start {
+                        return self.err("expected leaf name");
+                    }
+                    let name =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string();
+                    let leaf = self.names.len();
+                    self.names.push(name);
+                    *leaf_budget += 1;
+                    Ok(Parsed::Node(leaf))
+                }
+                None => self.err("unexpected end of input"),
+            }
+        }
+        fn subtree(&mut self, leaf_budget: &mut usize) -> Result<Parsed, NewickError> {
+            let Parsed::Node(id) = self.node(leaf_budget)?;
+            if self.peek() == Some(b':') {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if matches!(c, b',' | b')' | b';') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                let len: f64 = match text.parse() {
+                    Ok(v) => v,
+                    Err(_) => return self.err("bad branch length"),
+                };
+                self.branch.push((id, len));
+            }
+            Ok(Parsed::Node(id))
+        }
+    }
+
+    let trimmed = text.trim();
+    let mut p = Parser {
+        bytes: trimmed.as_bytes(),
+        pos: 0,
+        names: Vec::new(),
+        merges: Vec::new(),
+        next_internal: 0,
+        branch: Vec::new(),
+    };
+    let mut leaf_count = 0usize;
+    // Two-pass trick: we don't know the leaf count up front, so parse with
+    // provisional ids (leaves get 0.., internals get a separate counter)
+    // then remap.
+    // First pass gathers structure; internal ids start at a large offset.
+    p.next_internal = 1 << 30;
+    let Parsed::Node(root_prov) = p.subtree(&mut leaf_count)?;
+    if p.peek() == Some(b';') {
+        p.pos += 1;
+    }
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    let n = leaf_count;
+    if n == 0 {
+        return Err(NewickError { message: "no leaves".into(), at: 0 });
+    }
+    if n == 1 {
+        return Ok((Tree::singleton(), p.names));
+    }
+    // Remap provisional internal ids (1<<30 + k) to (n + k).
+    let remap = |id: usize| -> usize {
+        if id >= (1 << 30) {
+            n + (id - (1 << 30))
+        } else {
+            id
+        }
+    };
+    let merges: Vec<(usize, usize, f64)> = p
+        .merges
+        .iter()
+        .enumerate()
+        .map(|(k, &(a, b, _))| (remap(a), remap(b), (k + 1) as f64))
+        .collect();
+    if merges.len() != n - 1 {
+        return Err(NewickError {
+            message: format!("{} merges for {} leaves (not binary?)", merges.len(), n),
+            at: 0,
+        });
+    }
+    let _ = root_prov;
+    let mut tree = Tree::from_merges(n, &merges);
+    for (id, len) in p.branch {
+        tree.set_branch_len(remap(id), len.max(0.0));
+    }
+    Ok((tree, p.names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distmat::DistMatrix;
+    use crate::upgma::upgma;
+
+    #[test]
+    fn serialise_simple_tree() {
+        let mut m = DistMatrix::zeros(2);
+        m.set(0, 1, 4.0);
+        let t = upgma(&m);
+        let s = to_newick(&t, &["a".into(), "b".into()]);
+        assert_eq!(s, "(a:2.000000,b:2.000000);");
+    }
+
+    #[test]
+    fn roundtrip_preserves_topology_and_lengths() {
+        let m = DistMatrix::from_fn(5, |i, j| ((i * 3 + j) % 7) as f64 + 1.0);
+        let t = upgma(&m);
+        let names: Vec<String> = (0..5).map(|i| format!("seq{i}")).collect();
+        let s = to_newick(&t, &names);
+        let (t2, names2) = parse_newick(&s).unwrap();
+        t2.validate().unwrap();
+        assert_eq!(t2.n_leaves(), 5);
+        // Leaf pairwise path lengths must be preserved (topology+branch
+        // lengths), though leaf numbering may permute.
+        let idx = |name: &str, names: &[String]| names.iter().position(|n| n == name).unwrap();
+        for a in 0..5 {
+            for b in 0..a {
+                let n1a = t.leaf_node(a).unwrap();
+                let n1b = t.leaf_node(b).unwrap();
+                let d1 = t.path_length(n1a, n1b);
+                let a2 = idx(&names[a], &names2);
+                let b2 = idx(&names[b], &names2);
+                let n2a = t2.leaf_node(a2).unwrap();
+                let n2b = t2.leaf_node(b2).unwrap();
+                let d2 = t2.path_length(n2a, n2b);
+                assert!((d1 - d2).abs() < 1e-6, "pair {a},{b}: {d1} vs {d2}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_newick("((a,b);").is_err());
+        assert!(parse_newick("(a,b))").is_err());
+        assert!(parse_newick("").is_err());
+        assert!(parse_newick("(a,b,c);").is_err()); // non-binary
+    }
+
+    #[test]
+    fn parse_single_leaf() {
+        let (t, names) = parse_newick("onlyleaf;").unwrap();
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(names, vec!["onlyleaf".to_string()]);
+    }
+
+    #[test]
+    fn default_names_when_table_short() {
+        let mut m = DistMatrix::zeros(2);
+        m.set(0, 1, 2.0);
+        let t = upgma(&m);
+        let s = to_newick(&t, &[]);
+        assert!(s.contains("L0") && s.contains("L1"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Canonical neighbor joining (Saitou & Nei 1987).
+//!
+//! Produces an (arbitrarily) rooted binary tree compatible with our
+//! [`Tree`] arena: NJ is naturally unrooted, so the final three-way join is
+//! resolved by rooting at the last join, which is the convention CLUSTALW's
+//! progressive stage tolerates well.
+
+use crate::distmat::DistMatrix;
+use crate::tree::{NodeId, Tree};
+
+/// Build an NJ tree from a distance matrix. Leaf `i` of the tree
+/// corresponds to matrix index `i`. `O(n³)` time, `O(n²)` space.
+pub fn neighbor_joining(dist: &DistMatrix) -> Tree {
+    let n = dist.len();
+    if n == 1 {
+        return Tree::singleton();
+    }
+    if n == 2 {
+        return Tree::from_merges(2, &[(0, 1, dist.get(0, 1) / 2.0)]);
+    }
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = dist.get(i, j);
+        }
+    }
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut rep: Vec<NodeId> = (0..n).collect();
+    // Cumulative "height" proxy so Tree::from_merges derives non-negative
+    // branch lengths; NJ branch lengths themselves are attached afterwards.
+    let mut depth: Vec<f64> = vec![0.0; n];
+    let mut merges: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(n - 1);
+    let mut next_id = n;
+    let mut branch_for: Vec<(NodeId, f64)> = Vec::new();
+
+    while active.len() > 2 {
+        let m = active.len();
+        // Row sums over active entries.
+        let r: Vec<f64> = active
+            .iter()
+            .map(|&i| active.iter().map(|&j| d[i * n + j]).sum::<f64>())
+            .collect();
+        // Minimise Q(i,j) = (m-2) d(i,j) − r_i − r_j.
+        let (mut bi, mut bj, mut bq) = (0usize, 1usize, f64::INFINITY);
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let q = (m as f64 - 2.0) * d[active[a] * n + active[b]] - r[a] - r[b];
+                if q < bq {
+                    bq = q;
+                    bi = a;
+                    bj = b;
+                }
+            }
+        }
+        let (i, j) = (active[bi], active[bj]);
+        let dij = d[i * n + j];
+        // Branch lengths to the new node.
+        let li = 0.5 * dij + (r[bi] - r[bj]) / (2.0 * (m as f64 - 2.0));
+        let lj = dij - li;
+        let (li, lj) = (li.max(0.0), lj.max(0.0));
+        branch_for.push((rep[i], li));
+        branch_for.push((rep[j], lj));
+        let h = depth[i].max(depth[j]) + li.max(lj).max(1e-9);
+        merges.push((rep[i], rep[j], h));
+        // Distances from the new node u to every other active k.
+        for &k in &active {
+            if k != i && k != j {
+                let duk = 0.5 * (d[i * n + k] + d[j * n + k] - dij);
+                d[i * n + k] = duk.max(0.0);
+                d[k * n + i] = duk.max(0.0);
+            }
+        }
+        depth[i] = h;
+        rep[i] = next_id;
+        next_id += 1;
+        active.retain(|&x| x != j);
+    }
+    // Final join of the last two clusters.
+    let (i, j) = (active[0], active[1]);
+    let dij = d[i * n + j];
+    branch_for.push((rep[i], 0.5 * dij));
+    branch_for.push((rep[j], 0.5 * dij));
+    let h = depth[i].max(depth[j]) + (0.5 * dij).max(1e-9);
+    merges.push((rep[i], rep[j], h));
+
+    let mut tree = Tree::from_merges(n, &merges);
+    for (id, len) in branch_for {
+        tree.set_branch_len(id, len);
+    }
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_and_one_leaf_edge_cases() {
+        let t1 = neighbor_joining(&DistMatrix::zeros(1));
+        assert_eq!(t1.n_leaves(), 1);
+        let mut m = DistMatrix::zeros(2);
+        m.set(0, 1, 6.0);
+        let t2 = neighbor_joining(&m);
+        t2.validate().unwrap();
+        assert_eq!(t2.n_leaves(), 2);
+    }
+
+    #[test]
+    fn recovers_additive_tree_distances() {
+        // Wikipedia's canonical 5-taxon additive example.
+        //     a  b  c  d  e
+        // a   0  5  9  9  8
+        // b      0 10 10  9
+        // c         0  8  7
+        // d            0  3
+        // e               0
+        let vals = [
+            (1, 0, 5.0),
+            (2, 0, 9.0),
+            (2, 1, 10.0),
+            (3, 0, 9.0),
+            (3, 1, 10.0),
+            (3, 2, 8.0),
+            (4, 0, 8.0),
+            (4, 1, 9.0),
+            (4, 2, 7.0),
+            (4, 3, 3.0),
+        ];
+        let mut m = DistMatrix::zeros(5);
+        for (i, j, v) in vals {
+            m.set(i, j, v);
+        }
+        let t = neighbor_joining(&m);
+        t.validate().unwrap();
+        // NJ recovers additive distances exactly.
+        for i in 0..5 {
+            for j in 0..i {
+                let li = t.leaf_node(i).unwrap();
+                let lj = t.leaf_node(j).unwrap();
+                let got = t.path_length(li, lj);
+                assert!(
+                    (got - m.get(i, j)).abs() < 1e-9,
+                    "pair ({i},{j}): got {got}, want {}",
+                    m.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_join_is_the_true_cherry() {
+        // In the example above NJ must join a and b first.
+        let vals = [
+            (1, 0, 5.0),
+            (2, 0, 9.0),
+            (2, 1, 10.0),
+            (3, 0, 9.0),
+            (3, 1, 10.0),
+            (3, 2, 8.0),
+            (4, 0, 8.0),
+            (4, 1, 9.0),
+            (4, 2, 7.0),
+            (4, 3, 3.0),
+        ];
+        let mut m = DistMatrix::zeros(5);
+        for (i, j, v) in vals {
+            m.set(i, j, v);
+        }
+        let t = neighbor_joining(&m);
+        // Find the smallest internal node (first created = id 5).
+        let mut leaves = t.leaves_under(5);
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = DistMatrix::from_fn(7, |i, j| ((i * 13 + j * 5) % 17) as f64 + 1.0);
+        assert_eq!(neighbor_joining(&m), neighbor_joining(&m));
+    }
+
+    #[test]
+    fn all_leaves_present() {
+        let m = DistMatrix::from_fn(9, |i, j| ((i + j * 3) % 7) as f64 + 0.5);
+        let t = neighbor_joining(&m);
+        t.validate().unwrap();
+        let mut order = t.leaf_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,206 @@
+//! The distributed PSRS protocol over a virtual cluster node.
+
+use crate::sampling::{bucket_of, regular_samples, select_pivots};
+use bioseq::Work;
+use vcluster::{Node, WireSize};
+
+/// Result of a distributed PSRS round on one rank.
+#[derive(Debug, Clone)]
+pub struct PsrsOutcome<T> {
+    /// This rank's final bucket, sorted by key. Concatenating buckets over
+    /// ranks in rank order yields the globally sorted sequence.
+    pub items: Vec<T>,
+    /// The pivots every rank agreed on (`p − 1` of them).
+    pub pivots: Vec<f64>,
+    /// How many items this rank received from each source rank.
+    pub received_from: Vec<usize>,
+}
+
+/// Sort `local` across all ranks by `key` using Parallel Sorting by Regular
+/// Sampling. Every rank calls this with its share of the data; rank `i`
+/// returns the `i`-th bucket of the global order.
+///
+/// Sorting comparisons are charged to the node's virtual clock as
+/// `sort_ops`; communication is charged by the node's cost model.
+pub fn psrs<T, F>(node: &Node, mut local: Vec<T>, key: F) -> PsrsOutcome<T>
+where
+    T: WireSize + Send + 'static,
+    F: Fn(&T) -> f64,
+{
+    let p = node.size();
+    // Step 1: local sort.
+    local.sort_by(|a, b| key(a).total_cmp(&key(b)));
+    charge_sort(node, local.len());
+
+    // Step 2: regular sampling of p−1 keys, gathered at root 0. Only the
+    // *keys* travel (the paper: "send only their ranks to a root
+    // processor").
+    let keys: Vec<f64> = local.iter().map(&key).collect();
+    let samples = regular_samples(&keys, p.saturating_sub(1));
+    let gathered = node.gather(0, samples);
+
+    // Step 3: root sorts the ~p(p−1) sample keys and selects p−1 pivots.
+    let pivots: Vec<f64> = node.broadcast(
+        0,
+        gathered.map(|rows| {
+            let flat: Vec<f64> = rows.into_iter().flatten().collect();
+            charge_sort(node, flat.len());
+            select_pivots(flat, p)
+        }),
+    );
+
+    // Step 4: partition the local data into p buckets.
+    let mut blocks: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for item in local {
+        let b = bucket_of(key(&item), &pivots);
+        blocks[b].push(item);
+    }
+
+    // Step 5: all-to-all exchange; bucket i accumulates at rank i.
+    let received = node.all_to_allv(blocks);
+    let received_from: Vec<usize> = received.iter().map(Vec::len).collect();
+
+    // Step 6: merge the p sorted runs (simple sort; runs are short).
+    let mut items: Vec<T> = received.into_iter().flatten().collect();
+    items.sort_by(|a, b| key(a).total_cmp(&key(b)));
+    charge_sort(node, items.len());
+
+    PsrsOutcome { items, pivots, received_from }
+}
+
+fn charge_sort(node: &Node, n: usize) {
+    if n > 1 {
+        let ops = (n as f64 * (n as f64).log2()).ceil() as u64;
+        node.compute(Work::sort(ops));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::max_partition_bound;
+    use vcluster::{CostModel, VirtualCluster};
+
+    /// Deterministic pseudo-random keys (LCG), distinct per index.
+    fn synth_keys(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64) / ((1u64 << 53) as f64) + i as f64 * 1e-15
+            })
+            .collect()
+    }
+
+    fn run_psrs(p: usize, n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let all = synth_keys(n, seed);
+        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+        let all_ref = &all;
+        let run = cluster.run(move |node| {
+            // Block-distribute the input.
+            let chunk = n.div_ceil(p);
+            let lo = (node.rank() * chunk).min(n);
+            let hi = ((node.rank() + 1) * chunk).min(n);
+            let local: Vec<f64> = all_ref[lo..hi].to_vec();
+            psrs(node, local, |&x| x).items
+        });
+        let mut sorted = all;
+        sorted.sort_by(f64::total_cmp);
+        (run.results, sorted)
+    }
+
+    #[test]
+    fn global_order_reconstructed() {
+        for (p, n) in [(2, 50), (4, 1000), (8, 1024), (3, 17)] {
+            let (buckets, sorted) = run_psrs(p, n, 42);
+            let concat: Vec<f64> = buckets.iter().flatten().copied().collect();
+            assert_eq!(concat, sorted, "p={p} n={n}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_locally_sorted_and_disjoint() {
+        let (buckets, _) = run_psrs(4, 400, 7);
+        for b in &buckets {
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+        for w in buckets.windows(2) {
+            if let (Some(&last), Some(&first)) = (w[0].last(), w[1].first()) {
+                assert!(last <= first);
+            }
+        }
+    }
+
+    #[test]
+    fn load_bound_respected_on_uniform_keys() {
+        let p = 8;
+        let n = 4096; // n > p^3 as the theorem requires
+        let (buckets, _) = run_psrs(p, n, 3);
+        let bound = max_partition_bound(n, p);
+        for (i, b) in buckets.iter().enumerate() {
+            assert!(
+                b.len() <= bound,
+                "bucket {i} holds {} > bound {bound}",
+                b.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_sort() {
+        let (buckets, sorted) = run_psrs(1, 100, 9);
+        assert_eq!(buckets[0], sorted);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+        // 2 items across 4 ranks: most ranks start empty.
+        let run = cluster.run(|node| {
+            let local: Vec<f64> = match node.rank() {
+                0 => vec![5.0],
+                2 => vec![1.0],
+                _ => vec![],
+            };
+            psrs(node, local, |&x| x).items
+        });
+        let concat: Vec<f64> = run.results.iter().flatten().copied().collect();
+        assert_eq!(concat, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicate_keys_survive() {
+        let cluster = VirtualCluster::new(3, CostModel::beowulf_2008());
+        let run = cluster.run(|node| {
+            let local = vec![1.0; 10];
+            psrs(node, local, |&x| x).items
+        });
+        let total: usize = run.results.iter().map(Vec::len).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_psrs(4, 512, 11);
+        let b = run_psrs(4, 512, 11);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn outcome_metadata_consistent() {
+        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+        let run = cluster.run(|node| {
+            let local: Vec<f64> = (0..100)
+                .map(|i| ((i * 37 + node.rank() * 13) % 400) as f64)
+                .collect();
+            let out = psrs(node, local, |&x| x);
+            (out.pivots.len(), out.received_from.len(), out.items.len(),
+             out.received_from.iter().sum::<usize>())
+        });
+        for (np, nrf, nitems, received_total) in run.results {
+            assert_eq!(np, 3);
+            assert_eq!(nrf, 4);
+            assert_eq!(nitems, received_total);
+        }
+    }
+}

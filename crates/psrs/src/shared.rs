@@ -1,0 +1,138 @@
+//! Shared-memory SampleSort using rayon (the multithreaded counterpart of
+//! the distributed protocol, used by Sample-Align-D's rayon backend).
+
+use crate::sampling::{bucket_of, regular_samples, select_pivots};
+use rayon::prelude::*;
+
+/// Partition `items` into `parts` buckets by `key` using regular sampling,
+/// with each bucket sorted. Concatenating the buckets yields the globally
+/// sorted order, and bucket sizes obey the PSRS balance bound for
+/// distinct, well-spread keys.
+pub fn sample_partition_by<T, F>(items: Vec<T>, parts: usize, key: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(&T) -> f64 + Sync + Send,
+{
+    assert!(parts >= 1, "need at least one partition");
+    if parts == 1 || items.len() <= parts {
+        let mut all = items;
+        all.sort_by(|a, b| key(a).total_cmp(&key(b)));
+        let mut out: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
+        // Spread tiny inputs round-robin so no bucket invariant breaks.
+        if parts == 1 {
+            out[0] = all;
+        } else {
+            let n = all.len();
+            let chunk = n.div_ceil(parts).max(1);
+            for (i, item) in all.into_iter().enumerate() {
+                out[(i / chunk).min(parts - 1)].push(item);
+            }
+        }
+        return out;
+    }
+    // Emulate p local sorts: chunk the data, sort chunks in parallel,
+    // sample each chunk.
+    let n = items.len();
+    let chunk_size = n.div_ceil(parts);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(parts);
+    let mut iter = items.into_iter();
+    for _ in 0..parts {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
+        chunks.push(chunk);
+    }
+    chunks.par_iter_mut().for_each(|c| c.sort_by(|a, b| key(a).total_cmp(&key(b))));
+    let samples: Vec<f64> = chunks
+        .iter()
+        .flat_map(|c| {
+            let keys: Vec<f64> = c.iter().map(&key).collect();
+            regular_samples(&keys, parts - 1)
+        })
+        .collect();
+    let pivots = select_pivots(samples, parts);
+    let mut buckets: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
+    for chunk in chunks {
+        for item in chunk {
+            buckets[bucket_of(key(&item), &pivots)].push(item);
+        }
+    }
+    buckets
+        .par_iter_mut()
+        .for_each(|b| b.sort_by(|a, b| key(a).total_cmp(&key(b))));
+    buckets
+}
+
+/// Fully sort `items` by `key` via sample partitioning.
+pub fn sample_sort_by<T, F>(items: Vec<T>, parts: usize, key: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&T) -> f64 + Sync + Send,
+{
+    sample_partition_by(items, parts, key).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_like_std() {
+        let items: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let mut expect = items.clone();
+        expect.sort_by(f64::total_cmp);
+        assert_eq!(sample_sort_by(items, 8, |&x| x), expect);
+    }
+
+    #[test]
+    fn partition_boundaries_ordered() {
+        let items: Vec<f64> = (0..500).map(|i| ((i * 31) % 97) as f64).collect();
+        let parts = sample_partition_by(items, 4, |&x| x);
+        assert_eq!(parts.len(), 4);
+        for w in parts.windows(2) {
+            if let (Some(&a), Some(&b)) = (w[0].last(), w[1].first()) {
+                assert!(a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(sample_sort_by(Vec::<f64>::new(), 4, |&x| x), Vec::<f64>::new());
+        assert_eq!(sample_sort_by(vec![3.0, 1.0], 4, |&x| x), vec![1.0, 3.0]);
+        assert_eq!(sample_sort_by(vec![2.0], 1, |&x| x), vec![2.0]);
+    }
+
+    #[test]
+    fn keyed_structs() {
+        #[derive(Debug, PartialEq)]
+        struct Item(u32, f64);
+        let items: Vec<Item> =
+            (0..100).map(|i| Item(i, ((i * 13) % 50) as f64)).collect();
+        let sorted = sample_sort_by(items, 3, |it| it.1);
+        assert!(sorted.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(sorted.len(), 100);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_std_sort(mut keys in prop::collection::vec(-1e6f64..1e6, 0..400),
+                                 parts in 1usize..9) {
+            let sorted = sample_sort_by(keys.clone(), parts, |&x| x);
+            keys.sort_by(f64::total_cmp);
+            prop_assert_eq!(sorted, keys);
+        }
+
+        #[test]
+        fn prop_partitions_preserve_multiset(keys in prop::collection::vec(0u32..1000, 0..300),
+                                             parts in 1usize..7) {
+            let items: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+            let buckets = sample_partition_by(items, parts, |&x| x);
+            prop_assert_eq!(buckets.len(), parts);
+            let mut flat: Vec<f64> = buckets.into_iter().flatten().collect();
+            flat.sort_by(f64::total_cmp);
+            let mut expect: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+            expect.sort_by(f64::total_cmp);
+            prop_assert_eq!(flat, expect);
+        }
+    }
+}

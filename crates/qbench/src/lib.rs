@@ -1,0 +1,23 @@
+//! # qbench — a PREFAB-like alignment quality benchmark
+//!
+//! PREFAB (Edgar 2004) scores an aligner by how well it recovers a trusted
+//! *pair* alignment embedded in a larger set of homologs: each case holds
+//! two "seed" sequences with a reference alignment plus additional family
+//! members, the aligner is run on the whole set, and the `Q` score counts
+//! the seed residue pairs it reproduces.
+//!
+//! The real PREFAB data cannot be redistributed, so [`refset`] generates
+//! structurally equivalent cases from `rosegen` families — there the
+//! generative process supplies a *true* alignment to use as the reference,
+//! and the two most divergent leaves play the role of the structure pair.
+//! [`harness`] runs any alignment system over a benchmark and reports mean
+//! `Q`, exactly like the paper's Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod refset;
+
+pub use harness::{evaluate_engine, evaluate_with, EngineReport};
+pub use refset::{Benchmark, BenchmarkConfig, ReferenceCase};

@@ -1,0 +1,204 @@
+//! Reference case generation.
+
+use bioseq::alphabet::GAP_CODE;
+use bioseq::{Msa, Sequence};
+use rosegen::{Family, FamilyConfig};
+
+/// One benchmark case: a set of homologs containing two seed sequences
+/// whose true pairwise alignment is the scoring reference.
+#[derive(Debug, Clone)]
+pub struct ReferenceCase {
+    /// Case identifier (e.g. `"case017"`).
+    pub id: String,
+    /// All sequences of the case (seeds included), in generator order.
+    pub seqs: Vec<Sequence>,
+    /// Ids of the two seed sequences.
+    pub seed_ids: (String, String),
+    /// The reference alignment of the two seeds (2 rows).
+    pub reference_pair: Msa,
+    /// The full true alignment (for TC scoring / diagnostics).
+    pub full_reference: Msa,
+}
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// Number of cases.
+    pub n_cases: usize,
+    /// Sequences per case (PREFAB sets hold ~20–50).
+    pub seqs_per_case: usize,
+    /// Mean sequence length.
+    pub avg_len: usize,
+    /// Relatedness range: case `i` interpolates between the two bounds, so
+    /// the benchmark spans easy to hard cases like PREFAB's divergence
+    /// spread.
+    pub relatedness: (f64, f64),
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            n_cases: 24,
+            seqs_per_case: 24,
+            avg_len: 120,
+            relatedness: (300.0, 1100.0),
+            seed: 0,
+        }
+    }
+}
+
+/// A set of reference cases.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The cases.
+    pub cases: Vec<ReferenceCase>,
+}
+
+impl Benchmark {
+    /// Generate a benchmark.
+    pub fn generate(cfg: &BenchmarkConfig) -> Benchmark {
+        assert!(cfg.n_cases >= 1 && cfg.seqs_per_case >= 2);
+        let cases = (0..cfg.n_cases)
+            .map(|i| {
+                let t = if cfg.n_cases == 1 {
+                    0.0
+                } else {
+                    i as f64 / (cfg.n_cases - 1) as f64
+                };
+                let relatedness =
+                    cfg.relatedness.0 + t * (cfg.relatedness.1 - cfg.relatedness.0);
+                let fam = Family::generate(&FamilyConfig {
+                    n_seqs: cfg.seqs_per_case,
+                    avg_len: cfg.avg_len,
+                    len_sd: cfg.avg_len as f64 * 0.05,
+                    relatedness,
+                    seed: cfg.seed.wrapping_mul(7919).wrapping_add(i as u64),
+                    id_prefix: format!("c{i:03}s"),
+                    ..Default::default()
+                });
+                case_from_family(format!("case{i:03}"), &fam)
+            })
+            .collect();
+        Benchmark { cases }
+    }
+}
+
+/// Build a case from a family: the two most divergent leaves become the
+/// seed pair (PREFAB's structure pair analogue).
+pub fn case_from_family(id: String, fam: &Family) -> ReferenceCase {
+    let n = fam.seqs.len();
+    // Most divergent pair by tree path length.
+    let (mut best_i, mut best_j, mut best_d) = (0usize, 1.min(n - 1), -1.0f64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (Some(ni), Some(nj)) = (fam.tree.leaf_node(i), fam.tree.leaf_node(j)) else {
+                continue;
+            };
+            let d = fam.tree.path_length(ni, nj);
+            if d > best_d {
+                best_d = d;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+    let reference_pair = project_pair(&fam.reference, best_i, best_j);
+    ReferenceCase {
+        id,
+        seqs: fam.seqs.clone(),
+        seed_ids: (fam.seqs[best_i].id.clone(), fam.seqs[best_j].id.clone()),
+        reference_pair,
+        full_reference: fam.reference.clone(),
+    }
+}
+
+/// Project a full alignment onto two rows, dropping columns where both are
+/// gaps.
+pub fn project_pair(msa: &Msa, i: usize, j: usize) -> Msa {
+    let (mut ra, mut rb) = (Vec::new(), Vec::new());
+    for c in 0..msa.num_cols() {
+        let (x, y) = (msa.row(i)[c], msa.row(j)[c]);
+        if x != GAP_CODE || y != GAP_CODE {
+            ra.push(x);
+            rb.push(y);
+        }
+    }
+    Msa::from_rows(vec![msa.ids()[i].clone(), msa.ids()[j].clone()], vec![ra, rb])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_shape() {
+        let b = Benchmark::generate(&BenchmarkConfig {
+            n_cases: 4,
+            seqs_per_case: 8,
+            avg_len: 60,
+            ..Default::default()
+        });
+        assert_eq!(b.cases.len(), 4);
+        for case in &b.cases {
+            assert_eq!(case.seqs.len(), 8);
+            assert_eq!(case.reference_pair.num_rows(), 2);
+            case.reference_pair.validate().unwrap();
+            // Seeds are distinct members of the case.
+            assert_ne!(case.seed_ids.0, case.seed_ids.1);
+            assert!(case.seqs.iter().any(|s| s.id == case.seed_ids.0));
+            assert!(case.seqs.iter().any(|s| s.id == case.seed_ids.1));
+        }
+    }
+
+    #[test]
+    fn reference_pair_ungaps_to_seed_sequences() {
+        let b = Benchmark::generate(&BenchmarkConfig {
+            n_cases: 2,
+            seqs_per_case: 10,
+            avg_len: 70,
+            ..Default::default()
+        });
+        for case in &b.cases {
+            let s0 = case.seqs.iter().find(|s| s.id == case.seed_ids.0).unwrap();
+            let s1 = case.seqs.iter().find(|s| s.id == case.seed_ids.1).unwrap();
+            assert_eq!(&case.reference_pair.ungapped(0), s0);
+            assert_eq!(&case.reference_pair.ungapped(1), s1);
+        }
+    }
+
+    #[test]
+    fn divergence_spread_across_cases() {
+        let b = Benchmark::generate(&BenchmarkConfig {
+            n_cases: 6,
+            seqs_per_case: 8,
+            avg_len: 80,
+            relatedness: (100.0, 1400.0),
+            ..Default::default()
+        });
+        let first = b.cases.first().unwrap().full_reference.average_identity();
+        let last = b.cases.last().unwrap().full_reference.average_identity();
+        assert!(first > last, "easy case {first} should beat hard case {last}");
+    }
+
+    #[test]
+    fn project_pair_drops_mutual_gaps() {
+        let msa = bioseq::fasta::parse_alignment(">a\nM-KV\n>b\nM-K-\n>c\nMWKV\n").unwrap();
+        let pair = project_pair(&msa, 0, 1);
+        assert_eq!(pair.num_cols(), 3); // column 1 dropped
+        assert_eq!(pair.ungapped(0).to_letters(), "MKV");
+        assert_eq!(pair.ungapped(1).to_letters(), "MK");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = BenchmarkConfig { n_cases: 3, seqs_per_case: 6, avg_len: 50, ..Default::default() };
+        let a = Benchmark::generate(&cfg);
+        let b = Benchmark::generate(&cfg);
+        for (x, y) in a.cases.iter().zip(&b.cases) {
+            assert_eq!(x.seqs, y.seqs);
+            assert_eq!(x.seed_ids, y.seed_ids);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Genome-like sequence sampling: a phylogenetically diverse mixture of
+//! families mimicking "randomly selected sequences from the Methanosarcina
+//! acetivorans genome" (avg ORF length ≈ 316 aa, Galagan et al. 2002).
+
+use crate::family::{Family, FamilyConfig};
+use crate::rng::normal;
+use bioseq::Sequence;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Parameters of a genome sample.
+#[derive(Debug, Clone)]
+pub struct GenomeConfig {
+    /// Total number of sequences.
+    pub n_seqs: usize,
+    /// Number of distinct families the sample mixes (paralog clusters).
+    pub n_families: usize,
+    /// Mean sequence length (M. acetivorans ORFs average 316 aa).
+    pub avg_len: usize,
+    /// Log-scale length spread (ORF lengths are right-skewed).
+    pub len_log_sd: f64,
+    /// Within-family relatedness (diverse: the paper's genome set is far
+    /// from a tight family).
+    pub relatedness: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        GenomeConfig {
+            n_seqs: 2000,
+            n_families: 40,
+            avg_len: 316,
+            len_log_sd: 0.30,
+            relatedness: 1100.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A genome sample: the shuffled sequences plus the families they came
+/// from (with their true alignments, for diagnostics).
+#[derive(Debug, Clone)]
+pub struct GenomeSample {
+    /// The sequences in randomised order (as "randomly selected from the
+    /// genome").
+    pub seqs: Vec<Sequence>,
+    /// The underlying families.
+    pub families: Vec<Family>,
+}
+
+impl GenomeSample {
+    /// Draw a genome sample.
+    ///
+    /// # Panics
+    /// Panics if `n_seqs == 0` or `n_families == 0`.
+    pub fn generate(cfg: &GenomeConfig) -> GenomeSample {
+        assert!(cfg.n_seqs >= 1 && cfg.n_families >= 1);
+        let n_families = cfg.n_families.min(cfg.n_seqs);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+        // Spread sequences over families as evenly as possible.
+        let base = cfg.n_seqs / n_families;
+        let extra = cfg.n_seqs % n_families;
+        let mut families = Vec::with_capacity(n_families);
+        let mut seqs: Vec<Sequence> = Vec::with_capacity(cfg.n_seqs);
+        for f in 0..n_families {
+            let size = base + usize::from(f < extra);
+            if size == 0 {
+                continue;
+            }
+            // Right-skewed family mean length around the genome average.
+            let log_mean = (cfg.avg_len as f64).ln() - cfg.len_log_sd.powi(2) / 2.0;
+            let fam_len = normal(&mut rng, log_mean, cfg.len_log_sd).exp().round();
+            let fam_len = (fam_len as usize).clamp(40, cfg.avg_len * 4);
+            let fam = Family::generate(&FamilyConfig {
+                n_seqs: size,
+                avg_len: fam_len,
+                len_sd: fam_len as f64 * 0.08,
+                relatedness: cfg.relatedness,
+                seed: cfg.seed.wrapping_mul(1000003).wrapping_add(f as u64),
+                id_prefix: format!("MA{f:03}_"),
+                ..Default::default()
+            });
+            seqs.extend(fam.seqs.iter().cloned());
+            families.push(fam);
+        }
+        // Random selection order, like pulling ORFs from a genome.
+        seqs.shuffle(&mut rng);
+        GenomeSample { seqs, families }
+    }
+
+    /// Mean sequence length of the sample.
+    pub fn mean_len(&self) -> f64 {
+        self.seqs.iter().map(|s| s.len() as f64).sum::<f64>() / self.seqs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_and_uniqueness() {
+        let g = GenomeSample::generate(&GenomeConfig {
+            n_seqs: 200,
+            n_families: 8,
+            ..Default::default()
+        });
+        assert_eq!(g.seqs.len(), 200);
+        let ids: std::collections::HashSet<&str> =
+            g.seqs.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids.len(), 200, "ids must be unique");
+        assert_eq!(g.families.len(), 8);
+    }
+
+    #[test]
+    fn mean_length_near_configured() {
+        let g = GenomeSample::generate(&GenomeConfig {
+            n_seqs: 400,
+            n_families: 16,
+            avg_len: 316,
+            ..Default::default()
+        });
+        let mean = g.mean_len();
+        assert!(
+            (mean - 316.0).abs() < 80.0,
+            "mean length {mean} too far from 316"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GenomeConfig { n_seqs: 100, n_families: 5, seed: 77, ..Default::default() };
+        let a = GenomeSample::generate(&cfg);
+        let b = GenomeSample::generate(&cfg);
+        assert_eq!(a.seqs, b.seqs);
+    }
+
+    #[test]
+    fn shuffled_not_grouped() {
+        let g = GenomeSample::generate(&GenomeConfig {
+            n_seqs: 300,
+            n_families: 10,
+            seed: 5,
+            ..Default::default()
+        });
+        // The first 30 sequences should not all come from one family.
+        let fams: std::collections::HashSet<String> = g.seqs[..30]
+            .iter()
+            .map(|s| s.id.split('_').next().unwrap().to_string())
+            .collect();
+        assert!(fams.len() > 3, "sample looks unshuffled: {fams:?}");
+    }
+
+    #[test]
+    fn more_families_than_sequences_clamps() {
+        let g = GenomeSample::generate(&GenomeConfig {
+            n_seqs: 3,
+            n_families: 10,
+            ..Default::default()
+        });
+        assert_eq!(g.seqs.len(), 3);
+        assert!(g.families.len() <= 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rosegen — synthetic protein families with known true alignments
+//!
+//! The paper generates its scaling workloads with the *rose* sequence
+//! generator (Stoye, Evers & Meyer 1998) and its quality/genome workloads
+//! from PREFAB and the Methanosarcina acetivorans genome — none of which
+//! can be redistributed here. This crate reimplements the generative
+//! model:
+//!
+//! * a random ultrametric phylogeny ([`treegen`], Kingman coalescent
+//!   shape);
+//! * residue substitution along branches driven by BLOSUM62-derived
+//!   conditional probabilities ([`mutation`]);
+//! * affine-length insertions/deletions tracked through a global column
+//!   registry, so every generated family carries its **true reference
+//!   alignment** ([`family`]) — the property PREFAB-style Q scoring needs;
+//! * a genome-like sampler ([`genome`]) producing phylogenetically diverse
+//!   mixtures of families with the M. acetivorans ORF length statistics
+//!   (average ≈ 316 aa) for the Fig. 6 experiment.
+//!
+//! The *relatedness* knob follows rose's convention: larger values mean
+//! more divergent families (`expected substitutions per site ≈
+//! relatedness / 500`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod genome;
+pub mod mutation;
+pub mod rng;
+pub mod treegen;
+
+pub use family::{Family, FamilyConfig};
+pub use genome::{GenomeConfig, GenomeSample};

@@ -1,0 +1,167 @@
+//! The residue substitution model: BLOSUM-consistent conditional mutation
+//! probabilities plus background composition.
+
+use crate::rng::categorical;
+use bioseq::matrix::BACKGROUND_FREQS;
+use bioseq::SubstMatrix;
+use rand::Rng;
+
+/// A substitution model derived from a log-odds matrix: joint probabilities
+/// `q(a,b) ∝ p(a)p(b)·exp(λ·S(a,b))`, conditioned per source residue.
+#[derive(Debug, Clone)]
+pub struct MutationModel {
+    /// Cumulative conditional distributions: `cond_cum[a]` draws the
+    /// replacement residue given source `a`.
+    cond_cum: [[f64; 20]; 20],
+    /// Cumulative background distribution for sampling fresh residues.
+    background_cum: [f64; 20],
+}
+
+impl MutationModel {
+    /// Build from a substitution matrix. `lambda` is the matrix's inverse
+    /// scale (`ln 2 / 2` for half-bit matrices like BLOSUM62).
+    pub fn from_matrix(matrix: &SubstMatrix, lambda: f64) -> Self {
+        let joint = matrix.joint_probabilities(lambda);
+        let mut cond_cum = [[0.0; 20]; 20];
+        for a in 0..20 {
+            let row_sum: f64 = joint[a].iter().sum();
+            let mut acc = 0.0;
+            for b in 0..20 {
+                acc += joint[a][b] / row_sum;
+                cond_cum[a][b] = acc;
+            }
+            cond_cum[a][19] = 1.0;
+        }
+        let mut background_cum = [0.0; 20];
+        let total: f64 = BACKGROUND_FREQS.iter().sum();
+        let mut acc = 0.0;
+        for (i, &f) in BACKGROUND_FREQS.iter().enumerate() {
+            acc += f / total;
+            background_cum[i] = acc;
+        }
+        background_cum[19] = 1.0;
+        MutationModel { cond_cum, background_cum }
+    }
+
+    /// The default model: BLOSUM62 at half-bit scale.
+    pub fn blosum62() -> Self {
+        Self::from_matrix(&SubstMatrix::blosum62(), std::f64::consts::LN_2 / 2.0)
+    }
+
+    /// Sample a residue from the background composition.
+    pub fn sample_background<R: Rng>(&self, rng: &mut R) -> u8 {
+        categorical(rng, &self.background_cum) as u8
+    }
+
+    /// Sample a replacement for residue `a` (may return `a` itself —
+    /// multiple hits are part of the process).
+    pub fn substitute<R: Rng>(&self, rng: &mut R, a: u8) -> u8 {
+        debug_assert!(a < 20);
+        categorical(rng, &self.cond_cum[a as usize]) as u8
+    }
+
+    /// Evolve one site across a branch of length `t` expected
+    /// substitutions per site: the site is hit with probability
+    /// `1 − e^{−t}`; a hit redraws the residue from the conditional
+    /// distribution.
+    pub fn evolve_site<R: Rng>(&self, rng: &mut R, a: u8, t: f64) -> u8 {
+        let p_hit = 1.0 - (-t).exp();
+        if rng.gen_range(0.0f64..1.0) < p_hit {
+            self.substitute(rng, a)
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn background_sampling_matches_frequencies() {
+        let model = MutationModel::blosum62();
+        let mut r = rng();
+        let mut counts = [0usize; 20];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[model.sample_background(&mut r) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
+            assert!(
+                (f - BACKGROUND_FREQS[i]).abs() < 0.01,
+                "residue {i}: {f} vs {}",
+                BACKGROUND_FREQS[i]
+            );
+        }
+    }
+
+    #[test]
+    fn substitution_favours_similar_residues() {
+        // I (code 9) should mutate to V (19) or L (10) far more often than
+        // to W (17) — BLOSUM62 scores I/V=3, I/L=2, I/W=-3.
+        let model = MutationModel::blosum62();
+        let mut r = rng();
+        let mut counts = [0usize; 20];
+        for _ in 0..50_000 {
+            counts[model.substitute(&mut r, 9) as usize] += 1;
+        }
+        assert!(counts[19] > counts[17] * 5, "V={} W={}", counts[19], counts[17]);
+        assert!(counts[10] > counts[17] * 3, "L={} W={}", counts[10], counts[17]);
+        // Self-substitution is the single most likely outcome.
+        assert!(counts[9] >= *counts.iter().max().unwrap() / 2);
+    }
+
+    #[test]
+    fn zero_branch_is_identity() {
+        let model = MutationModel::blosum62();
+        let mut r = rng();
+        for a in 0..20u8 {
+            assert_eq!(model.evolve_site(&mut r, a, 0.0), a);
+        }
+    }
+
+    #[test]
+    fn long_branch_randomises() {
+        let model = MutationModel::blosum62();
+        let mut r = rng();
+        let mut changed = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if model.evolve_site(&mut r, 0, 50.0) != 0 {
+                changed += 1;
+            }
+        }
+        // With t=50 every site is hit; only conditional self-draws survive.
+        let frac = changed as f64 / n as f64;
+        assert!(frac > 0.5, "frac changed = {frac}");
+    }
+
+    #[test]
+    fn branch_length_monotone_in_divergence() {
+        let model = MutationModel::blosum62();
+        let mut r = rng();
+        let divergence = |t: f64, r: &mut StdRng| {
+            let n = 20_000;
+            let mut diff = 0;
+            for _ in 0..n {
+                let a = model.sample_background(r);
+                if model.evolve_site(r, a, t) != a {
+                    diff += 1;
+                }
+            }
+            diff as f64 / n as f64
+        };
+        let d1 = divergence(0.1, &mut r);
+        let d2 = divergence(0.5, &mut r);
+        let d3 = divergence(2.0, &mut r);
+        assert!(d1 < d2 && d2 < d3, "{d1} {d2} {d3}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Small deterministic samplers built directly on [`rand::Rng`] so the
+//! crate needs no distribution dependency.
+
+use rand::Rng;
+
+/// Normal sample via Box–Muller.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Poisson sample. Knuth's product method for small `λ`, a rounded normal
+/// approximation for large `λ`.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        return normal(rng, lambda, lambda.sqrt()).round().max(0.0) as usize;
+    }
+    let threshold = (-lambda).exp();
+    let mut k = 0usize;
+    let mut product: f64 = 1.0;
+    loop {
+        product *= rng.gen_range(0.0f64..1.0);
+        if product <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Geometric sample: number of trials until first success (≥ 1) with
+/// success probability `p`.
+pub fn geometric<R: Rng>(rng: &mut R, p: f64) -> usize {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    ((u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).floor() as usize).max(0) + 1
+}
+
+/// Exponential sample with the given rate.
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Draw an index from a cumulative distribution (strictly increasing,
+/// ending at ~1).
+pub fn categorical<R: Rng>(rng: &mut R, cumulative: &[f64]) -> usize {
+    debug_assert!(!cumulative.is_empty());
+    let u: f64 = rng.gen_range(0.0..1.0);
+    match cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        Ok(i) | Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn poisson_moments_small_lambda() {
+        let mut r = rng();
+        let xs: Vec<usize> = (0..20_000).map(|_| poisson(&mut r, 3.0)).collect();
+        let mean = xs.iter().sum::<usize>() as f64 / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_path() {
+        let mut r = rng();
+        let xs: Vec<usize> = (0..5_000).map(|_| poisson(&mut r, 100.0)).collect();
+        let mean = xs.iter().sum::<usize>() as f64 / xs.len() as f64;
+        assert!((mean - 100.0).abs() < 1.5, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_is_inverse_p() {
+        let mut r = rng();
+        let xs: Vec<usize> = (0..20_000).map(|_| geometric(&mut r, 0.25)).collect();
+        let mean = xs.iter().sum::<usize>() as f64 / xs.len() as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean={mean}");
+        assert!(xs.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn geometric_p_one_always_one() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(geometric(&mut r, 1.0), 1);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let cum = [0.1, 0.4, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut r, &cum)] += 1;
+        }
+        let f: Vec<f64> = counts.iter().map(|&c| c as f64 / 30_000.0).collect();
+        assert!((f[0] - 0.1).abs() < 0.02);
+        assert!((f[1] - 0.3).abs() < 0.02);
+        assert!((f[2] - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut a, 4.0), poisson(&mut b, 4.0));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Random ultrametric phylogenies (Kingman coalescent shape).
+
+use crate::rng::exponential;
+use phylo::Tree;
+use rand::Rng;
+
+/// Generate a random ultrametric binary tree over `n` leaves whose root
+/// height is exactly `height`. Leaf-to-leaf path lengths therefore range
+/// up to `2·height` (expected substitutions per site when used with the
+/// mutation model).
+///
+/// # Panics
+/// Panics if `n == 0` or `height < 0`.
+pub fn random_ultrametric_tree<R: Rng>(rng: &mut R, n: usize, height: f64) -> Tree {
+    assert!(n >= 1, "need at least one leaf");
+    assert!(height >= 0.0, "height must be non-negative");
+    if n == 1 {
+        return Tree::singleton();
+    }
+    // Kingman coalescent: with k active lineages, the next merge happens
+    // after Exp(k(k−1)/2) time.
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut h = 0.0f64;
+    let mut merges: Vec<(usize, usize, f64)> = Vec::with_capacity(n - 1);
+    let mut next_id = n;
+    while active.len() > 1 {
+        let k = active.len() as f64;
+        h += exponential(rng, k * (k - 1.0) / 2.0);
+        let i = rng.gen_range(0..active.len());
+        let a = active.swap_remove(i);
+        let j = rng.gen_range(0..active.len());
+        let b = active.swap_remove(j);
+        merges.push((a, b, h));
+        active.push(next_id);
+        next_id += 1;
+    }
+    // Rescale heights so the root sits exactly at `height`.
+    let root_h = merges.last().expect("n >= 2").2;
+    let scale = if root_h > 0.0 { height / root_h } else { 0.0 };
+    for m in merges.iter_mut() {
+        m.2 *= scale;
+    }
+    let tree = Tree::from_merges(n, &merges);
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn structure_valid_for_various_sizes() {
+        let mut r = rng(5);
+        for n in [1, 2, 3, 10, 64, 257] {
+            let t = random_ultrametric_tree(&mut r, n, 1.0);
+            t.validate().unwrap();
+            assert_eq!(t.n_leaves(), n);
+        }
+    }
+
+    #[test]
+    fn root_height_exact() {
+        let mut r = rng(6);
+        let t = random_ultrametric_tree(&mut r, 20, 0.7);
+        assert!((t.node(t.root()).height - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ultrametric_leaves_equidistant_from_root() {
+        let mut r = rng(7);
+        let t = random_ultrametric_tree(&mut r, 16, 0.5);
+        // Every leaf's root-path length equals the root height.
+        for leaf in 0..16 {
+            let mut id = t.leaf_node(leaf).unwrap();
+            let mut depth = 0.0;
+            while let Some(p) = t.node(id).parent {
+                depth += t.node(id).branch_len;
+                id = p;
+            }
+            assert!((depth - 0.5).abs() < 1e-9, "leaf {leaf}: {depth}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let a = random_ultrametric_tree(&mut rng(1), 12, 1.0);
+        let b = random_ultrametric_tree(&mut rng(1), 12, 1.0);
+        let c = random_ultrametric_tree(&mut rng(2), 12, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_height_collapses_branches() {
+        let t = random_ultrametric_tree(&mut rng(3), 5, 0.0);
+        t.validate().unwrap();
+        for id in 0..t.n_nodes() {
+            assert_eq!(t.node(id).branch_len, 0.0);
+        }
+    }
+}

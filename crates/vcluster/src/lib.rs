@@ -1,0 +1,58 @@
+//! # vcluster — a virtual message-passing cluster with deterministic time
+//!
+//! The paper evaluates Sample-Align-D on a 16-node Beowulf cluster over
+//! MPI. This crate substitutes that hardware with a *virtual cluster*:
+//!
+//! * every rank runs as a real OS thread executing real code over real
+//!   message passing (crossbeam channels), so algorithms are exercised
+//!   end-to-end exactly as they would be over MPI;
+//! * **time, however, is virtual**: each rank owns a local clock that
+//!   advances deterministically — compute kernels report [`bioseq::Work`]
+//!   units which a calibratable [`CostModel`] converts to seconds, and
+//!   message envelopes carry departure timestamps so arrival times follow a
+//!   LogGP-style postal model (`arrival = departure + latency`, with the
+//!   per-byte serialisation charged to the sender).
+//!
+//! The result: per-rank timings, phase breakdowns, scaling curves and
+//! speedups that are bit-for-bit reproducible on any host — including the
+//! single-core container this reproduction runs in — while the *code paths*
+//! (redistribution, collectives, gather/broadcast trees) remain the real
+//! distributed ones.
+//!
+//! ## Collectives
+//!
+//! [`Node`] offers MPI-flavoured collectives built from point-to-point
+//! sends: binomial-tree `broadcast`, linear `gather`/`scatter` (matching
+//! the `O(p²·L)` sample-collection cost the paper's analysis assumes),
+//! `all_gather`, pairwise-exchange `all_to_allv`, `reduce` and `barrier`.
+//!
+//! ## Example
+//!
+//! ```
+//! use vcluster::{CostModel, VirtualCluster};
+//!
+//! let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+//! let run = cluster.run(|node| {
+//!     let msg = node.rank() * 10;
+//!     let all = node.all_gather(msg);
+//!     all.into_iter().sum::<usize>()
+//! });
+//! assert_eq!(run.results, vec![60, 60, 60, 60]);
+//! assert!(run.makespan > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod collective;
+pub mod cost;
+pub mod node;
+pub mod trace;
+pub mod wire;
+
+pub use cluster::{ClusterRun, VirtualCluster};
+pub use cost::CostModel;
+pub use node::Node;
+pub use trace::{PhaseRecord, RankTrace};
+pub use wire::WireSize;

@@ -1,0 +1,97 @@
+//! Wire-size accounting for messages.
+//!
+//! Messages between ranks never leave the process, so no serialisation is
+//! performed — but the cost model still needs to know how many bytes a
+//! payload *would* occupy on a real interconnect. [`WireSize`] reports that
+//! figure; implementations should approximate a compact binary encoding
+//! (fixed-width scalars, length-prefixed containers).
+
+/// Number of bytes a value would occupy in a compact binary encoding.
+pub trait WireSize {
+    /// Payload bytes (excluding any envelope/tag overhead, which the cost
+    /// model's latency/overhead terms cover).
+    fn wire_bytes(&self) -> usize;
+}
+
+macro_rules! wire_fixed {
+    ($($t:ty),*) => {
+        $(impl WireSize for $t {
+            fn wire_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+wire_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl WireSize for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for String {
+    fn wire_bytes(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        8 + self.iter().map(WireSize::wire_bytes).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Box<T> {
+    fn wire_bytes(&self) -> usize {
+        self.as_ref().wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(0u8.wire_bytes(), 1);
+        assert_eq!(0u64.wire_bytes(), 8);
+        assert_eq!(1.5f64.wire_bytes(), 8);
+        assert_eq!(true.wire_bytes(), 1);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u32, 2, 3].wire_bytes(), 8 + 12);
+        assert_eq!("abc".to_string().wire_bytes(), 11);
+        assert_eq!(Some(7u16).wire_bytes(), 3);
+        assert_eq!(None::<u16>.wire_bytes(), 1);
+        assert_eq!((1u8, 2u32).wire_bytes(), 5);
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let v: Vec<Vec<u8>> = vec![vec![0; 4], vec![0; 6]];
+        assert_eq!(v.wire_bytes(), 8 + (8 + 4) + (8 + 6));
+    }
+}

@@ -1,0 +1,49 @@
+//! A miniature of the paper's Table 2: PREFAB-style Q scores for the
+//! sequential engines and for Sample-Align-D on a 4-node cluster.
+//!
+//! Run with: `cargo run --release --example prefab_eval [n_cases]`
+
+use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
+use sample_align_d::prelude::*;
+
+fn main() {
+    let n_cases: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let benchmark = Benchmark::generate(&BenchmarkConfig {
+        n_cases,
+        seqs_per_case: 20,
+        avg_len: 100,
+        relatedness: (300.0, 1000.0),
+        seed: 11,
+    });
+    println!("PREFAB-like benchmark: {n_cases} cases x 20 sequences\n");
+
+    let cfg = SadConfig::default();
+    let reports = vec![
+        evaluate_engine(&MuscleLite::standard(), &benchmark),
+        evaluate_engine(&MuscleLite::fast(), &benchmark),
+        evaluate_engine(&ClustalLite::default(), &benchmark),
+        evaluate_with("sample-align-d(p=4)", &benchmark, |seqs| {
+            let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+            let run = run_distributed(&cluster, seqs, &cfg);
+            (run.msa, bioseq::Work::ZERO)
+        }),
+    ];
+    println!("{:<24} {:>8} {:>8} {:>8}", "method", "mean Q", "mean TC", "cases");
+    for r in &reports {
+        println!(
+            "{:<24} {:>8.3} {:>8.3} {:>8}",
+            r.name,
+            r.mean_q,
+            r.mean_tc,
+            r.scored_cases()
+        );
+    }
+    println!(
+        "\npaper's Table 2 (real PREFAB): MUSCLE 0.645, CLUSTALW 0.563,\n\
+         Sample-Align-D 0.544 — decomposition trades a little quality for\n\
+         two orders of magnitude in throughput."
+    );
+}

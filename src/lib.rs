@@ -1,0 +1,71 @@
+//! # sample-align-d — facade crate
+//!
+//! A from-scratch Rust reproduction of **"Sample-Align-D: A High
+//! Performance Multiple Sequence Alignment System using Phylogenetic
+//! Sampling and Domain Decomposition"** (Saeed & Khokhar, IPPS 2008),
+//! including every substrate the paper depends on: the sequence/k-mer
+//! machinery, MUSCLE-like and CLUSTALW-like sequential MSA engines,
+//! phylogenetic tree builders, a virtual message-passing cluster with a
+//! deterministic time model, PSRS/SampleSort redistribution, a rose-like
+//! family generator and a PREFAB-like quality benchmark.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sample_align_d::prelude::*;
+//!
+//! // A synthetic family with a known true alignment.
+//! let family = Family::generate(&FamilyConfig {
+//!     n_seqs: 16,
+//!     avg_len: 60,
+//!     relatedness: 600.0,
+//!     ..Default::default()
+//! });
+//!
+//! // Align it with Sample-Align-D on a virtual 4-node Beowulf cluster.
+//! let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+//! let run = run_distributed(&cluster, &family.seqs, &SadConfig::default());
+//!
+//! assert_eq!(run.msa.num_rows(), 16);
+//! println!("aligned in {:.3} virtual seconds", run.makespan);
+//! println!("{}", run.phase_table());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness regenerating every table and figure of the paper.
+
+pub use align;
+pub use bioseq;
+pub use phylo;
+pub use psrs;
+pub use qbench;
+pub use rosegen;
+pub use sad_core;
+pub use vcluster;
+
+/// The most common imports for working with the system.
+pub mod prelude {
+    pub use align::{ClustalLite, EngineChoice, MsaEngine, MuscleLite};
+    pub use bioseq::{fasta, CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix};
+    pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
+    pub use sad_core::{run_distributed, run_rayon, run_sequential, SadConfig, SadRun};
+    pub use vcluster::{CostModel, VirtualCluster};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_wires_everything_together() {
+        let family = Family::generate(&FamilyConfig {
+            n_seqs: 8,
+            avg_len: 40,
+            relatedness: 500.0,
+            ..Default::default()
+        });
+        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, &family.seqs, &SadConfig::default());
+        assert_eq!(run.msa.num_rows(), 8);
+    }
+}

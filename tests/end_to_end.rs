@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full Sample-Align-D pipeline from
+//! generated sequences to a validated global alignment.
+
+use sample_align_d::prelude::*;
+use std::collections::HashMap;
+
+fn family(n: usize, len: usize, relatedness: f64, seed: u64) -> Family {
+    Family::generate(&FamilyConfig {
+        n_seqs: n,
+        avg_len: len,
+        relatedness,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn check_complete(result: &bioseq::Msa, input: &[Sequence]) {
+    result.validate().unwrap();
+    assert_eq!(result.num_rows(), input.len());
+    let by_id: HashMap<&str, &Sequence> = input.iter().map(|s| (s.id.as_str(), s)).collect();
+    for r in 0..result.num_rows() {
+        let id = &result.ids()[r];
+        let want = by_id[id.as_str()];
+        assert_eq!(&result.ungapped(r), want, "row {id}");
+    }
+}
+
+#[test]
+fn distributed_pipeline_is_complete_and_deterministic() {
+    let fam = family(40, 70, 700.0, 1);
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let cfg = SadConfig::default();
+    let a = run_distributed(&cluster, &fam.seqs, &cfg);
+    let b = run_distributed(&cluster, &fam.seqs, &cfg);
+    check_complete(&a.msa, &fam.seqs);
+    assert_eq!(a.msa, b.msa);
+    assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn rayon_and_distributed_backends_agree() {
+    let fam = family(32, 60, 600.0, 2);
+    let cfg = SadConfig::default();
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let dist = run_distributed(&cluster, &fam.seqs, &cfg);
+    let ray = run_rayon(&fam.seqs, 4, &cfg);
+    assert_eq!(dist.msa, ray.msa, "step-identical pipelines must agree");
+    assert_eq!(dist.bucket_sizes, ray.bucket_sizes);
+}
+
+#[test]
+fn quality_tracks_the_sequential_engine() {
+    // On a homologous family, decomposing over 4 ranks should stay within
+    // a reasonable band of the engine run on everything at once.
+    let fam = family(32, 80, 500.0, 3);
+    let cfg = SadConfig::default();
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let sad = run_distributed(&cluster, &fam.seqs, &cfg);
+    let (seq_msa, _) = run_sequential(&fam.seqs, &cfg);
+    let q_sad = bioseq::compare::q_score_msa(&sad.msa, &fam.reference).unwrap();
+    let q_seq = bioseq::compare::q_score_msa(&seq_msa, &fam.reference).unwrap();
+    assert!(
+        q_sad > q_seq - 0.25,
+        "SAD Q {q_sad:.3} too far below sequential Q {q_seq:.3}"
+    );
+    assert!(q_sad > 0.3, "SAD Q {q_sad:.3} unreasonably low");
+}
+
+#[test]
+fn every_engine_choice_runs_distributed() {
+    let fam = family(18, 50, 600.0, 4);
+    for engine in EngineChoice::ALL {
+        let cfg = SadConfig { engine, ..Default::default() };
+        let cluster = VirtualCluster::new(3, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, &fam.seqs, &cfg);
+        check_complete(&run.msa, &fam.seqs);
+    }
+}
+
+#[test]
+fn genome_mixture_aligns() {
+    let genome = GenomeSample::generate(&GenomeConfig {
+        n_seqs: 48,
+        n_families: 6,
+        avg_len: 90,
+        seed: 5,
+        ..Default::default()
+    });
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let run = run_distributed(&cluster, &genome.seqs, &SadConfig::default());
+    check_complete(&run.msa, &genome.seqs);
+    // Similar sequences should co-locate: for most families, members end
+    // up in few buckets. Weak check: bucket sizes sum and are bounded.
+    assert_eq!(run.bucket_sizes.iter().sum::<usize>(), 48);
+}
+
+#[test]
+fn output_roundtrips_through_fasta() {
+    let fam = family(12, 40, 500.0, 6);
+    let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+    let run = run_distributed(&cluster, &fam.seqs, &SadConfig::default());
+    let text = fasta::write_alignment(&run.msa);
+    let parsed = fasta::parse_alignment(&text).unwrap();
+    assert_eq!(parsed.rows(), run.msa.rows());
+    assert_eq!(parsed.ids(), run.msa.ids());
+}
+
+#[test]
+fn free_network_ablation_only_speeds_things_up() {
+    let fam = family(24, 50, 600.0, 7);
+    let cfg = SadConfig::default();
+    let real = run_distributed(
+        &VirtualCluster::new(4, CostModel::beowulf_2008()),
+        &fam.seqs,
+        &cfg,
+    );
+    let free = run_distributed(
+        &VirtualCluster::new(4, CostModel::free_network()),
+        &fam.seqs,
+        &cfg,
+    );
+    assert_eq!(real.msa, free.msa, "cost model must not affect results");
+    assert!(free.makespan < real.makespan);
+}

@@ -1,0 +1,78 @@
+//! Property-based integration tests: the pipeline's invariants must hold
+//! for arbitrary (valid) inputs, not just rose families.
+
+use proptest::prelude::*;
+use sample_align_d::prelude::*;
+
+/// Strategy: a set of 2..=12 random protein sequences with unique ids.
+fn arb_sequences() -> impl Strategy<Value = Vec<Sequence>> {
+    prop::collection::vec(prop::collection::vec(0u8..20, 8..40), 2..12).prop_map(|codes| {
+        codes
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Sequence::from_codes(format!("p{i}"), c))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_preserves_every_sequence(seqs in arb_sequences(), p in 1usize..5) {
+        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
+        prop_assert!(run.msa.validate().is_ok());
+        prop_assert_eq!(run.msa.num_rows(), seqs.len());
+        let mut got: Vec<(String, String)> = (0..run.msa.num_rows())
+            .map(|r| (run.msa.ids()[r].clone(), run.msa.ungapped(r).to_letters()))
+            .collect();
+        got.sort();
+        let mut want: Vec<(String, String)> =
+            seqs.iter().map(|s| (s.id.clone(), s.to_letters())).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bucket_sizes_conserve_input(seqs in arb_sequences(), p in 1usize..5) {
+        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
+        prop_assert_eq!(run.bucket_sizes.iter().sum::<usize>(), seqs.len());
+        prop_assert!(run.makespan.is_finite() && run.makespan >= 0.0);
+    }
+
+    #[test]
+    fn sp_score_finite_and_q_bounded(seqs in arb_sequences()) {
+        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
+        let matrix = SubstMatrix::blosum62();
+        let sp = run.msa.sp_score(&matrix, GapPenalties::default());
+        // SP of an n x c alignment is bounded by pairs x columns x max score.
+        let n = run.msa.num_rows() as i64;
+        let c = run.msa.num_cols() as i64;
+        prop_assert!(sp.abs() <= n * n * c * 17, "sp={sp} n={n} c={c}");
+    }
+
+    #[test]
+    fn fasta_roundtrip_of_pipeline_output(seqs in arb_sequences()) {
+        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
+        let text = fasta::write_alignment(&run.msa);
+        let parsed = fasta::parse_alignment(&text).unwrap();
+        prop_assert_eq!(parsed.rows(), run.msa.rows());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engines_are_total_on_arbitrary_inputs(seqs in arb_sequences()) {
+        for engine in EngineChoice::ALL {
+            let msa = engine.build().align(&seqs);
+            prop_assert!(msa.validate().is_ok(), "{:?}", engine);
+            prop_assert_eq!(msa.num_rows(), seqs.len());
+        }
+    }
+}
