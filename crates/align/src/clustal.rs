@@ -54,13 +54,13 @@ pub fn clustal_tree_weights(tree: &Tree) -> Vec<f64> {
         };
     }
     let mut weights = vec![0.0f64; n];
-    for leaf in 0..n {
+    for (leaf, weight) in weights.iter_mut().enumerate() {
         let mut id = tree.leaf_node(leaf).expect("leaf exists");
         loop {
             let node = tree.node(id);
             match node.parent {
                 Some(p) => {
-                    weights[leaf] += node.branch_len / below[id] as f64;
+                    *weight += node.branch_len / below[id] as f64;
                     id = p;
                 }
                 None => break,
@@ -122,12 +122,7 @@ mod tests {
 
     #[test]
     fn aligns_small_family_with_accurate_distances() {
-        let ss = seqs(&[
-            "MKVLAWGKVLSS",
-            "MKVLAWGKVLS",
-            "MKILAWGKILSS",
-            "MKVLWGKVLSS",
-        ]);
+        let ss = seqs(&["MKVLAWGKVLSS", "MKVLAWGKVLS", "MKILAWGKILSS", "MKVLWGKVLSS"]);
         let (msa, work) = ClustalLite::default().align_with_work(&ss);
         msa.validate().unwrap();
         assert_eq!(msa.num_rows(), 4);
@@ -138,9 +133,8 @@ mod tests {
 
     #[test]
     fn falls_back_to_kmer_distances_for_large_sets() {
-        let texts: Vec<String> = (0..65)
-            .map(|i| format!("MKVLAWGKVL{}", ["SS", "SD", "DD", "SE"][i % 4]))
-            .collect();
+        let texts: Vec<String> =
+            (0..65).map(|i| format!("MKVLAWGKVL{}", ["SS", "SD", "DD", "SE"][i % 4])).collect();
         let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
         let ss = seqs(&refs);
         let engine = ClustalLite { full_pairwise_threshold: 10, ..Default::default() };
@@ -152,13 +146,7 @@ mod tests {
     #[test]
     fn tree_weights_balanced_tree_uniform() {
         // Perfectly balanced ultrametric tree → equal weights.
-        let m = DistMatrix::from_fn(4, |i, j| {
-            if (i < 2) == (j < 2) {
-                1.0
-            } else {
-                4.0
-            }
-        });
+        let m = DistMatrix::from_fn(4, |i, j| if (i < 2) == (j < 2) { 1.0 } else { 4.0 });
         let tree = phylo::upgma(&m);
         let w = clustal_tree_weights(&tree);
         for v in &w {

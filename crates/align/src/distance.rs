@@ -16,10 +16,8 @@ pub fn kmer_profiles(
     alphabet: CompressedAlphabet,
     work: &mut Work,
 ) -> Vec<Option<KmerProfile>> {
-    let profiles: Vec<Option<KmerProfile>> = seqs
-        .par_iter()
-        .map(|s| KmerProfile::build(s, k, alphabet))
-        .collect();
+    let profiles: Vec<Option<KmerProfile>> =
+        seqs.par_iter().map(|s| KmerProfile::build(s, k, alphabet)).collect();
     work.seq_bytes += seqs.iter().map(|s| s.len() as u64).sum::<u64>();
     profiles
 }
@@ -80,11 +78,7 @@ pub fn kimura_from_msa(msa: &Msa, work: &mut Work) -> DistMatrix {
     let n = msa.num_rows();
     let rows: Vec<Vec<f64>> = (1..n)
         .into_par_iter()
-        .map(|i| {
-            (0..i)
-                .map(|j| kimura_correction(row_identity(msa.row(i), msa.row(j))))
-                .collect()
-        })
+        .map(|i| (0..i).map(|j| kimura_correction(row_identity(msa.row(i), msa.row(j)))).collect())
         .collect();
     let mut m = DistMatrix::zeros(n);
     for (i, row) in rows.into_iter().enumerate() {
@@ -112,7 +106,9 @@ pub fn alignment_distance_matrix(
         .map(|i| {
             let mut w = Work::ZERO;
             let row: Vec<f64> = (0..i)
-                .map(|j| crate::pairwise::alignment_distance(&seqs[i], &seqs[j], matrix, gaps, &mut w))
+                .map(|j| {
+                    crate::pairwise::alignment_distance(&seqs[i], &seqs[j], matrix, gaps, &mut w)
+                })
                 .collect();
             (row, w)
         })

@@ -58,11 +58,8 @@ impl EngineChoice {
     }
 
     /// All selectable engines (for sweeps).
-    pub const ALL: [EngineChoice; 3] = [
-        EngineChoice::MuscleFast,
-        EngineChoice::MuscleStandard,
-        EngineChoice::Clustal,
-    ];
+    pub const ALL: [EngineChoice; 3] =
+        [EngineChoice::MuscleFast, EngineChoice::MuscleStandard, EngineChoice::Clustal];
 }
 
 #[cfg(test)]
@@ -87,12 +84,7 @@ mod tests {
             assert_eq!(msa.num_rows(), ss.len(), "{}", engine.name());
             for (i, s) in ss.iter().enumerate() {
                 assert_eq!(msa.ids()[i], s.id, "{}", engine.name());
-                assert_eq!(
-                    msa.ungapped(i).to_letters(),
-                    s.to_letters(),
-                    "{}",
-                    engine.name()
-                );
+                assert_eq!(msa.ungapped(i).to_letters(), s.to_letters(), "{}", engine.name());
             }
             assert!(!work.is_zero(), "{} reported no work", engine.name());
         }

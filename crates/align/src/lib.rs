@@ -32,8 +32,8 @@ pub mod consensus;
 pub mod distance;
 pub mod engine;
 pub mod muscle;
-pub mod papro;
 pub mod pairwise;
+pub mod papro;
 pub mod profile;
 pub mod progressive;
 pub mod refine;

@@ -53,12 +53,7 @@ impl MuscleLite {
 
     /// Standard mode: stages 1 + 2 + two refinement passes.
     pub fn standard() -> Self {
-        MuscleLite {
-            reestimate: true,
-            refine_passes: 2,
-            henikoff: true,
-            ..Self::fast()
-        }
+        MuscleLite { reestimate: true, refine_passes: 2, henikoff: true, ..Self::fast() }
     }
 }
 
@@ -73,11 +68,7 @@ impl MuscleLite {
         ProgressiveConfig {
             matrix: self.matrix.clone(),
             gaps: self.gaps,
-            weights: if self.henikoff {
-                WeightScheme::Henikoff
-            } else {
-                WeightScheme::Uniform
-            },
+            weights: if self.henikoff { WeightScheme::Henikoff } else { WeightScheme::Uniform },
         }
     }
 }

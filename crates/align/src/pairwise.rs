@@ -153,12 +153,7 @@ pub fn global_align(
     }
     row_a.reverse();
     row_b.reverse();
-    PairAlignment {
-        row_a,
-        row_b,
-        score,
-        work: Work::dp((n as u64) * (m as u64) * 3),
-    }
+    PairAlignment { row_a, row_b, score, work: Work::dp((n as u64) * (m as u64) * 3) }
 }
 
 #[inline]
@@ -243,8 +238,9 @@ pub fn local_align(
         let diag = (i - 1) * w + (j - 1);
         let sub = matrix.score(ac[i - 1], bc[j - 1]) as i64;
         let from_m = mm[diag].max(0) + sub == mm[idx];
-        if from_m || (mm[diag].max(xx[diag]).max(yy[diag]).max(0) + sub == mm[idx]
-            && mm[diag] >= xx[diag].max(yy[diag]))
+        if from_m
+            || (mm[diag].max(xx[diag]).max(yy[diag]).max(0) + sub == mm[idx]
+                && mm[diag] >= xx[diag].max(yy[diag]))
         {
             row_a.push(ac[i - 1]);
             row_b.push(bc[j - 1]);
@@ -312,9 +308,9 @@ pub fn banded_global_align(
             xx[i * w] = -(open + (i as i64 - 1) * extend);
         }
     }
-    for j in 1..=m {
+    for (j, y) in yy.iter_mut().enumerate().take(m + 1).skip(1) {
         if inside(0, j) {
-            yy[j] = -(open + (j as i64 - 1) * extend);
+            *y = -(open + (j as i64 - 1) * extend);
         }
     }
     let mut cells = 0u64;
@@ -334,10 +330,9 @@ pub fn banded_global_align(
             if best_prev > NEG_INF {
                 mm[idx] = best_prev + sub;
             }
-            xx[idx] = (mm[up].max(yy[up]).saturating_sub(open))
-                .max(xx[up].saturating_sub(extend));
-            yy[idx] = (mm[left].max(xx[left]).saturating_sub(open))
-                .max(yy[left].saturating_sub(extend));
+            xx[idx] = (mm[up].max(yy[up]).saturating_sub(open)).max(xx[up].saturating_sub(extend));
+            yy[idx] =
+                (mm[left].max(xx[left]).saturating_sub(open)).max(yy[left].saturating_sub(extend));
         }
     }
     // Greedy traceback over the three layers (scores are exact within the
@@ -460,8 +455,7 @@ mod tests {
             let a = seq("a", ta);
             let b = seq("b", tb);
             let aln = global_align(&a, &b, &m, g);
-            let rescored =
-                bioseq::msa::pairwise_row_score(&aln.row_a, &aln.row_b, &m, g);
+            let rescored = bioseq::msa::pairwise_row_score(&aln.row_a, &aln.row_b, &m, g);
             assert_eq!(aln.score, rescored, "case {ta} vs {tb}");
         }
     }
@@ -537,11 +531,7 @@ mod tests {
         let b = seq("b", "GGMKVLAWGG");
         let loc = local_align(&a, &b, &m, g);
         assert!(loc.score > 0);
-        let seg: String = loc
-            .row_a
-            .iter()
-            .map(|&c| bioseq::alphabet::code_to_char(c))
-            .collect();
+        let seg: String = loc.row_a.iter().map(|&c| bioseq::alphabet::code_to_char(c)).collect();
         assert!(seg.contains("MKVLAW"), "segment {seg}");
         assert_eq!(loc.start_a, 5);
         assert_eq!(loc.start_b, 2);
@@ -571,8 +561,7 @@ mod tests {
             let full = global_align(&a, &b, &m, g);
             let banded = banded_global_align(&a, &b, &m, g, 64);
             assert_eq!(banded.score, full.score, "{ta} vs {tb}");
-            let rescored =
-                bioseq::msa::pairwise_row_score(&banded.row_a, &banded.row_b, &m, g);
+            let rescored = bioseq::msa::pairwise_row_score(&banded.row_a, &banded.row_b, &m, g);
             assert_eq!(banded.score, rescored, "{ta} vs {tb} rescoring");
         }
     }
@@ -596,10 +585,8 @@ mod tests {
         let a = seq("a", "MKVLAWGKVLMMKK");
         let b = seq("b", "MKVLWGKVLMM");
         let aln = banded_global_align(&a, &b, &m, g, 4);
-        let ung_a: Vec<u8> =
-            aln.row_a.iter().copied().filter(|&c| c != GAP_CODE).collect();
-        let ung_b: Vec<u8> =
-            aln.row_b.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        let ung_a: Vec<u8> = aln.row_a.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        let ung_b: Vec<u8> = aln.row_b.iter().copied().filter(|&c| c != GAP_CODE).collect();
         assert_eq!(ung_a, a.codes());
         assert_eq!(ung_b, b.codes());
     }

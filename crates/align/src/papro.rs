@@ -313,8 +313,7 @@ mod tests {
             let pa = Profile::from_msa(&a, &mut w);
             let pb = Profile::from_msa(&b, &mut w);
             let aln = align_profiles(&pa, &pb, &mat, g);
-            let rescored =
-                bioseq::msa::pairwise_row_score(merged.row(0), merged.row(1), &mat, g);
+            let rescored = bioseq::msa::pairwise_row_score(merged.row(0), merged.row(1), &mat, g);
             assert!(
                 (aln.score - rescored as f64).abs() < 1e-6,
                 "{ta} vs {tb}: dp={} rescored={rescored}",

@@ -85,11 +85,7 @@ impl Profile {
             cols.push(ProfileColumn { residues, gap_weight });
         }
         work.col_ops += (ncols * msa.num_rows()) as u64;
-        Profile {
-            cols,
-            total_weight: weights.iter().sum(),
-            n_seqs: msa.num_rows(),
-        }
+        Profile { cols, total_weight: weights.iter().sum(), n_seqs: msa.num_rows() }
     }
 
     /// Build with uniform unit weights.
@@ -235,11 +231,8 @@ mod tests {
         let matrix = SubstMatrix::blosum62();
         for i in 0..3 {
             let e = pb.cols[i].expected_scores(&matrix);
-            let via_dense: f64 = pa.cols[i]
-                .residues
-                .iter()
-                .map(|&(a, wa)| wa * e[a as usize])
-                .sum();
+            let via_dense: f64 =
+                pa.cols[i].residues.iter().map(|&(a, wa)| wa * e[a as usize]).sum();
             let direct = pa.psp(i, &pb, i, &matrix);
             assert!((via_dense - direct).abs() < 1e-9, "col {i}");
         }

@@ -94,12 +94,7 @@ pub fn progressive_align(
     restore_input_order(msa, &rows)
 }
 
-fn row_weights(
-    msa: &Msa,
-    rows: &[usize],
-    cfg: &ProgressiveConfig,
-    work: &mut Work,
-) -> Vec<f64> {
+fn row_weights(msa: &Msa, rows: &[usize], cfg: &ProgressiveConfig, work: &mut Work) -> Vec<f64> {
     match &cfg.weights {
         WeightScheme::Uniform => vec![1.0; msa.num_rows()],
         WeightScheme::Henikoff => henikoff_weights(msa, work),
@@ -191,10 +186,7 @@ mod tests {
 
     #[test]
     fn henikoff_scheme_produces_valid_alignment() {
-        let cfg = ProgressiveConfig {
-            weights: WeightScheme::Henikoff,
-            ..Default::default()
-        };
+        let cfg = ProgressiveConfig { weights: WeightScheme::Henikoff, ..Default::default() };
         let m = align(&["MKVLAWGKVL", "MKILAWKIL", "MKVLWGKVL", "WWPPGGCCWW"], &cfg);
         m.validate().unwrap();
         assert_eq!(m.num_rows(), 4);
@@ -222,10 +214,8 @@ mod tests {
         let mut w = Work::ZERO;
         let d = kmer_distance_matrix(&ss, 2, CompressedAlphabet::Identity, &mut w);
         let tree = upgma(&d);
-        let cfg = ProgressiveConfig {
-            weights: WeightScheme::Fixed(vec![1.0]),
-            ..Default::default()
-        };
+        let cfg =
+            ProgressiveConfig { weights: WeightScheme::Fixed(vec![1.0]), ..Default::default() };
         progressive_align(&ss, &tree, &cfg, &mut w);
     }
 

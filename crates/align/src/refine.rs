@@ -57,14 +57,9 @@ pub fn refine(
             if inside.is_empty() || outside.is_empty() {
                 continue;
             }
-            let row_of: HashMap<&str, usize> = current
-                .ids()
-                .iter()
-                .enumerate()
-                .map(|(r, id)| (id.as_str(), r))
-                .collect();
-            let rows_in: Vec<usize> =
-                inside.iter().map(|&l| row_of[seq_ids[l].as_str()]).collect();
+            let row_of: HashMap<&str, usize> =
+                current.ids().iter().enumerate().map(|(r, id)| (id.as_str(), r)).collect();
+            let rows_in: Vec<usize> = inside.iter().map(|&l| row_of[seq_ids[l].as_str()]).collect();
             let rows_out: Vec<usize> =
                 outside.iter().map(|&l| row_of[seq_ids[l].as_str()]).collect();
             let before = cross_score(&current, &rows_in, &rows_out, matrix, gaps, &mut work);
@@ -194,13 +189,8 @@ mod tests {
 
     #[test]
     fn never_decreases_sp_score() {
-        let (seqs, tree, msa) = build(&[
-            "MKVLAWGKVLMM",
-            "MKILAWKILM",
-            "MKVLWGKVLM",
-            "MKILAWGKILWW",
-            "MKVAWGKVL",
-        ]);
+        let (seqs, tree, msa) =
+            build(&["MKVLAWGKVLMM", "MKILAWKILM", "MKVLWGKVLM", "MKILAWGKILWW", "MKVAWGKVL"]);
         let matrix = SubstMatrix::blosum62();
         let gaps = GapPenalties::default();
         let before = msa.sp_score(&matrix, gaps);
@@ -212,8 +202,7 @@ mod tests {
 
     #[test]
     fn preserves_sequences() {
-        let (seqs, tree, msa) =
-            build(&["MKVLAWGKVL", "MKILAWKIL", "MKVLWGKVL", "WWPPGGCCWW"]);
+        let (seqs, tree, msa) = build(&["MKVLAWGKVL", "MKILAWKIL", "MKVLWGKVL", "WWPPGGCCWW"]);
         let matrix = SubstMatrix::blosum62();
         let gaps = GapPenalties::default();
         let out = refine(&msa, &tree, &ids(&seqs), &matrix, gaps, 3);
@@ -231,14 +220,8 @@ mod tests {
     #[test]
     fn zero_passes_is_identity() {
         let (seqs, tree, msa) = build(&["MKVLAW", "MKILAW", "MKVLCW"]);
-        let out = refine(
-            &msa,
-            &tree,
-            &ids(&seqs),
-            &SubstMatrix::blosum62(),
-            GapPenalties::default(),
-            0,
-        );
+        let out =
+            refine(&msa, &tree, &ids(&seqs), &SubstMatrix::blosum62(), GapPenalties::default(), 0);
         assert_eq!(out.msa, msa);
         assert_eq!(out.passes, 0);
         assert_eq!(out.improvements, 0);
@@ -247,14 +230,8 @@ mod tests {
     #[test]
     fn small_inputs_skip_gracefully() {
         let (seqs, tree, msa) = build(&["MKVLAW", "MKILAW"]);
-        let out = refine(
-            &msa,
-            &tree,
-            &ids(&seqs),
-            &SubstMatrix::blosum62(),
-            GapPenalties::default(),
-            5,
-        );
+        let out =
+            refine(&msa, &tree, &ids(&seqs), &SubstMatrix::blosum62(), GapPenalties::default(), 5);
         assert_eq!(out.msa, msa);
     }
 
@@ -262,26 +239,15 @@ mod tests {
     fn converges_and_stops_early() {
         let (seqs, tree, msa) = build(&["MKVLAW", "MKVLAW", "MKVLAW", "MKVLAW"]);
         // Identical sequences: nothing can improve, so exactly one pass.
-        let out = refine(
-            &msa,
-            &tree,
-            &ids(&seqs),
-            &SubstMatrix::blosum62(),
-            GapPenalties::default(),
-            10,
-        );
+        let out =
+            refine(&msa, &tree, &ids(&seqs), &SubstMatrix::blosum62(), GapPenalties::default(), 10);
         assert_eq!(out.passes, 1);
         assert_eq!(out.improvements, 0);
     }
 
     #[test]
     fn leave_one_out_never_decreases_sp() {
-        let (_, _, msa) = build(&[
-            "MKVLAWGKVLMM",
-            "MKILAWKILM",
-            "MKVLWGKVLM",
-            "MKILAWGKILWW",
-        ]);
+        let (_, _, msa) = build(&["MKVLAWGKVLMM", "MKILAWKILM", "MKVLWGKVLM", "MKILAWGKILWW"]);
         let matrix = SubstMatrix::blosum62();
         let gaps = GapPenalties::default();
         let before = msa.sp_score(&matrix, gaps);
@@ -299,20 +265,15 @@ mod tests {
         let mut bad = vec![bioseq::GAP_CODE; 6];
         bad.extend_from_slice(&rows[0]);
         for r in rows.iter_mut() {
-            r.extend(std::iter::repeat(bioseq::GAP_CODE).take(6));
+            r.extend(std::iter::repeat_n(bioseq::GAP_CODE, 6));
         }
         rows.push(bad);
-        let broken = Msa::from_rows(
-            vec!["a".into(), "b".into(), "c".into()],
-            rows,
-        );
+        let broken = Msa::from_rows(vec!["a".into(), "b".into(), "c".into()], rows);
         let matrix = SubstMatrix::blosum62();
         let gaps = GapPenalties::default();
         let out = leave_one_out(&broken, &matrix, gaps, 4);
         assert!(out.improvements > 0, "the shifted row must be repaired");
-        assert!(
-            out.msa.sp_score(&matrix, gaps) > broken.sp_score(&matrix, gaps)
-        );
+        assert!(out.msa.sp_score(&matrix, gaps) > broken.sp_score(&matrix, gaps));
         // After repair the three identical sequences align perfectly.
         assert!((out.msa.average_identity() - 1.0).abs() < 1e-12);
     }
@@ -320,15 +281,9 @@ mod tests {
     #[test]
     fn leave_one_out_preserves_content() {
         let (seqs, _, msa) = build(&["MKVLAWGKVL", "MKILAWKIL", "WWPPGGCCWW"]);
-        let out = leave_one_out(
-            &msa,
-            &SubstMatrix::blosum62(),
-            GapPenalties::default(),
-            2,
-        );
-        let mut got: Vec<String> = (0..out.msa.num_rows())
-            .map(|r| out.msa.ungapped(r).to_letters())
-            .collect();
+        let out = leave_one_out(&msa, &SubstMatrix::blosum62(), GapPenalties::default(), 2);
+        let mut got: Vec<String> =
+            (0..out.msa.num_rows()).map(|r| out.msa.ungapped(r).to_letters()).collect();
         got.sort();
         let mut want: Vec<String> = seqs.iter().map(|s| s.to_letters()).collect();
         want.sort();
@@ -338,14 +293,8 @@ mod tests {
     #[test]
     fn work_is_counted() {
         let (seqs, tree, msa) = build(&["MKVLAWGKVL", "MKILAWKIL", "MKVLWGKVL"]);
-        let out = refine(
-            &msa,
-            &tree,
-            &ids(&seqs),
-            &SubstMatrix::blosum62(),
-            GapPenalties::default(),
-            2,
-        );
+        let out =
+            refine(&msa, &tree, &ids(&seqs), &SubstMatrix::blosum62(), GapPenalties::default(), 2);
         assert!(out.work.col_ops > 0);
         assert!(out.work.dp_cells > 0);
     }

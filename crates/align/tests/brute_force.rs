@@ -26,8 +26,7 @@ fn brute_best(
     }
     let mut best = i64::MIN;
     if i < a.len() && j < b.len() {
-        let s = matrix.score(a[i], b[j]) as i64
-            + brute_best(a, b, i + 1, j + 1, 0, matrix, gaps);
+        let s = matrix.score(a[i], b[j]) as i64 + brute_best(a, b, i + 1, j + 1, 0, matrix, gaps);
         best = best.max(s);
     }
     if i < a.len() {

@@ -13,25 +13,18 @@ use sad_core::SadConfig;
 use vcluster::CostModel;
 
 fn experiment() {
-    let sizes: Vec<usize> = if paper_scale() {
-        vec![500, 1000, 2000, 4000]
-    } else {
-        vec![128, 256, 512]
-    };
+    let sizes: Vec<usize> =
+        if paper_scale() { vec![500, 1000, 2000, 4000] } else { vec![128, 256, 512] };
     let p = 4;
     banner(
         "Section 3 audit",
         &format!("per-phase scaling exponents in N at p={p}, N in {sizes:?}"),
     );
     // Prefix workloads of one fixed family so only the size varies.
-    let full = rose_workload(*sizes.last().unwrap(), 0xC0_57);
-    let points = sweep_n(
-        &sizes,
-        p,
-        &SadConfig::default(),
-        CostModel::beowulf_2008(),
-        |n| full[..n].to_vec(),
-    );
+    let full = rose_workload(*sizes.last().unwrap(), 0xC057);
+    let points = sweep_n(&sizes, p, &SadConfig::default(), CostModel::beowulf_2008(), |n| {
+        full[..n].to_vec()
+    });
 
     // (phase, paper's dominant term at fixed p and L, predicted exponent)
     let expectations = [
@@ -60,8 +53,7 @@ fn experiment() {
 
     // Communication: total bytes should grow ~linearly in N (redistribution
     // dominates the wire).
-    let bytes: Vec<(f64, f64)> =
-        points.iter().map(|pt| (pt.n as f64, pt.bytes as f64)).collect();
+    let bytes: Vec<(f64, f64)> = points.iter().map(|pt| (pt.n as f64, pt.bytes as f64)).collect();
     let eb = fit_exponent(&bytes).unwrap_or(f64::NAN);
     println!("\ntotal wire bytes exponent in N: {eb:.2} (predicted ~1.0)");
 
@@ -76,7 +68,11 @@ fn experiment() {
     );
     println!(
         "check — align phase superlinear (e > 1.1): {}",
-        if align_e > 1.1 { "HOLDS" } else { "does not hold (scaled sizes favour the linear wL^2 term)" }
+        if align_e > 1.1 {
+            "HOLDS"
+        } else {
+            "does not hold (scaled sizes favour the linear wL^2 term)"
+        }
     );
     println!(
         "check — sample exchange ~independent of N (e < 0.5): {}",
@@ -86,16 +82,12 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    let full = rose_workload(96, 0xC0_58);
+    let full = rose_workload(96, 0xC058);
     c.bench_function("complexity/sweep_3_points_p2", |b| {
         b.iter(|| {
-            sweep_n(
-                &[24, 48, 96],
-                2,
-                &SadConfig::default(),
-                CostModel::beowulf_2008(),
-                |n| full[..n].to_vec(),
-            )
+            sweep_n(&[24, 48, 96], 2, &SadConfig::default(), CostModel::beowulf_2008(), |n| {
+                full[..n].to_vec()
+            })
         })
     });
 }

@@ -21,7 +21,7 @@ fn experiment() {
         n_seqs: n,
         avg_len: 120,
         relatedness: 600.0,
-        seed: 0xAB1A_F,
+        seed: 0xAB1AF,
         ..Default::default()
     });
     let matrix = bioseq::SubstMatrix::blosum62();

@@ -13,11 +13,8 @@ use vcluster::{CostModel, VirtualCluster};
 fn experiment() {
     let n = scaled(4000);
     let p = 8;
-    banner(
-        "Ablation: sampling",
-        &format!("samples per rank k vs load balance, N={n}, p={p}"),
-    );
-    let seqs = rose_workload(n, 0xAB1A_1);
+    banner("Ablation: sampling", &format!("samples per rank k vs load balance, N={n}, p={p}"));
+    let seqs = rose_workload(n, 0xAB1A1);
     let mut rows = Vec::new();
     for k in [1usize, 3, p - 1, 2 * p, 4 * p] {
         let cfg = SadConfig { samples_per_rank: Some(k), ..Default::default() };
@@ -32,19 +29,17 @@ fn experiment() {
             format!("{:.2}", run.makespan),
         ]);
     }
-    table(
-        &["k", "load_imbalance", "max_bucket", "2N/p_bound", "time_s"],
-        &rows,
-    );
+    table(&["k", "load_imbalance", "max_bucket", "2N/p_bound", "time_s"], &rows);
     let imb_kp: f64 = rows[2][1].parse().unwrap();
-    println!(
-        "\npaper check — regular sampling with k=p−1 balances load (≤ 2N/p): {}",
-        {
-            let max_kp: usize = rows[2][2].parse().unwrap();
-            let bound: usize = rows[2][3].parse().unwrap();
-            if max_kp <= bound { "REPRODUCED" } else { "NOT reproduced" }
+    println!("\npaper check — regular sampling with k=p−1 balances load (≤ 2N/p): {}", {
+        let max_kp: usize = rows[2][2].parse().unwrap();
+        let bound: usize = rows[2][3].parse().unwrap();
+        if max_kp <= bound {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
         }
-    );
+    });
     println!(
         "observation — k=p−1 imbalance {imb_kp:.2} stays within the 2x bound; \
          larger k buys little (communication grows, balance already capped)"
@@ -53,7 +48,7 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    let seqs = rose_workload(256, 0xAB1A_2);
+    let seqs = rose_workload(256, 0xAB1A2);
     c.bench_function("ablation_sampling/psrs_shared_n256_p8", |b| {
         b.iter(|| {
             let keyed: Vec<(usize, f64)> = seqs

@@ -11,12 +11,11 @@ use sad_core::{rank_experiment, SadConfig};
 
 fn experiment() {
     banner("Fig. 1", "k-mer rank distribution, centralized vs globalized (N=500)");
-    let seqs = rose_workload(500, 0xF16_1);
+    let seqs = rose_workload(500, 0xF161);
     let cfg = SadConfig::default();
     let exp = rank_experiment(&seqs, 8, &cfg);
 
-    let all: Vec<f64> =
-        exp.centralized.iter().chain(&exp.globalized).copied().collect();
+    let all: Vec<f64> = exp.centralized.iter().chain(&exp.globalized).copied().collect();
     let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
     let bins = 20;
@@ -30,11 +29,7 @@ fn experiment() {
 
     let rows: Vec<Vec<String>> = (0..bins)
         .map(|i| {
-            vec![
-                format!("{:.4}", hc.center(i)),
-                hc.counts[i].to_string(),
-                hg.counts[i].to_string(),
-            ]
+            vec![format!("{:.4}", hc.center(i)), hc.counts[i].to_string(), hg.counts[i].to_string()]
         })
         .collect();
     table(&["rank_bin", "centralized", "globalized"], &rows);
@@ -52,7 +47,7 @@ fn experiment() {
 fn bench(c: &mut Criterion) {
     experiment();
     // Criterion measurement: the rank computation kernel at small size.
-    let seqs = rose_workload(96, 0xF16_2);
+    let seqs = rose_workload(96, 0xF162);
     let cfg = SadConfig::default();
     c.bench_function("fig1/rank_experiment_n96_p8", |b| {
         b.iter(|| rank_experiment(std::hint::black_box(&seqs), 8, &cfg))

@@ -12,7 +12,7 @@ use sad_core::{rank_experiment, SadConfig};
 fn experiment() {
     let n = scaled(5000);
     banner("Fig. 3", &format!("k-mer rank distribution of the experiment input, N={n}"));
-    let seqs = rose_workload(n, 0xF16_3);
+    let seqs = rose_workload(n, 0xF163);
     let cfg = SadConfig::default();
     let exp = rank_experiment(&seqs, 16, &cfg);
 
@@ -22,9 +22,8 @@ fn experiment() {
     let h = bioseq::stats::Histogram::build(&exp.globalized, lo, hi, bins);
     println!("\nglobalized rank histogram:");
     print!("{}", h.ascii(40));
-    let rows: Vec<Vec<String>> = (0..bins)
-        .map(|i| vec![format!("{:.4}", h.center(i)), h.counts[i].to_string()])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        (0..bins).map(|i| vec![format!("{:.4}", h.center(i)), h.counts[i].to_string()]).collect();
     table(&["rank_bin", "count"], &rows);
 
     // Even-spread check: no histogram bin should hold more than ~35% of
@@ -40,12 +39,10 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    let seqs = rose_workload(128, 0xF16_33);
+    let seqs = rose_workload(128, 0xF1633);
     let profiles: Vec<_> = seqs
         .iter()
-        .map(|s| {
-            bioseq::KmerProfile::build(s, 6, bioseq::CompressedAlphabet::Dayhoff6).unwrap()
-        })
+        .map(|s| bioseq::KmerProfile::build(s, 6, bioseq::CompressedAlphabet::Dayhoff6).unwrap())
         .collect();
     c.bench_function("fig3/centralized_ranks_n128", |b| {
         b.iter(|| {

@@ -18,7 +18,7 @@ fn experiment() {
     let cfg = SadConfig::default();
     let mut rows = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
-        let seqs = rose_workload(n, 0xF16_4 + i as u64);
+        let seqs = rose_workload(n, 0xF164 + i as u64);
         let mut row = vec![n.to_string()];
         let mut t1 = None;
         for &p in &PAPER_PROCS {
@@ -55,7 +55,7 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    let seqs = rose_workload(128, 0xF16_44);
+    let seqs = rose_workload(128, 0xF1644);
     let cfg = SadConfig::default();
     c.bench_function("fig4/sad_n128_p8", |b| {
         b.iter(|| {

@@ -14,15 +14,12 @@ use vcluster::{CostModel, VirtualCluster};
 
 fn experiment() {
     let sizes: Vec<usize> = [5000, 10000, 20000].iter().map(|&n| scaled(n)).collect();
-    banner(
-        "Fig. 5",
-        &format!("speedup vs processors, N = {sizes:?} (paper: 5000/10000/20000)"),
-    );
+    banner("Fig. 5", &format!("speedup vs processors, N = {sizes:?} (paper: 5000/10000/20000)"));
     let cfg = SadConfig::default();
     let mut rows = Vec::new();
     let mut headline = (0usize, 0.0f64); // (largest N, speedup at p=16)
     for (i, &n) in sizes.iter().enumerate() {
-        let seqs = rose_workload(n, 0xF16_5 + i as u64);
+        let seqs = rose_workload(n, 0xF165 + i as u64);
         let mut times = Vec::new();
         for &p in &PAPER_PROCS {
             let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
@@ -70,7 +67,7 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    let seqs = rose_workload(96, 0xF16_55);
+    let seqs = rose_workload(96, 0xF1655);
     let cfg = SadConfig::default();
     c.bench_function("fig5/sad_n96_p16", |b| {
         b.iter(|| {

@@ -19,13 +19,10 @@ use vcluster::{CostModel, VirtualCluster};
 fn experiment() {
     let n = if paper_scale() { 2000 } else { 400 };
     banner("Fig. 6", &format!("genome workload, N={n} (paper: 2000), avg len ≈ 316"));
-    let seqs = genome_workload(n, 0xF16_6);
+    let seqs = genome_workload(n, 0xF166);
     // The paper runs stock MUSCLE (stages 1-3, refinement included) both as
     // the baseline and inside each processor.
-    let cfg = SadConfig {
-        engine: align::EngineChoice::MuscleStandard,
-        ..Default::default()
-    };
+    let cfg = SadConfig { engine: align::EngineChoice::MuscleStandard, ..Default::default() };
     let cost = CostModel::beowulf_2008();
 
     let (_baseline_msa, t_seq) = sequential_seconds(&seqs, &cfg, &cost);
@@ -67,7 +64,7 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    let seqs = genome_workload(96, 0xF16_66);
+    let seqs = genome_workload(96, 0xF1666);
     let cfg = SadConfig::default();
     c.bench_function("fig6/sad_genome_n96_p8", |b| {
         b.iter(|| {

@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
     let pa = KmerProfile::build(&seqs[0], 6, CompressedAlphabet::Dayhoff6).unwrap();
     let pb = KmerProfile::build(&seqs[1], 6, CompressedAlphabet::Dayhoff6).unwrap();
     c.bench_function("kernel/kmer_profile_build_L300", |b| {
-        b.iter(|| KmerProfile::build(std::hint::black_box(&seqs[0]), 6, CompressedAlphabet::Dayhoff6))
+        b.iter(|| {
+            KmerProfile::build(std::hint::black_box(&seqs[0]), 6, CompressedAlphabet::Dayhoff6)
+        })
     });
     c.bench_function("kernel/kmer_similarity_L300", |b| {
         b.iter(|| std::hint::black_box(&pa).similarity(&pb))
@@ -34,13 +36,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("kernel/profile_align_8x8_L300", |b| {
         b.iter(|| {
             let mut w = Work::ZERO;
-            align_and_merge(
-                std::hint::black_box(&msa_a),
-                &msa_b,
-                &matrix,
-                gaps,
-                &mut w,
-            )
+            align_and_merge(std::hint::black_box(&msa_a), &msa_b, &matrix, gaps, &mut w)
         })
     });
 
@@ -54,7 +50,8 @@ fn bench(c: &mut Criterion) {
     });
 
     // Shared-memory sample sort of 10k keys.
-    let keys: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 100_000) as f64).collect();
+    let keys: Vec<f64> =
+        (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 100_000) as f64).collect();
     c.bench_function("kernel/sample_sort_10k_p8", |b| {
         b.iter(|| psrs::shared::sample_sort_by(std::hint::black_box(keys.clone()), 8, |&x| x))
     });

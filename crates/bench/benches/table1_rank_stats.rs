@@ -15,20 +15,27 @@ use sad_core::{rank_experiment, SadConfig};
 fn experiment() {
     let n = scaled(5000);
     banner("Table 1", &format!("rank statistics, N={n}"));
-    let seqs = rose_workload(n, 0x7AB1E_1);
+    let seqs = rose_workload(n, 0x7AB1E1);
     let cfg = SadConfig::default();
     let exp = rank_experiment(&seqs, 16, &cfg);
     let sc = bioseq::stats::Summary::of(&exp.centralized).unwrap();
     let sg = bioseq::stats::Summary::of(&exp.globalized).unwrap();
-    let (var, sd) =
-        bioseq::stats::variance_wrt(&exp.globalized, &exp.centralized).unwrap();
+    let (var, sd) = bioseq::stats::variance_wrt(&exp.globalized, &exp.centralized).unwrap();
 
     table(
         &["statistic", "ours", "paper"],
         &[
-            vec!["(max,min) central".into(), format!("({:.5},{:.5})", sc.max, sc.min), "(1.44827,0.0)".into()],
+            vec![
+                "(max,min) central".into(),
+                format!("({:.5},{:.5})", sc.max, sc.min),
+                "(1.44827,0.0)".into(),
+            ],
             vec!["avg central".into(), format!("{:.6}", sc.mean), "0.722962".into()],
-            vec!["(max,min) globalized".into(), format!("({:.5},{:.5})", sg.max, sg.min), "(1.46207,0.0)".into()],
+            vec![
+                "(max,min) globalized".into(),
+                format!("({:.5},{:.5})", sg.max, sg.min),
+                "(1.46207,0.0)".into(),
+            ],
             vec!["avg globalized".into(), format!("{:.6}", sg.mean), "1.11302".into()],
             vec!["variance w.r.t. central".into(), format!("{:.5}", var), "0.33190".into()],
             vec!["stddev w.r.t. central".into(), format!("{:.6}", sd), "0.576377".into()],
@@ -50,7 +57,7 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    let seqs = rose_workload(128, 0x7AB1E_2);
+    let seqs = rose_workload(128, 0x7AB1E2);
     let cfg = SadConfig::default();
     c.bench_function("table1/rank_experiment_n128_p16", |b| {
         b.iter(|| rank_experiment(std::hint::black_box(&seqs), 16, &cfg))

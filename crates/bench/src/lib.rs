@@ -128,8 +128,7 @@ mod tests {
     #[test]
     fn genome_mean_length_echoes_acetivorans() {
         let seqs = genome_workload(300, 2);
-        let mean: f64 =
-            seqs.iter().map(|s| s.len() as f64).sum::<f64>() / seqs.len() as f64;
+        let mean: f64 = seqs.iter().map(|s| s.len() as f64).sum::<f64>() / seqs.len() as f64;
         assert!((mean - 316.0).abs() < 90.0, "mean {mean}");
     }
 }

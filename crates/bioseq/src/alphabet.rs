@@ -23,8 +23,8 @@ pub const CODE_COUNT: usize = 21;
 
 /// Canonical residue letters, indexed by code.
 pub const LETTERS: [u8; 21] = [
-    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
-    b'S', b'T', b'W', b'Y', b'V', b'X',
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P', b'S',
+    b'T', b'W', b'Y', b'V', b'X',
 ];
 
 /// Convert a residue code (including [`X_CODE`] and [`GAP_CODE`]) to its
@@ -128,9 +128,9 @@ impl CompressedAlphabet {
             }
             CompressedAlphabet::Murphy8 => &["LVIMC", "AG", "ST", "P", "FYW", "EDNQ", "KR", "H"],
             CompressedAlphabet::Murphy4 => &["LVIMC", "AGSTP", "FYW", "EDNQKRH"],
-            CompressedAlphabet::SeB14 => &[
-                "A", "C", "D", "EQ", "FY", "G", "H", "IV", "KR", "LM", "N", "P", "ST", "W",
-            ],
+            CompressedAlphabet::SeB14 => {
+                &["A", "C", "D", "EQ", "FY", "G", "H", "IV", "KR", "LM", "N", "P", "ST", "W"]
+            }
         };
         let mut table = [0u8; CODE_COUNT];
         for (symbol, group) in groups.iter().enumerate() {

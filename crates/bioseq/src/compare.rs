@@ -60,12 +60,7 @@ fn matched_pairs(test: &[(u32, u32)], reference: &[(u32, u32)]) -> usize {
 /// Returns `None` when the reference pair has no aligned residue pairs
 /// (quality is undefined — the paper footnote mentions discarding such
 /// cases).
-pub fn q_score_pair(
-    test_a: &[u8],
-    test_b: &[u8],
-    ref_a: &[u8],
-    ref_b: &[u8],
-) -> Option<f64> {
+pub fn q_score_pair(test_a: &[u8], test_b: &[u8], ref_a: &[u8], ref_b: &[u8]) -> Option<f64> {
     let t = aligned_pairs(test_a, test_b);
     let r = aligned_pairs(ref_a, ref_b);
     if r.is_empty() {
@@ -84,12 +79,8 @@ pub fn q_score_pair(
 /// Returns `None` if fewer than two rows match or the reference contributes
 /// no aligned pairs.
 pub fn q_score_msa(test: &Msa, reference: &Msa) -> Option<f64> {
-    let test_idx: HashMap<&str, usize> = test
-        .ids()
-        .iter()
-        .enumerate()
-        .map(|(i, id)| (id.as_str(), i))
-        .collect();
+    let test_idx: HashMap<&str, usize> =
+        test.ids().iter().enumerate().map(|(i, id)| (id.as_str(), i)).collect();
     let mut shared: Vec<(usize, usize)> = Vec::new(); // (ref row, test row)
     for (ri, id) in reference.ids().iter().enumerate() {
         if let Some(&ti) = test_idx.get(id.as_str()) {
@@ -123,12 +114,8 @@ pub fn q_score_msa(test: &Msa, reference: &Msa) -> Option<f64> {
 /// the test alignment. Columns that are all-gap over the shared rows are
 /// skipped.
 pub fn tc_score(test: &Msa, reference: &Msa) -> Option<f64> {
-    let test_idx: HashMap<&str, usize> = test
-        .ids()
-        .iter()
-        .enumerate()
-        .map(|(i, id)| (id.as_str(), i))
-        .collect();
+    let test_idx: HashMap<&str, usize> =
+        test.ids().iter().enumerate().map(|(i, id)| (id.as_str(), i)).collect();
     let mut shared: Vec<(usize, usize)> = Vec::new();
     for (ri, id) in reference.ids().iter().enumerate() {
         if let Some(&ti) = test_idx.get(id.as_str()) {
@@ -231,17 +218,12 @@ mod tests {
     fn q_partial() {
         let reference = msa(">a\nMKVL\n>b\nMKVL\n"); // pairs (0,0)..(3,3)
         let test = msa(">a\nMKVL-\n>b\n-MKVL\n"); // pairs (1,0),(2,1),(3,2)
-        let q = q_score_pair(test.row(0), test.row(1), reference.row(0), reference.row(1))
-            .unwrap();
+        let q = q_score_pair(test.row(0), test.row(1), reference.row(0), reference.row(1)).unwrap();
         assert_eq!(q, 0.0);
         // Shift-by-zero variant matches 4/4.
-        let q2 = q_score_pair(
-            reference.row(0),
-            reference.row(1),
-            reference.row(0),
-            reference.row(1),
-        )
-        .unwrap();
+        let q2 =
+            q_score_pair(reference.row(0), reference.row(1), reference.row(0), reference.row(1))
+                .unwrap();
         assert_eq!(q2, 1.0);
     }
 

@@ -57,17 +57,14 @@ impl KmerProfile {
         let table = alphabet.table();
         let mut packed: Vec<u32> = Vec::with_capacity(codes.len() - k + 1);
         // Rolling pack: kmer = kmer*s + sym (mod s^k).
-        let s32 = s as u32;
-        let modulus = space as u64;
         let mut roll: u64 = 0;
         for (i, &code) in codes.iter().enumerate() {
             let sym = table[code as usize] as u64;
-            roll = (roll * s as u64 + sym) % modulus;
+            roll = (roll * s + sym) % space;
             if i + 1 >= k {
                 packed.push(roll as u32);
             }
         }
-        let _ = s32;
         packed.sort_unstable();
         let mut entries: Vec<(u32, u16)> = Vec::with_capacity(packed.len());
         for &p in &packed {
@@ -76,12 +73,7 @@ impl KmerProfile {
                 _ => entries.push((p, 1)),
             }
         }
-        Some(KmerProfile {
-            k,
-            alphabet,
-            entries,
-            total: packed.len() as u32,
-        })
+        Some(KmerProfile { k, alphabet, entries, total: packed.len() as u32 })
     }
 
     /// The `k` this profile was built with.
@@ -178,10 +170,7 @@ pub fn average_measure(profile: &KmerProfile, others: &[KmerProfile], work: &mut
     if others.is_empty() {
         return 0.0;
     }
-    let sum: f64 = others
-        .iter()
-        .map(|o| profile.similarity_counting(o, work))
-        .sum();
+    let sum: f64 = others.iter().map(|o| profile.similarity_counting(o, work)).sum();
     sum / others.len() as f64
 }
 
@@ -203,10 +192,7 @@ pub fn centralized_ranks(
     transform: RankTransform,
     work: &mut Work,
 ) -> Vec<f64> {
-    profiles
-        .iter()
-        .map(|p| kmer_rank(p, profiles, transform, work))
-        .collect()
+    profiles.iter().map(|p| kmer_rank(p, profiles, transform, work)).collect()
 }
 
 /// Compute the rank of every profile against a sample (the paper's
@@ -217,10 +203,7 @@ pub fn globalized_ranks(
     transform: RankTransform,
     work: &mut Work,
 ) -> Vec<f64> {
-    profiles
-        .iter()
-        .map(|p| kmer_rank(p, sample, transform, work))
-        .collect()
+    profiles.iter().map(|p| kmer_rank(p, sample, transform, work)).collect()
 }
 
 #[cfg(test)]
@@ -317,10 +300,8 @@ mod tests {
     fn rank_orders_by_similarity_to_set() {
         // Sequence close to the set should have higher D (and higher
         // PaperLog rank) than an outlier.
-        let set: Vec<KmerProfile> = ["MKVLAWGKVL", "MKVLAWGKIL", "MKVLCWGKVL"]
-            .iter()
-            .map(|t| prof(t, 3))
-            .collect();
+        let set: Vec<KmerProfile> =
+            ["MKVLAWGKVL", "MKVLAWGKIL", "MKVLCWGKVL"].iter().map(|t| prof(t, 3)).collect();
         let insider = prof("MKVLAWGKVL", 3);
         let outsider = prof("PPPPPPPPPP", 3);
         let mut w = Work::ZERO;
@@ -333,10 +314,8 @@ mod tests {
     #[test]
     fn centralized_vs_globalized_consistency() {
         // When the sample *is* the full set, globalized == centralized.
-        let profiles: Vec<KmerProfile> = ["MKVLAWGKVL", "MKILAWGKIL", "PPWPPWPPWW"]
-            .iter()
-            .map(|t| prof(t, 2))
-            .collect();
+        let profiles: Vec<KmerProfile> =
+            ["MKVLAWGKVL", "MKILAWGKIL", "PPWPPWPPWW"].iter().map(|t| prof(t, 2)).collect();
         let mut w = Work::ZERO;
         let c = centralized_ranks(&profiles, RankTransform::PaperLog, &mut w);
         let g = globalized_ranks(&profiles, &profiles, RankTransform::PaperLog, &mut w);

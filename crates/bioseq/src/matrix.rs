@@ -147,8 +147,8 @@ impl SubstMatrix {
 /// Background amino-acid frequencies (Robinson & Robinson 1991 style),
 /// `ARNDCQEGHILKMFPSTWYV` order. Sums to 1 after normalisation.
 pub const BACKGROUND_FREQS: [f64; 20] = [
-    0.0780, 0.0512, 0.0448, 0.0536, 0.0192, 0.0426, 0.0629, 0.0738, 0.0219, 0.0514, 0.0901,
-    0.0574, 0.0224, 0.0385, 0.0520, 0.0712, 0.0584, 0.0132, 0.0321, 0.0653,
+    0.0780, 0.0512, 0.0448, 0.0536, 0.0192, 0.0426, 0.0629, 0.0738, 0.0219, 0.0514, 0.0901, 0.0574,
+    0.0224, 0.0385, 0.0520, 0.0712, 0.0584, 0.0132, 0.0321, 0.0653,
 ];
 
 /// Affine gap penalties, expressed as non-negative costs in the same units

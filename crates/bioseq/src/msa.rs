@@ -35,20 +35,14 @@ impl Msa {
         assert!(width > 0, "alignment must have at least one column");
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), width, "row {i} has wrong width");
-            assert!(
-                row.iter().any(|&c| c != GAP_CODE),
-                "row {i} is entirely gaps"
-            );
+            assert!(row.iter().any(|&c| c != GAP_CODE), "row {i} is entirely gaps");
         }
         Msa { ids, rows }
     }
 
     /// A single ungapped sequence viewed as a 1-row alignment.
     pub fn from_sequence(seq: &Sequence) -> Self {
-        Msa {
-            ids: vec![seq.id.clone()],
-            rows: vec![seq.codes().to_vec()],
-        }
+        Msa { ids: vec![seq.id.clone()], rows: vec![seq.codes().to_vec()] }
     }
 
     /// Row identifiers.
@@ -126,9 +120,8 @@ impl Msa {
     /// sub-alignments).
     pub fn drop_all_gap_columns(&mut self) {
         let ncols = self.num_cols();
-        let keep: Vec<bool> = (0..ncols)
-            .map(|c| self.rows.iter().any(|r| r[c] != GAP_CODE))
-            .collect();
+        let keep: Vec<bool> =
+            (0..ncols).map(|c| self.rows.iter().any(|r| r[c] != GAP_CODE)).collect();
         if keep.iter().all(|&k| k) {
             return;
         }
@@ -149,11 +142,7 @@ impl Msa {
     /// # Panics
     /// Panics if widths differ.
     pub fn stack(&mut self, other: Msa) {
-        assert_eq!(
-            self.num_cols(),
-            other.num_cols(),
-            "stacked alignments must have equal widths"
-        );
+        assert_eq!(self.num_cols(), other.num_cols(), "stacked alignments must have equal widths");
         self.ids.extend(other.ids);
         self.rows.extend(other.rows);
     }
@@ -213,12 +202,7 @@ impl Msa {
 
 /// Score one aligned row pair with affine gaps. Shared by [`Msa::sp_score`]
 /// and the refinement objective in the `align` crate.
-pub fn pairwise_row_score(
-    a: &[u8],
-    b: &[u8],
-    matrix: &SubstMatrix,
-    gaps: GapPenalties,
-) -> i64 {
+pub fn pairwise_row_score(a: &[u8], b: &[u8], matrix: &SubstMatrix, gaps: GapPenalties) -> i64 {
     debug_assert_eq!(a.len(), b.len());
     let mut score = 0i64;
     // Track gap state for affine penalties in each direction.
@@ -302,10 +286,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "entirely gaps")]
     fn all_gap_row_panics() {
-        Msa::from_rows(
-            vec!["a".into(), "b".into()],
-            vec![vec![0, 1], vec![GAP_CODE, GAP_CODE]],
-        );
+        Msa::from_rows(vec!["a".into(), "b".into()], vec![vec![0, 1], vec![GAP_CODE, GAP_CODE]]);
     }
 
     #[test]

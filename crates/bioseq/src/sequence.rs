@@ -78,10 +78,7 @@ impl Sequence {
     /// Panics if any code is a gap or out of range, or if `codes` is empty.
     pub fn from_codes(id: impl Into<String>, codes: Vec<u8>) -> Self {
         assert!(!codes.is_empty(), "sequence must be non-empty");
-        assert!(
-            codes.iter().all(|&c| c <= X_CODE),
-            "codes must be residues (0..=20)"
-        );
+        assert!(codes.iter().all(|&c| c <= X_CODE), "codes must be residues (0..=20)");
         Sequence { id: id.into(), residues: codes }
     }
 
@@ -114,12 +111,7 @@ impl Sequence {
         if self.len() != other.len() {
             return None;
         }
-        let same = self
-            .residues
-            .iter()
-            .zip(&other.residues)
-            .filter(|(a, b)| a == b)
-            .count();
+        let same = self.residues.iter().zip(&other.residues).filter(|(a, b)| a == b).count();
         Some(same as f64 / self.len() as f64)
     }
 
@@ -133,21 +125,9 @@ impl Sequence {
 impl fmt::Debug for Sequence {
     /// Prints a truncated preview rather than megabytes of residues.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let preview: String = self
-            .residues
-            .iter()
-            .take(24)
-            .map(|&c| code_to_char(c))
-            .collect();
+        let preview: String = self.residues.iter().take(24).map(|&c| code_to_char(c)).collect();
         let ellipsis = if self.residues.len() > 24 { "…" } else { "" };
-        write!(
-            f,
-            "Sequence({} len={} {}{})",
-            self.id,
-            self.residues.len(),
-            preview,
-            ellipsis
-        )
+        write!(f, "Sequence({} len={} {}{})", self.id, self.residues.len(), preview, ellipsis)
     }
 }
 

@@ -37,14 +37,7 @@ impl Summary {
         }
         let mean = sum / n as f64;
         let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-        Some(Summary {
-            n,
-            min,
-            max,
-            mean,
-            variance,
-            stddev: variance.sqrt(),
-        })
+        Some(Summary { n, min, max, mean, variance, stddev: variance.sqrt() })
     }
 }
 
@@ -66,12 +59,7 @@ pub fn variance_wrt(a: &[f64], b: &[f64]) -> Option<(f64, f64)> {
     if a.len() != b.len() || a.is_empty() {
         return None;
     }
-    let var = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        / a.len() as f64;
+    let var = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64;
     Some((var, var.sqrt()))
 }
 

@@ -28,14 +28,8 @@ pub struct Work {
 
 impl Work {
     /// The zero work value.
-    pub const ZERO: Work = Work {
-        dp_cells: 0,
-        kmer_ops: 0,
-        sort_ops: 0,
-        tree_ops: 0,
-        col_ops: 0,
-        seq_bytes: 0,
-    };
+    pub const ZERO: Work =
+        Work { dp_cells: 0, kmer_ops: 0, sort_ops: 0, tree_ops: 0, col_ops: 0, seq_bytes: 0 };
 
     /// Whether all counters are zero.
     pub fn is_zero(&self) -> bool {
@@ -45,7 +39,11 @@ impl Work {
     /// Grand total of all counters (unit-weighted; used by tests and quick
     /// reports, not the cost model).
     pub fn total_units(&self) -> u64 {
-        self.dp_cells + self.kmer_ops + self.sort_ops + self.tree_ops + self.col_ops
+        self.dp_cells
+            + self.kmer_ops
+            + self.sort_ops
+            + self.tree_ops
+            + self.col_ops
             + self.seq_bytes
     }
 
@@ -111,7 +109,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let w: Work = (0..4).map(|i| Work::dp(i)).sum();
+        let w: Work = (0..4).map(Work::dp).sum();
         assert_eq!(w.dp_cells, 6);
     }
 

@@ -155,9 +155,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                         a.backend = match take_value("--backend", &mut it)? {
                             "cluster" => Backend::Cluster,
                             "rayon" => Backend::Rayon,
-                            other => {
-                                return Err(ParseError(format!("unknown backend {other:?}")))
-                            }
+                            other => return Err(ParseError(format!("unknown backend {other:?}"))),
                         }
                     }
                     "--no-fine-tune" => a.no_fine_tune = true,
@@ -174,13 +172,8 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
             Ok(Args { command: Command::Align(a) })
         }
         "generate" => {
-            let mut g = GenerateArgs {
-                n: 100,
-                len: 300,
-                relatedness: 800.0,
-                seed: 0,
-                reference: None,
-            };
+            let mut g =
+                GenerateArgs { n: 100, len: 300, relatedness: 800.0, seed: 0, reference: None };
             while let Some(tok) = it.next() {
                 match tok {
                     "--n" => g.n = parse_num("--n", take_value("--n", &mut it)?)?,
@@ -266,8 +259,18 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
-        let a = parse(["align", "x.fa", "--p", "16", "--engine", "clustalw",
-                       "--backend", "rayon", "--no-fine-tune"]).unwrap();
+        let a = parse([
+            "align",
+            "x.fa",
+            "--p",
+            "16",
+            "--engine",
+            "clustalw",
+            "--backend",
+            "rayon",
+            "--no-fine-tune",
+        ])
+        .unwrap();
         match a.command {
             Command::Align(a) => {
                 assert_eq!(a.p, 16);
@@ -288,8 +291,17 @@ mod tests {
     #[test]
     fn generate_parses_all_options() {
         let g = parse([
-            "generate", "--n", "50", "--len", "120", "--relatedness", "650.5",
-            "--seed", "9", "--reference", "ref.fa",
+            "generate",
+            "--n",
+            "50",
+            "--len",
+            "120",
+            "--relatedness",
+            "650.5",
+            "--seed",
+            "9",
+            "--reference",
+            "ref.fa",
         ])
         .unwrap();
         match g.command {

@@ -11,8 +11,7 @@ use vcluster::{CostModel, VirtualCluster};
 type Out<'a> = &'a mut dyn Write;
 
 fn read_fasta(path: &str) -> Result<Vec<Sequence>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let seqs = fasta::parse(&text).map_err(|e| format!("bad FASTA in {path}: {e}"))?;
     if seqs.is_empty() {
         return Err(format!("{path} contains no sequences"));
@@ -23,11 +22,7 @@ fn read_fasta(path: &str) -> Result<Vec<Sequence>, String> {
 /// `sad align`
 pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
     let seqs = read_fasta(&a.input)?;
-    let cfg = SadConfig {
-        engine: a.engine,
-        fine_tune: !a.no_fine_tune,
-        ..Default::default()
-    };
+    let cfg = SadConfig { engine: a.engine, fine_tune: !a.no_fine_tune, ..Default::default() };
     let msa = match a.backend {
         Backend::Cluster => {
             let cluster = VirtualCluster::new(a.p, CostModel::beowulf_2008());
@@ -85,8 +80,7 @@ pub fn scaling(s: ScalingArgs, out: Out) -> Result<(), String> {
         ..Default::default()
     });
     let cfg = SadConfig::default();
-    writeln!(out, "{:>5} {:>12} {:>10} {:>12}", "p", "time(s)", "speedup", "max bucket")
-        .ok();
+    writeln!(out, "{:>5} {:>12} {:>10} {:>12}", "p", "time(s)", "speedup", "max bucket").ok();
     let mut t1: Option<f64> = None;
     for &p in &s.procs {
         let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
@@ -137,12 +131,7 @@ pub fn rank(r: RankArgs, out: Out) -> Result<(), String> {
     let exp = rank_experiment(&seqs, r.p, &SadConfig::default());
     writeln!(out, "{:<24} {:>12} {:>12}", "id", "centralized", "globalized").ok();
     for (i, s) in seqs.iter().enumerate() {
-        writeln!(
-            out,
-            "{:<24} {:>12.5} {:>12.5}",
-            s.id, exp.centralized[i], exp.globalized[i]
-        )
-        .ok();
+        writeln!(out, "{:<24} {:>12.5} {:>12.5}", s.id, exp.centralized[i], exp.globalized[i]).ok();
     }
     Ok(())
 }
@@ -194,11 +183,16 @@ mod tests {
         let dir = tmpdir();
         let refpath = dir.join("truth.fa");
         let _ = run_str(&[
-            "generate", "--n", "6", "--len", "40", "--reference",
+            "generate",
+            "--n",
+            "6",
+            "--len",
+            "40",
+            "--reference",
             refpath.to_str().unwrap(),
         ]);
-        let reference = fasta::parse_alignment(&std::fs::read_to_string(&refpath).unwrap())
-            .unwrap();
+        let reference =
+            fasta::parse_alignment(&std::fs::read_to_string(&refpath).unwrap()).unwrap();
         assert_eq!(reference.num_rows(), 6);
     }
 

@@ -112,8 +112,7 @@ pub fn glue_anchored(ancestor_len: usize, blocks: &[AnchoredBlockMsg], work: &mu
         for (bi, block) in blocks.iter().enumerate() {
             while cursors[bi] < block.is_anchor.len() && !block.is_anchor[cursors[bi]] {
                 for (r, row) in rows.iter_mut().enumerate() {
-                    let in_block = r >= row_offset[bi]
-                        && r < row_offset[bi] + block.rows.len();
+                    let in_block = r >= row_offset[bi] && r < row_offset[bi] + block.rows.len();
                     row.push(if in_block {
                         block.rows[r - row_offset[bi]][cursors[bi]]
                     } else {

@@ -87,10 +87,7 @@ pub fn phase_exponent(points: &[AuditPoint], phase: &str) -> Option<f64> {
     let series: Vec<(f64, f64)> = points
         .iter()
         .filter_map(|pt| {
-            pt.phases
-                .iter()
-                .find(|(name, _)| name == phase)
-                .map(|&(_, t)| (pt.n as f64, t))
+            pt.phases.iter().find(|(name, _)| name == phase).map(|&(_, t)| (pt.n as f64, t))
         })
         .collect();
     fit_exponent(&series)
@@ -127,13 +124,8 @@ mod tests {
     #[test]
     fn rank_phase_scales_quadratically() {
         // Step 1 is w²L with w = N/p: at fixed p its exponent in N is ≈ 2.
-        let points = sweep_n(
-            &[32, 64, 128],
-            2,
-            &SadConfig::default(),
-            CostModel::beowulf_2008(),
-            workload,
-        );
+        let points =
+            sweep_n(&[32, 64, 128], 2, &SadConfig::default(), CostModel::beowulf_2008(), workload);
         let e = phase_exponent(&points, "1-local-kmer-rank").unwrap();
         assert!((1.5..=2.5).contains(&e), "rank exponent {e}");
     }
@@ -142,13 +134,8 @@ mod tests {
     fn align_phase_superlinear() {
         // Step 8 contains the engine's w² distance term plus the wL²
         // progressive term: exponent in N must exceed 1.
-        let points = sweep_n(
-            &[32, 64, 128],
-            2,
-            &SadConfig::default(),
-            CostModel::beowulf_2008(),
-            workload,
-        );
+        let points =
+            sweep_n(&[32, 64, 128], 2, &SadConfig::default(), CostModel::beowulf_2008(), workload);
         let e = phase_exponent(&points, "8-local-align").unwrap();
         assert!(e > 0.8, "align exponent {e}");
     }
@@ -157,13 +144,8 @@ mod tests {
     fn communication_bytes_grow_roughly_linearly() {
         // Section 3: redistribution dominates the wire, O((N/p)·L) per
         // rank ⇒ total bytes ~ N·L.
-        let points = sweep_n(
-            &[32, 64, 128],
-            4,
-            &SadConfig::default(),
-            CostModel::beowulf_2008(),
-            workload,
-        );
+        let points =
+            sweep_n(&[32, 64, 128], 4, &SadConfig::default(), CostModel::beowulf_2008(), workload);
         let series: Vec<(f64, f64)> =
             points.iter().map(|pt| (pt.n as f64, pt.bytes as f64)).collect();
         let e = fit_exponent(&series).unwrap();
@@ -172,15 +154,8 @@ mod tests {
 
     #[test]
     fn audit_points_carry_all_phases() {
-        let points = sweep_n(
-            &[24],
-            2,
-            &SadConfig::default(),
-            CostModel::beowulf_2008(),
-            workload,
-        );
-        let names: Vec<&str> =
-            points[0].phases.iter().map(|(n, _)| n.as_str()).collect();
+        let points = sweep_n(&[24], 2, &SadConfig::default(), CostModel::beowulf_2008(), workload);
+        let names: Vec<&str> = points[0].phases.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"1-local-kmer-rank"));
         assert!(names.contains(&"8-local-align"));
         assert!(names.contains(&"12-glue"));

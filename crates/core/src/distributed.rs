@@ -100,10 +100,8 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     let mut w = Work::ZERO;
     let mut profs: Vec<KmerProfile> = local.iter().map(|s| profile_of(s, cfg)).collect();
     w.seq_bytes += local.iter().map(|s| s.len() as u64).sum::<u64>();
-    let local_ranks: Vec<f64> = profs
-        .iter()
-        .map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w))
-        .collect();
+    let local_ranks: Vec<f64> =
+        profs.iter().map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w)).collect();
     node.compute(w);
     node.phase_end();
 
@@ -120,14 +118,10 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     let k = cfg.samples_for(p);
     let m = local.len();
     let kk = k.min(m);
-    let samples: Vec<Sequence> = (0..kk)
-        .map(|s| local[(((s + 1) * m) / (kk + 1)).min(m - 1)].clone())
-        .collect();
-    let all_samples: Vec<Sequence> = node
-        .all_gather(SeqBatch(samples))
-        .into_iter()
-        .flat_map(|b| b.0)
-        .collect();
+    let samples: Vec<Sequence> =
+        (0..kk).map(|s| local[(((s + 1) * m) / (kk + 1)).min(m - 1)].clone()).collect();
+    let all_samples: Vec<Sequence> =
+        node.all_gather(SeqBatch(samples)).into_iter().flat_map(|b| b.0).collect();
     node.phase_end();
 
     // Step 5: globalized rank against the pooled sample.
@@ -144,11 +138,8 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
 
     // Steps 6–7: PSRS redistribution on the globalized rank.
     node.phase_start("6-redistribute");
-    let items: Vec<RankedSeq> = local
-        .into_iter()
-        .zip(granks)
-        .map(|(seq, rank)| RankedSeq { seq, rank })
-        .collect();
+    let items: Vec<RankedSeq> =
+        local.into_iter().zip(granks).map(|(seq, rank)| RankedSeq { seq, rank }).collect();
     let out = psrs::psrs(node, items, |r| r.rank);
     let bucket: Vec<Sequence> = out.items.into_iter().map(|r| r.seq).collect();
     let bucket_size = bucket.len();
@@ -191,9 +182,8 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     // Step 9: local ancestor extraction.
     node.phase_start("9-local-ancestor");
     let mut w = Work::ZERO;
-    let local_anc: Option<Sequence> = local_msa
-        .as_ref()
-        .map(|msa| consensus_sequence(msa, format!("local-anc-{rank}"), &mut w));
+    let local_anc: Option<Sequence> =
+        local_msa.as_ref().map(|msa| consensus_sequence(msa, format!("local-anc-{rank}"), &mut w));
     node.compute(w);
     node.phase_end();
 
@@ -270,8 +260,7 @@ mod tests {
     fn check_complete(result: &Msa, input: &[Sequence]) {
         result.validate().unwrap();
         assert_eq!(result.num_rows(), input.len());
-        let by_id: HashMap<&str, &Sequence> =
-            input.iter().map(|s| (s.id.as_str(), s)).collect();
+        let by_id: HashMap<&str, &Sequence> = input.iter().map(|s| (s.id.as_str(), s)).collect();
         for r in 0..result.num_rows() {
             let id = &result.ids()[r];
             let want = by_id.get(id.as_str()).unwrap_or_else(|| panic!("alien row {id}"));
@@ -345,10 +334,7 @@ mod tests {
         let seqs = family(96, 60, 7);
         let t1 = run_distributed(&cluster(1), &seqs, &SadConfig::default()).makespan;
         let t4 = run_distributed(&cluster(4), &seqs, &SadConfig::default()).makespan;
-        assert!(
-            t4 < t1,
-            "4 ranks ({t4:.4}s) should beat 1 rank ({t1:.4}s)"
-        );
+        assert!(t4 < t1, "4 ranks ({t4:.4}s) should beat 1 rank ({t1:.4}s)");
     }
 
     #[test]

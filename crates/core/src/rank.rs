@@ -57,8 +57,7 @@ pub fn rank_experiment(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RankExpe
         }
         let idx: Vec<usize> = (lo..hi).collect();
         // Local rank within the block.
-        let block_profiles: Vec<KmerProfile> =
-            idx.iter().map(|&i| profs[i].clone()).collect();
+        let block_profiles: Vec<KmerProfile> = idx.iter().map(|&i| profs[i].clone()).collect();
         let local_ranks: Vec<f64> = block_profiles
             .iter()
             .map(|pr| kmer::kmer_rank(pr, &block_profiles, cfg.rank_transform, &mut work))
@@ -121,8 +120,7 @@ mod tests {
         let exp = rank_experiment(&seqs, 1, &cfg);
         assert_eq!(exp.sample_indices.len(), 5);
         // All indices valid and distinct.
-        let set: std::collections::HashSet<usize> =
-            exp.sample_indices.iter().copied().collect();
+        let set: std::collections::HashSet<usize> = exp.sample_indices.iter().copied().collect();
         assert_eq!(set.len(), 5);
     }
 
@@ -145,11 +143,7 @@ mod tests {
         let rc = rank_of(&exp.centralized);
         let rg = rank_of(&exp.globalized);
         let n = rc.len() as f64;
-        let d2: f64 = rc
-            .iter()
-            .zip(&rg)
-            .map(|(&a, &b)| (a as f64 - b as f64).powi(2))
-            .sum();
+        let d2: f64 = rc.iter().zip(&rg).map(|(&a, &b)| (a as f64 - b as f64).powi(2)).sum();
         let spearman = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
         assert!(spearman > 0.5, "spearman = {spearman}");
     }

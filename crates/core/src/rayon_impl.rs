@@ -40,45 +40,50 @@ pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
     let n = seqs.len();
 
     // Emulate the per-rank sampling: split into p blocks, rank locally,
-    // pick regular samples.
+    // sort each block by its local rank (the distributed step 2) and pick
+    // regular samples. The locally sorted order also decides how rank ties
+    // break during redistribution, so it must match the cluster backend.
     let chunk = n.div_ceil(p);
     let k = cfg.samples_for(p);
-    let block_results: Vec<(Vec<usize>, Work)> = (0..p)
+    let block_results: Vec<(Vec<usize>, Vec<usize>, Work)> = (0..p)
         .into_par_iter()
         .map(|b| {
             let lo = (b * chunk).min(n);
             let hi = ((b + 1) * chunk).min(n);
             let mut w = Work::ZERO;
             if lo >= hi {
-                return (Vec::new(), w);
+                return (Vec::new(), Vec::new(), w);
             }
             let idx: Vec<usize> = (lo..hi).collect();
-            let profs: Vec<KmerProfile> =
-                idx.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
+            let profs: Vec<KmerProfile> = idx.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
             let ranks: Vec<f64> = profs
                 .iter()
                 .map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w))
                 .collect();
             let mut order: Vec<usize> = (0..idx.len()).collect();
             order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]));
+            let sorted_idx: Vec<usize> = order.iter().map(|&o| idx[o]).collect();
             let m = idx.len();
             let kk = k.min(m);
-            let samples: Vec<usize> = (0..kk)
-                .map(|s| idx[order[(((s + 1) * m) / (kk + 1)).min(m - 1)]])
-                .collect();
-            (samples, w)
+            let samples: Vec<usize> =
+                (0..kk).map(|s| sorted_idx[(((s + 1) * m) / (kk + 1)).min(m - 1)]).collect();
+            (sorted_idx, samples, w)
         })
         .collect();
     let mut sample_indices: Vec<usize> = Vec::new();
-    for (s, w) in block_results {
+    // Global order of entry into redistribution: blocks in rank order, each
+    // block in its locally sorted order — exactly the distributed protocol.
+    let mut entry_order: Vec<usize> = Vec::with_capacity(n);
+    for (sorted_idx, s, w) in block_results {
+        entry_order.extend(sorted_idx);
         sample_indices.extend(s);
         work += w;
     }
     let sample_profiles: Vec<KmerProfile> =
         sample_indices.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
 
-    // Globalized ranks, in parallel.
-    let ranked: Vec<(usize, f64, Work)> = (0..n)
+    // Globalized ranks, in parallel over the entry order.
+    let ranked: Vec<(usize, f64, Work)> = entry_order
         .into_par_iter()
         .map(|i| {
             let mut w = Work::ZERO;
@@ -96,10 +101,8 @@ pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
     // Sample-partition into p buckets by rank.
     let buckets_idx = psrs::shared::sample_partition_by(keyed, p, |&(_, r)| r);
     let bucket_sizes: Vec<usize> = buckets_idx.iter().map(Vec::len).collect();
-    let buckets: Vec<Vec<Sequence>> = buckets_idx
-        .iter()
-        .map(|b| b.iter().map(|&(i, _)| seqs[i].clone()).collect())
-        .collect();
+    let buckets: Vec<Vec<Sequence>> =
+        buckets_idx.iter().map(|b| b.iter().map(|&(i, _)| seqs[i].clone()).collect()).collect();
 
     // Align buckets in parallel.
     let aligned: Vec<Option<(Msa, Work)>> = buckets
@@ -183,8 +186,7 @@ mod tests {
     fn check_complete(result: &Msa, input: &[Sequence]) {
         result.validate().unwrap();
         assert_eq!(result.num_rows(), input.len());
-        let by_id: HashMap<&str, &Sequence> =
-            input.iter().map(|s| (s.id.as_str(), s)).collect();
+        let by_id: HashMap<&str, &Sequence> = input.iter().map(|s| (s.id.as_str(), s)).collect();
         for r in 0..result.num_rows() {
             let want = by_id[result.ids()[r].as_str()];
             assert_eq!(&result.ungapped(r), want);

@@ -259,4 +259,51 @@ mod tests {
         let s = to_newick(&t, &[]);
         assert!(s.contains("L0") && s.contains("L1"));
     }
+
+    #[test]
+    fn parse_print_parse_is_identity_on_text() {
+        // Start from Newick *text* (nested, unbalanced shapes, varied
+        // branch lengths): parse -> print must reproduce a string that
+        // parses to the same names and prints identically — i.e. printing
+        // is a fixpoint after one normalisation pass.
+        let inputs = [
+            "(a:1.000000,b:2.500000);",
+            "((a:0.100000,b:0.200000):0.300000,c:1.000000);",
+            "((((d1:0.125000,d2:0.250000):0.500000,c:0.750000):1.000000,b:2.000000):0.062500,a:4.000000);",
+            "((a:1.000000,b:1.000000):0.500000,(c:2.000000,d:0.250000):0.125000);",
+        ];
+        for input in inputs {
+            let (t1, names1) = parse_newick(input).unwrap();
+            t1.validate().unwrap();
+            let printed = to_newick(&t1, &names1);
+            let (t2, names2) = parse_newick(&printed).unwrap();
+            t2.validate().unwrap();
+            assert_eq!(names1, names2, "leaf order must survive {input}");
+            assert_eq!(printed, to_newick(&t2, &names2), "print is a fixpoint for {input}");
+            // Path metrics agree leaf-for-leaf.
+            for a in 0..names1.len() {
+                for b in 0..a {
+                    let d1 = t1.path_length(t1.leaf_node(a).unwrap(), t1.leaf_node(b).unwrap());
+                    let d2 = t2.path_length(t2.leaf_node(a).unwrap(), t2.leaf_node(b).unwrap());
+                    assert!((d1 - d2).abs() < 1e-9, "{input}: pair {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_trees_roundtrip_through_text() {
+        // print -> parse -> print over machine-built trees of several sizes.
+        for n in [2usize, 3, 7, 16, 33] {
+            let m = DistMatrix::from_fn(n, |i, j| ((i * 31 + j * 17) % 23) as f64 + 0.5);
+            let t = upgma(&m);
+            let names: Vec<String> = (0..n).map(|i| format!("tip{i:02}")).collect();
+            let printed = to_newick(&t, &names);
+            let (t2, names2) = parse_newick(&printed).unwrap();
+            t2.validate().unwrap();
+            assert_eq!(t2.n_leaves(), n);
+            let printed2 = to_newick(&t2, &names2);
+            assert_eq!(printed, printed2, "n={n}: second print must match first");
+        }
+    }
 }

@@ -36,10 +36,8 @@ pub fn neighbor_joining(dist: &DistMatrix) -> Tree {
     while active.len() > 2 {
         let m = active.len();
         // Row sums over active entries.
-        let r: Vec<f64> = active
-            .iter()
-            .map(|&i| active.iter().map(|&j| d[i * n + j]).sum::<f64>())
-            .collect();
+        let r: Vec<f64> =
+            active.iter().map(|&i| active.iter().map(|&j| d[i * n + j]).sum::<f64>()).collect();
         // Minimise Q(i,j) = (m-2) d(i,j) − r_i − r_j.
         let (mut bi, mut bj, mut bq) = (0usize, 1usize, f64::INFINITY);
         for a in 0..m {

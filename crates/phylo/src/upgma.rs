@@ -63,13 +63,12 @@ pub fn cluster(dist: &DistMatrix, linkage: Linkage) -> Tree {
         }
         best
     };
-    for i in 0..n {
-        nn[i] = find_nn(&d, &active, i);
+    for (i, slot) in nn.iter_mut().enumerate() {
+        *slot = find_nn(&d, &active, i);
     }
 
     let mut merges: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(n - 1);
-    let mut next_id = n;
-    for _round in 0..(n - 1) {
+    for round in 0..(n - 1) {
         // Pick the globally closest pair via the nn cache.
         let mut bi = usize::MAX;
         let mut best = f64::INFINITY;
@@ -104,8 +103,8 @@ pub fn cluster(dist: &DistMatrix, linkage: Linkage) -> Tree {
         active[j] = false;
         size[i] = si + sj;
         height[i] = new_height;
-        rep[i] = next_id;
-        next_id += 1;
+        // The merge created tree node `n + round`.
+        rep[i] = n + round;
         if merges.len() == n - 1 {
             break;
         }
@@ -152,11 +151,8 @@ mod tests {
         t.validate().unwrap();
         // First merge must be (0,1) at height 1.
         let post = t.postorder();
-        let first_internal = post
-            .iter()
-            .copied()
-            .find(|&id| t.node(id).children.is_some())
-            .unwrap();
+        let first_internal =
+            post.iter().copied().find(|&id| t.node(id).children.is_some()).unwrap();
         let mut leaves = t.leaves_under(first_internal);
         leaves.sort_unstable();
         assert_eq!(leaves, vec![0, 1]);
@@ -189,10 +185,7 @@ mod tests {
             for j in 0..i {
                 let li = t.leaf_node(i).unwrap();
                 let lj = t.leaf_node(j).unwrap();
-                assert!(
-                    (t.path_length(li, lj) - m.get(i, j)).abs() < 1e-9,
-                    "pair {i},{j}"
-                );
+                assert!((t.path_length(li, lj) - m.get(i, j)).abs() < 1e-9, "pair {i},{j}");
             }
         }
     }

@@ -138,11 +138,7 @@ mod tests {
         let (buckets, _) = run_psrs(p, n, 3);
         let bound = max_partition_bound(n, p);
         for (i, b) in buckets.iter().enumerate() {
-            assert!(
-                b.len() <= bound,
-                "bucket {i} holds {} > bound {bound}",
-                b.len()
-            );
+            assert!(b.len() <= bound, "bucket {i} holds {} > bound {bound}", b.len());
         }
     }
 
@@ -190,12 +186,15 @@ mod tests {
     fn outcome_metadata_consistent() {
         let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
         let run = cluster.run(|node| {
-            let local: Vec<f64> = (0..100)
-                .map(|i| ((i * 37 + node.rank() * 13) % 400) as f64)
-                .collect();
+            let local: Vec<f64> =
+                (0..100).map(|i| ((i * 37 + node.rank() * 13) % 400) as f64).collect();
             let out = psrs(node, local, |&x| x);
-            (out.pivots.len(), out.received_from.len(), out.items.len(),
-             out.received_from.iter().sum::<usize>())
+            (
+                out.pivots.len(),
+                out.received_from.len(),
+                out.items.len(),
+                out.received_from.iter().sum::<usize>(),
+            )
         });
         for (np, nrf, nitems, received_total) in run.results {
             assert_eq!(np, 3);

@@ -55,9 +55,7 @@ where
             buckets[bucket_of(key(&item), &pivots)].push(item);
         }
     }
-    buckets
-        .par_iter_mut()
-        .for_each(|b| b.sort_by(|a, b| key(a).total_cmp(&key(b))));
+    buckets.par_iter_mut().for_each(|b| b.sort_by(|a, b| key(a).total_cmp(&key(b))));
     buckets
 }
 
@@ -106,8 +104,7 @@ mod tests {
     fn keyed_structs() {
         #[derive(Debug, PartialEq)]
         struct Item(u32, f64);
-        let items: Vec<Item> =
-            (0..100).map(|i| Item(i, ((i * 13) % 50) as f64)).collect();
+        let items: Vec<Item> = (0..100).map(|i| Item(i, ((i * 13) % 50) as f64)).collect();
         let sorted = sample_sort_by(items, 3, |it| it.1);
         assert!(sorted.windows(2).all(|w| w[0].1 <= w[1].1));
         assert_eq!(sorted.len(), 100);

@@ -139,10 +139,7 @@ mod tests {
                 offset += s.len();
                 rows.push(row);
             }
-            (
-                Msa::from_rows(seqs.iter().map(|s| s.id.clone()).collect(), rows),
-                Work::ZERO,
-            )
+            (Msa::from_rows(seqs.iter().map(|s| s.id.clone()).collect(), rows), Work::ZERO)
         });
         assert!((0.0..=1.0).contains(&report.mean_q));
         // The diagonal aligner aligns nothing: Q must be 0.

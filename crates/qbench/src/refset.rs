@@ -62,13 +62,8 @@ impl Benchmark {
         assert!(cfg.n_cases >= 1 && cfg.seqs_per_case >= 2);
         let cases = (0..cfg.n_cases)
             .map(|i| {
-                let t = if cfg.n_cases == 1 {
-                    0.0
-                } else {
-                    i as f64 / (cfg.n_cases - 1) as f64
-                };
-                let relatedness =
-                    cfg.relatedness.0 + t * (cfg.relatedness.1 - cfg.relatedness.0);
+                let t = if cfg.n_cases == 1 { 0.0 } else { i as f64 / (cfg.n_cases - 1) as f64 };
+                let relatedness = cfg.relatedness.0 + t * (cfg.relatedness.1 - cfg.relatedness.0);
                 let fam = Family::generate(&FamilyConfig {
                     n_seqs: cfg.seqs_per_case,
                     avg_len: cfg.avg_len,
@@ -193,7 +188,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = BenchmarkConfig { n_cases: 3, seqs_per_case: 6, avg_len: 50, ..Default::default() };
+        let cfg =
+            BenchmarkConfig { n_cases: 3, seqs_per_case: 6, avg_len: 50, ..Default::default() };
         let a = Benchmark::generate(&cfg);
         let b = Benchmark::generate(&cfg);
         for (x, y) in a.cases.iter().zip(&b.cases) {

@@ -87,9 +87,8 @@ impl Family {
         let tree = random_ultrametric_tree(&mut rng, cfg.n_seqs, subs_per_site / 2.0);
 
         // Root sequence.
-        let root_len = normal(&mut rng, cfg.avg_len as f64, cfg.len_sd)
-            .round()
-            .max(MIN_LEN as f64) as usize;
+        let root_len =
+            normal(&mut rng, cfg.avg_len as f64, cfg.len_sd).round().max(MIN_LEN as f64) as usize;
         let mut next_col: u64 = 0;
         let mut order: Vec<u64> = Vec::with_capacity(root_len * 2);
         let mut root_seq: Vec<(u64, u8)> = Vec::with_capacity(root_len);
@@ -130,16 +129,12 @@ impl Family {
             let node = tree.leaf_node(leaf).expect("leaf exists");
             let entries = node_seqs[node].as_ref().expect("leaf evolved");
             let codes: Vec<u8> = entries.iter().map(|&(_, r)| r).collect();
-            seqs.push(Sequence::from_codes(
-                format!("{}{}", cfg.id_prefix, width(leaf)),
-                codes,
-            ));
+            seqs.push(Sequence::from_codes(format!("{}{}", cfg.id_prefix, width(leaf)), codes));
             leaf_entries.push(entries);
         }
 
         // Assemble the true alignment.
-        let col_pos: HashMap<u64, usize> =
-            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let col_pos: HashMap<u64, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let total_cols = order.len();
         let mut rows: Vec<Vec<u8>> = Vec::with_capacity(cfg.n_seqs);
         for entries in leaf_entries {
@@ -194,10 +189,7 @@ fn evolve_edge(
             // Global order anchor: before the column at `pos`, or at the
             // very end of the registry when appending.
             let global_at = if pos < seq.len() {
-                order
-                    .iter()
-                    .position(|&c| c == seq[pos].0)
-                    .expect("live column is registered")
+                order.iter().position(|&c| c == seq[pos].0).expect("live column is registered")
             } else {
                 order.len()
             };
@@ -256,10 +248,7 @@ mod tests {
         let far = Family::generate(&cfg(10, 1500.0, 7));
         let id_close = close.reference.average_identity();
         let id_far = far.reference.average_identity();
-        assert!(
-            id_close > id_far + 0.1,
-            "close {id_close} vs far {id_far}"
-        );
+        assert!(id_close > id_far + 0.1, "close {id_close} vs far {id_far}");
         assert!(id_close > 0.7, "close families should be similar: {id_close}");
     }
 
@@ -273,8 +262,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         });
-        let mean =
-            fam.seqs.iter().map(|s| s.len() as f64).sum::<f64>() / fam.seqs.len() as f64;
+        let mean = fam.seqs.iter().map(|s| s.len() as f64).sum::<f64>() / fam.seqs.len() as f64;
         assert!((mean - 300.0).abs() < 60.0, "mean length {mean}");
         assert!(fam.seqs.iter().all(|s| s.len() >= MIN_LEN));
     }
@@ -297,8 +285,7 @@ mod tests {
         });
         assert!(fam.seqs[0].id.starts_with("fam7_"));
         // Unique ids.
-        let set: std::collections::HashSet<&str> =
-            fam.seqs.iter().map(|s| s.id.as_str()).collect();
+        let set: std::collections::HashSet<&str> = fam.seqs.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(set.len(), 3);
     }
 
@@ -312,11 +299,7 @@ mod tests {
             seed: 11,
             ..Default::default()
         });
-        let has_gap = fam
-            .reference
-            .rows()
-            .iter()
-            .any(|r| r.iter().any(|&c| c == GAP_CODE));
+        let has_gap = fam.reference.rows().iter().any(|r| r.contains(&GAP_CODE));
         assert!(has_gap, "a divergent family should contain gaps");
     }
 

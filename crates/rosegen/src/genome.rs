@@ -109,8 +109,7 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(g.seqs.len(), 200);
-        let ids: std::collections::HashSet<&str> =
-            g.seqs.iter().map(|s| s.id.as_str()).collect();
+        let ids: std::collections::HashSet<&str> = g.seqs.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(ids.len(), 200, "ids must be unique");
         assert_eq!(g.families.len(), 8);
     }
@@ -124,10 +123,7 @@ mod tests {
             ..Default::default()
         });
         let mean = g.mean_len();
-        assert!(
-            (mean - 316.0).abs() < 80.0,
-            "mean length {mean} too far from 316"
-        );
+        assert!((mean - 316.0).abs() < 80.0, "mean length {mean} too far from 316");
     }
 
     #[test]
@@ -147,10 +143,8 @@ mod tests {
             ..Default::default()
         });
         // The first 30 sequences should not all come from one family.
-        let fams: std::collections::HashSet<String> = g.seqs[..30]
-            .iter()
-            .map(|s| s.id.split('_').next().unwrap().to_string())
-            .collect();
+        let fams: std::collections::HashSet<String> =
+            g.seqs[..30].iter().map(|s| s.id.split('_').next().unwrap().to_string()).collect();
         assert!(fams.len() > 3, "sample looks unshuffled: {fams:?}");
     }
 

@@ -37,7 +37,7 @@ pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
 pub fn geometric<R: Rng>(rng: &mut R, p: f64) -> usize {
     assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    ((u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).floor() as usize).max(0) + 1
+    ((u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).floor() as usize) + 1
 }
 
 /// Exponential sample with the given rate.

@@ -72,8 +72,7 @@ impl VirtualCluster {
         let mut outcomes: Vec<Option<(R, RankTrace)>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (sender_row, receiver_row)) in
-                senders.into_iter().zip(receivers.into_iter()).enumerate()
+            for (rank, (sender_row, receiver_row)) in senders.into_iter().zip(receivers).enumerate()
             {
                 let cost = self.cost;
                 let fref = &f;
@@ -160,13 +159,8 @@ mod tests {
         let m = CostModel::beowulf_2008();
         // Round trip: 2 sends (overhead + 1008 bytes each) + 2 latencies +
         // 2 recv overheads.
-        let expected =
-            2.0 * m.send_seconds(1008) + 2.0 * m.latency + 2.0 * m.recv_overhead;
-        assert!(
-            (run.results[0] - expected).abs() < 1e-9,
-            "got {} want {expected}",
-            run.results[0]
-        );
+        let expected = 2.0 * m.send_seconds(1008) + 2.0 * m.latency + 2.0 * m.recv_overhead;
+        assert!((run.results[0] - expected).abs() < 1e-9, "got {} want {expected}", run.results[0]);
         assert!(run.makespan >= run.results[1]);
     }
 

@@ -80,9 +80,9 @@ impl Node {
         if self.rank() == root {
             let mut out: Vec<Option<M>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv::<M>(src, tag));
+                    *slot = Some(self.recv::<M>(src, tag));
                 }
             }
             Some(out.into_iter().map(|v| v.expect("gathered")).collect())
@@ -94,11 +94,7 @@ impl Node {
 
     /// Linear scatter from `root`: rank `i` receives `items[i]`. The root
     /// passes `Some(items)` with exactly `size()` entries.
-    pub fn scatter<M: WireSize + Send + 'static>(
-        &self,
-        root: usize,
-        items: Option<Vec<M>>,
-    ) -> M {
+    pub fn scatter<M: WireSize + Send + 'static>(&self, root: usize, items: Option<Vec<M>>) -> M {
         let tag = self.coll_tag(Op::Scatter);
         if self.rank() == root {
             let items = items.expect("scatter root must supply items");
@@ -203,11 +199,7 @@ mod tests {
     fn broadcast_delivers_to_all() {
         for p in [1, 2, 3, 4, 7, 8] {
             let run = cluster(p).run(move |node| {
-                let v = if node.rank() == 2 % p {
-                    Some(vec![1u32, 2, 3])
-                } else {
-                    None
-                };
+                let v = if node.rank() == 2 % p { Some(vec![1u32, 2, 3]) } else { None };
                 node.broadcast(2 % p, v)
             });
             for r in run.results {
@@ -250,9 +242,8 @@ mod tests {
         let p = 5;
         let run = cluster(p).run(move |node| {
             // Rank r sends the block [r*10 + d] to rank d.
-            let blocks: Vec<Vec<u32>> = (0..p)
-                .map(|d| vec![(node.rank() * 10 + d) as u32; node.rank() + 1])
-                .collect();
+            let blocks: Vec<Vec<u32>> =
+                (0..p).map(|d| vec![(node.rank() * 10 + d) as u32; node.rank() + 1]).collect();
             node.all_to_allv(blocks)
         });
         for (d, received) in run.results.into_iter().enumerate() {

@@ -113,9 +113,7 @@ mod tests {
         let w = Work::dp(10);
         assert!((m.work_seconds(&w) - 10.0 * m.dp_cell).abs() < 1e-18);
         let w2 = w + Work::kmer(5);
-        assert!(
-            (m.work_seconds(&w2) - (10.0 * m.dp_cell + 5.0 * m.kmer_op)).abs() < 1e-18
-        );
+        assert!((m.work_seconds(&w2) - (10.0 * m.dp_cell + 5.0 * m.kmer_op)).abs() < 1e-18);
     }
 
     #[test]

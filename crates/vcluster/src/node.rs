@@ -121,12 +121,7 @@ impl Node {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         let bytes = msg.wire_bytes();
         self.advance_comm(self.cost.send_seconds(bytes));
-        let env = Envelope {
-            depart: self.clock.get(),
-            bytes,
-            tag,
-            payload: Box::new(msg),
-        };
+        let env = Envelope { depart: self.clock.get(), bytes, tag, payload: Box::new(msg) };
         self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
         self.msgs_sent.set(self.msgs_sent.get() + 1);
         self.senders[dst].send(env).expect("peer rank hung up");
@@ -156,10 +151,7 @@ impl Node {
         self.msgs_received.set(self.msgs_received.get() + 1);
         let _ = env.bytes;
         *env.payload.downcast::<M>().unwrap_or_else(|_| {
-            panic!(
-                "rank {}: type mismatch receiving tag {tag} from {src}",
-                self.rank
-            )
+            panic!("rank {}: type mismatch receiving tag {tag} from {src}", self.rank)
         })
     }
 
@@ -173,16 +165,9 @@ impl Node {
     /// # Panics
     /// Panics if no phase is open.
     pub fn phase_end(&self) {
-        let (name, start) = self
-            .open_phases
-            .borrow_mut()
-            .pop()
-            .expect("phase_end without phase_start");
-        self.phases.borrow_mut().push(PhaseRecord {
-            name,
-            start,
-            end: self.clock.get(),
-        });
+        let (name, start) =
+            self.open_phases.borrow_mut().pop().expect("phase_end without phase_start");
+        self.phases.borrow_mut().push(PhaseRecord { name, start, end: self.clock.get() });
     }
 
     /// Run `f` inside a named phase.

@@ -6,10 +6,7 @@
 use sample_align_d::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(400);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400);
     let family = Family::generate(&FamilyConfig {
         n_seqs: n,
         avg_len: 300,

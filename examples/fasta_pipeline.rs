@@ -14,8 +14,8 @@ fn main() {
 
     let seqs: Vec<Sequence> = match &input {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             fasta::parse(&text).unwrap_or_else(|e| panic!("bad FASTA in {path}: {e}"))
         }
         None => {

@@ -7,10 +7,7 @@ use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
 use sample_align_d::prelude::*;
 
 fn main() {
-    let n_cases: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8);
+    let n_cases: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
     let benchmark = Benchmark::generate(&BenchmarkConfig {
         n_cases,
         seqs_per_case: 20,
@@ -33,13 +30,7 @@ fn main() {
     ];
     println!("{:<24} {:>8} {:>8} {:>8}", "method", "mean Q", "mean TC", "cases");
     for r in &reports {
-        println!(
-            "{:<24} {:>8.3} {:>8.3} {:>8}",
-            r.name,
-            r.mean_q,
-            r.mean_tc,
-            r.scored_cases()
-        );
+        println!("{:<24} {:>8.3} {:>8.3} {:>8}", r.name, r.mean_q, r.mean_tc, r.scored_cases());
     }
     println!(
         "\npaper's Table 2 (real PREFAB): MUSCLE 0.645, CLUSTALW 0.563,\n\

@@ -44,10 +44,7 @@ fn main() {
 
     // 4. The same pipeline on the rayon shared-memory backend.
     let ray = run_rayon(&family.seqs, 4, &cfg);
-    println!(
-        "\nrayon backend agrees with the cluster backend: {}",
-        ray.msa == run.msa
-    );
+    println!("\nrayon backend agrees with the cluster backend: {}", ray.msa == run.msa);
 
     // 5. Round-trip the result through FASTA.
     let fasta_text = fasta::write_alignment(&run.msa);

@@ -1,0 +1,127 @@
+//! Determinism regression: the whole point of the virtual cluster is
+//! bit-for-bit reproducible runs, so any nondeterminism creeping into the
+//! pipeline (hash ordering, thread scheduling, float reduction order) must
+//! fail loudly here.
+
+use sample_align_d::prelude::*;
+use std::collections::BTreeSet;
+
+fn family(seed: u64) -> Family {
+    Family::generate(&FamilyConfig {
+        n_seqs: 28,
+        avg_len: 64,
+        relatedness: 700.0,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// The observable row content of an alignment: (id, ungapped residues).
+fn row_set(msa: &bioseq::Msa) -> BTreeSet<(String, String)> {
+    (0..msa.num_rows()).map(|r| (msa.ids()[r].clone(), msa.ungapped(r).to_letters())).collect()
+}
+
+#[test]
+fn distributed_runs_are_byte_identical_for_same_seed_and_cluster() {
+    let fam = family(41);
+    let cfg = SadConfig::default();
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let a = run_distributed(&cluster, &fam.seqs, &cfg);
+    let b = run_distributed(&cluster, &fam.seqs, &cfg);
+    // Byte-identical serialised alignments, not merely equal structures.
+    assert_eq!(
+        fasta::write_alignment(&a.msa).into_bytes(),
+        fasta::write_alignment(&b.msa).into_bytes(),
+        "two runs with the same seed and cluster size must serialise identically"
+    );
+    assert_eq!(a.bucket_sizes, b.bucket_sizes);
+    assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn regenerated_inputs_reproduce_the_same_alignment() {
+    // Full regeneration from the seed (family + fresh cluster) — catches
+    // hidden state leaking between runs rather than within one.
+    let cfg = SadConfig::default();
+    let a =
+        run_distributed(&VirtualCluster::new(4, CostModel::beowulf_2008()), &family(42).seqs, &cfg);
+    let b =
+        run_distributed(&VirtualCluster::new(4, CostModel::beowulf_2008()), &family(42).seqs, &cfg);
+    assert_eq!(fasta::write_alignment(&a.msa), fasta::write_alignment(&b.msa));
+}
+
+#[test]
+fn rayon_backend_matches_distributed_exactly() {
+    // The shared-memory backend is step-identical to the message-passing
+    // one, so it must produce the same bytes — not just the same rows.
+    let fam = family(43);
+    let cfg = SadConfig::default();
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let dist = run_distributed(&cluster, &fam.seqs, &cfg);
+    let ray = run_rayon(&fam.seqs, 4, &cfg);
+    assert_eq!(fasta::write_alignment(&dist.msa), fasta::write_alignment(&ray.msa));
+    assert_eq!(dist.bucket_sizes, ray.bucket_sizes);
+}
+
+#[test]
+fn sequential_backend_covers_the_same_row_set() {
+    // run_sequential aligns the whole set at once, so columns differ, but
+    // the set of (id, ungapped sequence) rows must agree with the
+    // decomposed backends — no sequence lost, duplicated or mutated.
+    let fam = family(44);
+    let cfg = SadConfig::default();
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let dist = run_distributed(&cluster, &fam.seqs, &cfg);
+    let ray = run_rayon(&fam.seqs, 4, &cfg);
+    let (seq_msa, _work) = run_sequential(&fam.seqs, &cfg);
+    let want = row_set(&dist.msa);
+    assert_eq!(want.len(), fam.seqs.len());
+    assert_eq!(row_set(&ray.msa), want, "rayon row set diverged");
+    assert_eq!(row_set(&seq_msa), want, "sequential row set diverged");
+}
+
+#[test]
+fn backends_agree_even_under_globalized_rank_ties() {
+    // Regression: these families produce exact ties in the globalized
+    // k-mer rank (distinct sequences, equal log(0.1 + D)). Tie order used
+    // to differ between the backends — distributed broke ties by the
+    // locally sorted (centralized-rank) order, rayon by original index —
+    // yielding row-permuted alignments from `sad align --backend rayon`.
+    for seed in [1u64, 9] {
+        let fam = Family::generate(&FamilyConfig {
+            n_seqs: 12,
+            avg_len: 50,
+            relatedness: 800.0,
+            seed,
+            ..Default::default()
+        });
+        let cfg = SadConfig::default();
+        let cluster = VirtualCluster::new(3, CostModel::beowulf_2008());
+        let dist = run_distributed(&cluster, &fam.seqs, &cfg);
+        let ray = run_rayon(&fam.seqs, 3, &cfg);
+        assert_eq!(
+            fasta::write_alignment(&dist.msa),
+            fasta::write_alignment(&ray.msa),
+            "seed {seed}: backends must break rank ties identically"
+        );
+    }
+}
+
+#[test]
+fn determinism_holds_across_cluster_sizes_independently() {
+    // Each p gives its own deterministic answer (p changes bucketing, so
+    // different p may differ — but the same p must never differ).
+    let fam = family(45);
+    let cfg = SadConfig::default();
+    for p in [1usize, 2, 3, 5, 8] {
+        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+        let a = run_distributed(&cluster, &fam.seqs, &cfg);
+        let b = run_distributed(&cluster, &fam.seqs, &cfg);
+        assert_eq!(
+            fasta::write_alignment(&a.msa),
+            fasta::write_alignment(&b.msa),
+            "p={p} was not deterministic"
+        );
+        assert_eq!(row_set(&a.msa), row_set(&b.msa));
+    }
+}

@@ -59,10 +59,7 @@ fn quality_tracks_the_sequential_engine() {
     let (seq_msa, _) = run_sequential(&fam.seqs, &cfg);
     let q_sad = bioseq::compare::q_score_msa(&sad.msa, &fam.reference).unwrap();
     let q_seq = bioseq::compare::q_score_msa(&seq_msa, &fam.reference).unwrap();
-    assert!(
-        q_sad > q_seq - 0.25,
-        "SAD Q {q_sad:.3} too far below sequential Q {q_seq:.3}"
-    );
+    assert!(q_sad > q_seq - 0.25, "SAD Q {q_sad:.3} too far below sequential Q {q_seq:.3}");
     assert!(q_sad > 0.3, "SAD Q {q_sad:.3} unreasonably low");
 }
 
@@ -109,16 +106,8 @@ fn output_roundtrips_through_fasta() {
 fn free_network_ablation_only_speeds_things_up() {
     let fam = family(24, 50, 600.0, 7);
     let cfg = SadConfig::default();
-    let real = run_distributed(
-        &VirtualCluster::new(4, CostModel::beowulf_2008()),
-        &fam.seqs,
-        &cfg,
-    );
-    let free = run_distributed(
-        &VirtualCluster::new(4, CostModel::free_network()),
-        &fam.seqs,
-        &cfg,
-    );
+    let real = run_distributed(&VirtualCluster::new(4, CostModel::beowulf_2008()), &fam.seqs, &cfg);
+    let free = run_distributed(&VirtualCluster::new(4, CostModel::free_network()), &fam.seqs, &cfg);
     assert_eq!(real.msa, free.msa, "cost model must not affect results");
     assert!(free.makespan < real.makespan);
 }

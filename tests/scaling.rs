@@ -20,17 +20,8 @@ fn makespan_strictly_improves_with_ranks() {
     let cfg = SadConfig::default();
     let mut prev = f64::INFINITY;
     for p in [1usize, 2, 4, 8] {
-        let run = run_distributed(
-            &VirtualCluster::new(p, CostModel::beowulf_2008()),
-            &seqs,
-            &cfg,
-        );
-        assert!(
-            run.makespan < prev,
-            "p={p}: {:.4} did not improve on {:.4}",
-            run.makespan,
-            prev
-        );
+        let run = run_distributed(&VirtualCluster::new(p, CostModel::beowulf_2008()), &seqs, &cfg);
+        assert!(run.makespan < prev, "p={p}: {:.4} did not improve on {:.4}", run.makespan, prev);
         prev = run.makespan;
     }
 }
@@ -39,18 +30,10 @@ fn makespan_strictly_improves_with_ranks() {
 fn speedup_beats_half_linear() {
     let seqs = workload(128, 2);
     let cfg = SadConfig::default();
-    let t1 = run_distributed(
-        &VirtualCluster::new(1, CostModel::beowulf_2008()),
-        &seqs,
-        &cfg,
-    )
-    .makespan;
-    let t8 = run_distributed(
-        &VirtualCluster::new(8, CostModel::beowulf_2008()),
-        &seqs,
-        &cfg,
-    )
-    .makespan;
+    let t1 =
+        run_distributed(&VirtualCluster::new(1, CostModel::beowulf_2008()), &seqs, &cfg).makespan;
+    let t8 =
+        run_distributed(&VirtualCluster::new(8, CostModel::beowulf_2008()), &seqs, &cfg).makespan;
     let speedup = t1 / t8;
     assert!(speedup > 4.0, "speedup at p=8 was only {speedup:.2}");
 }
@@ -65,10 +48,7 @@ fn load_balance_bound_holds() {
     );
     let bound = psrs::max_partition_bound(192, 6);
     for (rank, &size) in run.bucket_sizes.iter().enumerate() {
-        assert!(
-            size <= bound + 6,
-            "rank {rank} got {size} sequences (bound {bound})"
-        );
+        assert!(size <= bound + 6, "rank {rank} got {size} sequences (bound {bound})");
     }
 }
 
@@ -105,11 +85,7 @@ fn local_align_dominates_the_phase_table() {
     );
     let phases = vcluster::trace::phase_summary(&run.traces);
     let of = |name: &str| {
-        phases
-            .iter()
-            .find(|(n, _, _)| n == name)
-            .map(|&(_, max, _)| max)
-            .unwrap_or(0.0)
+        phases.iter().find(|(n, _, _)| n == name).map(|&(_, max, _)| max).unwrap_or(0.0)
     };
     let align = of("8-local-align");
     for other in ["2-local-sort", "3-sample-exchange", "6-redistribute", "12-glue"] {
@@ -126,9 +102,7 @@ fn modern_cost_model_preserves_shape() {
     // Constants change; the scaling shape must not.
     let seqs = workload(96, 6);
     let cfg = SadConfig::default();
-    let t1 = run_distributed(&VirtualCluster::new(1, CostModel::modern()), &seqs, &cfg)
-        .makespan;
-    let t4 = run_distributed(&VirtualCluster::new(4, CostModel::modern()), &seqs, &cfg)
-        .makespan;
+    let t1 = run_distributed(&VirtualCluster::new(1, CostModel::modern()), &seqs, &cfg).makespan;
+    let t4 = run_distributed(&VirtualCluster::new(4, CostModel::modern()), &seqs, &cfg).makespan;
     assert!(t4 < t1, "modern model lost the scaling: {t4} vs {t1}");
 }

@@ -1,0 +1,43 @@
+//! Offline stand-in for `crossbeam`: just the unbounded MPSC channel
+//! surface `vcluster` uses, backed by `std::sync::mpsc`.
+//!
+//! The virtual cluster wires one dedicated channel per (sender, receiver)
+//! rank pair, so multi-consumer cloning and `select!` — the features that
+//! would actually require crossbeam — are never needed here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Channel types mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = unbounded();
+        std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hangup_is_an_error() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for `rayon`: the parallel-iterator subset this
+//! workspace uses, executed over `std::thread::scope` with one contiguous
+//! chunk per available core.
+//!
+//! Results are order-preserving, so output is deterministic regardless of
+//! the host's thread count — the property the alignment pipeline's
+//! "deterministic despite parallelism" tests rely on. Unlike real rayon
+//! there is no work-stealing pool: each adaptor (`map`, `for_each`)
+//! evaluates eagerly in a fork-join over equal chunks, which is a good fit
+//! for the regular, similarly-sized work items produced here (rows of a
+//! distance matrix, buckets of sequences).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Everything call sites need in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// An eager "parallel iterator": the materialised items plus parallel
+/// adaptors. Adaptors run a fork-join pass immediately.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter { items: par_map(self.items, f) }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map(self.items, f);
+    }
+
+    /// Collect the (already ordered) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Fork-join map over equal contiguous chunks; order-preserving.
+fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// By-value conversion into a parallel iterator (`rayon`'s namesake trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` on shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a shared reference).
+    type Item: Send + 'a;
+    /// Iterate items by reference, in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter_mut()` on exclusive slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type (an exclusive reference).
+    type Item: Send + 'a;
+    /// Iterate items by mutable reference, in parallel.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let got: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        let want: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn for_each_mutates_every_item() {
+        let mut v = vec![1u32; 257];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let got: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(got.is_empty());
+        let one: Vec<u8> = vec![9u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        (0..8usize).into_par_iter().for_each(|i| {
+            if i == 5 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The stand-in's traits are marker traits with blanket impls (see
+//! `vendor/serde`), so these derives legitimately have nothing to emit —
+//! they exist only so `#[derive(Serialize, Deserialize)]` attributes keep
+//! compiling unchanged until a real registry is available.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]`; the marker trait needs no generated impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]`; the marker trait needs no generated impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
