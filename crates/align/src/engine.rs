@@ -57,6 +57,12 @@ impl EngineChoice {
         }
     }
 
+    /// Parse a [`label`](Self::label) back into a choice — the selector
+    /// configuration surfaces (CLI flags, config files) go through.
+    pub fn from_label(label: &str) -> Option<EngineChoice> {
+        EngineChoice::ALL.into_iter().find(|c| c.label() == label)
+    }
+
     /// All selectable engines (for sweeps).
     pub const ALL: [EngineChoice; 3] =
         [EngineChoice::MuscleFast, EngineChoice::MuscleStandard, EngineChoice::Clustal];
@@ -102,5 +108,13 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             EngineChoice::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), EngineChoice::ALL.len());
+    }
+
+    #[test]
+    fn labels_roundtrip_through_from_label() {
+        for choice in EngineChoice::ALL {
+            assert_eq!(EngineChoice::from_label(choice.label()), Some(choice));
+        }
+        assert_eq!(EngineChoice::from_label("t-coffee"), None);
     }
 }

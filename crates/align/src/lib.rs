@@ -15,7 +15,7 @@
 //! * [`refine`] — MUSCLE-style tree-bipartition iterative refinement;
 //! * [`consensus`] — consensus/“ancestor” extraction from an alignment
 //!   (the local/global ancestors of the paper);
-//! * [`engine`] — the [`MsaEngine`](engine::MsaEngine) trait plus two full
+//! * [`engine`] — the [`MsaEngine`] trait plus two full
 //!   systems: [`muscle::MuscleLite`] (k-mer distance → UPGMA → progressive →
 //!   optional re-estimation and refinement; a faithful skeleton of MUSCLE
 //!   3.x) and [`clustal::ClustalLite`] (identity distance → neighbor

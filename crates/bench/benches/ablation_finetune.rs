@@ -7,9 +7,8 @@
 //! block-diagonally, which destroys all cross-bucket columns.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sad_bench::{banner, scaled, table};
-use sad_core::{run_distributed, SadConfig};
-use vcluster::{CostModel, VirtualCluster};
+use sad_bench::{banner, sad_on_cluster, scaled, table};
+use sad_core::SadConfig;
 
 fn experiment() {
     let n = scaled(2400);
@@ -29,16 +28,15 @@ fn experiment() {
     let mut rows = Vec::new();
     for p in [4usize, 8] {
         for fine_tune in [true, false] {
-            let cfg = SadConfig { fine_tune, ..Default::default() };
-            let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-            let run = run_distributed(&cluster, &fam.seqs, &cfg);
+            let cfg = SadConfig::default().with_fine_tune(fine_tune);
+            let run = sad_on_cluster(p, &fam.seqs, &cfg);
             let q = bioseq::compare::q_score_msa(&run.msa, &fam.reference).unwrap_or(0.0);
             rows.push(vec![
                 p.to_string(),
                 if fine_tune { "on" } else { "off" }.to_string(),
                 run.msa.sp_score(&matrix, gaps).to_string(),
                 format!("{q:.3}"),
-                format!("{:.2}", run.makespan),
+                format!("{:.2}", run.makespan().expect("distributed runs have a makespan")),
             ]);
         }
     }
@@ -72,10 +70,7 @@ fn bench(c: &mut Criterion) {
     });
     let cfg = SadConfig::default();
     c.bench_function("ablation_finetune/sad_finetune_n32_p4", |b| {
-        b.iter(|| {
-            let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-            run_distributed(&cluster, std::hint::black_box(&fam.seqs), &cfg)
-        })
+        b.iter(|| sad_on_cluster(4, std::hint::black_box(&fam.seqs), &cfg))
     });
 }
 

@@ -6,9 +6,8 @@
 //! buy little balance for extra communication.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sad_bench::{banner, rose_workload, scaled, table};
-use sad_core::{run_distributed, SadConfig};
-use vcluster::{CostModel, VirtualCluster};
+use sad_bench::{banner, rose_workload, sad_on_cluster, scaled, table};
+use sad_core::SadConfig;
 
 fn experiment() {
     let n = scaled(4000);
@@ -17,16 +16,15 @@ fn experiment() {
     let seqs = rose_workload(n, 0xAB1A1);
     let mut rows = Vec::new();
     for k in [1usize, 3, p - 1, 2 * p, 4 * p] {
-        let cfg = SadConfig { samples_per_rank: Some(k), ..Default::default() };
-        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &seqs, &cfg);
+        let cfg = SadConfig::default().with_samples_per_rank(Some(k));
+        let run = sad_on_cluster(p, &seqs, &cfg);
         let max_bucket = *run.bucket_sizes.iter().max().unwrap();
         rows.push(vec![
             k.to_string(),
             format!("{:.3}", run.load_imbalance()),
             max_bucket.to_string(),
             format!("{}", psrs::max_partition_bound(n, p)),
-            format!("{:.2}", run.makespan),
+            format!("{:.2}", run.makespan().expect("distributed runs have a makespan")),
         ]);
     }
     table(&["k", "load_imbalance", "max_bucket", "2N/p_bound", "time_s"], &rows);

@@ -5,9 +5,8 @@
 //! The claim to reproduce: execution time decreases sharply with p.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sad_bench::{banner, rose_workload, scaled, table, PAPER_PROCS};
-use sad_core::{run_distributed, SadConfig};
-use vcluster::{CostModel, VirtualCluster};
+use sad_bench::{banner, rose_workload, sad_makespan, sad_on_cluster, scaled, table, PAPER_PROCS};
+use sad_core::SadConfig;
 
 fn experiment() {
     let sizes: Vec<usize> = [5000, 10000, 20000].iter().map(|&n| scaled(n)).collect();
@@ -22,12 +21,11 @@ fn experiment() {
         let mut row = vec![n.to_string()];
         let mut t1 = None;
         for &p in &PAPER_PROCS {
-            let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-            let run = run_distributed(&cluster, &seqs, &cfg);
+            let makespan = sad_makespan(p, &seqs, &cfg);
             if p == 1 {
-                t1 = Some(run.makespan);
+                t1 = Some(makespan);
             }
-            row.push(format!("{:.2}", run.makespan));
+            row.push(format!("{makespan:.2}"));
         }
         let _ = t1;
         rows.push(row);
@@ -58,10 +56,7 @@ fn bench(c: &mut Criterion) {
     let seqs = rose_workload(128, 0xF1644);
     let cfg = SadConfig::default();
     c.bench_function("fig4/sad_n128_p8", |b| {
-        b.iter(|| {
-            let cluster = VirtualCluster::new(8, CostModel::beowulf_2008());
-            run_distributed(&cluster, std::hint::black_box(&seqs), &cfg)
-        })
+        b.iter(|| sad_on_cluster(8, std::hint::black_box(&seqs), &cfg))
     });
 }
 

@@ -8,9 +8,8 @@
 //! the paper's observation that the 20000-sequence curve is the cleanest.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sad_bench::{banner, rose_workload, scaled, table, PAPER_PROCS};
-use sad_core::{run_distributed, SadConfig};
-use vcluster::{CostModel, VirtualCluster};
+use sad_bench::{banner, rose_workload, sad_makespan, sad_on_cluster, scaled, table, PAPER_PROCS};
+use sad_core::SadConfig;
 
 fn experiment() {
     let sizes: Vec<usize> = [5000, 10000, 20000].iter().map(|&n| scaled(n)).collect();
@@ -22,8 +21,7 @@ fn experiment() {
         let seqs = rose_workload(n, 0xF165 + i as u64);
         let mut times = Vec::new();
         for &p in &PAPER_PROCS {
-            let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-            times.push(run_distributed(&cluster, &seqs, &cfg).makespan);
+            times.push(sad_makespan(p, &seqs, &cfg));
         }
         let t1 = times[0];
         let mut row = vec![n.to_string()];
@@ -70,10 +68,7 @@ fn bench(c: &mut Criterion) {
     let seqs = rose_workload(96, 0xF1655);
     let cfg = SadConfig::default();
     c.bench_function("fig5/sad_n96_p16", |b| {
-        b.iter(|| {
-            let cluster = VirtualCluster::new(16, CostModel::beowulf_2008());
-            run_distributed(&cluster, std::hint::black_box(&seqs), &cfg)
-        })
+        b.iter(|| sad_on_cluster(16, std::hint::black_box(&seqs), &cfg))
     });
 }
 

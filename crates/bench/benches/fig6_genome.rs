@@ -12,9 +12,9 @@
 //! paper's hundred-fold regime.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sad_bench::{banner, genome_workload, paper_scale, table, PAPER_PROCS};
-use sad_core::{run_distributed, sequential::sequential_seconds, SadConfig};
-use vcluster::{CostModel, VirtualCluster};
+use sad_bench::{banner, genome_workload, paper_scale, sad_on_cluster, table, PAPER_PROCS};
+use sad_core::{sequential::sequential_seconds, SadConfig};
+use vcluster::CostModel;
 
 fn experiment() {
     let n = if paper_scale() { 2000 } else { 400 };
@@ -22,7 +22,7 @@ fn experiment() {
     let seqs = genome_workload(n, 0xF166);
     // The paper runs stock MUSCLE (stages 1-3, refinement included) both as
     // the baseline and inside each processor.
-    let cfg = SadConfig { engine: align::EngineChoice::MuscleStandard, ..Default::default() };
+    let cfg = SadConfig::default().with_engine(align::EngineChoice::MuscleStandard);
     let cost = CostModel::beowulf_2008();
 
     let (_baseline_msa, t_seq) = sequential_seconds(&seqs, &cfg, &cost);
@@ -31,15 +31,15 @@ fn experiment() {
     let mut rows = Vec::new();
     let mut t16 = f64::NAN;
     for &p in &PAPER_PROCS {
-        let cluster = VirtualCluster::new(p, cost);
-        let run = run_distributed(&cluster, &seqs, &cfg);
+        let run = sad_on_cluster(p, &seqs, &cfg);
+        let makespan = run.makespan().expect("distributed runs have a makespan");
         if p == 16 {
-            t16 = run.makespan;
+            t16 = makespan;
         }
         rows.push(vec![
             p.to_string(),
-            format!("{:.2}", run.makespan),
-            format!("{:.2}", t_seq / run.makespan),
+            format!("{makespan:.2}"),
+            format!("{:.2}", t_seq / makespan),
             format!("{:.2}", run.load_imbalance()),
         ]);
     }
@@ -67,10 +67,7 @@ fn bench(c: &mut Criterion) {
     let seqs = genome_workload(96, 0xF1666);
     let cfg = SadConfig::default();
     c.bench_function("fig6/sad_genome_n96_p8", |b| {
-        b.iter(|| {
-            let cluster = VirtualCluster::new(8, CostModel::beowulf_2008());
-            run_distributed(&cluster, std::hint::black_box(&seqs), &cfg)
-        })
+        b.iter(|| sad_on_cluster(8, std::hint::black_box(&seqs), &cfg))
     });
 }
 

@@ -11,9 +11,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
-use sad_bench::{banner, paper_scale, table};
-use sad_core::{run_distributed, SadConfig};
-use vcluster::{CostModel, VirtualCluster};
+use sad_bench::{banner, paper_scale, sad_on_cluster, table};
+use sad_core::SadConfig;
 
 fn experiment() {
     let cases = if paper_scale() { 48 } else { 12 };
@@ -35,9 +34,8 @@ fn experiment() {
     // Sample-Align-D on a 4-processor cluster, as in the paper's Table 2.
     let cfg = SadConfig::default();
     let sad = evaluate_with("sample-align-d(p=4)", &benchmark, |seqs| {
-        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, seqs, &cfg);
-        (run.msa, bioseq::Work::ZERO)
+        let run = sad_on_cluster(4, seqs, &cfg);
+        (run.msa, run.work)
     });
 
     let rows = vec![

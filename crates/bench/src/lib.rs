@@ -20,6 +20,27 @@
 
 use bioseq::Sequence;
 use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
+use sad_core::{Aligner, Backend, RunReport, SadConfig};
+use vcluster::{CostModel, VirtualCluster};
+
+/// Run Sample-Align-D on a `p`-rank virtual Beowulf cluster — the
+/// configuration every figure/table bench measures.
+///
+/// Bench workloads are generated and therefore always valid, so the
+/// typed-error path is unreachable here and the helper unwraps.
+pub fn sad_on_cluster(p: usize, seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+    let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+    Aligner::new(cfg.clone())
+        .backend(Backend::Distributed(cluster))
+        .run(seqs)
+        .expect("bench workloads are valid inputs")
+}
+
+/// The virtual makespan of [`sad_on_cluster`] — the series the paper's
+/// timing figures plot.
+pub fn sad_makespan(p: usize, seqs: &[Sequence], cfg: &SadConfig) -> f64 {
+    sad_on_cluster(p, seqs, cfg).makespan().expect("distributed runs have a makespan")
+}
 
 /// Whether the paper's full-size workloads were requested.
 pub fn paper_scale() -> bool {
@@ -123,6 +144,15 @@ mod tests {
     fn workloads_have_requested_sizes() {
         assert_eq!(rose_workload(70, 1).len(), 70);
         assert_eq!(genome_workload(80, 1).len(), 80);
+    }
+
+    #[test]
+    fn cluster_helper_reports_makespan() {
+        let seqs = rose_workload(64, 3);
+        let cfg = SadConfig::default();
+        let report = sad_on_cluster(2, &seqs, &cfg);
+        assert_eq!(report.msa.num_rows(), 64);
+        assert!(sad_makespan(2, &seqs, &cfg) > 0.0);
     }
 
     #[test]

@@ -13,7 +13,8 @@ pub struct Args {
 /// One subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `sad align <in.fasta> [--p N] [--engine E] [--backend B] [--no-fine-tune]`
+    /// `sad align <in.fasta> [--backend B] [--p N] [--threads N] [--nodes N]
+    /// [--engine E] [--no-fine-tune]`
     Align(AlignArgs),
     /// `sad generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]`
     Generate(GenerateArgs),
@@ -30,23 +31,45 @@ pub enum Command {
 pub struct AlignArgs {
     /// Input FASTA path.
     pub input: String,
-    /// Virtual ranks / buckets.
+    /// Generic parallelism (`--p`): ranks/buckets when no backend-specific
+    /// flag is given.
     pub p: usize,
+    /// Rayon bucket count (`--threads`), overriding `--p`.
+    pub threads: Option<usize>,
+    /// Virtual cluster size (`--nodes`), overriding `--p`.
+    pub nodes: Option<usize>,
     /// Engine selection.
     pub engine: EngineChoice,
-    /// Distributed (virtual cluster) vs rayon backend.
+    /// Execution backend.
     pub backend: Backend,
     /// Disable the ancestor fine-tuning step.
     pub no_fine_tune: bool,
+    /// k-mer length override (`--kmer`); `None` keeps the paper default.
+    /// Inputs with sequences shorter than the k-mer length are rejected,
+    /// so short-read files need a smaller `k`.
+    pub kmer: Option<usize>,
+}
+
+impl AlignArgs {
+    /// Effective decomposition width for the selected backend.
+    pub fn parallelism(&self) -> usize {
+        match self.backend {
+            Backend::Sequential => 1,
+            Backend::Rayon => self.threads.unwrap_or(self.p),
+            Backend::Distributed => self.nodes.unwrap_or(self.p),
+        }
+    }
 }
 
 /// Execution backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
-    /// Virtual message-passing cluster (prints virtual timings).
-    Cluster,
+    /// The engine run directly on the whole set.
+    Sequential,
     /// Shared-memory rayon pipeline.
     Rayon,
+    /// Virtual message-passing cluster (prints virtual timings).
+    Distributed,
 }
 
 /// Options of `sad generate`.
@@ -105,8 +128,9 @@ impl std::fmt::Display for ParseError {
 /// Usage text.
 pub const USAGE: &str = "\
 usage: sad <command> [options]
-  align <in.fasta> [--p N] [--engine muscle-fast|muscle|clustalw]
-                   [--backend cluster|rayon] [--no-fine-tune]
+  align <in.fasta> [--backend sequential|rayon|distributed] [--p N]
+                   [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
+                   [--engine muscle-fast|muscle|clustalw]
   generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]
   scaling  [--n N] [--procs 1,4,8,16]
   eval     [--cases C] [--p N]
@@ -125,12 +149,7 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseError>
 }
 
 fn parse_engine(v: &str) -> Result<EngineChoice, ParseError> {
-    match v {
-        "muscle-fast" => Ok(EngineChoice::MuscleFast),
-        "muscle" => Ok(EngineChoice::MuscleStandard),
-        "clustalw" => Ok(EngineChoice::Clustal),
-        _ => Err(ParseError(format!("unknown engine {v:?}"))),
-    }
+    EngineChoice::from_label(v).ok_or_else(|| ParseError(format!("unknown engine {v:?}")))
 }
 
 /// Parse a full argument vector (without the binary name).
@@ -143,18 +162,30 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
             let mut a = AlignArgs {
                 input: String::new(),
                 p: 4,
+                threads: None,
+                nodes: None,
                 engine: EngineChoice::MuscleFast,
-                backend: Backend::Cluster,
+                backend: Backend::Distributed,
                 no_fine_tune: false,
+                kmer: None,
             };
             while let Some(tok) = it.next() {
                 match tok {
                     "--p" => a.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    "--kmer" => a.kmer = Some(parse_num("--kmer", take_value("--kmer", &mut it)?)?),
+                    "--threads" => {
+                        a.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
+                    }
+                    "--nodes" => {
+                        a.nodes = Some(parse_num("--nodes", take_value("--nodes", &mut it)?)?)
+                    }
                     "--engine" => a.engine = parse_engine(take_value("--engine", &mut it)?)?,
                     "--backend" => {
                         a.backend = match take_value("--backend", &mut it)? {
-                            "cluster" => Backend::Cluster,
+                            "sequential" => Backend::Sequential,
                             "rayon" => Backend::Rayon,
+                            // "cluster" kept as a pre-0.2 alias.
+                            "distributed" | "cluster" => Backend::Distributed,
                             other => return Err(ParseError(format!("unknown backend {other:?}"))),
                         }
                     }
@@ -166,8 +197,17 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 }
             }
             a.input = input.ok_or_else(|| ParseError("align needs an input file".into()))?;
-            if a.p == 0 {
-                return Err(ParseError("--p must be at least 1".into()));
+            if a.p == 0 || a.threads == Some(0) || a.nodes == Some(0) {
+                return Err(ParseError("--p/--threads/--nodes must be at least 1".into()));
+            }
+            if a.kmer == Some(0) {
+                return Err(ParseError("--kmer must be at least 1".into()));
+            }
+            if a.threads.is_some() && a.backend != Backend::Rayon {
+                return Err(ParseError("--threads only applies to --backend rayon".into()));
+            }
+            if a.nodes.is_some() && a.backend != Backend::Distributed {
+                return Err(ParseError("--nodes only applies to --backend distributed".into()));
             }
             Ok(Args { command: Command::Align(a) })
         }
@@ -254,7 +294,8 @@ mod tests {
                 assert_eq!(a.input, "in.fa");
                 assert_eq!(a.p, 4);
                 assert_eq!(a.engine, EngineChoice::MuscleFast);
-                assert_eq!(a.backend, Backend::Cluster);
+                assert_eq!(a.backend, Backend::Distributed);
+                assert_eq!(a.parallelism(), 4);
                 assert!(!a.no_fine_tune);
             }
             _ => panic!("wrong command"),
@@ -286,6 +327,58 @@ mod tests {
     fn align_requires_input() {
         assert!(parse(["align"]).is_err());
         assert!(parse(["align", "--p", "4"]).is_err());
+    }
+
+    #[test]
+    fn backend_selection_and_width_flags() {
+        let a = parse(["align", "x.fa", "--backend", "sequential"]).unwrap();
+        match a.command {
+            Command::Align(a) => {
+                assert_eq!(a.backend, Backend::Sequential);
+                assert_eq!(a.parallelism(), 1);
+            }
+            _ => panic!("wrong command"),
+        }
+        let a = parse(["align", "x.fa", "--backend", "rayon", "--threads", "6"]).unwrap();
+        match a.command {
+            Command::Align(a) => {
+                assert_eq!(a.threads, Some(6));
+                assert_eq!(a.parallelism(), 6);
+            }
+            _ => panic!("wrong command"),
+        }
+        let a = parse(["align", "x.fa", "--backend", "distributed", "--nodes", "8"]).unwrap();
+        match a.command {
+            Command::Align(a) => {
+                assert_eq!(a.nodes, Some(8));
+                assert_eq!(a.parallelism(), 8);
+            }
+            _ => panic!("wrong command"),
+        }
+        // "cluster" stays as a pre-0.2 alias for distributed.
+        let a = parse(["align", "x.fa", "--backend", "cluster"]).unwrap();
+        match a.command {
+            Command::Align(a) => assert_eq!(a.backend, Backend::Distributed),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn kmer_override_parses_and_rejects_zero() {
+        let a = parse(["align", "x.fa", "--kmer", "2"]).unwrap();
+        match a.command {
+            Command::Align(a) => assert_eq!(a.kmer, Some(2)),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["align", "x.fa", "--kmer", "0"]).is_err());
+    }
+
+    #[test]
+    fn width_flags_must_match_backend() {
+        assert!(parse(["align", "x.fa", "--threads", "4"]).is_err());
+        assert!(parse(["align", "x.fa", "--backend", "rayon", "--nodes", "4"]).is_err());
+        assert!(parse(["align", "x.fa", "--backend", "rayon", "--threads", "0"]).is_err());
+        assert!(parse(["align", "x.fa", "--nodes", "0"]).is_err());
     }
 
     #[test]

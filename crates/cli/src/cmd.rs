@@ -4,7 +4,7 @@ use crate::args::{AlignArgs, Backend, EvalArgs, GenerateArgs, RankArgs, ScalingA
 use bioseq::{fasta, Sequence};
 use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
 use rosegen::{Family, FamilyConfig};
-use sad_core::{rank_experiment, run_distributed, run_rayon, SadConfig};
+use sad_core::{rank_experiment, Aligner, Backend as SadBackend, RunReport, SadConfig};
 use std::io::Write;
 use vcluster::{CostModel, VirtualCluster};
 
@@ -22,36 +22,42 @@ fn read_fasta(path: &str) -> Result<Vec<Sequence>, String> {
 /// `sad align`
 pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
     let seqs = read_fasta(&a.input)?;
-    let cfg = SadConfig { engine: a.engine, fine_tune: !a.no_fine_tune, ..Default::default() };
-    let msa = match a.backend {
-        Backend::Cluster => {
-            let cluster = VirtualCluster::new(a.p, CostModel::beowulf_2008());
-            let run = run_distributed(&cluster, &seqs, &cfg);
-            writeln!(
-                out,
-                "; {} sequences on {} virtual ranks: {:.3} virtual s, load imbalance {:.2}",
-                seqs.len(),
-                a.p,
-                run.makespan,
-                run.load_imbalance()
-            )
-            .ok();
-            run.msa
-        }
-        Backend::Rayon => {
-            let run = run_rayon(&seqs, a.p, &cfg);
-            writeln!(
-                out,
-                "; {} sequences in {} buckets (rayon), total work {} units",
-                seqs.len(),
-                a.p,
-                run.work.total_units()
-            )
-            .ok();
-            run.msa
+    let mut cfg = SadConfig::default().with_engine(a.engine).with_fine_tune(!a.no_fine_tune);
+    if let Some(k) = a.kmer {
+        cfg = cfg.with_kmer_k(k);
+    }
+    // Fail loudly (typed) rather than silently degrading short sequences;
+    // `--kmer` lowers k below the shortest sequence when inputs are short.
+    cfg.validate_for(&seqs).map_err(|e| e.to_string())?;
+    let backend = match a.backend {
+        Backend::Sequential => SadBackend::Sequential,
+        Backend::Rayon => SadBackend::Rayon { threads: a.parallelism() },
+        Backend::Distributed => {
+            SadBackend::Distributed(VirtualCluster::new(a.parallelism(), CostModel::beowulf_2008()))
         }
     };
-    write!(out, "{}", fasta::write_alignment(&msa)).map_err(|e| e.to_string())
+    let report = Aligner::new(cfg).backend(backend).run(&seqs).map_err(|e| e.to_string())?;
+    write_report_comments(&report, seqs.len(), out);
+    write!(out, "{}", fasta::write_alignment(&report.msa)).map_err(|e| e.to_string())
+}
+
+/// The unified run summary, written as FASTA `;` comment lines so the
+/// stream stays parseable whatever the backend.
+fn write_report_comments(report: &RunReport, n_seqs: usize, out: Out) {
+    let mut head = format!(
+        "; backend {}: {} sequences over {} ranks, load imbalance {:.2}",
+        report.backend_name(),
+        n_seqs,
+        report.ranks,
+        report.load_imbalance()
+    );
+    if let Some(makespan) = report.makespan() {
+        head.push_str(&format!(", {makespan:.3} virtual s"));
+    }
+    writeln!(out, "{head}").ok();
+    for line in report.phase_table().lines() {
+        writeln!(out, "; {line}").ok();
+    }
 }
 
 /// `sad generate`
@@ -84,14 +90,18 @@ pub fn scaling(s: ScalingArgs, out: Out) -> Result<(), String> {
     let mut t1: Option<f64> = None;
     for &p in &s.procs {
         let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &fam.seqs, &cfg);
-        let base = *t1.get_or_insert(run.makespan);
+        let run = Aligner::new(cfg.clone())
+            .backend(SadBackend::Distributed(cluster))
+            .run(&fam.seqs)
+            .map_err(|e| e.to_string())?;
+        let makespan = run.makespan().expect("distributed runs have a makespan");
+        let base = *t1.get_or_insert(makespan);
         writeln!(
             out,
             "{:>5} {:>12.3} {:>10.2} {:>12}",
             p,
-            run.makespan,
-            base / run.makespan,
+            makespan,
+            base / makespan,
             run.bucket_sizes.iter().max().unwrap()
         )
         .ok();
@@ -115,7 +125,11 @@ pub fn eval(e: EvalArgs, out: Out) -> Result<(), String> {
         evaluate_engine(&align::ClustalLite::default(), &benchmark),
         evaluate_with(format!("sample-align-d(p={})", e.p), &benchmark, |seqs| {
             let cluster = VirtualCluster::new(e.p, CostModel::beowulf_2008());
-            (run_distributed(&cluster, seqs, &cfg).msa, bioseq::Work::ZERO)
+            let report = Aligner::new(cfg.clone())
+                .backend(SadBackend::Distributed(cluster))
+                .run(seqs)
+                .expect("benchmark cases are valid inputs");
+            (report.msa, report.work)
         }),
     ];
     writeln!(out, "{:<24} {:>8} {:>8}", "method", "Q", "TC").ok();
@@ -161,7 +175,8 @@ mod tests {
         let fasta_text = run_str(&["generate", "--n", "12", "--len", "50", "--seed", "3"]);
         std::fs::write(&input, &fasta_text).unwrap();
         let out = run_str(&["align", input.to_str().unwrap(), "--p", "3"]);
-        assert!(out.contains("virtual ranks"));
+        assert!(out.contains("backend distributed"));
+        assert!(out.contains("virtual s"));
         // Output body parses as an alignment with all 12 rows.
         let body: String =
             out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
@@ -170,12 +185,44 @@ mod tests {
     }
 
     #[test]
-    fn rayon_backend_runs() {
+    fn short_sequences_need_and_accept_a_kmer_override() {
         let dir = tmpdir();
-        let input = dir.join("ray.fa");
+        let input = dir.join("short.fa");
+        std::fs::write(&input, ">a\nMKVL\n>b\nMKIL\n>c\nMKVI\n").unwrap();
+        let path = input.to_str().unwrap();
+        // Default k = 6 exceeds the 4-residue sequences: typed error.
+        let args = parse(["align", path]).unwrap();
+        let mut buf = Vec::new();
+        let err = crate::run(args, &mut buf).unwrap_err();
+        assert!(err.contains("kmer_k"), "{err}");
+        // Lowering k via --kmer aligns the file.
+        let out = run_str(&["align", path, "--kmer", "2", "--p", "2"]);
+        let body: String =
+            out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+        assert_eq!(fasta::parse_alignment(&body).unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn every_backend_prints_the_unified_phase_table() {
+        let dir = tmpdir();
+        let input = dir.join("backends.fa");
         std::fs::write(&input, run_str(&["generate", "--n", "8", "--len", "40"])).unwrap();
-        let out = run_str(&["align", input.to_str().unwrap(), "--backend", "rayon"]);
-        assert!(out.contains("rayon"));
+        let path = input.to_str().unwrap();
+        for (backend, width_flag) in
+            [("sequential", None), ("rayon", Some("--threads")), ("distributed", Some("--nodes"))]
+        {
+            let mut argv = vec!["align", path, "--backend", backend];
+            if let Some(flag) = width_flag {
+                argv.extend(["--p", "8", flag, "2"]);
+            }
+            let out = run_str(&argv);
+            assert!(out.contains(&format!("backend {backend}")), "{backend}:\n{out}");
+            assert!(out.contains("; phase"), "{backend} lost the phase table:\n{out}");
+            assert!(out.contains("8-local-align"), "{backend} phase rows:\n{out}");
+            let body: String =
+                out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+            assert_eq!(fasta::parse_alignment(&body).unwrap().num_rows(), 8, "{backend}");
+        }
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! Subcommands:
 //!
-//! * `sad align <in.fasta>` — align a FASTA file, write gapped FASTA to
-//!   stdout (`--p`, `--engine`, `--no-fine-tune`, `--backend`);
+//! * `sad align <in.fasta>` — align a FASTA file, write gapped FASTA plus
+//!   the unified per-phase report to stdout
+//!   (`--backend sequential|rayon|distributed`, `--p`, `--threads`,
+//!   `--nodes`, `--engine`, `--no-fine-tune`, `--kmer`);
 //! * `sad generate` — emit a rose-style synthetic family as FASTA
 //!   (`--n`, `--len`, `--relatedness`, `--seed`, `--reference <path>`);
 //! * `sad scaling` — print a Fig. 4/5-style scaling table (`--n`,

@@ -8,8 +8,8 @@
 //! fits empirical scaling exponents across a sweep of `(N, p)` so the
 //! analysis can be checked rather than trusted.
 
+use crate::aligner::{Aligner, Backend};
 use crate::config::SadConfig;
-use crate::distributed::run_distributed;
 use bioseq::Sequence;
 use vcluster::{trace::phase_summary, CostModel, VirtualCluster};
 
@@ -42,16 +42,20 @@ pub fn sweep_n(
         .map(|&n| {
             let seqs = workload(n);
             let cluster = VirtualCluster::new(p, cost);
-            let run = run_distributed(&cluster, &seqs, cfg);
+            let run = Aligner::new(cfg.clone())
+                .backend(Backend::Distributed(cluster))
+                .run(&seqs)
+                .expect("audit sweeps use valid inputs");
+            let traces = run.traces().expect("distributed runs carry traces");
             AuditPoint {
                 n,
                 p,
-                phases: phase_summary(&run.traces)
+                phases: phase_summary(traces)
                     .into_iter()
                     .map(|(name, max, _)| (name, max))
                     .collect(),
-                makespan: run.makespan,
-                bytes: run.traces.iter().map(|t| t.bytes_sent).sum(),
+                makespan: run.makespan().expect("distributed runs have a makespan"),
+                bytes: traces.iter().map(|t| t.bytes_sent).sum(),
             }
         })
         .collect()

@@ -1,11 +1,17 @@
 //! Sample-Align-D configuration.
 
+use crate::error::SadError;
 use align::EngineChoice;
-use bioseq::{CompressedAlphabet, GapPenalties, RankTransform, SubstMatrix};
+use bioseq::{CompressedAlphabet, GapPenalties, RankTransform, Sequence, SubstMatrix};
 use serde::Serialize;
 
 /// All knobs of the Sample-Align-D pipeline.
+///
+/// Marked `#[non_exhaustive]`: construct with [`SadConfig::default`] and
+/// customise through the `with_*` builder setters, so new knobs are not
+/// breaking changes. Fields stay public for reading.
 #[derive(Debug, Clone, Serialize)]
+#[non_exhaustive]
 pub struct SadConfig {
     /// k-mer length for rank computation (paper/MUSCLE default 6).
     pub kmer_k: usize,
@@ -44,9 +50,90 @@ impl Default for SadConfig {
 }
 
 impl SadConfig {
+    /// Set the k-mer length for rank computation.
+    pub fn with_kmer_k(mut self, k: usize) -> Self {
+        self.kmer_k = k;
+        self
+    }
+
+    /// Set the compressed alphabet for k-mer counting.
+    pub fn with_alphabet(mut self, alphabet: CompressedAlphabet) -> Self {
+        self.alphabet = alphabet;
+        self
+    }
+
+    /// Set the rank transform.
+    pub fn with_rank_transform(mut self, transform: RankTransform) -> Self {
+        self.rank_transform = transform;
+        self
+    }
+
+    /// Set an explicit per-rank sample count (`None` restores the
+    /// paper's `p − 1` default).
+    pub fn with_samples_per_rank(mut self, samples: Option<usize>) -> Self {
+        self.samples_per_rank = samples;
+        self
+    }
+
+    /// Select the sequential MSA engine run inside each processor.
+    pub fn with_engine(mut self, engine: EngineChoice) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enable or disable the ancestor-constrained fine-tuning + glue.
+    pub fn with_fine_tune(mut self, fine_tune: bool) -> Self {
+        self.fine_tune = fine_tune;
+        self
+    }
+
+    /// Set the substitution matrix for ancestor alignment and fine-tuning.
+    pub fn with_matrix(mut self, matrix: SubstMatrix) -> Self {
+        self.matrix = matrix;
+        self
+    }
+
+    /// Set the gap penalties for ancestor alignment and fine-tuning.
+    pub fn with_gaps(mut self, gaps: GapPenalties) -> Self {
+        self.gaps = gaps;
+        self
+    }
+
     /// Effective sample count per rank for a cluster of `p`.
     pub fn samples_for(&self, p: usize) -> usize {
         self.samples_per_rank.unwrap_or_else(|| p.saturating_sub(1)).max(1)
+    }
+
+    /// Check the configuration's internal consistency: `kmer_k` must be
+    /// positive and an explicit `samples_per_rank` must be positive.
+    /// Called by [`crate::Aligner::run`] before the pipeline starts.
+    pub fn validate(&self) -> Result<(), SadError> {
+        if self.kmer_k == 0 {
+            return Err(SadError::ZeroKmerLen);
+        }
+        if self.samples_per_rank == Some(0) {
+            return Err(SadError::ZeroSampleCount);
+        }
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate) plus input-dependent checks: at least
+    /// two sequences, and `kmer_k` shorter than the shortest sequence.
+    ///
+    /// The pipeline itself tolerates over-long `k` by degrading the
+    /// offending sequences to k = 1 profiles (they rank as outliers);
+    /// callers that would rather fail loudly — the CLI does — use this
+    /// strict form.
+    pub fn validate_for(&self, seqs: &[Sequence]) -> Result<(), SadError> {
+        self.validate()?;
+        if seqs.len() < 2 {
+            return Err(SadError::TooFewSequences { found: seqs.len() });
+        }
+        let shortest = seqs.iter().map(Sequence::len).min().expect("non-empty");
+        if self.kmer_k >= shortest {
+            return Err(SadError::KmerExceedsShortest { k: self.kmer_k, shortest });
+        }
+        Ok(())
     }
 }
 
@@ -63,8 +150,65 @@ mod tests {
 
     #[test]
     fn explicit_sample_count_wins() {
-        let cfg = SadConfig { samples_per_rank: Some(5), ..Default::default() };
+        let cfg = SadConfig::default().with_samples_per_rank(Some(5));
         assert_eq!(cfg.samples_for(16), 5);
+    }
+
+    #[test]
+    fn builder_setters_cover_every_knob() {
+        let cfg = SadConfig::default()
+            .with_kmer_k(4)
+            .with_alphabet(CompressedAlphabet::Identity)
+            .with_rank_transform(RankTransform::Linear)
+            .with_samples_per_rank(Some(3))
+            .with_engine(EngineChoice::Clustal)
+            .with_fine_tune(false)
+            .with_matrix(SubstMatrix::blosum62())
+            .with_gaps(GapPenalties::default());
+        assert_eq!(cfg.kmer_k, 4);
+        assert_eq!(cfg.samples_per_rank, Some(3));
+        assert_eq!(cfg.engine, EngineChoice::Clustal);
+        assert!(!cfg.fine_tune);
+    }
+
+    #[test]
+    fn validate_accepts_the_default() {
+        assert_eq!(SadConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_kmer() {
+        assert_eq!(SadConfig::default().with_kmer_k(0).validate(), Err(SadError::ZeroKmerLen));
+    }
+
+    #[test]
+    fn validate_rejects_zero_sample_count() {
+        assert_eq!(
+            SadConfig::default().with_samples_per_rank(Some(0)).validate(),
+            Err(SadError::ZeroSampleCount)
+        );
+    }
+
+    #[test]
+    fn validate_for_rejects_overlong_kmer() {
+        let seqs =
+            vec![Sequence::from_codes("a", vec![0, 1, 2]), Sequence::from_codes("b", vec![3; 10])];
+        let err = SadConfig::default().validate_for(&seqs).unwrap_err();
+        assert_eq!(err, SadError::KmerExceedsShortest { k: 6, shortest: 3 });
+        assert_eq!(SadConfig::default().with_kmer_k(2).validate_for(&seqs), Ok(()));
+    }
+
+    #[test]
+    fn validate_for_rejects_degenerate_inputs() {
+        let one = vec![Sequence::from_codes("a", vec![0; 20])];
+        assert_eq!(
+            SadConfig::default().validate_for(&[]),
+            Err(SadError::TooFewSequences { found: 0 })
+        );
+        assert_eq!(
+            SadConfig::default().validate_for(&one),
+            Err(SadError::TooFewSequences { found: 1 })
+        );
     }
 
     #[test]

@@ -6,53 +6,47 @@
 
 use crate::ancestor::{anchor_to_ancestor, glue_anchored, glue_block_diagonal};
 use crate::config::SadConfig;
+use crate::error::SadError;
 use crate::messages::{AnchoredBlockMsg, MaybeSeq, MsaBlockMsg, RankedSeq};
+use crate::report::{BackendExtras, PhaseStat, RunReport};
 use align::consensus::consensus_sequence;
 use bioseq::kmer::{self, KmerProfile};
 use bioseq::{Msa, Sequence, Work};
-use vcluster::{Node, RankTrace, VirtualCluster};
+use std::collections::HashMap;
+use vcluster::{Node, VirtualCluster};
 
 /// A batch of sequences for the sample all-gather.
 use crate::messages::SeqBatch;
 
-/// The outcome of one distributed run.
-#[derive(Debug)]
-pub struct SadRun {
-    /// The assembled global alignment (gathered at the root).
-    pub msa: Msa,
-    /// Virtual wall-clock of the run (seconds).
-    pub makespan: f64,
-    /// Per-rank execution traces (phases, bytes, clocks).
-    pub traces: Vec<RankTrace>,
-    /// Post-redistribution bucket sizes, indexed by rank.
-    pub bucket_sizes: Vec<usize>,
-}
-
-impl SadRun {
-    /// The per-phase timing table (max/mean across ranks).
-    pub fn phase_table(&self) -> String {
-        vcluster::trace::phase_table(&self.traces)
-    }
-
-    /// Load imbalance: largest bucket relative to the perfect share.
-    pub fn load_imbalance(&self) -> f64 {
-        let n: usize = self.bucket_sizes.iter().sum();
-        let max = self.bucket_sizes.iter().copied().max().unwrap_or(0);
-        if n == 0 {
-            return 1.0;
-        }
-        max as f64 / (n as f64 / self.bucket_sizes.len() as f64)
-    }
-}
-
-/// Run Sample-Align-D on a virtual cluster. `seqs` plays the role of the
-/// pre-staged input files (the paper stages shards on each node's disk
-/// before timing starts, so the initial slice is free here too).
+/// Run Sample-Align-D on a virtual cluster.
 ///
-/// # Panics
-/// Panics if `seqs` is empty or ids are not unique.
-pub fn run_distributed(cluster: &VirtualCluster, seqs: &[Sequence], cfg: &SadConfig) -> SadRun {
-    assert!(!seqs.is_empty(), "cannot align an empty set");
+/// Deprecated shim over the [`crate::Aligner`] builder. The name and
+/// argument order match the 0.1 entry point, but the return type changed:
+/// `SadRun` is gone, and degenerate input yields a typed [`SadError`]
+/// instead of the old behaviour (panic on empty input, trivial one-row
+/// alignment for a single sequence). See the README migration table.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Aligner::new(cfg).backend(Backend::Distributed(cluster.clone())).run(seqs)`"
+)]
+pub fn run_distributed(
+    cluster: &VirtualCluster,
+    seqs: &[Sequence],
+    cfg: &SadConfig,
+) -> Result<RunReport, SadError> {
+    crate::Aligner::new(cfg.clone()).backend(crate::Backend::Distributed(cluster.clone())).run(seqs)
+}
+
+/// The message-passing pipeline. `seqs` plays the role of the pre-staged
+/// input files (the paper stages shards on each node's disk before timing
+/// starts, so the initial slice is free here too). Input validation
+/// happens in [`crate::Aligner::run`].
+pub(crate) fn distributed_pipeline(
+    cluster: &VirtualCluster,
+    seqs: &[Sequence],
+    cfg: &SadConfig,
+) -> RunReport {
+    debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
     debug_assert_eq!(
         seqs.iter().map(|s| s.id.as_str()).collect::<std::collections::HashSet<_>>().len(),
         seqs.len(),
@@ -61,17 +55,35 @@ pub fn run_distributed(cluster: &VirtualCluster, seqs: &[Sequence], cfg: &SadCon
     let run = cluster.run(|node| sad_node(node, seqs, cfg));
     let mut msa: Option<Msa> = None;
     let mut bucket_sizes = Vec::with_capacity(run.results.len());
-    for (rank_msa, bucket) in run.results {
-        if let Some(m) = rank_msa {
+    let mut work = Work::ZERO;
+    let mut by_phase: HashMap<&'static str, Work> = HashMap::new();
+    for outcome in run.results {
+        if let Some(m) = outcome.msa {
             msa = Some(m);
         }
-        bucket_sizes.push(bucket);
+        bucket_sizes.push(outcome.bucket);
+        for (name, w) in outcome.phase_work {
+            *by_phase.entry(name).or_insert(Work::ZERO) += w;
+            work += w;
+        }
     }
-    SadRun {
+    // Phase order and timings come from the traces; work from the nodes.
+    let phases: Vec<PhaseStat> = vcluster::trace::phase_summary(&run.traces)
+        .into_iter()
+        .map(|(name, max, _mean)| PhaseStat {
+            work: by_phase.get(name.as_str()).copied().unwrap_or(Work::ZERO),
+            name,
+            seconds: Some(max),
+        })
+        .collect();
+    RunReport {
         msa: msa.expect("root assembled the alignment"),
-        makespan: run.makespan,
-        traces: run.traces,
+        work,
+        phases,
         bucket_sizes,
+        ranks: cluster.p(),
+        samples_per_rank: cfg.samples_for(cluster.p()),
+        extras: BackendExtras::Distributed { makespan: run.makespan, traces: run.traces },
     }
 }
 
@@ -81,12 +93,18 @@ fn profile_of(seq: &Sequence, cfg: &SadConfig) -> KmerProfile {
         .unwrap_or_else(|| KmerProfile::build(seq, 1, cfg.alphabet).expect("k=1 always works"))
 }
 
-fn sort_work(n: usize) -> Work {
-    Work::sort((n.max(2) as f64 * (n.max(2) as f64).log2()).ceil() as u64)
+/// What one rank hands back to the assembler.
+struct NodeOutcome {
+    /// The root's assembled alignment (`None` on non-root ranks).
+    msa: Option<Msa>,
+    /// This rank's post-redistribution bucket size.
+    bucket: usize,
+    /// Work performed, attributed to pipeline phases.
+    phase_work: Vec<(&'static str, Work)>,
 }
 
-/// One rank's program. Returns (root's assembled alignment, bucket size).
-fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>, usize) {
+/// One rank's program.
+fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome {
     let p = node.size();
     let rank = node.rank();
     let n = all_seqs.len();
@@ -94,6 +112,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     let lo = (rank * chunk).min(n);
     let hi = ((rank + 1) * chunk).min(n);
     let mut local: Vec<Sequence> = all_seqs[lo..hi].to_vec();
+    let mut phase_work: Vec<(&'static str, Work)> = Vec::new();
 
     // Steps 1–2: local k-mer rank and local sort.
     node.phase_start("1-local-kmer-rank");
@@ -103,6 +122,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     let local_ranks: Vec<f64> =
         profs.iter().map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w)).collect();
     node.compute(w);
+    phase_work.push(("1-local-kmer-rank", w));
     node.phase_end();
 
     node.phase_start("2-local-sort");
@@ -110,7 +130,9 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     order.sort_by(|&a, &b| local_ranks[a].total_cmp(&local_ranks[b]));
     local = order.iter().map(|&i| local[i].clone()).collect();
     profs = order.iter().map(|&i| profs[i].clone()).collect();
-    node.compute(sort_work(local.len()));
+    let w = psrs::sort_work(local.len());
+    node.compute(w);
+    phase_work.push(("2-local-sort", w));
     node.phase_end();
 
     // Steps 3–4: regular sampling and sample exchange.
@@ -134,6 +156,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
         .map(|pr| kmer::kmer_rank(pr, &sample_profiles, cfg.rank_transform, &mut w))
         .collect();
     node.compute(w);
+    phase_work.push(("5-globalized-rank", w));
     node.phase_end();
 
     // Steps 6–7: PSRS redistribution on the globalized rank.
@@ -141,6 +164,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     let items: Vec<RankedSeq> =
         local.into_iter().zip(granks).map(|(seq, rank)| RankedSeq { seq, rank }).collect();
     let out = psrs::psrs(node, items, |r| r.rank);
+    phase_work.push(("6-redistribute", out.work));
     let bucket: Vec<Sequence> = out.items.into_iter().map(|r| r.seq).collect();
     let bucket_size = bucket.len();
     node.phase_end();
@@ -153,13 +177,14 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     } else {
         let (msa, work) = engine.align_with_work(&bucket);
         node.compute(work);
+        phase_work.push(("8-local-align", work));
         Some(msa)
     };
     node.phase_end();
 
     // Degenerate paths: single rank, or fine-tuning disabled.
     if p == 1 {
-        return (local_msa, bucket_size);
+        return NodeOutcome { msa: local_msa, bucket: bucket_size, phase_work };
     }
     if !cfg.fine_tune {
         node.phase_start("12-glue");
@@ -173,10 +198,11 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
                 glue_block_diagonal(&present, &mut w)
             };
             node.compute(w);
+            phase_work.push(("12-glue", w));
             glued
         });
         node.phase_end();
-        return (result, bucket_size);
+        return NodeOutcome { msa: result, bucket: bucket_size, phase_work };
     }
 
     // Step 9: local ancestor extraction.
@@ -185,11 +211,13 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
     let local_anc: Option<Sequence> =
         local_msa.as_ref().map(|msa| consensus_sequence(msa, format!("local-anc-{rank}"), &mut w));
     node.compute(w);
+    phase_work.push(("9-local-ancestor", w));
     node.phase_end();
 
     // Step 10: global ancestor at the root, broadcast to everyone.
     node.phase_start("10-global-ancestor");
     let gathered = node.gather(0, MaybeSeq(local_anc));
+    let mut ga_work = Work::ZERO;
     let ga_msg: MaybeSeq = node.broadcast(
         0,
         gathered.map(|list| {
@@ -200,15 +228,18 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
             } else {
                 let (anc_msa, work) = engine.align_with_work(&ancestors);
                 node.compute(work);
+                ga_work += work;
                 let mut w = Work::ZERO;
                 let ga = consensus_sequence(&anc_msa, "global-ancestor", &mut w);
                 node.compute(w);
+                ga_work += w;
                 ga
             };
             MaybeSeq(Some(ga))
         }),
     );
     let ga = ga_msg.0.expect("global ancestor broadcast");
+    phase_work.push(("10-global-ancestor", ga_work));
     node.phase_end();
 
     // Step 11: constrained fine-tuning against the global ancestor.
@@ -217,6 +248,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
         let mut w = Work::ZERO;
         let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, &mut w);
         node.compute(w);
+        phase_work.push(("11-fine-tune", w));
         b
     });
     node.phase_end();
@@ -229,15 +261,17 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> (Option<Msa>
         let mut w = Work::ZERO;
         let glued = glue_anchored(ga.len(), &present, &mut w);
         node.compute(w);
+        phase_work.push(("12-glue", w));
         glued
     });
     node.phase_end();
-    (result, bucket_size)
+    NodeOutcome { msa: result, bucket: bucket_size, phase_work }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Aligner, Backend};
     use rosegen::{Family, FamilyConfig};
     use std::collections::HashMap;
     use vcluster::CostModel;
@@ -253,8 +287,9 @@ mod tests {
         .seqs
     }
 
-    fn cluster(p: usize) -> VirtualCluster {
-        VirtualCluster::new(p, CostModel::beowulf_2008())
+    fn run(p: usize, seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+        Aligner::new(cfg.clone()).backend(Backend::Distributed(cluster)).run(seqs).unwrap()
     }
 
     fn check_complete(result: &Msa, input: &[Sequence]) {
@@ -271,20 +306,21 @@ mod tests {
     #[test]
     fn end_to_end_small() {
         let seqs = family(24, 60, 1);
-        let run = run_distributed(&cluster(4), &seqs, &SadConfig::default());
-        check_complete(&run.msa, &seqs);
-        assert_eq!(run.bucket_sizes.iter().sum::<usize>(), 24);
-        assert!(run.makespan > 0.0);
+        let report = run(4, &seqs, &SadConfig::default());
+        check_complete(&report.msa, &seqs);
+        assert_eq!(report.bucket_sizes.iter().sum::<usize>(), 24);
+        assert!(report.makespan().unwrap() > 0.0);
     }
 
     #[test]
     fn deterministic() {
         let seqs = family(16, 50, 2);
-        let a = run_distributed(&cluster(4), &seqs, &SadConfig::default());
-        let b = run_distributed(&cluster(4), &seqs, &SadConfig::default());
+        let a = run(4, &seqs, &SadConfig::default());
+        let b = run(4, &seqs, &SadConfig::default());
         assert_eq!(a.msa, b.msa);
-        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.makespan(), b.makespan());
         assert_eq!(a.bucket_sizes, b.bucket_sizes);
+        assert_eq!(a.work, b.work);
     }
 
     #[test]
@@ -292,32 +328,49 @@ mod tests {
         // With one rank the pipeline degenerates to "sort by rank, then run
         // the engine once" — same sequences, one bucket, no glue artifacts.
         let seqs = family(10, 50, 3);
-        let run = run_distributed(&cluster(1), &seqs, &SadConfig::default());
-        check_complete(&run.msa, &seqs);
-        assert_eq!(run.bucket_sizes, vec![10]);
+        let report = run(1, &seqs, &SadConfig::default());
+        check_complete(&report.msa, &seqs);
+        assert_eq!(report.bucket_sizes, vec![10]);
     }
 
     #[test]
     fn more_ranks_than_sequences() {
         let seqs = family(3, 40, 4);
-        let run = run_distributed(&cluster(8), &seqs, &SadConfig::default());
-        check_complete(&run.msa, &seqs);
+        let report = run(8, &seqs, &SadConfig::default());
+        check_complete(&report.msa, &seqs);
     }
 
     #[test]
-    fn single_sequence() {
-        let seqs = family(1, 40, 5);
-        let run = run_distributed(&cluster(4), &seqs, &SadConfig::default());
-        assert_eq!(run.msa.num_rows(), 1);
+    #[allow(deprecated)]
+    fn shim_matches_aligner_and_rejects_degenerate_input() {
+        let seqs = family(12, 50, 5);
+        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+        let cfg = SadConfig::default();
+        let via_shim = run_distributed(&cluster, &seqs, &cfg).unwrap();
+        let via_builder = run(4, &seqs, &cfg);
+        assert_eq!(via_shim.msa, via_builder.msa);
+        assert_eq!(via_shim.bucket_sizes, via_builder.bucket_sizes);
+        // Degenerate inputs are now uniformly rejected: empty input used
+        // to panic in the bucketing code, a single sequence used to yield
+        // a trivial one-row alignment; both are TooFewSequences today.
+        let one = family(1, 40, 5);
+        assert_eq!(
+            run_distributed(&cluster, &one, &cfg).unwrap_err(),
+            SadError::TooFewSequences { found: 1 }
+        );
+        assert_eq!(
+            run_distributed(&cluster, &[], &cfg).unwrap_err(),
+            SadError::TooFewSequences { found: 0 }
+        );
     }
 
     #[test]
     fn fine_tune_beats_block_diagonal() {
         let seqs = family(20, 60, 6);
         let cfg_on = SadConfig::default();
-        let cfg_off = SadConfig { fine_tune: false, ..Default::default() };
-        let on = run_distributed(&cluster(4), &seqs, &cfg_on);
-        let off = run_distributed(&cluster(4), &seqs, &cfg_off);
+        let cfg_off = SadConfig::default().with_fine_tune(false);
+        let on = run(4, &seqs, &cfg_on);
+        let off = run(4, &seqs, &cfg_off);
         check_complete(&on.msa, &seqs);
         check_complete(&off.msa, &seqs);
         let m = &cfg_on.matrix;
@@ -332,16 +385,16 @@ mod tests {
     fn scaling_reduces_makespan() {
         // Large enough that the w² distance term dominates.
         let seqs = family(96, 60, 7);
-        let t1 = run_distributed(&cluster(1), &seqs, &SadConfig::default()).makespan;
-        let t4 = run_distributed(&cluster(4), &seqs, &SadConfig::default()).makespan;
+        let t1 = run(1, &seqs, &SadConfig::default()).makespan().unwrap();
+        let t4 = run(4, &seqs, &SadConfig::default()).makespan().unwrap();
         assert!(t4 < t1, "4 ranks ({t4:.4}s) should beat 1 rank ({t1:.4}s)");
     }
 
     #[test]
-    fn phases_present_in_trace() {
+    fn phases_present_in_report() {
         let seqs = family(12, 40, 8);
-        let run = run_distributed(&cluster(2), &seqs, &SadConfig::default());
-        let table = run.phase_table();
+        let report = run(2, &seqs, &SadConfig::default());
+        let table = report.phase_table();
         for phase in [
             "1-local-kmer-rank",
             "2-local-sort",
@@ -356,13 +409,20 @@ mod tests {
         ] {
             assert!(table.contains(phase), "missing phase {phase}:\n{table}");
         }
+        // Compute-bearing phases carry their work in the unified report.
+        let of = |name: &str| {
+            report.phases.iter().find(|p| p.name == name).map(|p| p.work).unwrap_or(Work::ZERO)
+        };
+        assert!(of("1-local-kmer-rank").kmer_ops > 0);
+        assert!(of("8-local-align").dp_cells > 0);
+        assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum::<Work>());
     }
 
     #[test]
     fn load_imbalance_reported() {
         let seqs = family(64, 50, 9);
-        let run = run_distributed(&cluster(4), &seqs, &SadConfig::default());
-        let imb = run.load_imbalance();
+        let report = run(4, &seqs, &SadConfig::default());
+        let imb = report.load_imbalance();
         assert!(imb >= 1.0);
         // Regular sampling bound: max ≤ 2·N/p ⇒ imbalance ≤ 2 (+ slack for
         // duplicate ranks in small samples).
@@ -372,8 +432,8 @@ mod tests {
     #[test]
     fn clustal_engine_works_too() {
         let seqs = family(12, 40, 10);
-        let cfg = SadConfig { engine: align::EngineChoice::Clustal, ..Default::default() };
-        let run = run_distributed(&cluster(3), &seqs, &cfg);
-        check_complete(&run.msa, &seqs);
+        let cfg = SadConfig::default().with_engine(align::EngineChoice::Clustal);
+        let report = run(3, &seqs, &cfg);
+        check_complete(&report.msa, &seqs);
     }
 }

@@ -18,26 +18,44 @@
 //!    constrained fine-tuning of Fig. 2) and **glue** the anchored buckets
 //!    into one global alignment at the root.
 //!
-//! Three interchangeable backends:
-//! * [`distributed`] — the real message-passing protocol over
+//! One entry point, three interchangeable backends: build an [`Aligner`]
+//! and pick a [`Backend`] —
+//!
+//! * [`Backend::Distributed`] — the real message-passing protocol over
 //!   [`vcluster`] (virtual Beowulf; deterministic virtual time);
-//! * [`rayon_impl`] — a shared-memory equivalent using rayon;
-//! * [`sequential`] — the engine run directly (the speedup baseline).
+//! * [`Backend::Rayon`] — a shared-memory equivalent using rayon;
+//! * [`Backend::Sequential`] — the engine run directly (the speedup
+//!   baseline).
+//!
+//! Every backend returns the same [`RunReport`]; failures are typed
+//! [`SadError`]s instead of panics. The pre-0.2 entry points
+//! (`run_distributed`, `run_rayon`, `run_sequential`) remain as
+//! deprecated shims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aligner;
 pub mod ancestor;
 pub mod audit;
 pub mod config;
 pub mod distributed;
+pub mod error;
 pub mod messages;
 pub mod rank;
 pub mod rayon_impl;
+pub mod report;
 pub mod sequential;
 
+pub use aligner::{Aligner, Backend};
 pub use config::SadConfig;
-pub use distributed::{run_distributed, SadRun};
+pub use error::SadError;
 pub use rank::{rank_experiment, RankExperiment};
+pub use report::{BackendExtras, PhaseStat, RunReport};
+
+#[allow(deprecated)]
+pub use distributed::run_distributed;
+#[allow(deprecated)]
 pub use rayon_impl::run_rayon;
+#[allow(deprecated)]
 pub use sequential::run_sequential;

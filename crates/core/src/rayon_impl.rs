@@ -7,37 +7,58 @@
 
 use crate::ancestor::{anchor_to_ancestor, glue_anchored, glue_block_diagonal};
 use crate::config::SadConfig;
+use crate::error::SadError;
+use crate::report::{BackendExtras, PhaseStat, RunReport};
 use align::consensus::consensus_sequence;
 use bioseq::kmer::{self, KmerProfile};
 use bioseq::{Msa, Sequence, Work};
 use rayon::prelude::*;
-
-/// Outcome of the shared-memory run.
-#[derive(Debug)]
-pub struct RayonOutcome {
-    /// The assembled alignment.
-    pub msa: Msa,
-    /// Total work performed (all buckets; the virtual-time analogue of
-    /// aggregate CPU time).
-    pub work: Work,
-    /// Bucket sizes after redistribution.
-    pub bucket_sizes: Vec<usize>,
-}
 
 fn profile_of(seq: &Sequence, cfg: &SadConfig) -> KmerProfile {
     KmerProfile::build(seq, cfg.kmer_k, cfg.alphabet)
         .unwrap_or_else(|| KmerProfile::build(seq, 1, cfg.alphabet).expect("k=1 always works"))
 }
 
+/// Close a pipeline phase: account its work and record the stat.
+fn phase(work: &mut Work, phases: &mut Vec<PhaseStat>, name: &str, w: Work) {
+    *work += w;
+    phases.push(PhaseStat { name: name.into(), work: w, seconds: None });
+}
+
 /// Run the pipeline with `p` logical buckets on the rayon pool.
 ///
-/// # Panics
-/// Panics if `seqs` is empty or `p == 0`.
-pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
-    assert!(!seqs.is_empty(), "cannot align an empty set");
-    assert!(p >= 1, "need at least one bucket");
+/// Deprecated shim over the [`crate::Aligner`] builder. The name and
+/// argument order match the 0.1 entry point, but the return type changed:
+/// `RayonOutcome` is gone, and degenerate input yields a typed
+/// [`SadError`] instead of the old behaviour (panic on empty input,
+/// trivial one-row alignment for a single sequence). See the README
+/// migration table.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Aligner::new(cfg).backend(Backend::Rayon { threads: p }).run(seqs)`"
+)]
+pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> Result<RunReport, SadError> {
+    crate::Aligner::new(cfg.clone()).backend(crate::Backend::Rayon { threads: p }).run(seqs)
+}
+
+/// The shared-memory pipeline. Input validation happens in
+/// [`crate::Aligner::run`].
+pub(crate) fn rayon_pipeline(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RunReport {
+    debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
+    debug_assert!(p >= 1, "Aligner::run rejects zero threads");
     let mut work = Work::ZERO;
+    let mut phases: Vec<PhaseStat> = Vec::new();
     let n = seqs.len();
+    let finish =
+        |msa: Msa, work: Work, phases: Vec<PhaseStat>, bucket_sizes: Vec<usize>| RunReport {
+            msa,
+            work,
+            phases,
+            bucket_sizes,
+            ranks: p,
+            samples_per_rank: cfg.samples_for(p),
+            extras: BackendExtras::Rayon { threads: p },
+        };
 
     // Emulate the per-rank sampling: split into p blocks, rank locally,
     // sort each block by its local rank (the distributed step 2) and pick
@@ -45,17 +66,18 @@ pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
     // break during redistribution, so it must match the cluster backend.
     let chunk = n.div_ceil(p);
     let k = cfg.samples_for(p);
-    let block_results: Vec<(Vec<usize>, Vec<usize>, Work)> = (0..p)
+    let block_results: Vec<(Vec<usize>, Vec<usize>, Work, Work)> = (0..p)
         .into_par_iter()
         .map(|b| {
             let lo = (b * chunk).min(n);
             let hi = ((b + 1) * chunk).min(n);
             let mut w = Work::ZERO;
             if lo >= hi {
-                return (Vec::new(), Vec::new(), w);
+                return (Vec::new(), Vec::new(), w, Work::ZERO);
             }
             let idx: Vec<usize> = (lo..hi).collect();
             let profs: Vec<KmerProfile> = idx.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
+            w.seq_bytes += idx.iter().map(|&i| seqs[i].len() as u64).sum::<u64>();
             let ranks: Vec<f64> = profs
                 .iter()
                 .map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w))
@@ -67,18 +89,24 @@ pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
             let kk = k.min(m);
             let samples: Vec<usize> =
                 (0..kk).map(|s| sorted_idx[(((s + 1) * m) / (kk + 1)).min(m - 1)]).collect();
-            (sorted_idx, samples, w)
+            // Same n log n sort accounting as the distributed step 2.
+            (sorted_idx, samples, w, psrs::sort_work(m))
         })
         .collect();
     let mut sample_indices: Vec<usize> = Vec::new();
     // Global order of entry into redistribution: blocks in rank order, each
     // block in its locally sorted order — exactly the distributed protocol.
     let mut entry_order: Vec<usize> = Vec::with_capacity(n);
-    for (sorted_idx, s, w) in block_results {
+    let mut rank_w = Work::ZERO;
+    let mut sort_w = Work::ZERO;
+    for (sorted_idx, s, w, sw) in block_results {
         entry_order.extend(sorted_idx);
         sample_indices.extend(s);
-        work += w;
+        rank_w += w;
+        sort_w += sw;
     }
+    phase(&mut work, &mut phases, "1-local-kmer-rank", rank_w);
+    phase(&mut work, &mut phases, "2-local-sort", sort_w);
     let sample_profiles: Vec<KmerProfile> =
         sample_indices.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
 
@@ -93,13 +121,16 @@ pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
         })
         .collect();
     let mut keyed: Vec<(usize, f64)> = Vec::with_capacity(n);
+    let mut grank_w = Work::ZERO;
     for (i, r, w) in ranked {
         keyed.push((i, r));
-        work += w;
+        grank_w += w;
     }
+    phase(&mut work, &mut phases, "5-globalized-rank", grank_w);
 
     // Sample-partition into p buckets by rank.
-    let buckets_idx = psrs::shared::sample_partition_by(keyed, p, |&(_, r)| r);
+    let (buckets_idx, psrs_w) = psrs::shared::sample_partition_by_with_work(keyed, p, |&(_, r)| r);
+    phase(&mut work, &mut phases, "6-redistribute", psrs_w);
     let bucket_sizes: Vec<usize> = buckets_idx.iter().map(Vec::len).collect();
     let buckets: Vec<Vec<Sequence>> =
         buckets_idx.iter().map(|b| b.iter().map(|&(i, _)| seqs[i].clone()).collect()).collect();
@@ -116,37 +147,42 @@ pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
         })
         .collect();
     let mut local_msas: Vec<Msa> = Vec::new();
+    let mut align_w = Work::ZERO;
     for entry in aligned.into_iter().flatten() {
         local_msas.push(entry.0);
-        work += entry.1;
+        align_w += entry.1;
     }
+    phase(&mut work, &mut phases, "8-local-align", align_w);
     assert!(!local_msas.is_empty());
 
     if p == 1 || local_msas.len() == 1 {
-        return RayonOutcome {
-            msa: local_msas.into_iter().next().expect("one bucket"),
-            work,
-            bucket_sizes,
-        };
+        let msa = local_msas.into_iter().next().expect("one bucket");
+        return finish(msa, work, phases, bucket_sizes);
     }
     if !cfg.fine_tune {
-        let msa = glue_block_diagonal(&local_msas, &mut work);
-        return RayonOutcome { msa, work, bucket_sizes };
+        let mut glue_w = Work::ZERO;
+        let msa = glue_block_diagonal(&local_msas, &mut glue_w);
+        phase(&mut work, &mut phases, "12-glue", glue_w);
+        return finish(msa, work, phases, bucket_sizes);
     }
 
     // Ancestors → global ancestor.
+    let mut anc_w = Work::ZERO;
     let ancestors: Vec<Sequence> = local_msas
         .iter()
         .enumerate()
-        .map(|(i, msa)| consensus_sequence(msa, format!("local-anc-{i}"), &mut work))
+        .map(|(i, msa)| consensus_sequence(msa, format!("local-anc-{i}"), &mut anc_w))
         .collect();
+    phase(&mut work, &mut phases, "9-local-ancestor", anc_w);
+    let mut ga_w = Work::ZERO;
     let ga = if ancestors.len() == 1 {
         ancestors.into_iter().next().expect("one ancestor")
     } else {
         let (anc_msa, w) = cfg.engine.build().align_with_work(&ancestors);
-        work += w;
-        consensus_sequence(&anc_msa, "global-ancestor", &mut work)
+        ga_w += w;
+        consensus_sequence(&anc_msa, "global-ancestor", &mut ga_w)
     };
+    phase(&mut work, &mut phases, "10-global-ancestor", ga_w);
 
     // Fine-tune each bucket against the global ancestor, in parallel.
     let blocks: Vec<(crate::messages::AnchoredBlockMsg, Work)> = local_msas
@@ -158,19 +194,25 @@ pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RayonOutcome {
         })
         .collect();
     let mut anchored = Vec::with_capacity(blocks.len());
+    let mut tune_w = Work::ZERO;
     for (b, w) in blocks {
         anchored.push(b);
-        work += w;
+        tune_w += w;
     }
-    let msa = glue_anchored(ga.len(), &anchored, &mut work);
-    RayonOutcome { msa, work, bucket_sizes }
+    phase(&mut work, &mut phases, "11-fine-tune", tune_w);
+    let mut glue_w = Work::ZERO;
+    let msa = glue_anchored(ga.len(), &anchored, &mut glue_w);
+    phase(&mut work, &mut phases, "12-glue", glue_w);
+    finish(msa, work, phases, bucket_sizes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Aligner, Backend};
     use rosegen::{Family, FamilyConfig};
     use std::collections::HashMap;
+    use vcluster::{CostModel, VirtualCluster};
 
     fn family(n: usize, seed: u64) -> Vec<Sequence> {
         Family::generate(&FamilyConfig {
@@ -181,6 +223,10 @@ mod tests {
             ..Default::default()
         })
         .seqs
+    }
+
+    fn run(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RunReport {
+        Aligner::new(cfg.clone()).backend(Backend::Rayon { threads: p }).run(seqs).unwrap()
     }
 
     fn check_complete(result: &Msa, input: &[Sequence]) {
@@ -196,27 +242,28 @@ mod tests {
     #[test]
     fn end_to_end() {
         let seqs = family(24, 1);
-        let out = run_rayon(&seqs, 4, &SadConfig::default());
-        check_complete(&out.msa, &seqs);
-        assert_eq!(out.bucket_sizes.iter().sum::<usize>(), 24);
-        assert!(!out.work.is_zero());
+        let report = run(&seqs, 4, &SadConfig::default());
+        check_complete(&report.msa, &seqs);
+        assert_eq!(report.bucket_sizes.iter().sum::<usize>(), 24);
+        assert!(!report.work.is_zero());
     }
 
     #[test]
     fn deterministic_despite_parallelism() {
         let seqs = family(20, 2);
-        let a = run_rayon(&seqs, 4, &SadConfig::default());
-        let b = run_rayon(&seqs, 4, &SadConfig::default());
+        let a = run(&seqs, 4, &SadConfig::default());
+        let b = run(&seqs, 4, &SadConfig::default());
         assert_eq!(a.msa, b.msa);
         assert_eq!(a.work, b.work);
+        assert_eq!(a.phases, b.phases);
     }
 
     #[test]
     fn p1_is_single_bucket() {
         let seqs = family(8, 3);
-        let out = run_rayon(&seqs, 1, &SadConfig::default());
-        check_complete(&out.msa, &seqs);
-        assert_eq!(out.bucket_sizes, vec![8]);
+        let report = run(&seqs, 1, &SadConfig::default());
+        check_complete(&report.msa, &seqs);
+        assert_eq!(report.bucket_sizes, vec![8]);
     }
 
     #[test]
@@ -225,9 +272,9 @@ mod tests {
         // backend.
         let seqs = family(32, 4);
         let cfg = SadConfig::default();
-        let ray = run_rayon(&seqs, 4, &cfg);
-        let cluster = vcluster::VirtualCluster::new(4, vcluster::CostModel::beowulf_2008());
-        let dist = crate::distributed::run_distributed(&cluster, &seqs, &cfg);
+        let ray = run(&seqs, 4, &cfg);
+        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+        let dist = Aligner::new(cfg).backend(Backend::Distributed(cluster)).run(&seqs).unwrap();
         assert_eq!(ray.bucket_sizes, dist.bucket_sizes);
         // And the same final alignment (pipelines are step-identical).
         assert_eq!(ray.msa, dist.msa);
@@ -236,18 +283,42 @@ mod tests {
     #[test]
     fn fine_tune_off_is_block_diagonal() {
         let seqs = family(16, 5);
-        let cfg = SadConfig { fine_tune: false, ..Default::default() };
-        let out = run_rayon(&seqs, 4, &cfg);
-        check_complete(&out.msa, &seqs);
+        let cfg = SadConfig::default().with_fine_tune(false);
+        let report = run(&seqs, 4, &cfg);
+        check_complete(&report.msa, &seqs);
     }
 
     #[test]
-    fn tiny_inputs() {
-        let seqs = family(1, 6);
-        let out = run_rayon(&seqs, 4, &SadConfig::default());
-        assert_eq!(out.msa.num_rows(), 1);
+    fn work_is_attributed_to_phases() {
+        let seqs = family(20, 6);
+        let report = run(&seqs, 4, &SadConfig::default());
+        assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum::<Work>());
+        let of = |name: &str| {
+            report.phases.iter().find(|p| p.name == name).map(|p| p.work).unwrap_or(Work::ZERO)
+        };
+        assert!(of("1-local-kmer-rank").kmer_ops > 0);
+        assert!(of("2-local-sort").sort_ops > 0);
+        assert!(of("6-redistribute").sort_ops > 0);
+        assert!(of("8-local-align").dp_cells > 0);
+        // Shared-memory runs carry no virtual clock.
+        assert!(report.phases.iter().all(|p| p.seconds.is_none()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn shim_matches_aligner_and_rejects_degenerate_input() {
+        let seqs = family(12, 7);
+        let cfg = SadConfig::default();
+        let via_shim = run_rayon(&seqs, 4, &cfg).unwrap();
+        assert_eq!(via_shim.msa, run(&seqs, 4, &cfg).msa);
+        let one = family(1, 6);
+        assert_eq!(run_rayon(&one, 4, &cfg).unwrap_err(), SadError::TooFewSequences { found: 1 });
+    }
+
+    #[test]
+    fn small_inputs_align() {
         let seqs3 = family(3, 7);
-        let out3 = run_rayon(&seqs3, 8, &SadConfig::default());
-        check_complete(&out3.msa, &seqs3);
+        let report = run(&seqs3, 8, &SadConfig::default());
+        check_complete(&report.msa, &seqs3);
     }
 }

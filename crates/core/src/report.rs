@@ -1,0 +1,166 @@
+//! The unified run report shared by all three backends.
+//!
+//! `run_distributed`, `run_rayon` and `run_sequential` used to return
+//! three unrelated shapes (`SadRun`, `RayonOutcome`, `(Msa, Work)`),
+//! forcing every caller to special-case the backend. [`RunReport`] carries
+//! what *every* backend can produce — the alignment, total and per-phase
+//! work, the bucket/sample audit — and keeps backend-specific extras
+//! (virtual makespan, per-rank traces) behind [`BackendExtras`].
+
+use bioseq::{Msa, Work};
+use vcluster::RankTrace;
+
+/// One pipeline phase's contribution to a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase label, numbered after the paper's Section 2 steps
+    /// (e.g. `"8-local-align"`).
+    pub name: String,
+    /// Work performed in the phase, summed over ranks/threads.
+    pub work: Work,
+    /// Maximum virtual seconds across ranks — only the distributed
+    /// backend models time, so this is `None` elsewhere.
+    pub seconds: Option<f64>,
+}
+
+/// What only one backend can report.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BackendExtras {
+    /// The engine ran directly on the whole set; nothing extra.
+    Sequential,
+    /// Shared-memory run on the rayon pool.
+    Rayon {
+        /// Logical buckets (threads) used.
+        threads: usize,
+    },
+    /// Message-passing run on the virtual cluster.
+    Distributed {
+        /// Virtual wall-clock of the run (seconds).
+        makespan: f64,
+        /// Per-rank execution traces (phases, bytes, clocks).
+        traces: Vec<RankTrace>,
+    },
+}
+
+/// The outcome of one [`crate::Aligner::run`], whatever the backend.
+///
+/// Marked `#[non_exhaustive]`: construct via the aligner, read fields
+/// freely; future fields are not breaking changes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct RunReport {
+    /// The assembled global alignment.
+    pub msa: Msa,
+    /// Total work performed across all phases and ranks.
+    pub work: Work,
+    /// Per-phase breakdown in pipeline order.
+    pub phases: Vec<PhaseStat>,
+    /// Post-redistribution bucket sizes, indexed by rank/bucket.
+    /// The sequential backend reports one bucket holding everything.
+    pub bucket_sizes: Vec<usize>,
+    /// Ranks/buckets the pipeline decomposed over (1 for sequential).
+    pub ranks: usize,
+    /// Effective regular samples contributed per rank (`k` in the paper).
+    pub samples_per_rank: usize,
+    /// Backend-specific extras.
+    pub extras: BackendExtras,
+}
+
+impl RunReport {
+    /// Stable name of the backend that produced this report.
+    pub fn backend_name(&self) -> &'static str {
+        match self.extras {
+            BackendExtras::Sequential => "sequential",
+            BackendExtras::Rayon { .. } => "rayon",
+            BackendExtras::Distributed { .. } => "distributed",
+        }
+    }
+
+    /// Virtual wall-clock seconds (distributed backend only).
+    pub fn makespan(&self) -> Option<f64> {
+        match &self.extras {
+            BackendExtras::Distributed { makespan, .. } => Some(*makespan),
+            _ => None,
+        }
+    }
+
+    /// Per-rank execution traces (distributed backend only).
+    pub fn traces(&self) -> Option<&[RankTrace]> {
+        match &self.extras {
+            BackendExtras::Distributed { traces, .. } => Some(traces),
+            _ => None,
+        }
+    }
+
+    /// Load imbalance: largest bucket relative to the perfect share.
+    pub fn load_imbalance(&self) -> f64 {
+        let n: usize = self.bucket_sizes.iter().sum();
+        let max = self.bucket_sizes.iter().copied().max().unwrap_or(0);
+        if n == 0 {
+            return 1.0;
+        }
+        max as f64 / (n as f64 / self.bucket_sizes.len() as f64)
+    }
+
+    /// The unified per-phase table every backend can print: phase name,
+    /// work units, and (when the backend models time) the maximum virtual
+    /// seconds across ranks.
+    pub fn phase_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<28} {:>14} {:>12}", "phase", "work units", "max (s)");
+        for p in &self.phases {
+            let secs = p.seconds.map_or_else(|| format!("{:>12}", "-"), |s| format!("{s:>12.4}"));
+            let _ = writeln!(out, "{:<28} {:>14} {}", p.name, p.work.total_units(), secs);
+        }
+        let _ = writeln!(out, "{:<28} {:>14}", "total", self.work.total_units());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let msa = Msa::from_rows(vec!["a".into(), "b".into()], vec![vec![0, 1, 2], vec![0, 1, 3]]);
+        RunReport {
+            msa,
+            work: Work::dp(10) + Work::kmer(5),
+            phases: vec![
+                PhaseStat { name: "1-local-kmer-rank".into(), work: Work::kmer(5), seconds: None },
+                PhaseStat { name: "8-local-align".into(), work: Work::dp(10), seconds: Some(0.25) },
+            ],
+            bucket_sizes: vec![2, 0],
+            ranks: 2,
+            samples_per_rank: 1,
+            extras: BackendExtras::Rayon { threads: 2 },
+        }
+    }
+
+    #[test]
+    fn phase_table_lists_every_phase_and_total() {
+        let table = report().phase_table();
+        assert!(table.contains("1-local-kmer-rank"));
+        assert!(table.contains("8-local-align"));
+        assert!(table.contains("total"));
+        assert!(table.contains("0.2500"));
+        assert!(table.contains('-'), "work-only phases render a dash");
+    }
+
+    #[test]
+    fn accessors_match_extras() {
+        let r = report();
+        assert_eq!(r.backend_name(), "rayon");
+        assert_eq!(r.makespan(), None);
+        assert!(r.traces().is_none());
+    }
+
+    #[test]
+    fn load_imbalance_of_skewed_buckets() {
+        let r = report();
+        // 2 sequences in 2 buckets, all in one: max / (n/p) = 2 / 1 = 2.
+        assert!((r.load_imbalance() - 2.0).abs() < 1e-12);
+    }
+}

@@ -2,11 +2,36 @@
 //! (what "MUSCLE on a single cluster node" is to the paper's Fig. 6).
 
 use crate::config::SadConfig;
-use bioseq::{Msa, Sequence, Work};
+use crate::error::SadError;
+use crate::report::{BackendExtras, PhaseStat, RunReport};
+use bioseq::{Msa, Sequence};
 
 /// Align everything with the configured sequential engine.
-pub fn run_sequential(seqs: &[Sequence], cfg: &SadConfig) -> (Msa, Work) {
-    cfg.engine.build().align_with_work(seqs)
+///
+/// Deprecated shim over the [`crate::Aligner`] builder. The name and
+/// argument order match the 0.1 entry point, but the return type changed
+/// from `(Msa, Work)` to `Result<RunReport, SadError>`: the alignment and
+/// work now live in [`RunReport::msa`] and [`RunReport::work`]. See the
+/// README migration table.
+#[deprecated(since = "0.2.0", note = "use `Aligner::new(cfg).run(seqs)`")]
+pub fn run_sequential(seqs: &[Sequence], cfg: &SadConfig) -> Result<RunReport, SadError> {
+    crate::Aligner::new(cfg.clone()).run(seqs)
+}
+
+/// The whole-set engine run. Input validation happens in
+/// [`crate::Aligner::run`].
+pub(crate) fn sequential_pipeline(seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+    debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
+    let (msa, work) = cfg.engine.build().align_with_work(seqs);
+    RunReport {
+        msa,
+        work,
+        phases: vec![PhaseStat { name: "8-local-align".into(), work, seconds: None }],
+        bucket_sizes: vec![seqs.len()],
+        ranks: 1,
+        samples_per_rank: cfg.samples_for(1),
+        extras: BackendExtras::Sequential,
+    }
 }
 
 /// Virtual seconds the sequential baseline would take on the given cost
@@ -16,24 +41,24 @@ pub fn sequential_seconds(
     cfg: &SadConfig,
     cost: &vcluster::CostModel,
 ) -> (Msa, f64) {
-    let (msa, work) = run_sequential(seqs, cfg);
-    (msa, cost.work_seconds(&work))
+    let report = sequential_pipeline(seqs, cfg);
+    let secs = cost.work_seconds(&report.work);
+    (report.msa, secs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Aligner, SadError};
     use rosegen::{Family, FamilyConfig};
+
+    fn family(n: usize, len: usize, seed: u64) -> Vec<Sequence> {
+        Family::generate(&FamilyConfig { n_seqs: n, avg_len: len, seed, ..Default::default() }).seqs
+    }
 
     #[test]
     fn baseline_aligns_and_costs_time() {
-        let seqs = Family::generate(&FamilyConfig {
-            n_seqs: 10,
-            avg_len: 50,
-            seed: 1,
-            ..Default::default()
-        })
-        .seqs;
+        let seqs = family(10, 50, 1);
         let cfg = SadConfig::default();
         let (msa, secs) = sequential_seconds(&seqs, &cfg, &vcluster::CostModel::beowulf_2008());
         msa.validate().unwrap();
@@ -43,15 +68,23 @@ mod tests {
 
     #[test]
     fn matches_engine_directly() {
-        let seqs = Family::generate(&FamilyConfig {
-            n_seqs: 6,
-            avg_len: 40,
-            seed: 2,
-            ..Default::default()
-        })
-        .seqs;
+        let seqs = family(6, 40, 2);
         let cfg = SadConfig::default();
-        let (a, _) = run_sequential(&seqs, &cfg);
-        assert_eq!(a, cfg.engine.build().align(&seqs));
+        let report = Aligner::new(cfg.clone()).run(&seqs).unwrap();
+        assert_eq!(report.msa, cfg.engine.build().align(&seqs));
+        assert_eq!(report.bucket_sizes, vec![6]);
+        assert_eq!(report.ranks, 1);
+        assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn shim_matches_aligner_and_rejects_degenerate_input() {
+        let seqs = family(6, 40, 3);
+        let cfg = SadConfig::default();
+        let via_shim = run_sequential(&seqs, &cfg).unwrap();
+        let via_builder = Aligner::new(cfg.clone()).run(&seqs).unwrap();
+        assert_eq!(via_shim.msa, via_builder.msa);
+        assert_eq!(run_sequential(&[], &cfg).unwrap_err(), SadError::TooFewSequences { found: 0 });
     }
 }

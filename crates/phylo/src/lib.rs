@@ -6,7 +6,7 @@
 //! * [`tree`] — an arena-allocated rooted binary tree with branch lengths,
 //!   post-order traversal, leaf sets and edge bipartitions;
 //! * [`distmat`] — a compact symmetric distance matrix;
-//! * [`upgma`] — UPGMA/WPGMA agglomerative clustering in `O(n²)` expected
+//! * [`mod@upgma`] — UPGMA/WPGMA agglomerative clustering in `O(n²)` expected
 //!   time using nearest-neighbour arrays;
 //! * [`nj`] — canonical neighbor joining (`O(n³)`), used by the
 //!   CLUSTALW-like engine;

@@ -1,6 +1,6 @@
 //! The distributed PSRS protocol over a virtual cluster node.
 
-use crate::sampling::{bucket_of, regular_samples, select_pivots};
+use crate::sampling::{bucket_of, regular_samples, select_pivots, sort_work};
 use bioseq::Work;
 use vcluster::{Node, WireSize};
 
@@ -14,6 +14,9 @@ pub struct PsrsOutcome<T> {
     pub pivots: Vec<f64>,
     /// How many items this rank received from each source rank.
     pub received_from: Vec<usize>,
+    /// Sorting work this rank charged to its clock during the round, so
+    /// callers can attribute it to their own phase accounting.
+    pub work: Work,
 }
 
 /// Sort `local` across all ranks by `key` using Parallel Sorting by Regular
@@ -28,9 +31,10 @@ where
     F: Fn(&T) -> f64,
 {
     let p = node.size();
+    let mut work = Work::ZERO;
     // Step 1: local sort.
     local.sort_by(|a, b| key(a).total_cmp(&key(b)));
-    charge_sort(node, local.len());
+    work += charge_sort(node, local.len());
 
     // Step 2: regular sampling of p−1 keys, gathered at root 0. Only the
     // *keys* travel (the paper: "send only their ranks to a root
@@ -44,7 +48,7 @@ where
         0,
         gathered.map(|rows| {
             let flat: Vec<f64> = rows.into_iter().flatten().collect();
-            charge_sort(node, flat.len());
+            work += charge_sort(node, flat.len());
             select_pivots(flat, p)
         }),
     );
@@ -63,16 +67,18 @@ where
     // Step 6: merge the p sorted runs (simple sort; runs are short).
     let mut items: Vec<T> = received.into_iter().flatten().collect();
     items.sort_by(|a, b| key(a).total_cmp(&key(b)));
-    charge_sort(node, items.len());
+    work += charge_sort(node, items.len());
 
-    PsrsOutcome { items, pivots, received_from }
+    PsrsOutcome { items, pivots, received_from, work }
 }
 
-fn charge_sort(node: &Node, n: usize) {
-    if n > 1 {
-        let ops = (n as f64 * (n as f64).log2()).ceil() as u64;
-        node.compute(Work::sort(ops));
+/// Charge the clock for an `n log n` sort and return the charged work.
+fn charge_sort(node: &Node, n: usize) -> Work {
+    let w = sort_work(n);
+    if !w.is_zero() {
+        node.compute(w);
     }
+    w
 }
 
 #[cfg(test)]
@@ -180,6 +186,21 @@ mod tests {
         let a = run_psrs(4, 512, 11);
         let b = run_psrs(4, 512, 11);
         assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn sort_work_reported_per_rank() {
+        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+        let run = cluster.run(|node| {
+            let local: Vec<f64> =
+                (0..50).map(|i| ((i * 37 + node.rank() * 13) % 400) as f64).collect();
+            psrs(node, local, |&x| x).work
+        });
+        for (rank, work) in run.results.iter().enumerate() {
+            assert!(work.sort_ops > 0, "rank {rank} reported no sort work");
+        }
+        // The root additionally charges the pivot-selection sort.
+        assert!(run.results[0].sort_ops > run.results[1].sort_ops);
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod sampling;
 pub mod shared;
 
 pub use cluster::{psrs, PsrsOutcome};
-pub use sampling::{max_partition_bound, regular_samples, select_pivots};
+pub use sampling::{max_partition_bound, regular_samples, select_pivots, sort_work};

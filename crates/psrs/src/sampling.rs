@@ -1,6 +1,20 @@
 //! Regular sampling and pivot selection (shared by the distributed and
 //! shared-memory sorters).
 
+use bioseq::Work;
+
+/// The `n log₂ n` comparison work of one sort pass, zero below two items.
+/// Every sorter in the workspace (distributed PSRS, the shared-memory
+/// partitioner, the pipeline backends) charges this one formula so the
+/// unified per-phase reports stay comparable across substrates.
+pub fn sort_work(n: usize) -> Work {
+    if n > 1 {
+        Work::sort((n as f64 * (n as f64).log2()).ceil() as u64)
+    } else {
+        Work::ZERO
+    }
+}
+
 /// Choose `k` evenly spaced sample keys from a **sorted** slice (regular
 /// sampling). Returns fewer than `k` samples when the slice is shorter
 /// than `k`.

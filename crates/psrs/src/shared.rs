@@ -1,7 +1,8 @@
 //! Shared-memory SampleSort using rayon (the multithreaded counterpart of
 //! the distributed protocol, used by Sample-Align-D's rayon backend).
 
-use crate::sampling::{bucket_of, regular_samples, select_pivots};
+use crate::sampling::{bucket_of, regular_samples, select_pivots, sort_work};
+use bioseq::Work;
 use rayon::prelude::*;
 
 /// Partition `items` into `parts` buckets by `key` using regular sampling,
@@ -13,10 +14,28 @@ where
     T: Send,
     F: Fn(&T) -> f64 + Sync + Send,
 {
+    sample_partition_by_with_work(items, parts, key).0
+}
+
+/// [`sample_partition_by`], also reporting the sorting [`Work`] performed
+/// (accounted with the distributed protocol's formulas, so shared-memory
+/// callers can attribute redistribution work the same way cluster ranks
+/// do).
+pub fn sample_partition_by_with_work<T, F>(
+    items: Vec<T>,
+    parts: usize,
+    key: F,
+) -> (Vec<Vec<T>>, Work)
+where
+    T: Send,
+    F: Fn(&T) -> f64 + Sync + Send,
+{
     assert!(parts >= 1, "need at least one partition");
+    let mut work = Work::ZERO;
     if parts == 1 || items.len() <= parts {
         let mut all = items;
         all.sort_by(|a, b| key(a).total_cmp(&key(b)));
+        work += sort_work(all.len());
         let mut out: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
         // Spread tiny inputs round-robin so no bucket invariant breaks.
         if parts == 1 {
@@ -28,7 +47,7 @@ where
                 out[(i / chunk).min(parts - 1)].push(item);
             }
         }
-        return out;
+        return (out, work);
     }
     // Emulate p local sorts: chunk the data, sort chunks in parallel,
     // sample each chunk.
@@ -41,6 +60,7 @@ where
         chunks.push(chunk);
     }
     chunks.par_iter_mut().for_each(|c| c.sort_by(|a, b| key(a).total_cmp(&key(b))));
+    work += chunks.iter().map(|c| sort_work(c.len())).sum::<Work>();
     let samples: Vec<f64> = chunks
         .iter()
         .flat_map(|c| {
@@ -48,6 +68,7 @@ where
             regular_samples(&keys, parts - 1)
         })
         .collect();
+    work += sort_work(samples.len());
     let pivots = select_pivots(samples, parts);
     let mut buckets: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
     for chunk in chunks {
@@ -56,7 +77,8 @@ where
         }
     }
     buckets.par_iter_mut().for_each(|b| b.sort_by(|a, b| key(a).total_cmp(&key(b))));
-    buckets
+    work += buckets.iter().map(|b| sort_work(b.len())).sum::<Work>();
+    (buckets, work)
 }
 
 /// Fully sort `items` by `key` via sample partitioning.
@@ -98,6 +120,18 @@ mod tests {
         assert_eq!(sample_sort_by(Vec::<f64>::new(), 4, |&x| x), Vec::<f64>::new());
         assert_eq!(sample_sort_by(vec![3.0, 1.0], 4, |&x| x), vec![1.0, 3.0]);
         assert_eq!(sample_sort_by(vec![2.0], 1, |&x| x), vec![2.0]);
+    }
+
+    #[test]
+    fn work_reported_for_both_paths() {
+        let items: Vec<f64> = (0..200).map(|i| ((i * 31) % 97) as f64).collect();
+        let (buckets, work) = sample_partition_by_with_work(items, 4, |&x| x);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 200);
+        assert!(work.sort_ops > 0, "main path must report sort work");
+        let (_, tiny) = sample_partition_by_with_work(vec![3.0, 1.0], 4, |&x| x);
+        assert!(tiny.sort_ops > 0, "degenerate path must report sort work");
+        let (_, empty) = sample_partition_by_with_work(Vec::<f64>::new(), 4, |&x| x);
+        assert!(empty.is_zero());
     }
 
     #[test]

@@ -23,14 +23,17 @@ fn main() {
     let mut t1 = None;
     for p in [1usize, 2, 4, 8, 12, 16] {
         let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &family.seqs, &cfg);
-        let t = run.makespan;
+        let report = Aligner::new(cfg.clone())
+            .backend(Backend::Distributed(cluster))
+            .run(&family.seqs)
+            .expect("valid input");
+        let t = report.makespan().expect("distributed runs have a makespan");
         let t1v = *t1.get_or_insert(t);
         let speedup = t1v / t;
         println!(
             "{p:>4}  {t:>12.3}  {speedup:>10.2}  {:>10.2}  {:>14}",
             speedup / p as f64,
-            run.bucket_sizes.iter().max().unwrap()
+            report.bucket_sizes.iter().max().unwrap()
         );
     }
     println!(

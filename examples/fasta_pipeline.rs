@@ -32,14 +32,25 @@ fn main() {
     };
     eprintln!("read {} sequences", seqs.len());
 
+    // Degenerate or misconfigured input surfaces as a typed SadError
+    // instead of a panic deep inside the pipeline.
     let cluster = VirtualCluster::new(p, CostModel::modern());
-    let run = run_distributed(&cluster, &seqs, &SadConfig::default());
+    let report = match Aligner::new(SadConfig::default())
+        .backend(Backend::Distributed(cluster))
+        .run(&seqs)
+    {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "aligned on {p} virtual ranks in {:.4} virtual seconds ({} columns)",
-        run.makespan,
-        run.msa.num_cols()
+        report.makespan().expect("distributed runs have a makespan"),
+        report.msa.num_cols()
     );
 
     // Gapped FASTA to stdout.
-    print!("{}", fasta::write_alignment(&run.msa));
+    print!("{}", fasta::write_alignment(&report.msa));
 }

@@ -25,9 +25,13 @@ fn main() {
         genome.mean_len()
     );
 
-    let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
     let cfg = SadConfig::default();
-    let run = run_distributed(&cluster, &genome.seqs, &cfg);
+    let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+    let report = Aligner::new(cfg.clone())
+        .backend(Backend::Distributed(cluster.clone()))
+        .run(&genome.seqs)
+        .expect("valid input");
+    let makespan = report.makespan().expect("distributed runs have a makespan");
 
     // Sequential baseline on one node (the paper's "MUSCLE took 23 hours"
     // comparison, in virtual seconds on the same cost model).
@@ -35,12 +39,12 @@ fn main() {
         sad_core::sequential::sequential_seconds(&genome.seqs, &cfg, cluster.cost_model());
 
     println!("\nFig. 7-style alignment snapshot:");
-    print!("{}", run.msa.snapshot(16, 72));
+    print!("{}", report.msa.snapshot(16, 72));
 
-    println!("\nvirtual time on {p} nodes: {:.2}s", run.makespan);
+    println!("\nvirtual time on {p} nodes: {makespan:.2}s");
     println!("sequential engine on 1 node: {t_seq:.2}s");
-    println!("speedup: {:.1}x (paper reports 142x at p=16)", t_seq / run.makespan);
-    println!("load imbalance: {:.2} (regular-sampling bound is 2.0)", run.load_imbalance());
+    println!("speedup: {:.1}x (paper reports 142x at p=16)", t_seq / makespan);
+    println!("load imbalance: {:.2} (regular-sampling bound is 2.0)", report.load_imbalance());
     println!("\nphase breakdown:");
-    print!("{}", run.phase_table());
+    print!("{}", report.phase_table());
 }

@@ -24,8 +24,11 @@ fn main() {
         evaluate_engine(&ClustalLite::default(), &benchmark),
         evaluate_with("sample-align-d(p=4)", &benchmark, |seqs| {
             let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-            let run = run_distributed(&cluster, seqs, &cfg);
-            (run.msa, bioseq::Work::ZERO)
+            let report = Aligner::new(cfg.clone())
+                .backend(Backend::Distributed(cluster))
+                .run(seqs)
+                .expect("benchmark cases are valid inputs");
+            (report.msa, report.work)
         }),
     ];
     println!("{:<24} {:>8} {:>8} {:>8}", "method", "mean Q", "mean TC", "cases");

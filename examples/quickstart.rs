@@ -22,33 +22,44 @@ fn main() {
         family.reference.average_identity()
     );
 
-    // 2. Align on a virtual 4-node Beowulf cluster.
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    // 2. Align on a virtual 4-node Beowulf cluster through the builder.
     let cfg = SadConfig::default();
-    let run = run_distributed(&cluster, &family.seqs, &cfg);
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let report = Aligner::new(cfg.clone())
+        .backend(Backend::Distributed(cluster))
+        .run(&family.seqs)
+        .expect("valid input");
 
     println!("\nalignment snapshot (first rows/columns):");
-    print!("{}", run.msa.snapshot(10, 72));
+    print!("{}", report.msa.snapshot(10, 72));
 
     // 3. Quality and performance.
     let matrix = SubstMatrix::blosum62();
     let gaps = GapPenalties::default();
-    println!("SP score: {}", run.msa.sp_score(&matrix, gaps));
-    if let Some(q) = bioseq::compare::q_score_msa(&run.msa, &family.reference) {
+    println!("SP score: {}", report.msa.sp_score(&matrix, gaps));
+    if let Some(q) = bioseq::compare::q_score_msa(&report.msa, &family.reference) {
         println!("Q vs true alignment: {q:.3}");
     }
-    println!("\nvirtual makespan: {:.3}s on {} ranks", run.makespan, cluster.p());
-    println!("bucket sizes: {:?}", run.bucket_sizes);
-    println!("\nper-phase timing (the paper's Section 3 steps):");
-    print!("{}", run.phase_table());
+    println!(
+        "\nvirtual makespan: {:.3}s on {} ranks",
+        report.makespan().expect("distributed runs have a makespan"),
+        report.ranks
+    );
+    println!("bucket sizes: {:?}", report.bucket_sizes);
+    println!("\nper-phase report (the paper's Section 3 steps):");
+    print!("{}", report.phase_table());
 
-    // 4. The same pipeline on the rayon shared-memory backend.
-    let ray = run_rayon(&family.seqs, 4, &cfg);
-    println!("\nrayon backend agrees with the cluster backend: {}", ray.msa == run.msa);
+    // 4. The same pipeline on the rayon shared-memory backend — only the
+    //    Backend argument changes, the report type does not.
+    let shared = Aligner::new(cfg)
+        .backend(Backend::Rayon { threads: 4 })
+        .run(&family.seqs)
+        .expect("valid input");
+    println!("\nrayon backend agrees with the cluster backend: {}", shared.msa == report.msa);
 
     // 5. Round-trip the result through FASTA.
-    let fasta_text = fasta::write_alignment(&run.msa);
+    let fasta_text = fasta::write_alignment(&report.msa);
     let parsed = fasta::parse_alignment(&fasta_text).expect("roundtrip");
-    assert_eq!(parsed.num_rows(), run.msa.num_rows());
+    assert_eq!(parsed.num_rows(), report.msa.num_rows());
     println!("FASTA round-trip OK ({} bytes)", fasta_text.len());
 }

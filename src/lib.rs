@@ -11,6 +11,10 @@
 //!
 //! ## Quickstart
 //!
+//! One entry point, three backends: build an [`Aligner`](prelude::Aligner),
+//! pick a [`Backend`](prelude::Backend), get a
+//! [`RunReport`](prelude::RunReport) whatever substrate ran.
+//!
 //! ```
 //! use sample_align_d::prelude::*;
 //!
@@ -24,11 +28,25 @@
 //!
 //! // Align it with Sample-Align-D on a virtual 4-node Beowulf cluster.
 //! let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-//! let run = run_distributed(&cluster, &family.seqs, &SadConfig::default());
+//! let report = Aligner::new(SadConfig::default())
+//!     .backend(Backend::Distributed(cluster))
+//!     .run(&family.seqs)
+//!     .expect("valid input");
 //!
-//! assert_eq!(run.msa.num_rows(), 16);
-//! println!("aligned in {:.3} virtual seconds", run.makespan);
-//! println!("{}", run.phase_table());
+//! assert_eq!(report.msa.num_rows(), 16);
+//! println!("aligned in {:.3} virtual seconds", report.makespan().unwrap());
+//! println!("{}", report.phase_table());
+//!
+//! // The same pipeline on shared memory — same report type, no cluster.
+//! let shared = Aligner::new(SadConfig::default())
+//!     .backend(Backend::Rayon { threads: 4 })
+//!     .run(&family.seqs)
+//!     .expect("valid input");
+//! assert_eq!(shared.msa, report.msa);
+//!
+//! // Degenerate input is a typed error, not a panic.
+//! let err = Aligner::new(SadConfig::default()).run(&family.seqs[..1]);
+//! assert_eq!(err.unwrap_err(), SadError::TooFewSequences { found: 1 });
 //! ```
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
@@ -48,8 +66,12 @@ pub mod prelude {
     pub use align::{ClustalLite, EngineChoice, MsaEngine, MuscleLite};
     pub use bioseq::{fasta, CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix};
     pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
-    pub use sad_core::{run_distributed, run_rayon, run_sequential, SadConfig, SadRun};
+    pub use sad_core::{Aligner, Backend, BackendExtras, RunReport, SadConfig, SadError};
     pub use vcluster::{CostModel, VirtualCluster};
+
+    // Pre-0.2 entry points, kept so old call sites keep compiling.
+    #[allow(deprecated)]
+    pub use sad_core::{run_distributed, run_rayon, run_sequential};
 }
 
 #[cfg(test)]
@@ -65,7 +87,10 @@ mod tests {
             ..Default::default()
         });
         let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &family.seqs, &SadConfig::default());
-        assert_eq!(run.msa.num_rows(), 8);
+        let report = Aligner::new(SadConfig::default())
+            .backend(Backend::Distributed(cluster))
+            .run(&family.seqs)
+            .unwrap();
+        assert_eq!(report.msa.num_rows(), 8);
     }
 }

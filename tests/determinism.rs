@@ -16,6 +16,15 @@ fn family(seed: u64) -> Family {
     })
 }
 
+fn on_cluster(p: usize, seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+    let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+    Aligner::new(cfg.clone()).backend(Backend::Distributed(cluster)).run(seqs).unwrap()
+}
+
+fn on_rayon(p: usize, seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+    Aligner::new(cfg.clone()).backend(Backend::Rayon { threads: p }).run(seqs).unwrap()
+}
+
 /// The observable row content of an alignment: (id, ungapped residues).
 fn row_set(msa: &bioseq::Msa) -> BTreeSet<(String, String)> {
     (0..msa.num_rows()).map(|r| (msa.ids()[r].clone(), msa.ungapped(r).to_letters())).collect()
@@ -25,9 +34,8 @@ fn row_set(msa: &bioseq::Msa) -> BTreeSet<(String, String)> {
 fn distributed_runs_are_byte_identical_for_same_seed_and_cluster() {
     let fam = family(41);
     let cfg = SadConfig::default();
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-    let a = run_distributed(&cluster, &fam.seqs, &cfg);
-    let b = run_distributed(&cluster, &fam.seqs, &cfg);
+    let a = on_cluster(4, &fam.seqs, &cfg);
+    let b = on_cluster(4, &fam.seqs, &cfg);
     // Byte-identical serialised alignments, not merely equal structures.
     assert_eq!(
         fasta::write_alignment(&a.msa).into_bytes(),
@@ -35,7 +43,8 @@ fn distributed_runs_are_byte_identical_for_same_seed_and_cluster() {
         "two runs with the same seed and cluster size must serialise identically"
     );
     assert_eq!(a.bucket_sizes, b.bucket_sizes);
-    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.makespan(), b.makespan());
+    assert_eq!(a.work, b.work);
 }
 
 #[test]
@@ -43,10 +52,8 @@ fn regenerated_inputs_reproduce_the_same_alignment() {
     // Full regeneration from the seed (family + fresh cluster) — catches
     // hidden state leaking between runs rather than within one.
     let cfg = SadConfig::default();
-    let a =
-        run_distributed(&VirtualCluster::new(4, CostModel::beowulf_2008()), &family(42).seqs, &cfg);
-    let b =
-        run_distributed(&VirtualCluster::new(4, CostModel::beowulf_2008()), &family(42).seqs, &cfg);
+    let a = on_cluster(4, &family(42).seqs, &cfg);
+    let b = on_cluster(4, &family(42).seqs, &cfg);
     assert_eq!(fasta::write_alignment(&a.msa), fasta::write_alignment(&b.msa));
 }
 
@@ -56,28 +63,26 @@ fn rayon_backend_matches_distributed_exactly() {
     // one, so it must produce the same bytes — not just the same rows.
     let fam = family(43);
     let cfg = SadConfig::default();
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-    let dist = run_distributed(&cluster, &fam.seqs, &cfg);
-    let ray = run_rayon(&fam.seqs, 4, &cfg);
+    let dist = on_cluster(4, &fam.seqs, &cfg);
+    let ray = on_rayon(4, &fam.seqs, &cfg);
     assert_eq!(fasta::write_alignment(&dist.msa), fasta::write_alignment(&ray.msa));
     assert_eq!(dist.bucket_sizes, ray.bucket_sizes);
 }
 
 #[test]
-fn sequential_backend_covers_the_same_row_set() {
-    // run_sequential aligns the whole set at once, so columns differ, but
-    // the set of (id, ungapped sequence) rows must agree with the
-    // decomposed backends — no sequence lost, duplicated or mutated.
+fn all_three_backends_cover_the_same_row_set() {
+    // The sequential backend aligns the whole set at once, so columns
+    // differ, but the set of (id, ungapped sequence) rows must agree with
+    // the decomposed backends — no sequence lost, duplicated or mutated.
     let fam = family(44);
     let cfg = SadConfig::default();
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-    let dist = run_distributed(&cluster, &fam.seqs, &cfg);
-    let ray = run_rayon(&fam.seqs, 4, &cfg);
-    let (seq_msa, _work) = run_sequential(&fam.seqs, &cfg);
+    let dist = on_cluster(4, &fam.seqs, &cfg);
+    let ray = on_rayon(4, &fam.seqs, &cfg);
+    let seq = Aligner::new(cfg).backend(Backend::Sequential).run(&fam.seqs).unwrap();
     let want = row_set(&dist.msa);
     assert_eq!(want.len(), fam.seqs.len());
     assert_eq!(row_set(&ray.msa), want, "rayon row set diverged");
-    assert_eq!(row_set(&seq_msa), want, "sequential row set diverged");
+    assert_eq!(row_set(&seq.msa), want, "sequential row set diverged");
 }
 
 #[test]
@@ -96,9 +101,8 @@ fn backends_agree_even_under_globalized_rank_ties() {
             ..Default::default()
         });
         let cfg = SadConfig::default();
-        let cluster = VirtualCluster::new(3, CostModel::beowulf_2008());
-        let dist = run_distributed(&cluster, &fam.seqs, &cfg);
-        let ray = run_rayon(&fam.seqs, 3, &cfg);
+        let dist = on_cluster(3, &fam.seqs, &cfg);
+        let ray = on_rayon(3, &fam.seqs, &cfg);
         assert_eq!(
             fasta::write_alignment(&dist.msa),
             fasta::write_alignment(&ray.msa),
@@ -114,9 +118,8 @@ fn determinism_holds_across_cluster_sizes_independently() {
     let fam = family(45);
     let cfg = SadConfig::default();
     for p in [1usize, 2, 3, 5, 8] {
-        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-        let a = run_distributed(&cluster, &fam.seqs, &cfg);
-        let b = run_distributed(&cluster, &fam.seqs, &cfg);
+        let a = on_cluster(p, &fam.seqs, &cfg);
+        let b = on_cluster(p, &fam.seqs, &cfg);
         assert_eq!(
             fasta::write_alignment(&a.msa),
             fasta::write_alignment(&b.msa),
@@ -124,4 +127,22 @@ fn determinism_holds_across_cluster_sizes_independently() {
         );
         assert_eq!(row_set(&a.msa), row_set(&b.msa));
     }
+}
+
+#[test]
+fn deprecated_shims_reproduce_the_builder_bytes() {
+    // The pre-0.2 entry points are thin wrappers over Aligner; their
+    // output must stay byte-identical to the builder's.
+    #![allow(deprecated)]
+    let fam = family(46);
+    let cfg = SadConfig::default();
+    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
+    let via_builder = on_cluster(4, &fam.seqs, &cfg);
+    let via_shim = run_distributed(&cluster, &fam.seqs, &cfg).unwrap();
+    assert_eq!(fasta::write_alignment(&via_builder.msa), fasta::write_alignment(&via_shim.msa));
+    let ray_shim = run_rayon(&fam.seqs, 4, &cfg).unwrap();
+    assert_eq!(fasta::write_alignment(&via_builder.msa), fasta::write_alignment(&ray_shim.msa));
+    let seq_builder = Aligner::new(cfg.clone()).run(&fam.seqs).unwrap();
+    let seq_shim = run_sequential(&fam.seqs, &cfg).unwrap();
+    assert_eq!(seq_builder.msa, seq_shim.msa);
 }

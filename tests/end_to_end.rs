@@ -1,5 +1,6 @@
 //! Cross-crate integration: the full Sample-Align-D pipeline from
-//! generated sequences to a validated global alignment.
+//! generated sequences to a validated global alignment, through the
+//! unified [`Aligner`] API.
 
 use sample_align_d::prelude::*;
 use std::collections::HashMap;
@@ -12,6 +13,11 @@ fn family(n: usize, len: usize, relatedness: f64, seed: u64) -> Family {
         seed,
         ..Default::default()
     })
+}
+
+fn on_cluster(p: usize, seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+    let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+    Aligner::new(cfg.clone()).backend(Backend::Distributed(cluster)).run(seqs).unwrap()
 }
 
 fn check_complete(result: &bioseq::Msa, input: &[Sequence]) {
@@ -28,22 +34,20 @@ fn check_complete(result: &bioseq::Msa, input: &[Sequence]) {
 #[test]
 fn distributed_pipeline_is_complete_and_deterministic() {
     let fam = family(40, 70, 700.0, 1);
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
     let cfg = SadConfig::default();
-    let a = run_distributed(&cluster, &fam.seqs, &cfg);
-    let b = run_distributed(&cluster, &fam.seqs, &cfg);
+    let a = on_cluster(4, &fam.seqs, &cfg);
+    let b = on_cluster(4, &fam.seqs, &cfg);
     check_complete(&a.msa, &fam.seqs);
     assert_eq!(a.msa, b.msa);
-    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.makespan(), b.makespan());
 }
 
 #[test]
 fn rayon_and_distributed_backends_agree() {
     let fam = family(32, 60, 600.0, 2);
     let cfg = SadConfig::default();
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-    let dist = run_distributed(&cluster, &fam.seqs, &cfg);
-    let ray = run_rayon(&fam.seqs, 4, &cfg);
+    let dist = on_cluster(4, &fam.seqs, &cfg);
+    let ray = Aligner::new(cfg).backend(Backend::Rayon { threads: 4 }).run(&fam.seqs).unwrap();
     assert_eq!(dist.msa, ray.msa, "step-identical pipelines must agree");
     assert_eq!(dist.bucket_sizes, ray.bucket_sizes);
 }
@@ -54,11 +58,10 @@ fn quality_tracks_the_sequential_engine() {
     // a reasonable band of the engine run on everything at once.
     let fam = family(32, 80, 500.0, 3);
     let cfg = SadConfig::default();
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-    let sad = run_distributed(&cluster, &fam.seqs, &cfg);
-    let (seq_msa, _) = run_sequential(&fam.seqs, &cfg);
+    let sad = on_cluster(4, &fam.seqs, &cfg);
+    let seq = Aligner::new(cfg).backend(Backend::Sequential).run(&fam.seqs).unwrap();
     let q_sad = bioseq::compare::q_score_msa(&sad.msa, &fam.reference).unwrap();
-    let q_seq = bioseq::compare::q_score_msa(&seq_msa, &fam.reference).unwrap();
+    let q_seq = bioseq::compare::q_score_msa(&seq.msa, &fam.reference).unwrap();
     assert!(q_sad > q_seq - 0.25, "SAD Q {q_sad:.3} too far below sequential Q {q_seq:.3}");
     assert!(q_sad > 0.3, "SAD Q {q_sad:.3} unreasonably low");
 }
@@ -67,10 +70,9 @@ fn quality_tracks_the_sequential_engine() {
 fn every_engine_choice_runs_distributed() {
     let fam = family(18, 50, 600.0, 4);
     for engine in EngineChoice::ALL {
-        let cfg = SadConfig { engine, ..Default::default() };
-        let cluster = VirtualCluster::new(3, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &fam.seqs, &cfg);
-        check_complete(&run.msa, &fam.seqs);
+        let cfg = SadConfig::default().with_engine(engine);
+        let report = on_cluster(3, &fam.seqs, &cfg);
+        check_complete(&report.msa, &fam.seqs);
     }
 }
 
@@ -83,31 +85,35 @@ fn genome_mixture_aligns() {
         seed: 5,
         ..Default::default()
     });
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-    let run = run_distributed(&cluster, &genome.seqs, &SadConfig::default());
-    check_complete(&run.msa, &genome.seqs);
+    let report = on_cluster(4, &genome.seqs, &SadConfig::default());
+    check_complete(&report.msa, &genome.seqs);
     // Similar sequences should co-locate: for most families, members end
     // up in few buckets. Weak check: bucket sizes sum and are bounded.
-    assert_eq!(run.bucket_sizes.iter().sum::<usize>(), 48);
+    assert_eq!(report.bucket_sizes.iter().sum::<usize>(), 48);
 }
 
 #[test]
 fn output_roundtrips_through_fasta() {
     let fam = family(12, 40, 500.0, 6);
-    let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
-    let run = run_distributed(&cluster, &fam.seqs, &SadConfig::default());
-    let text = fasta::write_alignment(&run.msa);
+    let report = on_cluster(2, &fam.seqs, &SadConfig::default());
+    let text = fasta::write_alignment(&report.msa);
     let parsed = fasta::parse_alignment(&text).unwrap();
-    assert_eq!(parsed.rows(), run.msa.rows());
-    assert_eq!(parsed.ids(), run.msa.ids());
+    assert_eq!(parsed.rows(), report.msa.rows());
+    assert_eq!(parsed.ids(), report.msa.ids());
 }
 
 #[test]
 fn free_network_ablation_only_speeds_things_up() {
     let fam = family(24, 50, 600.0, 7);
     let cfg = SadConfig::default();
-    let real = run_distributed(&VirtualCluster::new(4, CostModel::beowulf_2008()), &fam.seqs, &cfg);
-    let free = run_distributed(&VirtualCluster::new(4, CostModel::free_network()), &fam.seqs, &cfg);
+    let real = Aligner::new(cfg.clone())
+        .backend(Backend::Distributed(VirtualCluster::new(4, CostModel::beowulf_2008())))
+        .run(&fam.seqs)
+        .unwrap();
+    let free = Aligner::new(cfg)
+        .backend(Backend::Distributed(VirtualCluster::new(4, CostModel::free_network())))
+        .run(&fam.seqs)
+        .unwrap();
     assert_eq!(real.msa, free.msa, "cost model must not affect results");
-    assert!(free.makespan < real.makespan);
+    assert!(free.makespan().unwrap() < real.makespan().unwrap());
 }

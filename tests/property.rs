@@ -15,17 +15,24 @@ fn arb_sequences() -> impl Strategy<Value = Vec<Sequence>> {
     })
 }
 
+fn on_cluster(p: usize, seqs: &[Sequence]) -> RunReport {
+    let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
+    Aligner::new(SadConfig::default())
+        .backend(Backend::Distributed(cluster))
+        .run(seqs)
+        .expect("arbitrary 2+ sequence sets are valid inputs")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn distributed_preserves_every_sequence(seqs in arb_sequences(), p in 1usize..5) {
-        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
-        prop_assert!(run.msa.validate().is_ok());
-        prop_assert_eq!(run.msa.num_rows(), seqs.len());
-        let mut got: Vec<(String, String)> = (0..run.msa.num_rows())
-            .map(|r| (run.msa.ids()[r].clone(), run.msa.ungapped(r).to_letters()))
+        let report = on_cluster(p, &seqs);
+        prop_assert!(report.msa.validate().is_ok());
+        prop_assert_eq!(report.msa.num_rows(), seqs.len());
+        let mut got: Vec<(String, String)> = (0..report.msa.num_rows())
+            .map(|r| (report.msa.ids()[r].clone(), report.msa.ungapped(r).to_letters()))
             .collect();
         got.sort();
         let mut want: Vec<(String, String)> =
@@ -36,31 +43,45 @@ proptest! {
 
     #[test]
     fn bucket_sizes_conserve_input(seqs in arb_sequences(), p in 1usize..5) {
-        let cluster = VirtualCluster::new(p, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
-        prop_assert_eq!(run.bucket_sizes.iter().sum::<usize>(), seqs.len());
-        prop_assert!(run.makespan.is_finite() && run.makespan >= 0.0);
+        let report = on_cluster(p, &seqs);
+        prop_assert_eq!(report.bucket_sizes.iter().sum::<usize>(), seqs.len());
+        let makespan = report.makespan().expect("distributed runs have a makespan");
+        prop_assert!(makespan.is_finite() && makespan >= 0.0);
+    }
+
+    #[test]
+    fn report_work_is_the_sum_of_its_phases(seqs in arb_sequences(), p in 1usize..5) {
+        // The unified report's invariant, whatever the backend.
+        let dist = on_cluster(p, &seqs);
+        let ray = Aligner::new(SadConfig::default())
+            .backend(Backend::Rayon { threads: p })
+            .run(&seqs)
+            .expect("valid input");
+        let seq = Aligner::new(SadConfig::default()).run(&seqs).expect("valid input");
+        for report in [&dist, &ray, &seq] {
+            let total: bioseq::Work = report.phases.iter().map(|ph| ph.work).sum();
+            prop_assert_eq!(report.work, total, "{} phases", report.backend_name());
+            prop_assert!(!report.work.is_zero(), "{} did no work", report.backend_name());
+        }
     }
 
     #[test]
     fn sp_score_finite_and_q_bounded(seqs in arb_sequences()) {
-        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
+        let report = on_cluster(2, &seqs);
         let matrix = SubstMatrix::blosum62();
-        let sp = run.msa.sp_score(&matrix, GapPenalties::default());
+        let sp = report.msa.sp_score(&matrix, GapPenalties::default());
         // SP of an n x c alignment is bounded by pairs x columns x max score.
-        let n = run.msa.num_rows() as i64;
-        let c = run.msa.num_cols() as i64;
+        let n = report.msa.num_rows() as i64;
+        let c = report.msa.num_cols() as i64;
         prop_assert!(sp.abs() <= n * n * c * 17, "sp={sp} n={n} c={c}");
     }
 
     #[test]
     fn fasta_roundtrip_of_pipeline_output(seqs in arb_sequences()) {
-        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
-        let run = run_distributed(&cluster, &seqs, &SadConfig::default());
-        let text = fasta::write_alignment(&run.msa);
+        let report = on_cluster(2, &seqs);
+        let text = fasta::write_alignment(&report.msa);
         let parsed = fasta::parse_alignment(&text).unwrap();
-        prop_assert_eq!(parsed.rows(), run.msa.rows());
+        prop_assert_eq!(parsed.rows(), report.msa.rows());
     }
 }
 

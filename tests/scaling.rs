@@ -14,15 +14,22 @@ fn workload(n: usize, seed: u64) -> Vec<Sequence> {
     .seqs
 }
 
+fn on_cluster(p: usize, cost: CostModel, seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+    Aligner::new(cfg.clone())
+        .backend(Backend::Distributed(VirtualCluster::new(p, cost)))
+        .run(seqs)
+        .unwrap()
+}
+
 #[test]
 fn makespan_strictly_improves_with_ranks() {
     let seqs = workload(96, 1);
     let cfg = SadConfig::default();
     let mut prev = f64::INFINITY;
     for p in [1usize, 2, 4, 8] {
-        let run = run_distributed(&VirtualCluster::new(p, CostModel::beowulf_2008()), &seqs, &cfg);
-        assert!(run.makespan < prev, "p={p}: {:.4} did not improve on {:.4}", run.makespan, prev);
-        prev = run.makespan;
+        let t = on_cluster(p, CostModel::beowulf_2008(), &seqs, &cfg).makespan().unwrap();
+        assert!(t < prev, "p={p}: {t:.4} did not improve on {prev:.4}");
+        prev = t;
     }
 }
 
@@ -30,10 +37,8 @@ fn makespan_strictly_improves_with_ranks() {
 fn speedup_beats_half_linear() {
     let seqs = workload(128, 2);
     let cfg = SadConfig::default();
-    let t1 =
-        run_distributed(&VirtualCluster::new(1, CostModel::beowulf_2008()), &seqs, &cfg).makespan;
-    let t8 =
-        run_distributed(&VirtualCluster::new(8, CostModel::beowulf_2008()), &seqs, &cfg).makespan;
+    let t1 = on_cluster(1, CostModel::beowulf_2008(), &seqs, &cfg).makespan().unwrap();
+    let t8 = on_cluster(8, CostModel::beowulf_2008(), &seqs, &cfg).makespan().unwrap();
     let speedup = t1 / t8;
     assert!(speedup > 4.0, "speedup at p=8 was only {speedup:.2}");
 }
@@ -41,13 +46,9 @@ fn speedup_beats_half_linear() {
 #[test]
 fn load_balance_bound_holds() {
     let seqs = workload(192, 3);
-    let run = run_distributed(
-        &VirtualCluster::new(6, CostModel::beowulf_2008()),
-        &seqs,
-        &SadConfig::default(),
-    );
+    let report = on_cluster(6, CostModel::beowulf_2008(), &seqs, &SadConfig::default());
     let bound = psrs::max_partition_bound(192, 6);
-    for (rank, &size) in run.bucket_sizes.iter().enumerate() {
+    for (rank, &size) in report.bucket_sizes.iter().enumerate() {
         assert!(size <= bound + 6, "rank {rank} got {size} sequences (bound {bound})");
     }
 }
@@ -57,12 +58,8 @@ fn communication_is_minor_versus_compute() {
     // The paper's premise: communication cost is much less than alignment
     // cost for large-enough buckets.
     let seqs = workload(96, 4);
-    let run = run_distributed(
-        &VirtualCluster::new(4, CostModel::beowulf_2008()),
-        &seqs,
-        &SadConfig::default(),
-    );
-    for t in &run.traces {
+    let report = on_cluster(4, CostModel::beowulf_2008(), &seqs, &SadConfig::default());
+    for t in report.traces().expect("distributed runs carry traces") {
         assert!(
             t.comm_s < t.compute_s,
             "rank {}: comm {:.4}s should stay below compute {:.4}s",
@@ -76,16 +73,11 @@ fn communication_is_minor_versus_compute() {
 #[test]
 fn local_align_dominates_the_phase_table() {
     // Section 3: the O((N/p)^2 L) + O((N/p) L^2) alignment term dominates
-    // every other phase.
+    // every other phase — visible straight from the unified report now.
     let seqs = workload(96, 5);
-    let run = run_distributed(
-        &VirtualCluster::new(4, CostModel::beowulf_2008()),
-        &seqs,
-        &SadConfig::default(),
-    );
-    let phases = vcluster::trace::phase_summary(&run.traces);
+    let report = on_cluster(4, CostModel::beowulf_2008(), &seqs, &SadConfig::default());
     let of = |name: &str| {
-        phases.iter().find(|(n, _, _)| n == name).map(|&(_, max, _)| max).unwrap_or(0.0)
+        report.phases.iter().find(|p| p.name == name).and_then(|p| p.seconds).unwrap_or(0.0)
     };
     let align = of("8-local-align");
     for other in ["2-local-sort", "3-sample-exchange", "6-redistribute", "12-glue"] {
@@ -102,7 +94,7 @@ fn modern_cost_model_preserves_shape() {
     // Constants change; the scaling shape must not.
     let seqs = workload(96, 6);
     let cfg = SadConfig::default();
-    let t1 = run_distributed(&VirtualCluster::new(1, CostModel::modern()), &seqs, &cfg).makespan;
-    let t4 = run_distributed(&VirtualCluster::new(4, CostModel::modern()), &seqs, &cfg).makespan;
+    let t1 = on_cluster(1, CostModel::modern(), &seqs, &cfg).makespan().unwrap();
+    let t4 = on_cluster(4, CostModel::modern(), &seqs, &cfg).makespan().unwrap();
     assert!(t4 < t1, "modern model lost the scaling: {t4} vs {t1}");
 }
