@@ -2,9 +2,10 @@
 //! pairwise distances → neighbor-joining guide tree → tree-derived sequence
 //! weights → weighted progressive alignment.
 
-use crate::distance::{alignment_distance_matrix, kmer_distance_matrix};
+use crate::distance::{alignment_distance_matrix_with, kmer_distance_matrix};
+use crate::dp::{BandPolicy, DpArena};
 use crate::engine::MsaEngine;
-use crate::progressive::{progressive_align, ProgressiveConfig, WeightScheme};
+use crate::progressive::{progressive_align_with_arena, ProgressiveConfig, WeightScheme};
 use bioseq::{CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix, Work};
 use phylo::{neighbor_joining, Tree};
 
@@ -23,6 +24,9 @@ pub struct ClustalLite {
     pub kmer_k: usize,
     /// Compressed alphabet for the fast distance fallback.
     pub alphabet: CompressedAlphabet,
+    /// Band policy for every DP kernel instance (pairwise distances and
+    /// progressive merging).
+    pub band: BandPolicy,
 }
 
 impl Default for ClustalLite {
@@ -33,7 +37,16 @@ impl Default for ClustalLite {
             full_pairwise_threshold: 60,
             kmer_k: 3,
             alphabet: CompressedAlphabet::Identity,
+            band: BandPolicy::default(),
         }
+    }
+}
+
+impl ClustalLite {
+    /// Select the DP kernel band policy.
+    pub fn with_band(mut self, band: BandPolicy) -> Self {
+        self.band = band;
+        self
     }
 }
 
@@ -80,7 +93,11 @@ pub fn clustal_tree_weights(tree: &Tree) -> Vec<f64> {
 
 impl MsaEngine for ClustalLite {
     fn name(&self) -> String {
-        "clustal-lite".to_string()
+        if self.band == BandPolicy::default() {
+            "clustal-lite".to_string()
+        } else {
+            format!("clustal-lite+{}", self.band.label())
+        }
     }
 
     fn align_with_work(&self, seqs: &[Sequence]) -> (Msa, Work) {
@@ -90,7 +107,7 @@ impl MsaEngine for ClustalLite {
             return (Msa::from_sequence(&seqs[0]), work);
         }
         let dist = if seqs.len() <= self.full_pairwise_threshold {
-            alignment_distance_matrix(seqs, &self.matrix, self.gaps, &mut work)
+            alignment_distance_matrix_with(seqs, &self.matrix, self.gaps, self.band, &mut work)
         } else {
             kmer_distance_matrix(seqs, self.kmer_k, self.alphabet, &mut work)
         };
@@ -101,8 +118,10 @@ impl MsaEngine for ClustalLite {
             matrix: self.matrix.clone(),
             gaps: self.gaps,
             weights: WeightScheme::Fixed(weights),
+            band: self.band,
         };
-        let msa = progressive_align(seqs, &tree, &cfg, &mut work);
+        let mut arena = DpArena::new();
+        let msa = progressive_align_with_arena(seqs, &tree, &cfg, &mut arena, &mut work);
         (msa, work)
     }
 }

@@ -100,14 +100,30 @@ pub fn alignment_distance_matrix(
     gaps: GapPenalties,
     work: &mut Work,
 ) -> DistMatrix {
+    alignment_distance_matrix_with(seqs, matrix, gaps, crate::dp::BandPolicy::Full, work)
+}
+
+/// [`alignment_distance_matrix`] under an explicit band policy. Each
+/// worker reuses one [`crate::dp::DpArena`] across its whole row of
+/// pairwise alignments.
+pub fn alignment_distance_matrix_with(
+    seqs: &[Sequence],
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    band: crate::dp::BandPolicy,
+    work: &mut Work,
+) -> DistMatrix {
     let n = seqs.len();
     let rows: Vec<(Vec<f64>, Work)> = (1..n)
         .into_par_iter()
         .map(|i| {
             let mut w = Work::ZERO;
+            let mut arena = crate::dp::DpArena::new();
             let row: Vec<f64> = (0..i)
                 .map(|j| {
-                    crate::pairwise::alignment_distance(&seqs[i], &seqs[j], matrix, gaps, &mut w)
+                    crate::pairwise::alignment_distance_with(
+                        &seqs[i], &seqs[j], matrix, gaps, band, &mut arena, &mut w,
+                    )
                 })
                 .collect();
             (row, w)

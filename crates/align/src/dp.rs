@@ -1,0 +1,966 @@
+//! The one Gotoh dynamic-programming kernel under every alignment path.
+//!
+//! Sample-Align-D's speed rests on each processor running its sequential
+//! aligner over small domains, which makes the affine-gap DP the hot path
+//! of the whole system. This module is the single home of that recurrence:
+//!
+//! * **One kernel, many scorers.** [`gotoh_global`] is generic over a
+//!   [`ColumnScorer`], so residue-vs-residue alignment (via
+//!   [`SubstScorer`]) and profile-vs-profile alignment (via [`PspScorer`],
+//!   the PSP objective of MUSCLE) share one implementation instead of the
+//!   four near-identical matrix fills the crate used to carry.
+//! * **Packed traceback + rolling rows.** Scores live in two rolling rows
+//!   (three layers each); the traceback stores all three layer choices in
+//!   a single byte per cell. A full Gotoh instance used to keep six
+//!   `O(n·m)` arrays of 8-byte scores — roughly 48 bytes per cell; the
+//!   kernel keeps 1 byte per *in-band* cell plus `O(m)` score storage.
+//! * **Reusable scratch.** All storage lives in a [`DpArena`] that callers
+//!   thread through progressive alignment and refinement, so steady-state
+//!   alignment performs no per-call heap allocation once the arena has
+//!   grown to the workload's high-water mark.
+//! * **Banded mode with adaptive doubling.** Under [`BandPolicy::Auto`]
+//!   the DP is restricted to a diagonal band sized by the length
+//!   difference, and the band is doubled and the instance re-run until
+//!   the traced optimum clears the band edges **and** doubling no longer
+//!   changes the score (edge clearance alone is not evidence of
+//!   optimality — see [`gotoh_global`]). The fallback of the doubling is
+//!   the full fill, so results converge to the full-DP optimum while
+//!   [`bioseq::Work::dp_cells`] records only the cells actually filled.
+//!
+//! Scores are `f64` throughout. For integer substitution matrices and gap
+//! penalties every intermediate value is an exact small integer, so the
+//! kernel reproduces the historical `i64` pairwise scores bit-for-bit.
+
+use crate::profile::{Profile, ProfileColumn};
+use bioseq::alphabet::CODE_COUNT;
+use bioseq::{GapPenalties, SubstMatrix, Work};
+use serde::{Deserialize, Serialize};
+
+/// The "unreachable" score. Ordinary arithmetic keeps it absorbing
+/// (`NEG_INF + x == NEG_INF`), which is exactly what the recurrence needs.
+pub const NEG_INF: f64 = f64::NEG_INFINITY;
+
+/// Pick the best of the three layer scores, preferring M over X over Y on
+/// ties (the tie-break every aligner in this crate has always used).
+/// Returns `(best value, layer index)` with 0 = M, 1 = X, 2 = Y.
+#[inline]
+pub fn best3(m: f64, x: f64, y: f64) -> (f64, u8) {
+    if m >= x && m >= y {
+        (m, 0)
+    } else if x >= y {
+        (x, 1)
+    } else {
+        (y, 2)
+    }
+}
+
+/// One traceback step of an alignment: which side(s) a merged column
+/// consumes. (Historically `papro::ColOp`; re-exported there.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColOp {
+    /// Consume one column from each side (aligned columns).
+    Both,
+    /// Consume a column from the first side; gap column in the second.
+    FromA,
+    /// Consume a column from the second side; gap column in the first.
+    FromB,
+}
+
+/// How the kernel restricts the DP to a diagonal band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BandPolicy {
+    /// Fill the whole matrix. Exact, `O(n·m)` cells.
+    Full,
+    /// Start from a band sized by the sequence length difference (at
+    /// least [`AUTO_MIN_BAND`]), and double it until the traced optimum
+    /// clears the band edges and doubling leaves the score unchanged
+    /// (falling back to the full fill). Matches the full-DP optimum on
+    /// every input we can construct — including shifted and transposed
+    /// blocks — while filling only near-diagonal cells on homologous
+    /// ones; the acceptance test is a (strong) heuristic, not a proof.
+    #[default]
+    Auto,
+    /// A fixed half-width band with **no** retry: fast and exact for
+    /// near-homologous inputs, but may return a band-constrained (lower)
+    /// score when the optimum needs larger shifts. The width is clamped
+    /// up to the length difference so a path always exists.
+    Fixed(usize),
+}
+
+impl BandPolicy {
+    /// Stable label for engine names, CLI round-trips and reports:
+    /// `"full"`, `"auto"`, or `"band<width>"`.
+    pub fn label(&self) -> String {
+        match self {
+            BandPolicy::Full => "full".to_string(),
+            BandPolicy::Auto => "auto".to_string(),
+            BandPolicy::Fixed(w) => format!("band{w}"),
+        }
+    }
+
+    /// Parse a [`label`](Self::label) or a bare width (`"64"`) back into
+    /// a policy. Returns `None` for unknown text or a zero width.
+    pub fn parse(text: &str) -> Option<BandPolicy> {
+        match text {
+            "full" => Some(BandPolicy::Full),
+            "auto" => Some(BandPolicy::Auto),
+            other => {
+                let digits = other.strip_prefix("band").unwrap_or(other);
+                match digits.parse::<usize>() {
+                    Ok(0) | Err(_) => None,
+                    Ok(w) => Some(BandPolicy::Fixed(w)),
+                }
+            }
+        }
+    }
+}
+
+/// Minimum initial half-width for [`BandPolicy::Auto`]. Instances whose
+/// shorter side fits inside this band degenerate to a full fill, so tiny
+/// alignments pay no banding overhead (and lose no optimality).
+pub const AUTO_MIN_BAND: usize = 32;
+
+/// The column-level scoring interface the kernel is generic over.
+///
+/// `i` indexes columns of the first side (`0..len_a()`), `j` of the second
+/// (`0..len_b()`). Gap costs are *positive* charges: `gap_open_a(i)` is
+/// the cost of the first gap symbol inserted into side B while consuming
+/// column `i` of side A (the X layer), `gap_extend_a(i)` the cost of each
+/// further one; `*_b` mirrors this for gaps in side A (the Y layer).
+pub trait ColumnScorer {
+    /// Number of columns on the first side.
+    fn len_a(&self) -> usize;
+    /// Number of columns on the second side.
+    fn len_b(&self) -> usize;
+    /// Substitution / PSP score for aligning column `i` of A with column
+    /// `j` of B.
+    fn substitution(&self, i: usize, j: usize) -> f64;
+    /// Cost of opening a gap run in B that consumes A's column `i`.
+    fn gap_open_a(&self, i: usize) -> f64;
+    /// Cost of extending a gap run in B across A's column `i`.
+    fn gap_extend_a(&self, i: usize) -> f64;
+    /// Cost of opening a gap run in A that consumes B's column `j`.
+    fn gap_open_b(&self, j: usize) -> f64;
+    /// Cost of extending a gap run in A across B's column `j`.
+    fn gap_extend_b(&self, j: usize) -> f64;
+}
+
+/// Residue-vs-residue scorer: a substitution matrix plus uniform affine
+/// gap penalties. Terminal gaps are charged like internal ones, matching
+/// [`bioseq::Msa::sp_score`]'s convention.
+#[derive(Debug)]
+pub struct SubstScorer<'a> {
+    a: &'a [u8],
+    b: &'a [u8],
+    matrix: &'a SubstMatrix,
+    open: f64,
+    extend: f64,
+}
+
+impl<'a> SubstScorer<'a> {
+    /// Build a scorer over two code slices.
+    pub fn new(a: &'a [u8], b: &'a [u8], matrix: &'a SubstMatrix, gaps: GapPenalties) -> Self {
+        SubstScorer { a, b, matrix, open: gaps.open as f64, extend: gaps.extend as f64 }
+    }
+}
+
+impl ColumnScorer for SubstScorer<'_> {
+    #[inline]
+    fn len_a(&self) -> usize {
+        self.a.len()
+    }
+    #[inline]
+    fn len_b(&self) -> usize {
+        self.b.len()
+    }
+    #[inline]
+    fn substitution(&self, i: usize, j: usize) -> f64 {
+        self.matrix.row(self.a[i])[self.b[j] as usize] as f64
+    }
+    #[inline]
+    fn gap_open_a(&self, _i: usize) -> f64 {
+        self.open
+    }
+    #[inline]
+    fn gap_extend_a(&self, _i: usize) -> f64 {
+        self.extend
+    }
+    #[inline]
+    fn gap_open_b(&self, _j: usize) -> f64 {
+        self.open
+    }
+    #[inline]
+    fn gap_extend_b(&self, _j: usize) -> f64 {
+        self.extend
+    }
+}
+
+/// Profile-vs-profile scorer: the weighted PSP objective. Gap penalties
+/// are scaled by the residue weight of the consumed column times the total
+/// weight of the profile receiving the gap, keeping the objective in
+/// weighted sum-of-pairs units end to end (exactly the arithmetic the old
+/// `papro` matrix fill used).
+#[derive(Debug)]
+pub struct PspScorer<'a> {
+    cols_a: &'a [ProfileColumn],
+    /// Dense expected-score vectors for B's columns: `psp(i, j)` becomes a
+    /// sparse dot of A's column `i` against `eb[j]`.
+    eb: Vec<[f64; CODE_COUNT]>,
+    open_a: Vec<f64>,
+    extend_a: Vec<f64>,
+    open_b: Vec<f64>,
+    extend_b: Vec<f64>,
+}
+
+impl<'a> PspScorer<'a> {
+    /// Precompute the dense expected-score vectors and per-column gap
+    /// rates. The `O(m·|Σ|)` setup cost is charged to `work.col_ops`.
+    pub fn new(
+        pa: &'a Profile,
+        pb: &Profile,
+        matrix: &SubstMatrix,
+        gaps: GapPenalties,
+        work: &mut Work,
+    ) -> Self {
+        let eb: Vec<[f64; CODE_COUNT]> =
+            pb.cols.iter().map(|c| c.expected_scores(matrix)).collect();
+        work.col_ops += (pb.len() * CODE_COUNT) as u64;
+        let (open, extend) = (gaps.open as f64, gaps.extend as f64);
+        let (wa_tot, wb_tot) = (pa.total_weight, pb.total_weight);
+        let rate_a: Vec<f64> = pa.cols.iter().map(|c| c.residue_weight() * wb_tot).collect();
+        let rate_b: Vec<f64> = pb.cols.iter().map(|c| c.residue_weight() * wa_tot).collect();
+        PspScorer {
+            cols_a: &pa.cols,
+            eb,
+            open_a: rate_a.iter().map(|r| open * r).collect(),
+            extend_a: rate_a.iter().map(|r| extend * r).collect(),
+            open_b: rate_b.iter().map(|r| open * r).collect(),
+            extend_b: rate_b.iter().map(|r| extend * r).collect(),
+        }
+    }
+}
+
+impl ColumnScorer for PspScorer<'_> {
+    #[inline]
+    fn len_a(&self) -> usize {
+        self.cols_a.len()
+    }
+    #[inline]
+    fn len_b(&self) -> usize {
+        self.eb.len()
+    }
+    #[inline]
+    fn substitution(&self, i: usize, j: usize) -> f64 {
+        let e = &self.eb[j];
+        let mut psp = 0.0;
+        for &(a, wgt) in &self.cols_a[i].residues {
+            psp += wgt * e[a as usize];
+        }
+        psp
+    }
+    #[inline]
+    fn gap_open_a(&self, i: usize) -> f64 {
+        self.open_a[i]
+    }
+    #[inline]
+    fn gap_extend_a(&self, i: usize) -> f64 {
+        self.extend_a[i]
+    }
+    #[inline]
+    fn gap_open_b(&self, j: usize) -> f64 {
+        self.open_b[j]
+    }
+    #[inline]
+    fn gap_extend_b(&self, j: usize) -> f64 {
+        self.extend_b[j]
+    }
+}
+
+// Packed traceback layout: one byte per in-band cell.
+// bits 0–1: M's diagonal predecessor layer (0 = M, 1 = X, 2 = Y,
+//           3 = fresh start — local/semiglobal modes only);
+// bit 2: X extended (vs opened); bit 3: X opened from Y (vs M);
+// bit 4: Y extended (vs opened); bit 5: Y opened from X (vs M).
+const TB_M_MASK: u8 = 0b0000_0011;
+const TB_M_START: u8 = 3;
+const TB_X_EXT: u8 = 0b0000_0100;
+const TB_X_FROM_Y: u8 = 0b0000_1000;
+const TB_Y_EXT: u8 = 0b0001_0000;
+const TB_Y_FROM_X: u8 = 0b0010_0000;
+
+/// Reusable scratch for the kernel: two rolling score rows per layer, the
+/// packed traceback, and per-row band geometry. One arena serves any
+/// number of consecutive alignments; buffers grow to the largest instance
+/// seen and are then reused without further allocation.
+#[derive(Debug, Default)]
+pub struct DpArena {
+    // Rolling score rows (previous / current), one pair per layer.
+    mp: Vec<f64>,
+    xp: Vec<f64>,
+    yp: Vec<f64>,
+    mc: Vec<f64>,
+    xc: Vec<f64>,
+    yc: Vec<f64>,
+    /// Packed traceback bytes, rows concatenated.
+    tb: Vec<u8>,
+    /// Per-row offset of the row's first stored byte in `tb`.
+    row_off: Vec<usize>,
+    /// Per-row first interior column stored (`max(1, lo)`).
+    row_jlo: Vec<usize>,
+    /// Per-row band bounds (inclusive) for edge detection.
+    row_lo: Vec<usize>,
+    row_hi: Vec<usize>,
+    /// Last-column layer scores per row (semiglobal end-cell scan).
+    lastcol: Vec<(f64, f64, f64)>,
+}
+
+impl DpArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn tb_at(&self, i: usize, j: usize) -> u8 {
+        self.tb[self.row_off[i] + (j - self.row_jlo[i])]
+    }
+}
+
+/// What alignment variant the fill computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// End-to-end alignment, terminal gaps charged.
+    Global,
+    /// Overlap alignment: terminal gaps of either side are free.
+    Semiglobal,
+    /// Smith–Waterman: best-scoring local segment.
+    Local,
+}
+
+/// The outcome of one global or semiglobal kernel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpResult {
+    /// Column merge script (length = aligned width).
+    pub ops: Vec<ColOp>,
+    /// The DP objective value.
+    pub score: f64,
+    /// Matrix cells actually filled, summed over adaptive retries
+    /// (single-layer count; one "cell" fills all three layers).
+    pub cells: u64,
+    /// Cells a full `n·m` fill would have touched (single-layer count).
+    pub full_cells: u64,
+    /// Final band half-width, or `None` when the whole matrix was filled.
+    pub band: Option<usize>,
+}
+
+impl DpResult {
+    /// The [`Work`] this run performed: three layers per filled cell,
+    /// with the full-matrix equivalent recorded alongside.
+    pub fn work(&self) -> Work {
+        Work::dp_banded(3 * self.cells, 3 * self.full_cells)
+    }
+}
+
+/// The outcome of a local (Smith–Waterman) kernel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDpResult {
+    /// Merge script of the aligned segment only.
+    pub ops: Vec<ColOp>,
+    /// Best local score (≥ 0).
+    pub score: f64,
+    /// Start of the segment in A (0-based column index).
+    pub start_a: usize,
+    /// Start of the segment in B.
+    pub start_b: usize,
+    /// One past the end of the segment in A.
+    pub end_a: usize,
+    /// One past the end of the segment in B.
+    pub end_b: usize,
+    /// Matrix cells filled (single-layer count; always the full matrix).
+    pub cells: u64,
+}
+
+impl LocalDpResult {
+    /// The [`Work`] this run performed.
+    pub fn work(&self) -> Work {
+        Work::dp(3 * self.cells)
+    }
+}
+
+struct FillOutcome {
+    cells: u64,
+    /// End-cell layer scores (M, X, Y) at `(n, m)`.
+    end: (f64, f64, f64),
+    /// Best interior M cell (local mode).
+    best: (f64, usize, usize),
+}
+
+/// Fill the matrix within half-width `hw` (`hw ≥ len_b` means full).
+/// Returns the per-layer end values; traceback state stays in the arena.
+fn fill<S: ColumnScorer>(s: &S, mode: Mode, hw: usize, arena: &mut DpArena) -> FillOutcome {
+    let n = s.len_a();
+    let m = s.len_b();
+    let w = m + 1;
+    debug_assert!(mode == Mode::Global || hw >= m, "banding is a global-mode feature");
+
+    // Band geometry: row i is allowed columns [lo(i), hi(i)] around the
+    // rescaled diagonal j ≈ i·m/n.
+    let centre = |i: usize| (i * m).checked_div(n).unwrap_or(0);
+    let lo = |i: usize| centre(i).saturating_sub(hw);
+    let hi = |i: usize| (centre(i) + hw).min(m);
+
+    // (Re)initialise the arena for this instance.
+    for v in
+        [&mut arena.mp, &mut arena.xp, &mut arena.yp, &mut arena.mc, &mut arena.xc, &mut arena.yc]
+    {
+        v.clear();
+        v.resize(w, NEG_INF);
+    }
+    arena.row_off.clear();
+    arena.row_off.resize(n + 1, 0);
+    arena.row_jlo.clear();
+    arena.row_jlo.resize(n + 1, 0);
+    arena.row_lo.clear();
+    arena.row_lo.resize(n + 1, 0);
+    arena.row_hi.clear();
+    arena.row_hi.resize(n + 1, 0);
+    arena.tb.clear();
+    if mode == Mode::Semiglobal {
+        arena.lastcol.clear();
+        arena.lastcol.resize(n + 1, (NEG_INF, NEG_INF, NEG_INF));
+    }
+
+    // Row 0.
+    match mode {
+        Mode::Global => {
+            arena.mp[0] = 0.0;
+            let mut by = 0.0;
+            for j in 1..=hi(0) {
+                by -= if j == 1 { s.gap_open_b(0) } else { s.gap_extend_b(j - 1) };
+                arena.yp[j] = by;
+            }
+        }
+        Mode::Semiglobal | Mode::Local => {
+            for v in arena.mp.iter_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+    if mode == Mode::Semiglobal {
+        arena.lastcol[0] = (arena.mp[m], arena.xp[m], arena.yp[m]);
+    }
+
+    // Column-0 boundary (the X run down the left edge), maintained while
+    // the band still contains column 0.
+    let mut bx = 0.0;
+
+    let mut cells = 0u64;
+    let mut best = (0.0f64, 0usize, 0usize);
+    let mut tb_len = 0usize;
+    for i in 1..=n {
+        let (rlo, rhi) = (lo(i), hi(i));
+        let jstart = rlo.max(1);
+        arena.row_lo[i] = rlo;
+        arena.row_hi[i] = rhi;
+        arena.row_jlo[i] = jstart;
+        arena.row_off[i] = tb_len;
+        let width = rhi + 1 - jstart;
+        tb_len += width;
+        arena.tb.resize(tb_len, 0);
+
+        // Clear the current row across every cell rows i and i+1 can
+        // read, so values from two rows ago never leak through.
+        let next_hi = if i < n { hi(i + 1) } else { rhi };
+        let clo = rlo.saturating_sub(1);
+        let chi = rhi.max(next_hi);
+        for v in [&mut arena.mc, &mut arena.xc, &mut arena.yc] {
+            for slot in &mut v[clo..=chi] {
+                *slot = NEG_INF;
+            }
+        }
+
+        // Cell (i, 0): the left-edge boundary.
+        if rlo == 0 {
+            match mode {
+                Mode::Global => {
+                    bx -= if i == 1 { s.gap_open_a(0) } else { s.gap_extend_a(i - 1) };
+                    arena.xc[0] = bx;
+                }
+                Mode::Semiglobal | Mode::Local => arena.mc[0] = 0.0,
+            }
+        }
+
+        let row_tb = &mut arena.tb[arena.row_off[i]..tb_len];
+        for j in jstart..=rhi {
+            cells += 1;
+            let sub = s.substitution(i - 1, j - 1);
+            // M: consume both columns.
+            let (mut bprev, mut from) = best3(arena.mp[j - 1], arena.xp[j - 1], arena.yp[j - 1]);
+            if mode == Mode::Local && 0.0 >= bprev {
+                bprev = 0.0;
+                from = TB_M_START;
+            }
+            let mval = bprev + sub;
+            // X: consume from A (gap in B). Open from M/Y above or extend.
+            let (um, ux, uy) = (arena.mp[j], arena.xp[j], arena.yp[j]);
+            let open_x = um.max(uy) - s.gap_open_a(i - 1);
+            let ext_x = ux - s.gap_extend_a(i - 1);
+            let (xval, xbits) = if ext_x >= open_x {
+                (ext_x, TB_X_EXT)
+            } else {
+                (open_x, if um >= uy { 0 } else { TB_X_FROM_Y })
+            };
+            // Y: consume from B (gap in A). Open from M/X on the left or
+            // extend.
+            let (lm, lx, ly) = (arena.mc[j - 1], arena.xc[j - 1], arena.yc[j - 1]);
+            let open_y = lm.max(lx) - s.gap_open_b(j - 1);
+            let ext_y = ly - s.gap_extend_b(j - 1);
+            let (yval, ybits) = if ext_y >= open_y {
+                (ext_y, TB_Y_EXT)
+            } else {
+                (open_y, if lm >= lx { 0 } else { TB_Y_FROM_X })
+            };
+            row_tb[j - jstart] = from | xbits | ybits;
+            arena.mc[j] = mval;
+            arena.xc[j] = xval;
+            arena.yc[j] = yval;
+            if mode == Mode::Local && mval > best.0 {
+                best = (mval, i, j);
+            }
+        }
+        if mode == Mode::Semiglobal {
+            arena.lastcol[i] = (arena.mc[m], arena.xc[m], arena.yc[m]);
+        }
+        std::mem::swap(&mut arena.mp, &mut arena.mc);
+        std::mem::swap(&mut arena.xp, &mut arena.xc);
+        std::mem::swap(&mut arena.yp, &mut arena.yc);
+    }
+    // After the final swap the last filled row sits in the "previous"
+    // buffers (row 0 included, when n == 0).
+    FillOutcome { cells, end: (arena.mp[m], arena.xp[m], arena.yp[m]), best }
+}
+
+/// Walk of the packed traceback from `(i, j, layer)` back to the origin:
+/// the recovered ops, whether the path touched a (clipped) band edge, and
+/// the first cell of the path. `stop_start` ends the walk at a fresh-start
+/// cell instead of padding to the origin (local mode).
+struct Traceback {
+    ops_rev: Vec<ColOp>,
+    touched_edge: bool,
+    pos: (usize, usize),
+}
+
+impl Traceback {
+    fn walk(
+        arena: &DpArena,
+        m: usize,
+        start: (usize, usize),
+        mut layer: u8,
+        stop_start: bool,
+    ) -> Self {
+        let (mut i, mut j) = start;
+        let mut ops_rev = Vec::with_capacity(i + j);
+        let mut touched = false;
+        while i > 0 || j > 0 {
+            if i == 0 {
+                if stop_start {
+                    break;
+                }
+                ops_rev.push(ColOp::FromB);
+                j -= 1;
+                continue;
+            }
+            if j == 0 {
+                if stop_start {
+                    break;
+                }
+                ops_rev.push(ColOp::FromA);
+                i -= 1;
+                continue;
+            }
+            // A path running within one cell of a clipped band edge may be
+            // constrained by it; the adaptive controller widens and
+            // retries in that case.
+            let (rlo, rhi) = (arena.row_lo[i], arena.row_hi[i]);
+            if (rlo > 0 && j <= rlo + 1) || (rhi < m && j + 1 >= rhi) {
+                touched = true;
+            }
+            let byte = arena.tb_at(i, j);
+            match layer {
+                0 => {
+                    ops_rev.push(ColOp::Both);
+                    let src = byte & TB_M_MASK;
+                    i -= 1;
+                    j -= 1;
+                    if src == TB_M_START {
+                        if stop_start {
+                            break;
+                        }
+                        // Semiglobal fresh start: the rest of the prefix
+                        // is free terminal gaps, emitted by the boundary
+                        // arms above.
+                        layer = 0;
+                        debug_assert!(
+                            i == 0 || j == 0,
+                            "fresh starts only occur on the boundary in semiglobal mode"
+                        );
+                    } else {
+                        layer = src;
+                    }
+                }
+                1 => {
+                    ops_rev.push(ColOp::FromA);
+                    let extended = byte & TB_X_EXT != 0;
+                    i -= 1;
+                    if !extended {
+                        layer = if byte & TB_X_FROM_Y != 0 { 2 } else { 0 };
+                    }
+                }
+                _ => {
+                    ops_rev.push(ColOp::FromB);
+                    let extended = byte & TB_Y_EXT != 0;
+                    j -= 1;
+                    if !extended {
+                        layer = if byte & TB_Y_FROM_X != 0 { 1 } else { 0 };
+                    }
+                }
+            }
+        }
+        ops_rev.reverse();
+        Traceback { ops_rev, touched_edge: touched, pos: (i, j) }
+    }
+}
+
+/// Global (Needleman–Wunsch/Gotoh) alignment under the given band policy.
+///
+/// Terminal gaps are charged like internal ones. Under
+/// [`BandPolicy::Auto`] the kernel re-runs with a doubled band until the
+/// traced optimum clears the band edges **and** the score is stable under
+/// the doubling (an interior path can still be band-suboptimal — e.g.
+/// transposed blocks — so clearance alone is not trusted), falling back
+/// to a full fill; [`DpResult::cells`] sums the cells of every attempt
+/// (a geometric series bounded by a small constant times one full fill).
+pub fn gotoh_global<S: ColumnScorer>(s: &S, policy: BandPolicy, arena: &mut DpArena) -> DpResult {
+    let n = s.len_a();
+    let m = s.len_b();
+    let full_cells = (n as u64) * (m as u64);
+    // hw ≥ m covers every column of every row: a full fill.
+    let full_hw = m;
+    let feasible = n.abs_diff(m) + 1;
+    let run = |hw: usize, arena: &mut DpArena| -> (FillOutcome, Traceback, f64) {
+        let out = fill(s, Mode::Global, hw, arena);
+        let (score, layer) = best3(out.end.0, out.end.1, out.end.2);
+        let tb = Traceback::walk(arena, m, (n, m), layer, false);
+        (out, tb, score)
+    };
+    match policy {
+        BandPolicy::Full => {
+            let (out, tb, score) = run(full_hw, arena);
+            DpResult { ops: tb.ops_rev, score, cells: out.cells, full_cells, band: None }
+        }
+        BandPolicy::Fixed(width) => {
+            let hw = width.max(feasible);
+            let (out, tb, score) = run(hw, arena);
+            let band = if hw >= full_hw { None } else { Some(hw) };
+            DpResult { ops: tb.ops_rev, score, cells: out.cells, full_cells, band }
+        }
+        BandPolicy::Auto => {
+            let mut hw = feasible.max(AUTO_MIN_BAND).min(full_hw.max(1));
+            // Any accepted banded outcome costs at least the band plus
+            // its doubled confirmation pass, ≈ (6·hw + 2)·n cells; when
+            // that can't undercut the m·n full fill, run the
+            // (unconditionally exact) full fill straight away.
+            if 6 * hw + 2 >= full_hw {
+                hw = full_hw;
+            }
+            let mut total = 0u64;
+            let mut prev_score: Option<f64> = None;
+            loop {
+                let (out, tb, score) = run(hw, arena);
+                total += out.cells;
+                let clipped = hw < full_hw;
+                // A clipped result is accepted only when the traced
+                // optimum stays clear of the band edges AND doubling the
+                // band left the score unchanged. Edge clearance alone is
+                // not evidence of optimality: an interior near-diagonal
+                // path can score less than an off-band excursion (e.g.
+                // transposed sequence blocks), and only score stability
+                // under widening rules that out.
+                let confirmed = !tb.touched_edge && score > NEG_INF && prev_score == Some(score);
+                if !clipped || confirmed {
+                    let band = if clipped { Some(hw) } else { None };
+                    return DpResult { ops: tb.ops_rev, score, cells: total, full_cells, band };
+                }
+                prev_score = Some(score);
+                hw = (hw * 2).min(full_hw);
+                // A doubled band about as wide as the matrix costs a full
+                // fill anyway — make it the exact full run.
+                if 2 * hw + 1 >= full_hw {
+                    hw = full_hw;
+                }
+            }
+        }
+    }
+}
+
+/// Overlap (semiglobal) alignment: terminal gaps on either side are free,
+/// so the score rewards the best end-to-end overlap of the two column
+/// streams. The returned ops cover both inputs completely (free terminal
+/// gaps included). Always a full fill.
+pub fn gotoh_semiglobal<S: ColumnScorer>(s: &S, arena: &mut DpArena) -> DpResult {
+    let n = s.len_a();
+    let m = s.len_b();
+    let full_cells = (n as u64) * (m as u64);
+    let out = fill(s, Mode::Semiglobal, m, arena);
+    // Best end anchored on the last row or last column; earlier rows win
+    // ties (deterministic).
+    let (mut score, mut layer, mut end) = (NEG_INF, 0u8, (n, m));
+    for (i, &(em, ex, ey)) in arena.lastcol.iter().enumerate() {
+        let (v, l) = best3(em, ex, ey);
+        if v > score {
+            score = v;
+            layer = l;
+            end = (i, m);
+        }
+    }
+    // The final fill row (row n) sits in the "previous" buffers.
+    for j in 0..=m {
+        let (v, l) = best3(arena.mp[j], arena.xp[j], arena.yp[j]);
+        if v > score {
+            score = v;
+            layer = l;
+            end = (n, j);
+        }
+    }
+    let trailing_a = n - end.0;
+    let trailing_b = m - end.1;
+    let tb = Traceback::walk(arena, m, end, layer, false);
+    let mut ops = tb.ops_rev;
+    ops.extend(std::iter::repeat_n(ColOp::FromA, trailing_a));
+    ops.extend(std::iter::repeat_n(ColOp::FromB, trailing_b));
+    DpResult { ops, score, cells: out.cells, full_cells, band: None }
+}
+
+/// Local (Smith–Waterman) alignment: the best-scoring segment pair. Empty
+/// result (score 0) when nothing scores positively. Always a full fill.
+pub fn gotoh_local<S: ColumnScorer>(s: &S, arena: &mut DpArena) -> LocalDpResult {
+    let m = s.len_b();
+    let out = fill(s, Mode::Local, m, arena);
+    let (score, bi, bj) = out.best;
+    if score <= 0.0 {
+        return LocalDpResult {
+            ops: Vec::new(),
+            score: 0.0,
+            start_a: 0,
+            start_b: 0,
+            end_a: 0,
+            end_b: 0,
+            cells: out.cells,
+        };
+    }
+    let tb = Traceback::walk(arena, m, (bi, bj), 0, true);
+    LocalDpResult {
+        ops: tb.ops_rev,
+        score,
+        start_a: tb.pos.0,
+        start_b: tb.pos.1,
+        end_a: bi,
+        end_b: bj,
+        cells: out.cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scorer<'a>(
+        a: &'a [u8],
+        b: &'a [u8],
+        matrix: &'a SubstMatrix,
+        gaps: GapPenalties,
+    ) -> SubstScorer<'a> {
+        SubstScorer::new(a, b, matrix, gaps)
+    }
+
+    #[test]
+    fn best3_prefers_m_then_x_then_y() {
+        assert_eq!(best3(1.0, 1.0, 1.0), (1.0, 0));
+        assert_eq!(best3(0.0, 1.0, 1.0), (1.0, 1));
+        assert_eq!(best3(0.0, 0.0, 1.0), (1.0, 2));
+    }
+
+    #[test]
+    fn band_policy_labels_roundtrip() {
+        for p in [BandPolicy::Full, BandPolicy::Auto, BandPolicy::Fixed(17)] {
+            assert_eq!(BandPolicy::parse(&p.label()), Some(p));
+        }
+        assert_eq!(BandPolicy::parse("64"), Some(BandPolicy::Fixed(64)));
+        assert_eq!(BandPolicy::parse("0"), None);
+        assert_eq!(BandPolicy::parse("band0"), None);
+        assert_eq!(BandPolicy::parse("wavefront"), None);
+    }
+
+    #[test]
+    fn identical_inputs_score_the_diagonal() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let codes = [12u8, 9, 17, 10, 0, 19];
+        let s = scorer(&codes, &codes, &matrix, gaps);
+        let mut arena = DpArena::new();
+        for policy in [BandPolicy::Full, BandPolicy::Auto, BandPolicy::Fixed(2)] {
+            let out = gotoh_global(&s, policy, &mut arena);
+            assert!(out.ops.iter().all(|&op| op == ColOp::Both), "{policy:?}");
+            let want: f64 = codes.iter().map(|&c| matrix.score(c, c) as f64).sum();
+            assert_eq!(out.score, want, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn full_and_auto_agree_on_shifted_inputs() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        // A shifted repeat: the optimum needs an off-diagonal excursion.
+        let a: Vec<u8> = (0..50).map(|i| (i % 17) as u8).collect();
+        let mut b = vec![19u8; 12];
+        b.extend_from_slice(&a[..40]);
+        let s = scorer(&a, &b, &matrix, gaps);
+        let mut arena = DpArena::new();
+        let full = gotoh_global(&s, BandPolicy::Full, &mut arena);
+        let auto = gotoh_global(&s, BandPolicy::Auto, &mut arena);
+        assert_eq!(full.score, auto.score);
+        assert_eq!(full.full_cells, auto.full_cells);
+    }
+
+    #[test]
+    fn fixed_band_fills_fewer_cells() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let a: Vec<u8> = (0..200).map(|i| (i % 19) as u8).collect();
+        let s = scorer(&a, &a, &matrix, gaps);
+        let mut arena = DpArena::new();
+        let full = gotoh_global(&s, BandPolicy::Full, &mut arena);
+        let banded = gotoh_global(&s, BandPolicy::Fixed(5), &mut arena);
+        assert_eq!(full.cells, full.full_cells);
+        assert!(banded.cells < full.cells / 3);
+        assert_eq!(banded.score, full.score, "identical inputs stay on the diagonal");
+        assert_eq!(banded.band, Some(5));
+    }
+
+    #[test]
+    fn arena_reuse_is_equivalent_to_fresh() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let a: Vec<u8> = (0..60).map(|i| (i % 13) as u8).collect();
+        let b: Vec<u8> = (0..45).map(|i| ((i * 7) % 20) as u8).collect();
+        let s = scorer(&a, &b, &matrix, gaps);
+        let mut shared = DpArena::new();
+        // Dirty the arena with a larger unrelated instance first.
+        let big: Vec<u8> = (0..120).map(|i| (i % 11) as u8).collect();
+        let _ = gotoh_global(&scorer(&big, &big, &matrix, gaps), BandPolicy::Auto, &mut shared);
+        let reused = gotoh_global(&s, BandPolicy::Auto, &mut shared);
+        let fresh = gotoh_global(&s, BandPolicy::Auto, &mut DpArena::new());
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn semiglobal_overlap_is_free_at_the_ends() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        // a's suffix equals b's prefix.
+        let motif = [12u8, 9, 17, 10, 0, 19, 5, 8];
+        let mut a = vec![14u8; 6];
+        a.extend_from_slice(&motif);
+        let mut b = motif.to_vec();
+        b.extend(vec![3u8; 6]);
+        let s = scorer(&a, &b, &matrix, gaps);
+        let out = gotoh_semiglobal(&s, &mut DpArena::new());
+        let want: f64 = motif.iter().map(|&c| matrix.score(c, c) as f64).sum();
+        assert!(out.score >= want, "overlap score {} below motif score {want}", out.score);
+        // Ops consume both inputs fully.
+        let used_a = out.ops.iter().filter(|&&op| op != ColOp::FromB).count();
+        let used_b = out.ops.iter().filter(|&&op| op != ColOp::FromA).count();
+        assert_eq!(used_a, a.len());
+        assert_eq!(used_b, b.len());
+    }
+
+    #[test]
+    fn local_finds_the_embedded_motif() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let motif = [12u8, 9, 17, 10, 0, 19];
+        let mut a = vec![13u8; 5];
+        a.extend_from_slice(&motif);
+        a.extend(vec![13u8; 5]);
+        let mut b = vec![5u8; 2];
+        b.extend_from_slice(&motif);
+        let s = scorer(&a, &b, &matrix, gaps);
+        let out = gotoh_local(&s, &mut DpArena::new());
+        assert!(out.score > 0.0);
+        assert_eq!(out.start_a, 5);
+        assert_eq!(out.start_b, 2);
+        assert_eq!(out.end_a - out.start_a, motif.len());
+    }
+
+    #[test]
+    fn local_on_hopeless_inputs_is_empty_or_nonnegative() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let a = [0u8; 4];
+        let b = [18u8; 4];
+        let out = gotoh_local(&scorer(&a, &b, &matrix, gaps), &mut DpArena::new());
+        assert!(out.score >= 0.0);
+    }
+
+    #[test]
+    fn empty_sides_degrade_to_pure_gap_runs() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties { open: 3, extend: 1 };
+        let a = [12u8, 9, 17];
+        let empty: [u8; 0] = [];
+        let out =
+            gotoh_global(&scorer(&a, &empty, &matrix, gaps), BandPolicy::Auto, &mut DpArena::new());
+        assert_eq!(out.ops, vec![ColOp::FromA; 3]);
+        assert_eq!(out.score, -(3.0 + 2.0));
+        let out =
+            gotoh_global(&scorer(&empty, &a, &matrix, gaps), BandPolicy::Full, &mut DpArena::new());
+        assert_eq!(out.ops, vec![ColOp::FromB; 3]);
+    }
+
+    #[test]
+    fn work_reports_banded_and_full_cells() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let a: Vec<u8> = (0..300).map(|i| (i % 20) as u8).collect();
+        let out =
+            gotoh_global(&scorer(&a, &a, &matrix, gaps), BandPolicy::Auto, &mut DpArena::new());
+        let w = out.work();
+        assert_eq!(w.dp_cells, 3 * out.cells);
+        assert_eq!(w.dp_cells_full, 3 * 300 * 300);
+        assert!(
+            w.dp_cells < w.dp_cells_full,
+            "auto band (incl. its confirmation pass) must save cells at L=300"
+        );
+    }
+
+    #[test]
+    fn auto_band_refuses_interior_but_suboptimal_paths() {
+        // Regression: two distinct blocks, transposed. The near-diagonal
+        // banded path sits clear of the band edges yet scores far below
+        // the off-band optimum, so acceptance must also demand score
+        // stability under doubling.
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let s1: Vec<u8> = (0..60).map(|i| ((i * 7) % 20) as u8).collect();
+        let s2: Vec<u8> = (0..60).map(|i| ((i * 11 + 3) % 20) as u8).collect();
+        let mut a = s1.clone();
+        a.extend_from_slice(&s2);
+        let mut b = s2;
+        b.extend_from_slice(&s1);
+        let s = scorer(&a, &b, &matrix, gaps);
+        let mut arena = DpArena::new();
+        let full = gotoh_global(&s, BandPolicy::Full, &mut arena);
+        let auto = gotoh_global(&s, BandPolicy::Auto, &mut arena);
+        assert_eq!(auto.score, full.score, "transposed blocks must not fool the band");
+    }
+}

@@ -39,12 +39,22 @@ pub enum EngineChoice {
 }
 
 impl EngineChoice {
-    /// Instantiate the engine with default parameters.
+    /// Instantiate the engine with default parameters (and the default
+    /// adaptive band policy).
     pub fn build(self) -> Box<dyn MsaEngine> {
+        self.build_with_band(crate::dp::BandPolicy::default())
+    }
+
+    /// Instantiate the engine with an explicit DP kernel band policy.
+    pub fn build_with_band(self, band: crate::dp::BandPolicy) -> Box<dyn MsaEngine> {
         match self {
-            EngineChoice::MuscleFast => Box::new(crate::muscle::MuscleLite::fast()),
-            EngineChoice::MuscleStandard => Box::new(crate::muscle::MuscleLite::standard()),
-            EngineChoice::Clustal => Box::new(crate::clustal::ClustalLite::default()),
+            EngineChoice::MuscleFast => Box::new(crate::muscle::MuscleLite::fast().with_band(band)),
+            EngineChoice::MuscleStandard => {
+                Box::new(crate::muscle::MuscleLite::standard().with_band(band))
+            }
+            EngineChoice::Clustal => {
+                Box::new(crate::clustal::ClustalLite::default().with_band(band))
+            }
         }
     }
 

@@ -3,8 +3,12 @@
 //! This crate reimplements, from the published descriptions, the sequential
 //! MSA machinery that Sample-Align-D runs inside every processor:
 //!
-//! * [`pairwise`] — global alignment with affine gaps (Gotoh) and local
-//!   alignment (Smith–Waterman), with full tracebacks;
+//! * [`dp`] — **the** Gotoh kernel: one banded, arena-backed affine-gap
+//!   DP, generic over a column scorer, shared by every alignment path in
+//!   the crate (see [`dp::BandPolicy`] and [`dp::DpArena`]);
+//! * [`pairwise`] — global alignment with affine gaps (Gotoh), semiglobal
+//!   overlap alignment, and local alignment (Smith–Waterman), with full
+//!   tracebacks;
 //! * [`profile`] — weighted profile columns (sparse PSSMs) and the
 //!   profile–profile substitution score (PSP);
 //! * [`papro`] — profile–profile alignment: affine-gap DP over columns that
@@ -30,6 +34,7 @@
 pub mod clustal;
 pub mod consensus;
 pub mod distance;
+pub mod dp;
 pub mod engine;
 pub mod muscle;
 pub mod pairwise;
@@ -39,6 +44,7 @@ pub mod progressive;
 pub mod refine;
 
 pub use clustal::ClustalLite;
+pub use dp::{BandPolicy, DpArena};
 pub use engine::{EngineChoice, MsaEngine};
 pub use muscle::MuscleLite;
 pub use profile::Profile;

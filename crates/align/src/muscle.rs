@@ -11,9 +11,10 @@
 //! stage 3 adds `O(N²·L)` per bipartition pass.
 
 use crate::distance::{kimura_from_msa, kmer_distance_matrix};
+use crate::dp::{BandPolicy, DpArena};
 use crate::engine::MsaEngine;
-use crate::progressive::{progressive_align, ProgressiveConfig, WeightScheme};
-use crate::refine::refine;
+use crate::progressive::{progressive_align_with_arena, ProgressiveConfig, WeightScheme};
+use crate::refine::refine_with;
 use bioseq::{CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix, Work};
 use phylo::upgma;
 
@@ -35,6 +36,8 @@ pub struct MuscleLite {
     pub refine_passes: usize,
     /// Use Henikoff position-based weights during progressive merging.
     pub henikoff: bool,
+    /// Band policy for every DP kernel instance the engine runs.
+    pub band: BandPolicy,
 }
 
 impl MuscleLite {
@@ -48,12 +51,19 @@ impl MuscleLite {
             reestimate: false,
             refine_passes: 0,
             henikoff: false,
+            band: BandPolicy::default(),
         }
     }
 
     /// Standard mode: stages 1 + 2 + two refinement passes.
     pub fn standard() -> Self {
         MuscleLite { reestimate: true, refine_passes: 2, henikoff: true, ..Self::fast() }
+    }
+
+    /// Select the DP kernel band policy.
+    pub fn with_band(mut self, band: BandPolicy) -> Self {
+        self.band = band;
+        self
     }
 }
 
@@ -69,15 +79,23 @@ impl MuscleLite {
             matrix: self.matrix.clone(),
             gaps: self.gaps,
             weights: if self.henikoff { WeightScheme::Henikoff } else { WeightScheme::Uniform },
+            band: self.band,
         }
     }
 }
 
 impl MsaEngine for MuscleLite {
     fn name(&self) -> String {
-        match (self.reestimate, self.refine_passes) {
+        let base = match (self.reestimate, self.refine_passes) {
             (false, 0) => "muscle-lite-fast".to_string(),
             _ => format!("muscle-lite(r{},p{})", u8::from(self.reestimate), self.refine_passes),
+        };
+        // The default (adaptive) kernel keeps the historical names; any
+        // other policy is called out so reports show the kernel used.
+        if self.band == BandPolicy::default() {
+            base
+        } else {
+            format!("{base}+{}", self.band.label())
         }
     }
 
@@ -87,25 +105,36 @@ impl MsaEngine for MuscleLite {
         if seqs.len() == 1 {
             return (Msa::from_sequence(&seqs[0]), work);
         }
+        // One DP arena serves every stage of the run.
+        let mut arena = DpArena::new();
         // Stage 1: draft.
         let d1 = kmer_distance_matrix(seqs, self.kmer_k, self.alphabet, &mut work);
         work.tree_ops += (seqs.len() * seqs.len()) as u64;
         let tree1 = upgma(&d1);
         let cfg = self.progressive_cfg();
-        let mut msa = progressive_align(seqs, &tree1, &cfg, &mut work);
+        let mut msa = progressive_align_with_arena(seqs, &tree1, &cfg, &mut arena, &mut work);
         let mut tree = tree1;
         // Stage 2: improved tree from the draft alignment.
         if self.reestimate && seqs.len() > 2 {
             let d2 = kimura_from_msa(&msa, &mut work);
             work.tree_ops += (seqs.len() * seqs.len()) as u64;
             let tree2 = upgma(&d2);
-            msa = progressive_align(seqs, &tree2, &cfg, &mut work);
+            msa = progressive_align_with_arena(seqs, &tree2, &cfg, &mut arena, &mut work);
             tree = tree2;
         }
         // Stage 3: refinement.
         if self.refine_passes > 0 && seqs.len() > 2 {
             let ids: Vec<String> = seqs.iter().map(|s| s.id.clone()).collect();
-            let out = refine(&msa, &tree, &ids, &self.matrix, self.gaps, self.refine_passes);
+            let out = refine_with(
+                &msa,
+                &tree,
+                &ids,
+                &self.matrix,
+                self.gaps,
+                self.refine_passes,
+                self.band,
+                &mut arena,
+            );
             work += out.work;
             msa = out.msa;
         }
@@ -196,6 +225,22 @@ mod tests {
     fn name_reflects_configuration() {
         assert_eq!(MuscleLite::fast().name(), "muscle-lite-fast");
         assert_eq!(MuscleLite::standard().name(), "muscle-lite(r1,p2)");
+        // Non-default band policies show up in the name.
+        assert_eq!(MuscleLite::fast().with_band(BandPolicy::Full).name(), "muscle-lite-fast+full");
+        assert_eq!(
+            MuscleLite::standard().with_band(BandPolicy::Fixed(16)).name(),
+            "muscle-lite(r1,p2)+band16"
+        );
+    }
+
+    #[test]
+    fn full_band_engine_matches_default_on_small_families() {
+        // Families under the minimum auto band are full fills either way.
+        let ss = seqs(&["MKVLAWGKVL", "MKILAWKIL", "MKVLWGKVL", "MKILAWGKIL"]);
+        let (auto, wa) = MuscleLite::standard().align_with_work(&ss);
+        let (full, wf) = MuscleLite::standard().with_band(BandPolicy::Full).align_with_work(&ss);
+        assert_eq!(auto, full);
+        assert_eq!(wa.dp_cells, wf.dp_cells);
     }
 
     #[test]

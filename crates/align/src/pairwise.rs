@@ -1,6 +1,11 @@
 //! Pairwise sequence alignment: Needleman–Wunsch/Gotoh global alignment
-//! with affine gaps, and Smith–Waterman local alignment.
+//! with affine gaps (full or banded), semiglobal overlap alignment, and
+//! Smith–Waterman local alignment.
+//!
+//! Every entry point is a thin wrapper over the shared [`crate::dp`]
+//! kernel — this module owns no DP recurrence of its own.
 
+use crate::dp::{self, BandPolicy, ColOp, DpArena, SubstScorer};
 use bioseq::alphabet::GAP_CODE;
 use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
 
@@ -29,147 +34,73 @@ impl PairAlignment {
     }
 }
 
-const NEG_INF: i64 = i64::MIN / 4;
+/// Expand a kernel merge script into gapped code rows.
+fn rows_from_ops(ac: &[u8], bc: &[u8], ops: &[ColOp]) -> (Vec<u8>, Vec<u8>) {
+    let mut row_a = Vec::with_capacity(ops.len());
+    let mut row_b = Vec::with_capacity(ops.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for op in ops {
+        match op {
+            ColOp::Both => {
+                row_a.push(ac[i]);
+                row_b.push(bc[j]);
+                i += 1;
+                j += 1;
+            }
+            ColOp::FromA => {
+                row_a.push(ac[i]);
+                row_b.push(GAP_CODE);
+                i += 1;
+            }
+            ColOp::FromB => {
+                row_a.push(GAP_CODE);
+                row_b.push(bc[j]);
+                j += 1;
+            }
+        }
+    }
+    debug_assert_eq!(i, ac.len());
+    debug_assert_eq!(j, bc.len());
+    (row_a, row_b)
+}
 
-/// Gotoh global alignment with affine gap penalties.
+/// Gotoh global alignment with affine gap penalties (full DP).
 ///
 /// Terminal gaps are charged like internal ones, matching
 /// [`bioseq::Msa::sp_score`]'s convention so that a pairwise alignment's
-/// score equals its SP score.
+/// score equals its SP score. Equivalent to
+/// [`global_align_with`]`(…, BandPolicy::Full, …)` with a private arena.
 pub fn global_align(
     a: &Sequence,
     b: &Sequence,
     matrix: &SubstMatrix,
     gaps: GapPenalties,
 ) -> PairAlignment {
-    let (n, m) = (a.len(), b.len());
-    let (open, extend) = (gaps.open as i64, gaps.extend as i64);
-    let ac = a.codes();
-    let bc = b.codes();
-
-    // Three DP layers: M (match), X (gap in b / consuming a), Y (gap in a /
-    // consuming b). Stored row-major with m+1 columns.
-    let w = m + 1;
-    let mut mm = vec![NEG_INF; (n + 1) * w];
-    let mut xx = vec![NEG_INF; (n + 1) * w];
-    let mut yy = vec![NEG_INF; (n + 1) * w];
-    // Traceback: 2 bits per layer choice packed into a byte per cell/layer.
-    // tb_m: which layer fed M's diagonal move; tb_x / tb_y: whether the gap
-    // was opened (from best) or extended.
-    let mut tb_m = vec![0u8; (n + 1) * w];
-    let mut tb_x = vec![0u8; (n + 1) * w];
-    let mut tb_y = vec![0u8; (n + 1) * w];
-
-    mm[0] = 0;
-    for i in 1..=n {
-        let v = -(open + (i as i64 - 1) * extend);
-        xx[i * w] = v;
-        tb_x[i * w] = u8::from(i > 1); // extend after the first row
-    }
-    for j in 1..=m {
-        let v = -(open + (j as i64 - 1) * extend);
-        yy[j] = v;
-        tb_y[j] = u8::from(j > 1);
-    }
-
-    for i in 1..=n {
-        let arow = matrix.row(ac[i - 1]);
-        for j in 1..=m {
-            let idx = i * w + j;
-            let diag = (i - 1) * w + (j - 1);
-            let up = (i - 1) * w + j;
-            let left = i * w + (j - 1);
-            // M: consume both.
-            let sub = arow[bc[j - 1] as usize] as i64;
-            let (best_prev, from) = best3(mm[diag], xx[diag], yy[diag]);
-            if best_prev > NEG_INF {
-                mm[idx] = best_prev + sub;
-                tb_m[idx] = from;
-            }
-            // X: consume from a (gap in b). Open from M/Y or extend X.
-            let open_x = mm[up].max(yy[up]).saturating_sub(open);
-            let ext_x = xx[up].saturating_sub(extend);
-            if ext_x >= open_x {
-                xx[idx] = ext_x;
-                tb_x[idx] = 1;
-            } else {
-                xx[idx] = open_x;
-                tb_x[idx] = 0;
-            }
-            // Y: consume from b (gap in a).
-            let open_y = mm[left].max(xx[left]).saturating_sub(open);
-            let ext_y = yy[left].saturating_sub(extend);
-            if ext_y >= open_y {
-                yy[idx] = ext_y;
-                tb_y[idx] = 1;
-            } else {
-                yy[idx] = open_y;
-                tb_y[idx] = 0;
-            }
-        }
-    }
-
-    let end = n * w + m;
-    let (score, mut layer) = best3_tagged(mm[end], xx[end], yy[end]);
-    // Traceback.
-    let mut row_a = Vec::with_capacity(n + m);
-    let mut row_b = Vec::with_capacity(n + m);
-    let (mut i, mut j) = (n, m);
-    while i > 0 || j > 0 {
-        let idx = i * w + j;
-        match layer {
-            0 => {
-                debug_assert!(i > 0 && j > 0);
-                row_a.push(ac[i - 1]);
-                row_b.push(bc[j - 1]);
-                layer = tb_m[idx];
-                i -= 1;
-                j -= 1;
-            }
-            1 => {
-                debug_assert!(i > 0);
-                row_a.push(ac[i - 1]);
-                row_b.push(GAP_CODE);
-                let extended = tb_x[idx] == 1;
-                i -= 1;
-                if !extended {
-                    // Re-derive which of M/Y opened this gap.
-                    let prev = i * w + j;
-                    layer = if mm[prev] >= yy[prev] { 0 } else { 2 };
-                }
-            }
-            _ => {
-                debug_assert!(j > 0);
-                row_a.push(GAP_CODE);
-                row_b.push(bc[j - 1]);
-                let extended = tb_y[idx] == 1;
-                j -= 1;
-                if !extended {
-                    let prev = i * w + j;
-                    layer = if mm[prev] >= xx[prev] { 0 } else { 1 };
-                }
-            }
-        }
-    }
-    row_a.reverse();
-    row_b.reverse();
-    PairAlignment { row_a, row_b, score, work: Work::dp((n as u64) * (m as u64) * 3) }
+    global_align_with(a, b, matrix, gaps, BandPolicy::Full, &mut DpArena::new())
 }
 
-#[inline]
-fn best3(m: i64, x: i64, y: i64) -> (i64, u8) {
-    best3_tagged(m, x, y)
-}
-
-#[inline]
-fn best3_tagged(m: i64, x: i64, y: i64) -> (i64, u8) {
-    if m >= x && m >= y {
-        (m, 0)
-    } else if x >= y {
-        (x, 1)
-    } else {
-        (y, 2)
-    }
+/// Gotoh global alignment under an explicit [`BandPolicy`], reusing the
+/// caller's [`DpArena`] scratch so repeated alignments allocate nothing.
+///
+/// Under [`BandPolicy::Auto`] the band is widened until the score is
+/// stable and the optimum clears the band edges, so the score matches the
+/// full DP (see [`crate::dp::gotoh_global`] for the acceptance rule);
+/// under [`BandPolicy::Fixed`] it may be band-constrained (see
+/// [`banded_global_align`]).
+pub fn global_align_with(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    arena: &mut DpArena,
+) -> PairAlignment {
+    let (ac, bc) = (a.codes(), b.codes());
+    let scorer = SubstScorer::new(ac, bc, matrix, gaps);
+    let out = dp::gotoh_global(&scorer, policy, arena);
+    let (row_a, row_b) = rows_from_ops(ac, bc, &out.ops);
+    // Integer matrix + integer gaps keep every intermediate exact in f64.
+    PairAlignment { row_a, row_b, score: out.score as i64, work: out.work() }
 }
 
 /// Result of a local alignment: the aligned segment plus its coordinates.
@@ -196,86 +127,66 @@ pub fn local_align(
     matrix: &SubstMatrix,
     gaps: GapPenalties,
 ) -> LocalAlignment {
-    let (n, m) = (a.len(), b.len());
-    let (open, extend) = (gaps.open as i64, gaps.extend as i64);
-    let ac = a.codes();
-    let bc = b.codes();
-    let w = m + 1;
-    let mut mm = vec![0i64; (n + 1) * w];
-    let mut xx = vec![NEG_INF; (n + 1) * w];
-    let mut yy = vec![NEG_INF; (n + 1) * w];
-    let (mut best, mut bi, mut bj) = (0i64, 0usize, 0usize);
-    for i in 1..=n {
-        let arow = matrix.row(ac[i - 1]);
-        for j in 1..=m {
-            let idx = i * w + j;
-            let diag = (i - 1) * w + (j - 1);
-            let up = (i - 1) * w + j;
-            let left = i * w + (j - 1);
-            let sub = arow[bc[j - 1] as usize] as i64;
-            let prev = mm[diag].max(xx[diag]).max(yy[diag]).max(0);
-            mm[idx] = prev + sub;
-            xx[idx] = (mm[up].max(yy[up]) - open).max(xx[up] - extend);
-            yy[idx] = (mm[left].max(xx[left]) - open).max(yy[left] - extend);
-            if mm[idx] > best {
-                best = mm[idx];
-                bi = i;
-                bj = j;
-            }
-        }
-    }
-    // Traceback from the best cell while scores stay positive, M layer
-    // preferred (sufficient for the local alignment's use as a seed
-    // finder in examples/tests).
-    let mut row_a = Vec::new();
-    let mut row_b = Vec::new();
-    let (mut i, mut j) = (bi, bj);
-    while i > 0 && j > 0 {
-        let idx = i * w + j;
-        if mm[idx] <= 0 {
-            break;
-        }
-        let diag = (i - 1) * w + (j - 1);
-        let sub = matrix.score(ac[i - 1], bc[j - 1]) as i64;
-        let from_m = mm[diag].max(0) + sub == mm[idx];
-        if from_m
-            || (mm[diag].max(xx[diag]).max(yy[diag]).max(0) + sub == mm[idx]
-                && mm[diag] >= xx[diag].max(yy[diag]))
-        {
-            row_a.push(ac[i - 1]);
-            row_b.push(bc[j - 1]);
-            i -= 1;
-            j -= 1;
-        } else if xx[diag] >= yy[diag] {
-            // Gap in b: walk up through the X run.
-            row_a.push(ac[i - 1]);
-            row_b.push(bc[j - 1]);
-            i -= 1;
-            j -= 1;
-        } else {
-            row_a.push(ac[i - 1]);
-            row_b.push(bc[j - 1]);
-            i -= 1;
-            j -= 1;
-        }
-    }
-    row_a.reverse();
-    row_b.reverse();
+    local_align_with(a, b, matrix, gaps, &mut DpArena::new())
+}
+
+/// Smith–Waterman local alignment reusing the caller's [`DpArena`].
+pub fn local_align_with(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    arena: &mut DpArena,
+) -> LocalAlignment {
+    let (ac, bc) = (a.codes(), b.codes());
+    let scorer = SubstScorer::new(ac, bc, matrix, gaps);
+    let out = dp::gotoh_local(&scorer, arena);
+    let (row_a, row_b) =
+        rows_from_ops(&ac[out.start_a..out.end_a], &bc[out.start_b..out.end_b], &out.ops);
     LocalAlignment {
         row_a,
         row_b,
-        start_a: i,
-        start_b: j,
-        score: best,
-        work: Work::dp((n as u64) * (m as u64) * 3),
+        start_a: out.start_a,
+        start_b: out.start_b,
+        score: out.score as i64,
+        work: out.work(),
     }
 }
 
-/// Banded Gotoh global alignment: the DP is restricted to a diagonal band
-/// of half-width `band`, the classic speed/optimality trade-off for
+/// Semiglobal (overlap) alignment: terminal gaps on either sequence are
+/// free, so the score rewards the best dovetail overlap — the natural
+/// mode for stitching adjacent domains. Rows cover both inputs fully,
+/// terminal gaps included.
+pub fn semiglobal_align(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+) -> PairAlignment {
+    semiglobal_align_with(a, b, matrix, gaps, &mut DpArena::new())
+}
+
+/// Semiglobal (overlap) alignment reusing the caller's [`DpArena`].
+pub fn semiglobal_align_with(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    arena: &mut DpArena,
+) -> PairAlignment {
+    let (ac, bc) = (a.codes(), b.codes());
+    let scorer = SubstScorer::new(ac, bc, matrix, gaps);
+    let out = dp::gotoh_semiglobal(&scorer, arena);
+    let (row_a, row_b) = rows_from_ops(ac, bc, &out.ops);
+    PairAlignment { row_a, row_b, score: out.score as i64, work: out.work() }
+}
+
+/// Banded Gotoh global alignment with a **fixed** half-width band and no
+/// adaptive retry: the classic speed/optimality trade-off for
 /// near-homologous sequences (MUSCLE's `-diags` spirit). With
 /// `band ≥ max(n, m)` the result equals [`global_align`]; narrow bands can
-/// miss alignments requiring large shifts.
+/// miss alignments requiring large shifts. Prefer
+/// [`global_align_with`]`(…, BandPolicy::Auto, …)` when exactness matters.
 ///
 /// # Panics
 /// Panics if `band == 0`.
@@ -287,106 +198,7 @@ pub fn banded_global_align(
     band: usize,
 ) -> PairAlignment {
     assert!(band >= 1, "band must be at least 1");
-    let (n, m) = (a.len(), b.len());
-    // The band must at least cover the length difference or no path exists.
-    let band = band.max(n.abs_diff(m) + 1);
-    let (open, extend) = (gaps.open as i64, gaps.extend as i64);
-    let ac = a.codes();
-    let bc = b.codes();
-    let w = m + 1;
-    let inside = |i: usize, j: usize| -> bool {
-        // Band around the rescaled diagonal j ≈ i·m/n.
-        let centre = if n == 0 { 0i64 } else { (i as i64 * m as i64) / n as i64 };
-        (j as i64 - centre).unsigned_abs() as usize <= band
-    };
-    let mut mm = vec![NEG_INF; (n + 1) * w];
-    let mut xx = vec![NEG_INF; (n + 1) * w];
-    let mut yy = vec![NEG_INF; (n + 1) * w];
-    mm[0] = 0;
-    for i in 1..=n {
-        if inside(i, 0) {
-            xx[i * w] = -(open + (i as i64 - 1) * extend);
-        }
-    }
-    for (j, y) in yy.iter_mut().enumerate().take(m + 1).skip(1) {
-        if inside(0, j) {
-            *y = -(open + (j as i64 - 1) * extend);
-        }
-    }
-    let mut cells = 0u64;
-    for i in 1..=n {
-        let arow = matrix.row(ac[i - 1]);
-        for j in 1..=m {
-            if !inside(i, j) {
-                continue;
-            }
-            cells += 1;
-            let idx = i * w + j;
-            let diag = (i - 1) * w + (j - 1);
-            let up = (i - 1) * w + j;
-            let left = i * w + (j - 1);
-            let sub = arow[bc[j - 1] as usize] as i64;
-            let best_prev = mm[diag].max(xx[diag]).max(yy[diag]);
-            if best_prev > NEG_INF {
-                mm[idx] = best_prev + sub;
-            }
-            xx[idx] = (mm[up].max(yy[up]).saturating_sub(open)).max(xx[up].saturating_sub(extend));
-            yy[idx] =
-                (mm[left].max(xx[left]).saturating_sub(open)).max(yy[left].saturating_sub(extend));
-        }
-    }
-    // Greedy traceback over the three layers (scores are exact within the
-    // band, so following best predecessors reconstructs an optimal banded
-    // path).
-    let end = n * w + m;
-    let (score, mut layer) = best3_tagged(mm[end], xx[end], yy[end]);
-    let mut row_a = Vec::with_capacity(n + m);
-    let mut row_b = Vec::with_capacity(n + m);
-    let (mut i, mut j) = (n, m);
-    while i > 0 || j > 0 {
-        let idx = i * w + j;
-        match layer {
-            0 => {
-                let diag = (i - 1) * w + (j - 1);
-                row_a.push(ac[i - 1]);
-                row_b.push(bc[j - 1]);
-                let sub = matrix.score(ac[i - 1], bc[j - 1]) as i64;
-                let target = mm[idx] - sub;
-                layer = if mm[diag] == target {
-                    0
-                } else if xx[diag] == target {
-                    1
-                } else {
-                    2
-                };
-                i -= 1;
-                j -= 1;
-            }
-            1 => {
-                let up = (i - 1) * w + j;
-                row_a.push(ac[i - 1]);
-                row_b.push(GAP_CODE);
-                let via_extend = xx[up].saturating_sub(extend) == xx[idx];
-                i -= 1;
-                if !via_extend {
-                    layer = if mm[up] >= yy[up] { 0 } else { 2 };
-                }
-            }
-            _ => {
-                let left = i * w + (j - 1);
-                row_a.push(GAP_CODE);
-                row_b.push(bc[j - 1]);
-                let via_extend = yy[left].saturating_sub(extend) == yy[idx];
-                j -= 1;
-                if !via_extend {
-                    layer = if mm[left] >= xx[left] { 0 } else { 1 };
-                }
-            }
-        }
-    }
-    row_a.reverse();
-    row_b.reverse();
-    PairAlignment { row_a, row_b, score, work: Work::dp(cells * 3) }
+    global_align_with(a, b, matrix, gaps, BandPolicy::Fixed(band), &mut DpArena::new())
 }
 
 /// Percent identity after a global alignment — the CLUSTALW initial
@@ -398,7 +210,21 @@ pub fn alignment_distance(
     gaps: GapPenalties,
     work: &mut Work,
 ) -> f64 {
-    let aln = global_align(a, b, matrix, gaps);
+    alignment_distance_with(a, b, matrix, gaps, BandPolicy::Full, &mut DpArena::new(), work)
+}
+
+/// [`alignment_distance`] under an explicit band policy, reusing the
+/// caller's [`DpArena`].
+pub fn alignment_distance_with(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    arena: &mut DpArena,
+    work: &mut Work,
+) -> f64 {
+    let aln = global_align_with(a, b, matrix, gaps, policy, arena);
     *work += aln.work;
     1.0 - aln.identity()
 }
@@ -522,6 +348,49 @@ mod tests {
         let b = seq("b", "MKV");
         let aln = global_align(&a, &b, &m, g);
         assert_eq!(aln.work.dp_cells, 4 * 3 * 3);
+        assert_eq!(aln.work.dp_cells_full, 4 * 3 * 3, "full DP fills everything");
+    }
+
+    #[test]
+    fn auto_band_matches_full_scores() {
+        let (m, g) = setup();
+        let cases = [
+            ("MKVLAWGKVL", "MKILAWKVL"),
+            ("AAAA", "WWWW"),
+            ("MKVL", "M"),
+            ("WLKMMKAW", "WKAW"),
+            ("MKVLAWWWWWWGKVL", "GKVLMKVLAW"),
+        ];
+        let mut arena = DpArena::new();
+        for (ta, tb) in cases {
+            let a = seq("a", ta);
+            let b = seq("b", tb);
+            let full = global_align(&a, &b, &m, g);
+            let auto = global_align_with(&a, &b, &m, g, BandPolicy::Auto, &mut arena);
+            assert_eq!(auto.score, full.score, "{ta} vs {tb}");
+            assert_eq!(auto.row_a, full.row_a, "{ta} vs {tb}");
+            assert_eq!(auto.row_b, full.row_b, "{ta} vs {tb}");
+        }
+    }
+
+    #[test]
+    fn auto_band_saves_cells_on_long_related_pairs() {
+        let (m, g) = setup();
+        let long = "MKVLAWGKVL".repeat(60);
+        let mut other = long.clone();
+        other.replace_range(40..44, "WWWW");
+        let a = seq("a", &long);
+        let b = seq("b", &other);
+        let full = global_align(&a, &b, &m, g);
+        let auto = global_align_with(&a, &b, &m, g, BandPolicy::Auto, &mut DpArena::new());
+        assert_eq!(auto.score, full.score);
+        assert!(
+            auto.work.dp_cells < full.work.dp_cells / 2,
+            "banded {} vs full {}",
+            auto.work.dp_cells,
+            full.work.dp_cells
+        );
+        assert_eq!(auto.work.dp_cells_full, full.work.dp_cells);
     }
 
     #[test]
@@ -544,6 +413,36 @@ mod tests {
         let b = seq("b", "WWWW");
         let loc = local_align(&a, &b, &m, g);
         assert!(loc.score >= 0);
+    }
+
+    #[test]
+    fn local_score_matches_segment_rescoring() {
+        let (m, g) = setup();
+        let a = seq("a", "PPPPPMKVLAWGKPPPP");
+        let b = seq("b", "GGMKVLAWGKGG");
+        let loc = local_align(&a, &b, &m, g);
+        let rescored = bioseq::msa::pairwise_row_score(&loc.row_a, &loc.row_b, &m, g);
+        assert_eq!(loc.score, rescored);
+    }
+
+    #[test]
+    fn semiglobal_overlap_is_free_at_ends() {
+        let (m, g) = setup();
+        // a's suffix overlaps b's prefix.
+        let a = seq("a", "PPPPMKVLAWGK");
+        let b = seq("b", "MKVLAWGKDDDD");
+        let aln = semiglobal_align(&a, &b, &m, g);
+        // Rows reconstruct both inputs completely.
+        let ung_a: Vec<u8> = aln.row_a.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        let ung_b: Vec<u8> = aln.row_b.iter().copied().filter(|&c| c != GAP_CODE).collect();
+        assert_eq!(ung_a, a.codes());
+        assert_eq!(ung_b, b.codes());
+        // The overlap scores at least the motif; global alignment would
+        // have to pay for the unmatched flanks.
+        let motif_score: i64 =
+            seq("m", "MKVLAWGK").codes().iter().map(|&c| m.score(c, c) as i64).sum();
+        assert!(aln.score >= motif_score);
+        assert!(aln.score > global_align(&a, &b, &m, g).score);
     }
 
     #[test]

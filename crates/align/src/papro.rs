@@ -6,20 +6,14 @@
 //! being consumed and the total weight of the profile receiving the gap, so
 //! the objective stays in (weighted) sum-of-pairs units end to end.
 
+use crate::dp::{self, BandPolicy, DpArena, PspScorer};
 use crate::profile::Profile;
-use bioseq::alphabet::{CODE_COUNT, GAP_CODE};
+use bioseq::alphabet::GAP_CODE;
 use bioseq::{GapPenalties, Msa, SubstMatrix, Work};
 
-/// One traceback step of a profile alignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ColOp {
-    /// Consume one column from each profile (aligned columns).
-    Both,
-    /// Consume a column from the first profile; gap column in the second.
-    FromA,
-    /// Consume a column from the second profile; gap column in the first.
-    FromB,
-}
+// The merge-script op lives in the kernel now; re-exported here because
+// this is where every consumer historically imported it from.
+pub use crate::dp::ColOp;
 
 /// Result of a profile–profile alignment.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,153 +26,33 @@ pub struct ProfileAlignment {
     pub work: Work,
 }
 
-const NEG_INF: f64 = f64::NEG_INFINITY;
-
-/// Align two profiles with affine gap penalties.
+/// Align two profiles with affine gap penalties (full DP).
 pub fn align_profiles(
     pa: &Profile,
     pb: &Profile,
     matrix: &SubstMatrix,
     gaps: GapPenalties,
 ) -> ProfileAlignment {
-    let n = pa.len();
-    let m = pb.len();
-    assert!(n > 0 && m > 0, "profiles must be non-empty");
+    align_profiles_with(pa, pb, matrix, gaps, BandPolicy::Full, &mut DpArena::new())
+}
+
+/// Align two profiles under an explicit [`BandPolicy`], reusing the
+/// caller's [`DpArena`] so the progressive/refinement loops allocate no
+/// DP scratch in steady state.
+pub fn align_profiles_with(
+    pa: &Profile,
+    pb: &Profile,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    arena: &mut DpArena,
+) -> ProfileAlignment {
+    assert!(!pa.is_empty() && !pb.is_empty(), "profiles must be non-empty");
     let mut work = Work::ZERO;
-
-    // Dense expected-score vectors for B's columns: psp(i, j) becomes a
-    // sparse dot against eb[j].
-    let eb: Vec<[f64; CODE_COUNT]> = pb.cols.iter().map(|c| c.expected_scores(matrix)).collect();
-    work.col_ops += (m * CODE_COUNT) as u64;
-
-    let resw_a: Vec<f64> = pa.cols.iter().map(|c| c.residue_weight()).collect();
-    let resw_b: Vec<f64> = pb.cols.iter().map(|c| c.residue_weight()).collect();
-    let (wa_tot, wb_tot) = (pa.total_weight, pb.total_weight);
-    let open = gaps.open as f64;
-    let extend = gaps.extend as f64;
-    // Cost rate of gapping B against A's column i (and vice versa).
-    let ga = |i: usize| resw_a[i] * wb_tot;
-    let gb = |j: usize| resw_b[j] * wa_tot;
-
-    let w = m + 1;
-    let mut mm = vec![NEG_INF; (n + 1) * w];
-    let mut xx = vec![NEG_INF; (n + 1) * w];
-    let mut yy = vec![NEG_INF; (n + 1) * w];
-    mm[0] = 0.0;
-    for i in 1..=n {
-        let rate = ga(i - 1);
-        let prev = if i == 1 { mm[0] } else { xx[(i - 1) * w] };
-        let charge = if i == 1 { open } else { extend };
-        xx[i * w] = prev - charge * rate;
-    }
-    for j in 1..=m {
-        let rate = gb(j - 1);
-        let prev = if j == 1 { mm[0] } else { yy[j - 1] };
-        let charge = if j == 1 { open } else { extend };
-        yy[j] = prev - charge * rate;
-    }
-
-    for i in 1..=n {
-        let ca = &pa.cols[i - 1];
-        let rate_a = ga(i - 1);
-        for j in 1..=m {
-            let idx = i * w + j;
-            let diag = (i - 1) * w + (j - 1);
-            let up = (i - 1) * w + j;
-            let left = i * w + (j - 1);
-            // PSP via sparse dot with the dense expected vector.
-            let e = &eb[j - 1];
-            let mut psp = 0.0;
-            for &(a, wgt) in &ca.residues {
-                psp += wgt * e[a as usize];
-            }
-            let best_prev = mm[diag].max(xx[diag]).max(yy[diag]);
-            if best_prev > NEG_INF {
-                mm[idx] = best_prev + psp;
-            }
-            xx[idx] = (mm[up].max(yy[up]) - open * rate_a).max(xx[up] - extend * rate_a);
-            let rate_b = gb(j - 1);
-            yy[idx] = (mm[left].max(xx[left]) - open * rate_b).max(yy[left] - extend * rate_b);
-        }
-    }
-    work.dp_cells += 3 * (n as u64) * (m as u64);
-
-    // Traceback.
-    let end = n * w + m;
-    let (score, mut layer) = best3(mm[end], xx[end], yy[end]);
-    let mut ops_rev = Vec::with_capacity(n + m);
-    let (mut i, mut j) = (n, m);
-    let eps = 1e-9;
-    while i > 0 || j > 0 {
-        let idx = i * w + j;
-        match layer {
-            0 => {
-                debug_assert!(i > 0 && j > 0);
-                ops_rev.push(ColOp::Both);
-                let diag = (i - 1) * w + (j - 1);
-                let target = {
-                    let e = &eb[j - 1];
-                    let mut psp = 0.0;
-                    for &(a, wgt) in &pa.cols[i - 1].residues {
-                        psp += wgt * e[a as usize];
-                    }
-                    mm[idx] - psp
-                };
-                layer = pick_layer(mm[diag], xx[diag], yy[diag], target, eps);
-                i -= 1;
-                j -= 1;
-            }
-            1 => {
-                debug_assert!(i > 0);
-                ops_rev.push(ColOp::FromA);
-                let up = (i - 1) * w + j;
-                let rate = ga(i - 1);
-                if (xx[idx] - (xx[up] - extend * rate)).abs() <= eps {
-                    // extended
-                } else {
-                    layer = if mm[up] >= yy[up] { 0 } else { 2 };
-                }
-                i -= 1;
-            }
-            _ => {
-                debug_assert!(j > 0);
-                ops_rev.push(ColOp::FromB);
-                let left = i * w + (j - 1);
-                let rate = gb(j - 1);
-                if (yy[idx] - (yy[left] - extend * rate)).abs() <= eps {
-                    // extended
-                } else {
-                    layer = if mm[left] >= xx[left] { 0 } else { 1 };
-                }
-                j -= 1;
-            }
-        }
-    }
-    ops_rev.reverse();
-    ProfileAlignment { ops: ops_rev, score, work }
-}
-
-#[inline]
-fn best3(m: f64, x: f64, y: f64) -> (f64, u8) {
-    if m >= x && m >= y {
-        (m, 0)
-    } else if x >= y {
-        (x, 1)
-    } else {
-        (y, 2)
-    }
-}
-
-#[inline]
-fn pick_layer(m: f64, x: f64, y: f64, target: f64, eps: f64) -> u8 {
-    if (m - target).abs() <= eps {
-        0
-    } else if (x - target).abs() <= eps {
-        1
-    } else {
-        debug_assert!((y - target).abs() <= eps.max(target.abs() * 1e-9));
-        2
-    }
+    let scorer = PspScorer::new(pa, pb, matrix, gaps, &mut work);
+    let out = dp::gotoh_global(&scorer, policy, arena);
+    work += out.work();
+    ProfileAlignment { ops: out.ops, score: out.score, work }
 }
 
 /// Apply a column merge script to two alignments, producing the merged
@@ -234,7 +108,7 @@ pub fn merge_msas(a: &Msa, b: &Msa, ops: &[ColOp], work: &mut Work) -> Msa {
 }
 
 /// Convenience: profile-align two alignments with uniform weights and merge
-/// them.
+/// them (full DP).
 pub fn align_and_merge(
     a: &Msa,
     b: &Msa,
@@ -242,9 +116,23 @@ pub fn align_and_merge(
     gaps: GapPenalties,
     work: &mut Work,
 ) -> Msa {
+    align_and_merge_with(a, b, matrix, gaps, BandPolicy::Full, &mut DpArena::new(), work)
+}
+
+/// [`align_and_merge`] under an explicit band policy, reusing the caller's
+/// [`DpArena`].
+pub fn align_and_merge_with(
+    a: &Msa,
+    b: &Msa,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    arena: &mut DpArena,
+    work: &mut Work,
+) -> Msa {
     let pa = Profile::from_msa(a, work);
     let pb = Profile::from_msa(b, work);
-    let aln = align_profiles(&pa, &pb, matrix, gaps);
+    let aln = align_profiles_with(&pa, &pb, matrix, gaps, policy, arena);
     *work += aln.work;
     merge_msas(a, b, &aln.ops, work)
 }
@@ -252,6 +140,7 @@ pub fn align_and_merge(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dp::BandPolicy;
     use bioseq::fasta;
     use bioseq::Sequence;
 
@@ -360,6 +249,21 @@ mod tests {
         let b = msa(">b\nMK\n");
         let mut w = Work::ZERO;
         merge_msas(&a, &b, &[ColOp::Both], &mut w);
+    }
+
+    #[test]
+    fn banded_profile_alignment_matches_full() {
+        let (mat, g) = setup();
+        let a = msa(">a\nMKVLAWGKVLMMPQRS\n>b\nMKILAWKILMMPQ-RS\n");
+        let b = msa(">c\nMKVLWGKVLMMPQS\n");
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa(&a, &mut w);
+        let pb = Profile::from_msa(&b, &mut w);
+        let full = align_profiles(&pa, &pb, &mat, g);
+        let mut arena = crate::dp::DpArena::new();
+        let auto = align_profiles_with(&pa, &pb, &mat, g, BandPolicy::Auto, &mut arena);
+        assert_eq!(auto.ops, full.ops);
+        assert!((auto.score - full.score).abs() < 1e-12);
     }
 
     #[test]

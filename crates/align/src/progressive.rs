@@ -5,7 +5,8 @@
 //! pluggable (uniform, Henikoff position-based, or fixed per-sequence
 //! weights such as CLUSTALW's tree weights).
 
-use crate::papro::{align_profiles, merge_msas};
+use crate::dp::{BandPolicy, DpArena};
+use crate::papro::{align_profiles_with, merge_msas};
 use crate::profile::{henikoff_weights, Profile};
 use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
 use phylo::Tree;
@@ -33,6 +34,8 @@ pub struct ProgressiveConfig {
     pub gaps: GapPenalties,
     /// Sequence weighting scheme.
     pub weights: WeightScheme,
+    /// Band policy for every profile–profile DP along the tree.
+    pub band: BandPolicy,
 }
 
 impl Default for ProgressiveConfig {
@@ -41,6 +44,7 @@ impl Default for ProgressiveConfig {
             matrix: SubstMatrix::blosum62(),
             gaps: GapPenalties::default(),
             weights: WeightScheme::Uniform,
+            band: BandPolicy::default(),
         }
     }
 }
@@ -55,6 +59,19 @@ pub fn progressive_align(
     seqs: &[Sequence],
     tree: &Tree,
     cfg: &ProgressiveConfig,
+    work: &mut Work,
+) -> Msa {
+    progressive_align_with_arena(seqs, tree, cfg, &mut DpArena::new(), work)
+}
+
+/// [`progressive_align`] reusing the caller's [`DpArena`]: engines thread
+/// one arena through every stage so the whole run allocates DP scratch
+/// only while the arena grows to its high-water mark.
+pub fn progressive_align_with_arena(
+    seqs: &[Sequence],
+    tree: &Tree,
+    cfg: &ProgressiveConfig,
+    arena: &mut DpArena,
     work: &mut Work,
 ) -> Msa {
     assert_eq!(tree.n_leaves(), seqs.len(), "tree must cover the input");
@@ -81,7 +98,7 @@ pub fn progressive_align(
                 let wb = row_weights(&msa_b, &rows_b, cfg, work);
                 let pa = Profile::from_msa_weighted(&msa_a, &wa, work);
                 let pb = Profile::from_msa_weighted(&msa_b, &wb, work);
-                let aln = align_profiles(&pa, &pb, &cfg.matrix, cfg.gaps);
+                let aln = align_profiles_with(&pa, &pb, &cfg.matrix, cfg.gaps, cfg.band, arena);
                 *work += aln.work;
                 let merged = merge_msas(&msa_a, &msa_b, &aln.ops, work);
                 let mut rows = rows_a;

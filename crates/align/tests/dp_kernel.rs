@@ -1,0 +1,164 @@
+//! Kernel-level guarantees of `align::dp` on realistic inputs:
+//!
+//! * `BandPolicy::Full` through the kernel reproduces the full-DP rows and
+//!   scores byte-for-byte, whatever arena is used and however wide a fixed
+//!   band is;
+//! * adaptive banding (`BandPolicy::Auto`) converges to the full-DP
+//!   optimum on rose-generated homologous families *and* on divergent
+//!   pairs where the optimum needs off-diagonal excursions.
+
+use align::dp::{BandPolicy, DpArena};
+use align::pairwise::{global_align, global_align_with};
+use align::papro::{align_profiles, align_profiles_with};
+use align::Profile;
+use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
+use proptest::prelude::*;
+use rosegen::{Family, FamilyConfig};
+
+fn family(n: usize, avg_len: usize, relatedness: f64, seed: u64) -> Vec<Sequence> {
+    Family::generate(&FamilyConfig { n_seqs: n, avg_len, relatedness, seed, ..Default::default() })
+        .seqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On random rose families, a giant fixed band and a reused arena both
+    /// reproduce the full-DP rows and scores byte-for-byte.
+    #[test]
+    fn full_band_reproduces_full_dp_rows(seed in 0u64..500, relatedness in 200f64..900.0) {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let seqs = family(4, 90, relatedness, seed);
+        let mut arena = DpArena::new();
+        for pair in seqs.chunks(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let full = global_align(a, b, &matrix, gaps);
+            let huge = global_align_with(a, b, &matrix, gaps, BandPolicy::Fixed(4096), &mut arena);
+            prop_assert_eq!(&huge.row_a, &full.row_a);
+            prop_assert_eq!(&huge.row_b, &full.row_b);
+            prop_assert_eq!(huge.score, full.score);
+            let reused = global_align_with(a, b, &matrix, gaps, BandPolicy::Full, &mut arena);
+            prop_assert_eq!(&reused.row_a, &full.row_a);
+            prop_assert_eq!(&reused.row_b, &full.row_b);
+        }
+    }
+
+    /// Adaptive banding matches the full-DP score on homologous families
+    /// while filling no more cells than the full fill.
+    #[test]
+    fn auto_band_is_exact_and_cheaper_on_families(seed in 0u64..500) {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let seqs = family(2, 450, 700.0, seed);
+        let (a, b) = (&seqs[0], &seqs[1]);
+        let full = global_align(a, b, &matrix, gaps);
+        let auto = global_align_with(a, b, &matrix, gaps, BandPolicy::Auto, &mut DpArena::new());
+        prop_assert_eq!(auto.score, full.score);
+        prop_assert!(auto.work.dp_cells <= full.work.dp_cells, "banding must not cost extra here");
+        prop_assert_eq!(auto.work.dp_cells_full, full.work.dp_cells);
+    }
+
+    /// Adaptive banding converges to the full optimum even on divergent
+    /// pairs: unrelated sequences of different lengths, where the initial
+    /// band is often too narrow and must be widened.
+    #[test]
+    fn auto_band_is_exact_on_divergent_pairs(
+        a in prop::collection::vec(0u8..20, 40..160),
+        b in prop::collection::vec(0u8..20, 40..160),
+        open in 1i32..12,
+        extend in 1i32..4,
+    ) {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties { open, extend };
+        let sa = Sequence::from_codes("a", a);
+        let sb = Sequence::from_codes("b", b);
+        let full = global_align(&sa, &sb, &matrix, gaps);
+        let auto = global_align_with(&sa, &sb, &matrix, gaps, BandPolicy::Auto, &mut DpArena::new());
+        prop_assert_eq!(auto.score, full.score);
+    }
+
+    /// The profile kernel under adaptive banding matches the full-DP
+    /// objective on profiles built from rose sub-families.
+    #[test]
+    fn auto_band_is_exact_for_profile_alignment(seed in 0u64..300) {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        let seqs = family(6, 150, 600.0, seed);
+        let engine = align::MuscleLite::fast();
+        use align::MsaEngine;
+        let msa_a = engine.align(&seqs[..3]);
+        let msa_b = engine.align(&seqs[3..]);
+        let mut w = Work::ZERO;
+        let pa = Profile::from_msa(&msa_a, &mut w);
+        let pb = Profile::from_msa(&msa_b, &mut w);
+        let full = align_profiles(&pa, &pb, &matrix, gaps);
+        let auto =
+            align_profiles_with(&pa, &pb, &matrix, gaps, BandPolicy::Auto, &mut DpArena::new());
+        prop_assert!(
+            (auto.score - full.score).abs() <= 1e-9 * full.score.abs().max(1.0),
+            "auto {} vs full {}",
+            auto.score,
+            full.score
+        );
+    }
+}
+
+/// Block transposition (a = S1+S2 vs b = S2+S1): the banded near-diagonal
+/// path clears the band edges yet is far below the off-band optimum — the
+/// case that forces Auto's score-stability acceptance rule.
+#[test]
+fn adaptive_band_is_exact_on_transposed_blocks() {
+    let matrix = SubstMatrix::blosum62();
+    let gaps = GapPenalties::default();
+    let fam = family(2, 60, 900.0, 21);
+    let (s1, s2) = (fam[0].codes(), fam[1].codes());
+    let mut a = s1.to_vec();
+    a.extend_from_slice(s2);
+    let mut b = s2.to_vec();
+    b.extend_from_slice(s1);
+    let sa = Sequence::from_codes("a", a);
+    let sb = Sequence::from_codes("b", b);
+    let full = global_align(&sa, &sb, &matrix, gaps);
+    let auto = global_align_with(&sa, &sb, &matrix, gaps, BandPolicy::Auto, &mut DpArena::new());
+    assert_eq!(auto.score, full.score);
+}
+
+/// A structured adversarial case: a long shifted repeat forces the optimal
+/// path far off the main diagonal, so the initial band must double (at
+/// least once) before the optimum fits.
+#[test]
+fn adaptive_band_widens_for_large_shifts() {
+    let matrix = SubstMatrix::blosum62();
+    let gaps = GapPenalties { open: 4, extend: 1 };
+    let core = family(1, 160, 900.0, 11).remove(0);
+    let mut shifted = vec![bioseq::alphabet::char_to_code('P').unwrap(); 60];
+    shifted.extend_from_slice(core.codes());
+    let a = Sequence::from_codes("a", core.codes().to_vec());
+    let b = Sequence::from_codes("b", shifted);
+    let full = global_align(&a, &b, &matrix, gaps);
+    let auto = global_align_with(&a, &b, &matrix, gaps, BandPolicy::Auto, &mut DpArena::new());
+    assert_eq!(auto.score, full.score, "adaptive banding must find the shifted optimum");
+}
+
+/// End-to-end: the full-band engine and the default adaptive engine agree
+/// on every alignment row for a family below the minimum band width, and
+/// on the final score for longer ones.
+#[test]
+fn engines_agree_across_band_policies() {
+    use align::{MsaEngine, MuscleLite};
+    let matrix = SubstMatrix::blosum62();
+    let gaps = GapPenalties::default();
+    let seqs = family(8, 400, 700.0, 3);
+    let (auto_msa, auto_work) = MuscleLite::fast().align_with_work(&seqs);
+    let (full_msa, full_work) =
+        MuscleLite::fast().with_band(BandPolicy::Full).align_with_work(&seqs);
+    let score = |m: &Msa| m.sp_score(&matrix, gaps);
+    assert_eq!(score(&auto_msa), score(&full_msa), "co-optimal alignments must tie on SP");
+    assert!(
+        auto_work.dp_cells < full_work.dp_cells,
+        "auto {} should fill fewer cells than full {}",
+        auto_work.dp_cells,
+        full_work.dp_cells
+    );
+}

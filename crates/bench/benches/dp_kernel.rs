@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the `align::dp` Gotoh kernel: banded vs full on
+//! short and long sequence pairs, plus the banded profile–profile path.
+//!
+//! Beyond wall-clock timings, the bench prints (and asserts) the
+//! banded-vs-full `dp_cells` counts: on length-500+ pairs the adaptive
+//! band must fill strictly fewer cells than the full matrix.
+
+use align::dp::{BandPolicy, DpArena};
+use align::pairwise::global_align_with;
+use align::{MsaEngine, MuscleLite, Profile};
+use bioseq::{GapPenalties, Sequence, SubstMatrix, Work};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rosegen::{Family, FamilyConfig};
+
+fn pair(avg_len: usize, seed: u64) -> (Sequence, Sequence) {
+    let mut seqs = Family::generate(&FamilyConfig {
+        n_seqs: 2,
+        avg_len,
+        relatedness: 800.0,
+        seed,
+        ..Default::default()
+    })
+    .seqs;
+    let b = seqs.pop().expect("two sequences");
+    let a = seqs.pop().expect("two sequences");
+    (a, b)
+}
+
+fn bench(c: &mut Criterion) {
+    let matrix = SubstMatrix::blosum62();
+    let gaps = GapPenalties::default();
+    let (short_a, short_b) = pair(100, 0x51);
+    let (long_a, long_b) = pair(600, 0x52);
+    let mut arena = DpArena::new();
+
+    // Cell accounting: the acceptance bar for the banded kernel.
+    let full = global_align_with(&long_a, &long_b, &matrix, gaps, BandPolicy::Full, &mut arena);
+    let auto = global_align_with(&long_a, &long_b, &matrix, gaps, BandPolicy::Auto, &mut arena);
+    println!(
+        "dp_cells on L≈600 pair: banded {} vs full {} ({:.1}x fewer), scores {} == {}",
+        auto.work.dp_cells,
+        full.work.dp_cells,
+        full.work.dp_cells as f64 / auto.work.dp_cells as f64,
+        auto.score,
+        full.score
+    );
+    assert!(
+        auto.work.dp_cells < full.work.dp_cells,
+        "banded must fill strictly fewer cells than full on length-500+ pairs"
+    );
+    assert_eq!(auto.score, full.score, "adaptive banding must stay exact");
+
+    for (label, a, b) in [("short_100", &short_a, &short_b), ("long_600", &long_a, &long_b)] {
+        for (policy_label, policy) in [("full", BandPolicy::Full), ("auto", BandPolicy::Auto)] {
+            c.bench_function(&format!("dp_kernel/global_{label}_{policy_label}"), |bch| {
+                bch.iter(|| {
+                    global_align_with(std::hint::black_box(a), b, &matrix, gaps, policy, &mut arena)
+                })
+            });
+        }
+    }
+
+    // Profile–profile DP, the progressive-alignment hot path.
+    let fam = Family::generate(&FamilyConfig {
+        n_seqs: 16,
+        avg_len: 300,
+        relatedness: 800.0,
+        seed: 0x53,
+        ..Default::default()
+    })
+    .seqs;
+    let engine = MuscleLite::fast();
+    let msa_a = engine.align(&fam[..8]);
+    let msa_b = engine.align(&fam[8..]);
+    let mut w = Work::ZERO;
+    let pa = Profile::from_msa(&msa_a, &mut w);
+    let pb = Profile::from_msa(&msa_b, &mut w);
+    for (policy_label, policy) in [("full", BandPolicy::Full), ("auto", BandPolicy::Auto)] {
+        c.bench_function(&format!("dp_kernel/profile_8x8_L300_{policy_label}"), |bch| {
+            bch.iter(|| {
+                align::papro::align_profiles_with(
+                    std::hint::black_box(&pa),
+                    &pb,
+                    &matrix,
+                    gaps,
+                    policy,
+                    &mut arena,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -12,8 +12,17 @@ use std::ops::{Add, AddAssign};
 /// Counters for the work performed by a computation.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Work {
-    /// Dynamic-programming matrix cells filled (pairwise or profile DP).
+    /// Dynamic-programming matrix cells **actually filled** (pairwise or
+    /// profile DP). Banded kernels report only the in-band cells they
+    /// touched — including every retry of an adaptive run — so this is
+    /// the number the cost model converts into virtual time.
     pub dp_cells: u64,
+    /// The cells an unbanded `O(n·m)` fill of the same DP instances would
+    /// have touched. `dp_cells == dp_cells_full` for full fills;
+    /// `dp_cells < dp_cells_full` measures what banding saved. Not a cost
+    /// (excluded from [`total_units`](Self::total_units)); reports print
+    /// the banded/full pair side by side.
+    pub dp_cells_full: u64,
     /// K-mer profile merge steps (one per sparse entry visited).
     pub kmer_ops: u64,
     /// Comparison operations in sorting.
@@ -28,8 +37,15 @@ pub struct Work {
 
 impl Work {
     /// The zero work value.
-    pub const ZERO: Work =
-        Work { dp_cells: 0, kmer_ops: 0, sort_ops: 0, tree_ops: 0, col_ops: 0, seq_bytes: 0 };
+    pub const ZERO: Work = Work {
+        dp_cells: 0,
+        dp_cells_full: 0,
+        kmer_ops: 0,
+        sort_ops: 0,
+        tree_ops: 0,
+        col_ops: 0,
+        seq_bytes: 0,
+    };
 
     /// Whether all counters are zero.
     pub fn is_zero(&self) -> bool {
@@ -37,7 +53,8 @@ impl Work {
     }
 
     /// Grand total of all counters (unit-weighted; used by tests and quick
-    /// reports, not the cost model).
+    /// reports, not the cost model). `dp_cells_full` is a reference
+    /// figure, not performed work, so it is excluded.
     pub fn total_units(&self) -> u64 {
         self.dp_cells
             + self.kmer_ops
@@ -47,9 +64,16 @@ impl Work {
             + self.seq_bytes
     }
 
-    /// Convenience constructor for pure DP work.
+    /// Convenience constructor for pure full-matrix DP work (the filled
+    /// and full-equivalent counts coincide).
     pub fn dp(cells: u64) -> Work {
-        Work { dp_cells: cells, ..Self::ZERO }
+        Work { dp_cells: cells, dp_cells_full: cells, ..Self::ZERO }
+    }
+
+    /// DP work from a banded fill: `cells` actually filled out of a
+    /// `full` full-matrix equivalent.
+    pub fn dp_banded(cells: u64, full: u64) -> Work {
+        Work { dp_cells: cells, dp_cells_full: full, ..Self::ZERO }
     }
 
     /// Convenience constructor for pure k-mer work.
@@ -68,6 +92,7 @@ impl Add for Work {
     fn add(self, rhs: Work) -> Work {
         Work {
             dp_cells: self.dp_cells + rhs.dp_cells,
+            dp_cells_full: self.dp_cells_full + rhs.dp_cells_full,
             kmer_ops: self.kmer_ops + rhs.kmer_ops,
             sort_ops: self.sort_ops + rhs.sort_ops,
             tree_ops: self.tree_ops + rhs.tree_ops,
@@ -111,6 +136,15 @@ mod tests {
     fn sum_over_iterator() {
         let w: Work = (0..4).map(Work::dp).sum();
         assert_eq!(w.dp_cells, 6);
+    }
+
+    #[test]
+    fn banded_dp_tracks_both_counts() {
+        let w = Work::dp_banded(100, 900) + Work::dp(50);
+        assert_eq!(w.dp_cells, 150);
+        assert_eq!(w.dp_cells_full, 950);
+        // The full-matrix equivalent is a reference figure, not work.
+        assert_eq!(w.total_units(), 150);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (keeps the dependency set to the approved
 //! crates).
 
-use align::EngineChoice;
+use align::{BandPolicy, EngineChoice};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +48,8 @@ pub struct AlignArgs {
     /// Inputs with sequences shorter than the k-mer length are rejected,
     /// so short-read files need a smaller `k`.
     pub kmer: Option<usize>,
+    /// DP kernel band policy (`--band auto|full|<width>`).
+    pub band: BandPolicy,
 }
 
 impl AlignArgs {
@@ -131,6 +133,7 @@ usage: sad <command> [options]
   align <in.fasta> [--backend sequential|rayon|distributed] [--p N]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
+                   [--band auto|full|<width>]
   generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]
   scaling  [--n N] [--procs 1,4,8,16]
   eval     [--cases C] [--p N]
@@ -168,11 +171,20 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 backend: Backend::Distributed,
                 no_fine_tune: false,
                 kmer: None,
+                band: BandPolicy::default(),
             };
             while let Some(tok) = it.next() {
                 match tok {
                     "--p" => a.p = parse_num("--p", take_value("--p", &mut it)?)?,
                     "--kmer" => a.kmer = Some(parse_num("--kmer", take_value("--kmer", &mut it)?)?),
+                    "--band" => {
+                        let v = take_value("--band", &mut it)?;
+                        a.band = BandPolicy::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "--band takes auto, full or a positive width, not {v:?}"
+                            ))
+                        })?;
+                    }
                     "--threads" => {
                         a.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
                     }
@@ -361,6 +373,26 @@ mod tests {
             Command::Align(a) => assert_eq!(a.backend, Backend::Distributed),
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn band_flag_parses_and_rejects_nonsense() {
+        // Default is the adaptive kernel.
+        match parse(["align", "x.fa"]).unwrap().command {
+            Command::Align(a) => assert_eq!(a.band, BandPolicy::Auto),
+            _ => panic!("wrong command"),
+        }
+        for (text, want) in
+            [("auto", BandPolicy::Auto), ("full", BandPolicy::Full), ("64", BandPolicy::Fixed(64))]
+        {
+            match parse(["align", "x.fa", "--band", text]).unwrap().command {
+                Command::Align(a) => assert_eq!(a.band, want, "{text}"),
+                _ => panic!("wrong command"),
+            }
+        }
+        assert!(parse(["align", "x.fa", "--band", "0"]).is_err());
+        assert!(parse(["align", "x.fa", "--band", "wavefront"]).is_err());
+        assert!(parse(["align", "x.fa", "--band"]).is_err());
     }
 
     #[test]

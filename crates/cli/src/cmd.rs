@@ -22,7 +22,10 @@ fn read_fasta(path: &str) -> Result<Vec<Sequence>, String> {
 /// `sad align`
 pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
     let seqs = read_fasta(&a.input)?;
-    let mut cfg = SadConfig::default().with_engine(a.engine).with_fine_tune(!a.no_fine_tune);
+    let mut cfg = SadConfig::default()
+        .with_engine(a.engine)
+        .with_fine_tune(!a.no_fine_tune)
+        .with_band_policy(a.band);
     if let Some(k) = a.kmer {
         cfg = cfg.with_kmer_k(k);
     }
@@ -223,6 +226,25 @@ mod tests {
                 out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
             assert_eq!(fasta::parse_alignment(&body).unwrap().num_rows(), 8, "{backend}");
         }
+    }
+
+    #[test]
+    fn band_flag_flows_into_the_run() {
+        let dir = tmpdir();
+        let input = dir.join("band.fa");
+        std::fs::write(&input, run_str(&["generate", "--n", "8", "--len", "60", "--seed", "7"]))
+            .unwrap();
+        let path = input.to_str().unwrap();
+        // Every policy aligns the file; full and auto agree on the rows.
+        let full = run_str(&["align", path, "--p", "2", "--band", "full"]);
+        let auto = run_str(&["align", path, "--p", "2", "--band", "auto"]);
+        let wide = run_str(&["align", path, "--p", "2", "--band", "128"]);
+        let body =
+            |out: &str| out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+        assert_eq!(body(&full), body(&auto), "adaptive banding must match full DP");
+        assert_eq!(fasta::parse_alignment(&body(&wide)).unwrap().num_rows(), 8);
+        // The report surfaces the banded/full cell counts.
+        assert!(auto.contains("dp cells (band/full)"), "{auto}");
     }
 
     #[test]

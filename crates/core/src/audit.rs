@@ -46,6 +46,16 @@ pub fn sweep_n(
                 .backend(Backend::Distributed(cluster))
                 .run(&seqs)
                 .expect("audit sweeps use valid inputs");
+            // DP accounting invariant: `dp_cells` counts only cells the
+            // banded kernel actually filled. Adaptive retries sum a
+            // geometric band series, so even in the worst case the filled
+            // count stays within a small constant of one full fill.
+            assert!(
+                run.work.dp_cells <= 3 * run.work.dp_cells_full,
+                "dp_cells {} exceeds the adaptive-banding bound (full equivalent {})",
+                run.work.dp_cells,
+                run.work.dp_cells_full
+            );
             let traces = run.traces().expect("distributed runs carry traces");
             AuditPoint {
                 n,
@@ -154,6 +164,30 @@ mod tests {
             points.iter().map(|pt| (pt.n as f64, pt.bytes as f64)).collect();
         let e = fit_exponent(&series).unwrap();
         assert!((0.6..=1.5).contains(&e), "bytes exponent {e}");
+    }
+
+    #[test]
+    fn banded_kernel_fills_fewer_cells_than_full_on_long_sequences() {
+        // The paper's workloads are homologous families; on L=300
+        // sequences the adaptive band stays far below the full matrix.
+        let fam = Family::generate(&FamilyConfig {
+            n_seqs: 8,
+            avg_len: 300,
+            relatedness: 700.0,
+            seed: 2,
+            ..Default::default()
+        });
+        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+        let run = Aligner::new(SadConfig::default())
+            .backend(Backend::Distributed(cluster))
+            .run(&fam.seqs)
+            .unwrap();
+        assert!(
+            run.work.dp_cells < run.work.dp_cells_full,
+            "banded {} vs full {}",
+            run.work.dp_cells,
+            run.work.dp_cells_full
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Sample-Align-D configuration.
 
 use crate::error::SadError;
-use align::EngineChoice;
+use align::{BandPolicy, EngineChoice};
 use bioseq::{CompressedAlphabet, GapPenalties, RankTransform, Sequence, SubstMatrix};
 use serde::Serialize;
 
@@ -32,6 +32,11 @@ pub struct SadConfig {
     pub matrix: SubstMatrix,
     /// Gap penalties for ancestor alignment and fine-tuning.
     pub gaps: GapPenalties,
+    /// Band policy for every DP kernel instance in the pipeline: the
+    /// per-bucket engines, the ancestor alignment and the fine-tuning.
+    /// The default, [`BandPolicy::Auto`], fills only a diagonal band and
+    /// adaptively widens it until the optimum is provably unconstrained.
+    pub band_policy: BandPolicy,
 }
 
 impl Default for SadConfig {
@@ -45,6 +50,7 @@ impl Default for SadConfig {
             fine_tune: true,
             matrix: SubstMatrix::blosum62(),
             gaps: GapPenalties::default(),
+            band_policy: BandPolicy::default(),
         }
     }
 }
@@ -99,6 +105,12 @@ impl SadConfig {
         self
     }
 
+    /// Set the DP kernel band policy for the whole pipeline.
+    pub fn with_band_policy(mut self, band_policy: BandPolicy) -> Self {
+        self.band_policy = band_policy;
+        self
+    }
+
     /// Effective sample count per rank for a cluster of `p`.
     pub fn samples_for(&self, p: usize) -> usize {
         self.samples_per_rank.unwrap_or_else(|| p.saturating_sub(1)).max(1)
@@ -113,6 +125,9 @@ impl SadConfig {
         }
         if self.samples_per_rank == Some(0) {
             return Err(SadError::ZeroSampleCount);
+        }
+        if self.band_policy == BandPolicy::Fixed(0) {
+            return Err(SadError::ZeroBandWidth);
         }
         Ok(())
     }
@@ -164,11 +179,24 @@ mod tests {
             .with_engine(EngineChoice::Clustal)
             .with_fine_tune(false)
             .with_matrix(SubstMatrix::blosum62())
-            .with_gaps(GapPenalties::default());
+            .with_gaps(GapPenalties::default())
+            .with_band_policy(BandPolicy::Fixed(48));
         assert_eq!(cfg.kmer_k, 4);
         assert_eq!(cfg.samples_per_rank, Some(3));
         assert_eq!(cfg.engine, EngineChoice::Clustal);
         assert!(!cfg.fine_tune);
+        assert_eq!(cfg.band_policy, BandPolicy::Fixed(48));
+    }
+
+    #[test]
+    fn validate_rejects_zero_band_width() {
+        assert_eq!(
+            SadConfig::default().with_band_policy(BandPolicy::Fixed(0)).validate(),
+            Err(SadError::ZeroBandWidth)
+        );
+        for ok in [BandPolicy::Full, BandPolicy::Auto, BandPolicy::Fixed(1)] {
+            assert_eq!(SadConfig::default().with_band_policy(ok).validate(), Ok(()));
+        }
     }
 
     #[test]

@@ -171,7 +171,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome 
 
     // Step 8: sequential MSA on the local bucket.
     node.phase_start("8-local-align");
-    let engine = cfg.engine.build();
+    let engine = cfg.engine.build_with_band(cfg.band_policy);
     let local_msa: Option<Msa> = if bucket.is_empty() {
         None
     } else {
@@ -246,7 +246,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome 
     node.phase_start("11-fine-tune");
     let block: Option<AnchoredBlockMsg> = local_msa.as_ref().map(|msa| {
         let mut w = Work::ZERO;
-        let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, &mut w);
+        let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut w);
         node.compute(w);
         phase_work.push(("11-fine-tune", w));
         b

@@ -49,6 +49,9 @@ pub enum SadError {
     },
     /// The rayon backend was configured with zero threads/buckets.
     ZeroParallelism,
+    /// `SadConfig::band_policy` is `BandPolicy::Fixed(0)` — a zero-width
+    /// band admits no alignment path.
+    ZeroBandWidth,
 }
 
 impl std::fmt::Display for SadError {
@@ -68,6 +71,9 @@ impl std::fmt::Display for SadError {
                 write!(f, "backend is {actual} ranks wide but {requested} were requested")
             }
             SadError::ZeroParallelism => write!(f, "rayon backend needs at least one thread"),
+            SadError::ZeroBandWidth => {
+                write!(f, "band_policy: a fixed band must be at least 1 column wide")
+            }
         }
     }
 }

@@ -47,6 +47,7 @@ pub mod rayon_impl;
 pub mod report;
 pub mod sequential;
 
+pub use align::BandPolicy;
 pub use aligner::{Aligner, Backend};
 pub use config::SadConfig;
 pub use error::SadError;

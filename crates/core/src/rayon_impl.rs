@@ -142,7 +142,7 @@ pub(crate) fn rayon_pipeline(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> Ru
             if bucket.is_empty() {
                 None
             } else {
-                Some(cfg.engine.build().align_with_work(&bucket))
+                Some(cfg.engine.build_with_band(cfg.band_policy).align_with_work(&bucket))
             }
         })
         .collect();
@@ -178,7 +178,7 @@ pub(crate) fn rayon_pipeline(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> Ru
     let ga = if ancestors.len() == 1 {
         ancestors.into_iter().next().expect("one ancestor")
     } else {
-        let (anc_msa, w) = cfg.engine.build().align_with_work(&ancestors);
+        let (anc_msa, w) = cfg.engine.build_with_band(cfg.band_policy).align_with_work(&ancestors);
         ga_w += w;
         consensus_sequence(&anc_msa, "global-ancestor", &mut ga_w)
     };
@@ -189,7 +189,7 @@ pub(crate) fn rayon_pipeline(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> Ru
         .par_iter()
         .map(|msa| {
             let mut w = Work::ZERO;
-            let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, &mut w);
+            let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut w);
             (b, w)
         })
         .collect();

@@ -104,17 +104,43 @@ impl RunReport {
     }
 
     /// The unified per-phase table every backend can print: phase name,
-    /// work units, and (when the backend models time) the maximum virtual
-    /// seconds across ranks.
+    /// work units, DP cells as `filled/full-equivalent` (what the banded
+    /// kernel actually touched vs what an unbanded fill would have), and
+    /// (when the backend models time) the maximum virtual seconds across
+    /// ranks.
     pub fn phase_table(&self) -> String {
         use std::fmt::Write;
+        let dp_pair = |w: &Work| {
+            if w.dp_cells_full == 0 {
+                "-".to_string()
+            } else {
+                format!("{}/{}", w.dp_cells, w.dp_cells_full)
+            }
+        };
         let mut out = String::new();
-        let _ = writeln!(out, "{:<28} {:>14} {:>12}", "phase", "work units", "max (s)");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>21} {:>12}",
+            "phase", "work units", "dp cells (band/full)", "max (s)"
+        );
         for p in &self.phases {
             let secs = p.seconds.map_or_else(|| format!("{:>12}", "-"), |s| format!("{s:>12.4}"));
-            let _ = writeln!(out, "{:<28} {:>14} {}", p.name, p.work.total_units(), secs);
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>21} {}",
+                p.name,
+                p.work.total_units(),
+                dp_pair(&p.work),
+                secs
+            );
         }
-        let _ = writeln!(out, "{:<28} {:>14}", "total", self.work.total_units());
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>21}",
+            "total",
+            self.work.total_units(),
+            dp_pair(&self.work)
+        );
         out
     }
 }
@@ -147,6 +173,18 @@ mod tests {
         assert!(table.contains("total"));
         assert!(table.contains("0.2500"));
         assert!(table.contains('-'), "work-only phases render a dash");
+        // The DP column prints filled/full-equivalent cells.
+        assert!(table.contains("dp cells (band/full)"));
+        assert!(table.contains("10/10"), "Work::dp sets both counters:\n{table}");
+    }
+
+    #[test]
+    fn phase_table_shows_banded_savings() {
+        let mut r = report();
+        r.phases[1].work = Work::dp_banded(4, 10);
+        r.work = r.phases.iter().map(|p| p.work).sum();
+        let table = r.phase_table();
+        assert!(table.contains("4/10"), "{table}");
     }
 
     #[test]

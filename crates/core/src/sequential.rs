@@ -22,7 +22,7 @@ pub fn run_sequential(seqs: &[Sequence], cfg: &SadConfig) -> Result<RunReport, S
 /// [`crate::Aligner::run`].
 pub(crate) fn sequential_pipeline(seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
     debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
-    let (msa, work) = cfg.engine.build().align_with_work(seqs);
+    let (msa, work) = cfg.engine.build_with_band(cfg.band_policy).align_with_work(seqs);
     RunReport {
         msa,
         work,
@@ -71,7 +71,7 @@ mod tests {
         let seqs = family(6, 40, 2);
         let cfg = SadConfig::default();
         let report = Aligner::new(cfg.clone()).run(&seqs).unwrap();
-        assert_eq!(report.msa, cfg.engine.build().align(&seqs));
+        assert_eq!(report.msa, cfg.engine.build_with_band(cfg.band_policy).align(&seqs));
         assert_eq!(report.bucket_sizes, vec![6]);
         assert_eq!(report.ranks, 1);
         assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum());

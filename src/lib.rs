@@ -63,7 +63,7 @@ pub use vcluster;
 
 /// The most common imports for working with the system.
 pub mod prelude {
-    pub use align::{ClustalLite, EngineChoice, MsaEngine, MuscleLite};
+    pub use align::{BandPolicy, ClustalLite, DpArena, EngineChoice, MsaEngine, MuscleLite};
     pub use bioseq::{fasta, CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix};
     pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
     pub use sad_core::{Aligner, Backend, BackendExtras, RunReport, SadConfig, SadError};
