@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sad_bench::{banner, paper_scale, rose_workload, table};
 use sad_core::audit::{fit_exponent, phase_exponent, sweep_n};
-use sad_core::SadConfig;
+use sad_core::{Phase, SadConfig};
 use vcluster::CostModel;
 
 fn experiment() {
@@ -28,22 +28,22 @@ fn experiment() {
 
     // (phase, paper's dominant term at fixed p and L, predicted exponent)
     let expectations = [
-        ("1-local-kmer-rank", "w^2 L", 2.0),
-        ("2-local-sort", "w log w", 1.0),
-        ("3-sample-exchange", "p^2 L (const in N)", 0.0),
-        ("5-globalized-rank", "w k p L", 1.0),
-        ("6-redistribute", "(N/p) L", 1.0),
-        ("8-local-align", "w^2 L + w L^2", 1.5),
-        ("9-local-ancestor", "w (profile cols)", 0.5),
-        ("10-global-ancestor", "p^4 + p L^2 (const in N)", 0.0),
-        ("11-fine-tune", "w L^2 / w? (profile vs GA)", 0.5),
-        ("12-glue", "N L / p", 1.0),
+        (Phase::LocalKmerRank, "w^2 L", 2.0),
+        (Phase::LocalSort, "w log w", 1.0),
+        (Phase::SampleExchange, "p^2 L (const in N)", 0.0),
+        (Phase::GlobalizedRank, "w k p L", 1.0),
+        (Phase::Redistribute, "(N/p) L", 1.0),
+        (Phase::LocalAlign, "w^2 L + w L^2", 1.5),
+        (Phase::LocalAncestor, "w (profile cols)", 0.5),
+        (Phase::GlobalAncestor, "p^4 + p L^2 (const in N)", 0.0),
+        (Phase::FineTune, "w L^2 / w? (profile vs GA)", 0.5),
+        (Phase::Glue, "N L / p", 1.0),
     ];
     let mut rows = Vec::new();
     for (phase, term, predicted) in expectations {
         let measured = phase_exponent(&points, phase);
         rows.push(vec![
-            phase.to_string(),
+            phase.name().to_string(),
             term.to_string(),
             format!("{predicted:.1}"),
             measured.map_or("n/a".into(), |e| format!("{e:.2}")),
@@ -59,9 +59,9 @@ fn experiment() {
 
     // Headline checks: the two quadratic-ish compute phases and the
     // near-constant collective phases.
-    let rank_e = phase_exponent(&points, "1-local-kmer-rank").unwrap_or(f64::NAN);
-    let align_e = phase_exponent(&points, "8-local-align").unwrap_or(f64::NAN);
-    let sample_e = phase_exponent(&points, "3-sample-exchange").unwrap_or(f64::NAN);
+    let rank_e = phase_exponent(&points, Phase::LocalKmerRank).unwrap_or(f64::NAN);
+    let align_e = phase_exponent(&points, Phase::LocalAlign).unwrap_or(f64::NAN);
+    let sample_e = phase_exponent(&points, Phase::SampleExchange).unwrap_or(f64::NAN);
     println!(
         "check — rank phase quadratic (e in 1.5..2.5): {}",
         if (1.5..=2.5).contains(&rank_e) { "HOLDS" } else { "does not hold" }

@@ -14,7 +14,7 @@ pub struct Args {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `sad align <in.fasta> [--backend B] [--p N] [--threads N] [--nodes N]
-    /// [--engine E] [--no-fine-tune]`
+    /// [--engine E] [--no-fine-tune] [--progress]`
     Align(AlignArgs),
     /// `sad generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]`
     Generate(GenerateArgs),
@@ -50,6 +50,9 @@ pub struct AlignArgs {
     pub kmer: Option<usize>,
     /// DP kernel band policy (`--band auto|full|<width>`).
     pub band: BandPolicy,
+    /// Stream a live per-phase progress display to stderr (`--progress`),
+    /// built on the pipeline observer API.
+    pub progress: bool,
 }
 
 impl AlignArgs {
@@ -133,7 +136,7 @@ usage: sad <command> [options]
   align <in.fasta> [--backend sequential|rayon|distributed] [--p N]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
-                   [--band auto|full|<width>]
+                   [--band auto|full|<width>] [--progress]
   generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]
   scaling  [--n N] [--procs 1,4,8,16]
   eval     [--cases C] [--p N]
@@ -172,6 +175,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 no_fine_tune: false,
                 kmer: None,
                 band: BandPolicy::default(),
+                progress: false,
             };
             while let Some(tok) = it.next() {
                 match tok {
@@ -202,6 +206,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                         }
                     }
                     "--no-fine-tune" => a.no_fine_tune = true,
+                    "--progress" => a.progress = true,
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -393,6 +398,18 @@ mod tests {
         assert!(parse(["align", "x.fa", "--band", "0"]).is_err());
         assert!(parse(["align", "x.fa", "--band", "wavefront"]).is_err());
         assert!(parse(["align", "x.fa", "--band"]).is_err());
+    }
+
+    #[test]
+    fn progress_flag_parses() {
+        match parse(["align", "x.fa"]).unwrap().command {
+            Command::Align(a) => assert!(!a.progress, "progress is opt-in"),
+            _ => panic!("wrong command"),
+        }
+        match parse(["align", "x.fa", "--progress"]).unwrap().command {
+            Command::Align(a) => assert!(a.progress),
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

@@ -39,7 +39,13 @@ pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
             SadBackend::Distributed(VirtualCluster::new(a.parallelism(), CostModel::beowulf_2008()))
         }
     };
-    let report = Aligner::new(cfg).backend(backend).run(&seqs).map_err(|e| e.to_string())?;
+    let mut aligner = Aligner::new(cfg).backend(backend);
+    if a.progress {
+        // Live phase display on stderr; stdout stays parseable FASTA.
+        aligner =
+            aligner.observer(std::sync::Arc::new(crate::progress::ProgressObserver::stderr()));
+    }
+    let report = aligner.run(&seqs).map_err(|e| e.to_string())?;
     write_report_comments(&report, seqs.len(), out);
     write!(out, "{}", fasta::write_alignment(&report.msa)).map_err(|e| e.to_string())
 }
@@ -226,6 +232,23 @@ mod tests {
                 out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
             assert_eq!(fasta::parse_alignment(&body).unwrap().num_rows(), 8, "{backend}");
         }
+    }
+
+    #[test]
+    fn progress_goes_to_stderr_not_stdout() {
+        let dir = tmpdir();
+        let input = dir.join("progress.fa");
+        std::fs::write(&input, run_str(&["generate", "--n", "8", "--len", "40"])).unwrap();
+        // The observer writes to stderr, so the captured stdout stream must
+        // stay byte-identical to a run without --progress.
+        let plain = run_str(&["align", input.to_str().unwrap(), "--p", "2"]);
+        let with_progress = run_str(&["align", input.to_str().unwrap(), "--p", "2", "--progress"]);
+        let strip_wall = |out: &str| {
+            // Wall-clock columns differ between runs; compare everything else.
+            out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(strip_wall(&plain), strip_wall(&with_progress));
+        assert!(fasta::parse_alignment(&strip_wall(&with_progress)).is_ok());
     }
 
     #[test]

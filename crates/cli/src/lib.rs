@@ -5,7 +5,8 @@
 //! * `sad align <in.fasta>` — align a FASTA file, write gapped FASTA plus
 //!   the unified per-phase report to stdout
 //!   (`--backend sequential|rayon|distributed`, `--p`, `--threads`,
-//!   `--nodes`, `--engine`, `--no-fine-tune`, `--kmer`);
+//!   `--nodes`, `--engine`, `--no-fine-tune`, `--kmer`, and `--progress`
+//!   for a live per-phase display on stderr);
 //! * `sad generate` — emit a rose-style synthetic family as FASTA
 //!   (`--n`, `--len`, `--relatedness`, `--seed`, `--reference <path>`);
 //! * `sad scaling` — print a Fig. 4/5-style scaling table (`--n`,
@@ -22,6 +23,7 @@
 
 pub mod args;
 pub mod cmd;
+pub mod progress;
 
 pub use args::{Args, Command, ParseError};
 

@@ -1,0 +1,104 @@
+//! The `--progress` live phase display: an [`Observer`] that renders
+//! pipeline events as log lines on a writer (stderr in the binary, so
+//! stdout stays parseable FASTA).
+
+use sad_core::{Event, Observer};
+use std::io::Write;
+use std::sync::Mutex;
+
+/// An observer rendering each pipeline event as one `[sad]` line.
+///
+/// Output goes through a mutex-guarded writer because the decomposed
+/// backends deliver `BucketAligned` events from worker threads.
+pub struct ProgressObserver {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl ProgressObserver {
+    /// A progress display writing to `out` (the binary passes stderr).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        ProgressObserver { out: Mutex::new(out) }
+    }
+
+    /// A progress display on standard error.
+    pub fn stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+}
+
+impl Observer for ProgressObserver {
+    fn on_event(&self, event: &Event) {
+        let line = match event {
+            Event::RunStarted { backend, n_seqs, ranks } => {
+                format!("run started: {n_seqs} sequences on the {backend} backend, {ranks} rank(s)")
+            }
+            Event::PhaseStarted { phase } => format!("> {phase}"),
+            Event::PhaseFinished { phase, work, seconds } => {
+                format!("* {phase} done in {seconds:.3}s ({} work units)", work.total_units())
+            }
+            Event::BucketAligned { bucket, rows, seconds } => {
+                format!("  bucket {bucket}: {rows} rows aligned in {seconds:.3}s")
+            }
+            Event::RunFinished { seconds, cancelled } => {
+                if *cancelled {
+                    format!("run CANCELLED after {seconds:.3}s")
+                } else {
+                    format!("run finished in {seconds:.3}s")
+                }
+            }
+            // `Event` is non-exhaustive; render unknown events generically
+            // rather than dropping them.
+            other => format!("{other:?}"),
+        };
+        let mut out = self.out.lock().expect("progress writer poisoned");
+        let _ = writeln!(out, "[sad] {line}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sad_core::{Aligner, Backend, SadConfig};
+    use std::sync::Arc;
+
+    /// A writer that appends into a shared buffer the test can read back.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn renders_every_phase_of_a_run() {
+        let buf = SharedBuf::default();
+        let observer = Arc::new(ProgressObserver::new(Box::new(buf.clone())));
+        let seqs = rosegen::Family::generate(&rosegen::FamilyConfig {
+            n_seqs: 12,
+            avg_len: 40,
+            relatedness: 700.0,
+            seed: 1,
+            ..Default::default()
+        })
+        .seqs;
+        Aligner::new(SadConfig::default())
+            .backend(Backend::Rayon { threads: 3 })
+            .observer(observer)
+            .run(&seqs)
+            .unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("run started: 12 sequences on the rayon backend"), "{text}");
+        assert!(text.contains("> 8-local-align"), "{text}");
+        assert!(text.contains("* 8-local-align done in"), "{text}");
+        assert!(text.contains("bucket"), "{text}");
+        assert!(text.contains("run finished in"), "{text}");
+        assert!(text.lines().all(|l| l.starts_with("[sad] ")), "{text}");
+    }
+}

@@ -23,11 +23,33 @@
 //! Swapping `Backend::Distributed(..)` for `Backend::Rayon { threads: 4 }`
 //! or `Backend::Sequential` changes the substrate, not the caller: every
 //! backend returns the same [`RunReport`].
+//!
+//! Runs are observable and stoppable. Register an [`Observer`] to receive
+//! typed [`Event`](crate::Event)s, hand in a [`CancelToken`] or a
+//! wall-clock [`deadline`](Aligner::deadline) to stop a run at its next
+//! phase boundary:
+//!
+//! ```
+//! use sad_core::{Aligner, CancelToken, Phase, SadConfig, SadError};
+//! # let seqs = rosegen::Family::generate(&rosegen::FamilyConfig {
+//! #     n_seqs: 8, avg_len: 40, relatedness: 600.0, ..Default::default()
+//! # }).seqs;
+//! let token = CancelToken::new();
+//! token.cancel(); // e.g. from another thread, mid-run
+//! let err = Aligner::new(SadConfig::default())
+//!     .cancel_token(token)
+//!     .run(&seqs)
+//!     .unwrap_err();
+//! assert_eq!(err, SadError::Cancelled { phase: Phase::LocalAlign });
+//! ```
 
 use crate::config::SadConfig;
 use crate::error::SadError;
+use crate::pipeline::{CancelToken, Observer, PipelineCtx};
 use crate::report::RunReport;
 use bioseq::Sequence;
+use std::sync::Arc;
+use std::time::Duration;
 use vcluster::VirtualCluster;
 
 /// The execution substrate for one run.
@@ -57,19 +79,36 @@ impl Backend {
     }
 }
 
-/// Builder for a Sample-Align-D run: configuration plus backend choice.
-#[derive(Debug, Clone, Default)]
+/// Builder for a Sample-Align-D run: configuration, backend choice, and
+/// the run-control surface (observer, cancellation, deadline).
+#[derive(Clone, Default)]
 pub struct Aligner {
     cfg: SadConfig,
     backend: Backend,
     ranks: Option<usize>,
+    observer: Option<Arc<dyn Observer>>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
+}
+
+impl std::fmt::Debug for Aligner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aligner")
+            .field("cfg", &self.cfg)
+            .field("backend", &self.backend)
+            .field("ranks", &self.ranks)
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("deadline", &self.deadline)
+            .finish()
+    }
 }
 
 impl Aligner {
     /// Start building a run with the given configuration. The default
     /// backend is [`Backend::Sequential`].
     pub fn new(cfg: SadConfig) -> Self {
-        Aligner { cfg, backend: Backend::Sequential, ranks: None }
+        Aligner { cfg, ..Aligner::default() }
     }
 
     /// Select the execution backend.
@@ -87,6 +126,33 @@ impl Aligner {
         self
     }
 
+    /// Register an observer receiving [`crate::Event`]s for every run this
+    /// aligner starts: `RunStarted`, `PhaseStarted`/`PhaseFinished` with
+    /// real wall-clock seconds, `BucketAligned`, `RunFinished`. Events are
+    /// delivered synchronously; observers should be cheap.
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attach a cancellation token. Keep a clone; calling
+    /// [`CancelToken::cancel`] on it — from another thread, from an
+    /// observer — stops the run at its next phase boundary with
+    /// [`SadError::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Give the run a wall-clock budget, measured from the moment
+    /// [`Aligner::run`] starts. When it is exhausted the run stops at the
+    /// next phase boundary with [`SadError::Cancelled`] — the pipeline is
+    /// cooperative, so a long-running phase finishes before the check.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// The configuration this aligner will run with.
     pub fn config(&self) -> &SadConfig {
         &self.cfg
@@ -99,45 +165,49 @@ impl Aligner {
         if seqs.len() < 2 {
             return Err(SadError::TooFewSequences { found: seqs.len() });
         }
-        match &self.backend {
-            Backend::Sequential => {
-                if let Some(requested) = self.ranks {
-                    if requested != 1 {
-                        return Err(SadError::ClusterSizeMismatch { actual: 1, requested });
-                    }
-                }
-                Ok(crate::sequential::sequential_pipeline(seqs, &self.cfg))
-            }
+        let width = match &self.backend {
+            Backend::Sequential => 1,
             Backend::Rayon { threads } => {
                 if *threads == 0 {
                     return Err(SadError::ZeroParallelism);
                 }
-                if let Some(requested) = self.ranks {
-                    if requested != *threads {
-                        return Err(SadError::ClusterSizeMismatch { actual: *threads, requested });
-                    }
-                }
-                Ok(crate::rayon_impl::rayon_pipeline(seqs, *threads, &self.cfg))
+                *threads
             }
-            Backend::Distributed(cluster) => {
-                if let Some(requested) = self.ranks {
-                    if requested != cluster.p() {
-                        return Err(SadError::ClusterSizeMismatch {
-                            actual: cluster.p(),
-                            requested,
-                        });
-                    }
-                }
-                Ok(crate::distributed::distributed_pipeline(cluster, seqs, &self.cfg))
+            Backend::Distributed(cluster) => cluster.p(),
+        };
+        if let Some(requested) = self.ranks {
+            if requested != width {
+                return Err(SadError::ClusterSizeMismatch { actual: width, requested });
             }
         }
+        let ctx = PipelineCtx::new(
+            self.backend.name(),
+            width,
+            self.observer.clone(),
+            self.cancel.clone(),
+            self.deadline,
+        );
+        ctx.run_started(seqs.len());
+        let result = match &self.backend {
+            Backend::Sequential => crate::sequential::sequential_pipeline(seqs, &self.cfg, &ctx),
+            Backend::Rayon { threads } => {
+                crate::rayon_impl::rayon_pipeline(seqs, *threads, &self.cfg, &ctx)
+            }
+            Backend::Distributed(cluster) => {
+                crate::distributed::distributed_pipeline(cluster, seqs, &self.cfg, &ctx)
+            }
+        };
+        ctx.run_finished(matches!(result, Err(SadError::Cancelled { .. })));
+        result
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::{Event, Phase};
     use rosegen::{Family, FamilyConfig};
+    use std::sync::Mutex;
     use vcluster::CostModel;
 
     fn family(n: usize, seed: u64) -> Vec<Sequence> {
@@ -165,6 +235,8 @@ mod tests {
             assert_eq!(report.bucket_sizes.iter().sum::<usize>(), 16);
             assert!(!report.work.is_zero());
             assert!(!report.phases.is_empty());
+            // Every phase of a completed run carries real wall time.
+            assert!(report.phases.iter().all(|p| p.seconds.is_some()), "{}", report.backend_name());
         }
         // Decomposed backends are step-identical; sequential differs in
         // columns but carries the same rows (checked in tests/).
@@ -173,6 +245,9 @@ mod tests {
         assert_eq!(ray.ranks, 4);
         assert_eq!(dist.ranks, 4);
         assert!(dist.makespan().is_some() && ray.makespan().is_none());
+        // Only the distributed backend carries per-phase virtual maxima.
+        assert!(dist.phases.iter().all(|p| p.virtual_seconds.is_some()));
+        assert!(ray.phases.iter().all(|p| p.virtual_seconds.is_none()));
     }
 
     #[test]
@@ -241,5 +316,45 @@ mod tests {
         assert_eq!(Backend::Rayon { threads: 2 }.name(), "rayon");
         let c = VirtualCluster::new(1, CostModel::beowulf_2008());
         assert_eq!(Backend::Distributed(c).name(), "distributed");
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_phase() {
+        let seqs = family(8, 7);
+        let token = CancelToken::new();
+        token.cancel();
+        let err =
+            Aligner::new(SadConfig::default()).cancel_token(token.clone()).run(&seqs).unwrap_err();
+        assert_eq!(err, SadError::Cancelled { phase: Phase::LocalAlign });
+        // Validation failures still win over cancellation checks.
+        let err = Aligner::new(SadConfig::default()).cancel_token(token).run(&seqs[..1]);
+        assert_eq!(err, Err(SadError::TooFewSequences { found: 1 }));
+    }
+
+    #[test]
+    fn zero_deadline_cancels_and_reports_run_finished() {
+        let seqs = family(8, 8);
+        let events: Arc<Mutex<Vec<Event>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let err = Aligner::new(SadConfig::default())
+            .backend(Backend::Rayon { threads: 2 })
+            .deadline(Duration::ZERO)
+            .observer(Arc::new(move |e: &Event| sink.lock().unwrap().push(e.clone())))
+            .run(&seqs)
+            .unwrap_err();
+        assert_eq!(err, SadError::Cancelled { phase: Phase::LocalKmerRank });
+        let evs = events.lock().unwrap();
+        assert!(matches!(evs.first(), Some(Event::RunStarted { backend: "rayon", .. })));
+        assert!(matches!(evs.last(), Some(Event::RunFinished { cancelled: true, .. })));
+    }
+
+    #[test]
+    fn debug_shows_control_surface_without_dumping_it() {
+        let aligner = Aligner::new(SadConfig::default())
+            .cancel_token(CancelToken::new())
+            .deadline(Duration::from_secs(5));
+        let dbg = format!("{aligner:?}");
+        assert!(dbg.contains("cancel: true"), "{dbg}");
+        assert!(dbg.contains("observer: false"), "{dbg}");
     }
 }

@@ -10,8 +10,9 @@
 
 use crate::aligner::{Aligner, Backend};
 use crate::config::SadConfig;
+use crate::pipeline::Phase;
 use bioseq::Sequence;
-use vcluster::{trace::phase_summary, CostModel, VirtualCluster};
+use vcluster::{CostModel, VirtualCluster};
 
 /// Per-phase maxima for one `(N, p)` configuration.
 #[derive(Debug, Clone)]
@@ -20,8 +21,8 @@ pub struct AuditPoint {
     pub n: usize,
     /// Ranks.
     pub p: usize,
-    /// `(phase name, max seconds across ranks)` in pipeline order.
-    pub phases: Vec<(String, f64)>,
+    /// `(phase, max virtual seconds across ranks)` in pipeline order.
+    pub phases: Vec<(Phase, f64)>,
     /// Total makespan.
     pub makespan: f64,
     /// Total bytes on the wire.
@@ -60,9 +61,10 @@ pub fn sweep_n(
             AuditPoint {
                 n,
                 p,
-                phases: phase_summary(traces)
-                    .into_iter()
-                    .map(|(name, max, _)| (name, max))
+                phases: run
+                    .phases
+                    .iter()
+                    .map(|s| (s.phase, s.virtual_seconds.expect("distributed phases are timed")))
                     .collect(),
                 makespan: run.makespan().expect("distributed runs have a makespan"),
                 bytes: traces.iter().map(|t| t.bytes_sent).sum(),
@@ -97,11 +99,11 @@ pub fn fit_exponent(points: &[(f64, f64)]) -> Option<f64> {
 
 /// Empirical exponent of one phase's time in the input size `N` across a
 /// sweep (e.g. `≈ 2` for the `w²L` rank phase at fixed `p`).
-pub fn phase_exponent(points: &[AuditPoint], phase: &str) -> Option<f64> {
+pub fn phase_exponent(points: &[AuditPoint], phase: Phase) -> Option<f64> {
     let series: Vec<(f64, f64)> = points
         .iter()
         .filter_map(|pt| {
-            pt.phases.iter().find(|(name, _)| name == phase).map(|&(_, t)| (pt.n as f64, t))
+            pt.phases.iter().find(|&&(p, _)| p == phase).map(|&(_, t)| (pt.n as f64, t))
         })
         .collect();
     fit_exponent(&series)
@@ -140,7 +142,7 @@ mod tests {
         // Step 1 is w²L with w = N/p: at fixed p its exponent in N is ≈ 2.
         let points =
             sweep_n(&[32, 64, 128], 2, &SadConfig::default(), CostModel::beowulf_2008(), workload);
-        let e = phase_exponent(&points, "1-local-kmer-rank").unwrap();
+        let e = phase_exponent(&points, Phase::LocalKmerRank).unwrap();
         assert!((1.5..=2.5).contains(&e), "rank exponent {e}");
     }
 
@@ -150,7 +152,7 @@ mod tests {
         // progressive term: exponent in N must exceed 1.
         let points =
             sweep_n(&[32, 64, 128], 2, &SadConfig::default(), CostModel::beowulf_2008(), workload);
-        let e = phase_exponent(&points, "8-local-align").unwrap();
+        let e = phase_exponent(&points, Phase::LocalAlign).unwrap();
         assert!(e > 0.8, "align exponent {e}");
     }
 
@@ -193,9 +195,7 @@ mod tests {
     #[test]
     fn audit_points_carry_all_phases() {
         let points = sweep_n(&[24], 2, &SadConfig::default(), CostModel::beowulf_2008(), workload);
-        let names: Vec<&str> = points[0].phases.iter().map(|(n, _)| n.as_str()).collect();
-        assert!(names.contains(&"1-local-kmer-rank"));
-        assert!(names.contains(&"8-local-align"));
-        assert!(names.contains(&"12-glue"));
+        let phases: Vec<Phase> = points[0].phases.iter().map(|&(p, _)| p).collect();
+        assert_eq!(phases, Phase::ALL.to_vec(), "a default p=2 run executes every phase");
     }
 }

@@ -2,40 +2,31 @@
 //!
 //! Phase names follow the numbered steps of the algorithm listing in
 //! Section 2 of the paper, so the per-phase timing table lines up with the
-//! cost analysis of Section 3.
+//! cost analysis of Section 3. Every rank brackets its phases on the shared
+//! [`PipelineCtx`], which stamps each phase's real wall-clock footprint
+//! (first rank in → last rank out) next to the virtual per-rank timings the
+//! traces carry.
+//!
+//! Cancellation is cooperative *and collective*: an SPMD program cannot
+//! have one rank bail while its peers block on a collective, so at every
+//! phase boundary the root polls the [`crate::CancelToken`]/deadline and
+//! broadcasts the verdict — all ranks stop at the same boundary, keeping
+//! the virtual clocks deterministic.
 
 use crate::ancestor::{anchor_to_ancestor, glue_anchored, glue_block_diagonal};
 use crate::config::SadConfig;
 use crate::error::SadError;
 use crate::messages::{AnchoredBlockMsg, MaybeSeq, MsaBlockMsg, RankedSeq};
-use crate::report::{BackendExtras, PhaseStat, RunReport};
+use crate::pipeline::{Phase, PipelineCtx};
+use crate::report::{BackendExtras, RunReport};
 use align::consensus::consensus_sequence;
 use bioseq::kmer::{self, KmerProfile};
 use bioseq::{Msa, Sequence, Work};
-use std::collections::HashMap;
+use std::time::Instant;
 use vcluster::{Node, VirtualCluster};
 
 /// A batch of sequences for the sample all-gather.
 use crate::messages::SeqBatch;
-
-/// Run Sample-Align-D on a virtual cluster.
-///
-/// Deprecated shim over the [`crate::Aligner`] builder. The name and
-/// argument order match the 0.1 entry point, but the return type changed:
-/// `SadRun` is gone, and degenerate input yields a typed [`SadError`]
-/// instead of the old behaviour (panic on empty input, trivial one-row
-/// alignment for a single sequence). See the README migration table.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Aligner::new(cfg).backend(Backend::Distributed(cluster.clone())).run(seqs)`"
-)]
-pub fn run_distributed(
-    cluster: &VirtualCluster,
-    seqs: &[Sequence],
-    cfg: &SadConfig,
-) -> Result<RunReport, SadError> {
-    crate::Aligner::new(cfg.clone()).backend(crate::Backend::Distributed(cluster.clone())).run(seqs)
-}
 
 /// The message-passing pipeline. `seqs` plays the role of the pre-staged
 /// input files (the paper stages shards on each node's disk before timing
@@ -45,38 +36,38 @@ pub(crate) fn distributed_pipeline(
     cluster: &VirtualCluster,
     seqs: &[Sequence],
     cfg: &SadConfig,
-) -> RunReport {
+    ctx: &PipelineCtx,
+) -> Result<RunReport, SadError> {
     debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
     debug_assert_eq!(
         seqs.iter().map(|s| s.id.as_str()).collect::<std::collections::HashSet<_>>().len(),
         seqs.len(),
         "sequence ids must be unique"
     );
-    let run = cluster.run(|node| sad_node(node, seqs, cfg));
+    let run = cluster.run(|node| sad_node(node, seqs, cfg, ctx));
+    if let Some(phase) = run.results.iter().find_map(|o| o.cancelled) {
+        // Every rank stopped at the same boundary, so no phase is still
+        // open; drop whatever completed before the cut.
+        let _ = ctx.drain();
+        return Err(SadError::Cancelled { phase });
+    }
     let mut msa: Option<Msa> = None;
     let mut bucket_sizes = Vec::with_capacity(run.results.len());
-    let mut work = Work::ZERO;
-    let mut by_phase: HashMap<&'static str, Work> = HashMap::new();
     for outcome in run.results {
         if let Some(m) = outcome.msa {
             msa = Some(m);
         }
         bucket_sizes.push(outcome.bucket);
-        for (name, w) in outcome.phase_work {
-            *by_phase.entry(name).or_insert(Work::ZERO) += w;
-            work += w;
+    }
+    // Wall-clock timing and work come from the shared recorder; the
+    // virtual per-phase maxima from the rank traces.
+    let (mut phases, work) = ctx.drain();
+    for (name, max, _mean) in vcluster::trace::phase_summary(&run.traces) {
+        if let Some(stat) = phases.iter_mut().find(|s| s.name() == name) {
+            stat.virtual_seconds = Some(max);
         }
     }
-    // Phase order and timings come from the traces; work from the nodes.
-    let phases: Vec<PhaseStat> = vcluster::trace::phase_summary(&run.traces)
-        .into_iter()
-        .map(|(name, max, _mean)| PhaseStat {
-            work: by_phase.get(name.as_str()).copied().unwrap_or(Work::ZERO),
-            name,
-            seconds: Some(max),
-        })
-        .collect();
-    RunReport {
+    Ok(RunReport {
         msa: msa.expect("root assembled the alignment"),
         work,
         phases,
@@ -84,7 +75,7 @@ pub(crate) fn distributed_pipeline(
         ranks: cluster.p(),
         samples_per_rank: cfg.samples_for(cluster.p()),
         extras: BackendExtras::Distributed { makespan: run.makespan, traces: run.traces },
-    }
+    })
 }
 
 /// Build a k-mer profile, degrading to k=1 for ultra-short sequences.
@@ -99,12 +90,28 @@ struct NodeOutcome {
     msa: Option<Msa>,
     /// This rank's post-redistribution bucket size.
     bucket: usize,
-    /// Work performed, attributed to pipeline phases.
-    phase_work: Vec<(&'static str, Work)>,
+    /// Set when the run stopped at a phase boundary: the phase that never
+    /// started. All ranks agree on it (the verdict is broadcast).
+    cancelled: Option<Phase>,
+}
+
+impl NodeOutcome {
+    fn cancelled(phase: Phase) -> Self {
+        NodeOutcome { msa: None, bucket: 0, cancelled: Some(phase) }
+    }
+}
+
+/// The collective phase boundary: the root polls the cancel token and the
+/// deadline, and broadcasts the verdict so every rank stops (or proceeds)
+/// together. The broadcast is a 1-byte deterministic-cost collective, so
+/// virtual clocks stay reproducible.
+fn boundary(node: &Node, ctx: &PipelineCtx) -> bool {
+    let verdict = if node.rank() == 0 { Some(ctx.cancel_requested()) } else { None };
+    node.broadcast(0, verdict)
 }
 
 /// One rank's program.
-fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome {
+fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig, ctx: &PipelineCtx) -> NodeOutcome {
     let p = node.size();
     let rank = node.rank();
     let n = all_seqs.len();
@@ -112,31 +119,42 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome 
     let lo = (rank * chunk).min(n);
     let hi = ((rank + 1) * chunk).min(n);
     let mut local: Vec<Sequence> = all_seqs[lo..hi].to_vec();
-    let mut phase_work: Vec<(&'static str, Work)> = Vec::new();
 
     // Steps 1–2: local k-mer rank and local sort.
-    node.phase_start("1-local-kmer-rank");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::LocalKmerRank);
+    }
+    ctx.rank_enter(Phase::LocalKmerRank);
+    node.phase_start(Phase::LocalKmerRank.name());
     let mut w = Work::ZERO;
     let mut profs: Vec<KmerProfile> = local.iter().map(|s| profile_of(s, cfg)).collect();
     w.seq_bytes += local.iter().map(|s| s.len() as u64).sum::<u64>();
     let local_ranks: Vec<f64> =
         profs.iter().map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w)).collect();
     node.compute(w);
-    phase_work.push(("1-local-kmer-rank", w));
     node.phase_end();
+    ctx.rank_exit(Phase::LocalKmerRank, w);
 
-    node.phase_start("2-local-sort");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::LocalSort);
+    }
+    ctx.rank_enter(Phase::LocalSort);
+    node.phase_start(Phase::LocalSort.name());
     let mut order: Vec<usize> = (0..local.len()).collect();
     order.sort_by(|&a, &b| local_ranks[a].total_cmp(&local_ranks[b]));
     local = order.iter().map(|&i| local[i].clone()).collect();
     profs = order.iter().map(|&i| profs[i].clone()).collect();
     let w = psrs::sort_work(local.len());
     node.compute(w);
-    phase_work.push(("2-local-sort", w));
     node.phase_end();
+    ctx.rank_exit(Phase::LocalSort, w);
 
     // Steps 3–4: regular sampling and sample exchange.
-    node.phase_start("3-sample-exchange");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::SampleExchange);
+    }
+    ctx.rank_enter(Phase::SampleExchange);
+    node.phase_start(Phase::SampleExchange.name());
     let k = cfg.samples_for(p);
     let m = local.len();
     let kk = k.min(m);
@@ -145,9 +163,14 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome 
     let all_samples: Vec<Sequence> =
         node.all_gather(SeqBatch(samples)).into_iter().flat_map(|b| b.0).collect();
     node.phase_end();
+    ctx.rank_exit(Phase::SampleExchange, Work::ZERO);
 
     // Step 5: globalized rank against the pooled sample.
-    node.phase_start("5-globalized-rank");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::GlobalizedRank);
+    }
+    ctx.rank_enter(Phase::GlobalizedRank);
+    node.phase_start(Phase::GlobalizedRank.name());
     let mut w = Work::ZERO;
     let sample_profiles: Vec<KmerProfile> =
         all_samples.iter().map(|s| profile_of(s, cfg)).collect();
@@ -156,66 +179,90 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome 
         .map(|pr| kmer::kmer_rank(pr, &sample_profiles, cfg.rank_transform, &mut w))
         .collect();
     node.compute(w);
-    phase_work.push(("5-globalized-rank", w));
     node.phase_end();
+    ctx.rank_exit(Phase::GlobalizedRank, w);
 
     // Steps 6–7: PSRS redistribution on the globalized rank.
-    node.phase_start("6-redistribute");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::Redistribute);
+    }
+    ctx.rank_enter(Phase::Redistribute);
+    node.phase_start(Phase::Redistribute.name());
     let items: Vec<RankedSeq> =
         local.into_iter().zip(granks).map(|(seq, rank)| RankedSeq { seq, rank }).collect();
     let out = psrs::psrs(node, items, |r| r.rank);
-    phase_work.push(("6-redistribute", out.work));
     let bucket: Vec<Sequence> = out.items.into_iter().map(|r| r.seq).collect();
     let bucket_size = bucket.len();
     node.phase_end();
+    ctx.rank_exit(Phase::Redistribute, out.work);
 
     // Step 8: sequential MSA on the local bucket.
-    node.phase_start("8-local-align");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::LocalAlign);
+    }
+    ctx.rank_enter(Phase::LocalAlign);
+    node.phase_start(Phase::LocalAlign.name());
     let engine = cfg.engine.build_with_band(cfg.band_policy);
+    let mut align_w = Work::ZERO;
     let local_msa: Option<Msa> = if bucket.is_empty() {
         None
     } else {
+        let t0 = Instant::now();
         let (msa, work) = engine.align_with_work(&bucket);
         node.compute(work);
-        phase_work.push(("8-local-align", work));
+        align_w = work;
+        ctx.bucket_aligned(rank, msa.num_rows(), t0.elapsed().as_secs_f64());
         Some(msa)
     };
     node.phase_end();
+    ctx.rank_exit(Phase::LocalAlign, align_w);
 
     // Degenerate paths: single rank, or fine-tuning disabled.
     if p == 1 {
-        return NodeOutcome { msa: local_msa, bucket: bucket_size, phase_work };
+        return NodeOutcome { msa: local_msa, bucket: bucket_size, cancelled: None };
     }
     if !cfg.fine_tune {
-        node.phase_start("12-glue");
+        if boundary(node, ctx) {
+            return NodeOutcome::cancelled(Phase::Glue);
+        }
+        ctx.rank_enter(Phase::Glue);
+        node.phase_start(Phase::Glue.name());
         let gathered = node.gather(0, MsaBlockMsg(local_msa));
+        let mut glue_w = Work::ZERO;
         let result = gathered.map(|blocks| {
             let present: Vec<Msa> = blocks.into_iter().filter_map(|b| b.0).collect();
-            let mut w = Work::ZERO;
             let glued = if present.len() == 1 {
                 present.into_iter().next().expect("one block")
             } else {
-                glue_block_diagonal(&present, &mut w)
+                glue_block_diagonal(&present, &mut glue_w)
             };
-            node.compute(w);
-            phase_work.push(("12-glue", w));
+            node.compute(glue_w);
             glued
         });
         node.phase_end();
-        return NodeOutcome { msa: result, bucket: bucket_size, phase_work };
+        ctx.rank_exit(Phase::Glue, glue_w);
+        return NodeOutcome { msa: result, bucket: bucket_size, cancelled: None };
     }
 
     // Step 9: local ancestor extraction.
-    node.phase_start("9-local-ancestor");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::LocalAncestor);
+    }
+    ctx.rank_enter(Phase::LocalAncestor);
+    node.phase_start(Phase::LocalAncestor.name());
     let mut w = Work::ZERO;
     let local_anc: Option<Sequence> =
         local_msa.as_ref().map(|msa| consensus_sequence(msa, format!("local-anc-{rank}"), &mut w));
     node.compute(w);
-    phase_work.push(("9-local-ancestor", w));
     node.phase_end();
+    ctx.rank_exit(Phase::LocalAncestor, w);
 
     // Step 10: global ancestor at the root, broadcast to everyone.
-    node.phase_start("10-global-ancestor");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::GlobalAncestor);
+    }
+    ctx.rank_enter(Phase::GlobalAncestor);
+    node.phase_start(Phase::GlobalAncestor.name());
     let gathered = node.gather(0, MaybeSeq(local_anc));
     let mut ga_work = Work::ZERO;
     let ga_msg: MaybeSeq = node.broadcast(
@@ -239,33 +286,41 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig) -> NodeOutcome 
         }),
     );
     let ga = ga_msg.0.expect("global ancestor broadcast");
-    phase_work.push(("10-global-ancestor", ga_work));
     node.phase_end();
+    ctx.rank_exit(Phase::GlobalAncestor, ga_work);
 
     // Step 11: constrained fine-tuning against the global ancestor.
-    node.phase_start("11-fine-tune");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::FineTune);
+    }
+    ctx.rank_enter(Phase::FineTune);
+    node.phase_start(Phase::FineTune.name());
+    let mut tune_w = Work::ZERO;
     let block: Option<AnchoredBlockMsg> = local_msa.as_ref().map(|msa| {
-        let mut w = Work::ZERO;
-        let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut w);
-        node.compute(w);
-        phase_work.push(("11-fine-tune", w));
+        let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut tune_w);
+        node.compute(tune_w);
         b
     });
     node.phase_end();
+    ctx.rank_exit(Phase::FineTune, tune_w);
 
     // Step 12: glue at the root.
-    node.phase_start("12-glue");
+    if boundary(node, ctx) {
+        return NodeOutcome::cancelled(Phase::Glue);
+    }
+    ctx.rank_enter(Phase::Glue);
+    node.phase_start(Phase::Glue.name());
     let gathered = node.gather(0, block);
+    let mut glue_w = Work::ZERO;
     let result = gathered.map(|blocks| {
         let present: Vec<AnchoredBlockMsg> = blocks.into_iter().flatten().collect();
-        let mut w = Work::ZERO;
-        let glued = glue_anchored(ga.len(), &present, &mut w);
-        node.compute(w);
-        phase_work.push(("12-glue", w));
+        let glued = glue_anchored(ga.len(), &present, &mut glue_w);
+        node.compute(glue_w);
         glued
     });
     node.phase_end();
-    NodeOutcome { msa: result, bucket: bucket_size, phase_work }
+    ctx.rank_exit(Phase::Glue, glue_w);
+    NodeOutcome { msa: result, bucket: bucket_size, cancelled: None }
 }
 
 #[cfg(test)]
@@ -341,30 +396,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn shim_matches_aligner_and_rejects_degenerate_input() {
-        let seqs = family(12, 50, 5);
-        let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-        let cfg = SadConfig::default();
-        let via_shim = run_distributed(&cluster, &seqs, &cfg).unwrap();
-        let via_builder = run(4, &seqs, &cfg);
-        assert_eq!(via_shim.msa, via_builder.msa);
-        assert_eq!(via_shim.bucket_sizes, via_builder.bucket_sizes);
-        // Degenerate inputs are now uniformly rejected: empty input used
-        // to panic in the bucketing code, a single sequence used to yield
-        // a trivial one-row alignment; both are TooFewSequences today.
-        let one = family(1, 40, 5);
-        assert_eq!(
-            run_distributed(&cluster, &one, &cfg).unwrap_err(),
-            SadError::TooFewSequences { found: 1 }
-        );
-        assert_eq!(
-            run_distributed(&cluster, &[], &cfg).unwrap_err(),
-            SadError::TooFewSequences { found: 0 }
-        );
-    }
-
-    #[test]
     fn fine_tune_beats_block_diagonal() {
         let seqs = family(20, 60, 6);
         let cfg_on = SadConfig::default();
@@ -394,28 +425,36 @@ mod tests {
     fn phases_present_in_report() {
         let seqs = family(12, 40, 8);
         let report = run(2, &seqs, &SadConfig::default());
+        assert_eq!(
+            report.phase_sequence(),
+            vec![
+                Phase::LocalKmerRank,
+                Phase::LocalSort,
+                Phase::SampleExchange,
+                Phase::GlobalizedRank,
+                Phase::Redistribute,
+                Phase::LocalAlign,
+                Phase::LocalAncestor,
+                Phase::GlobalAncestor,
+                Phase::FineTune,
+                Phase::Glue,
+            ]
+        );
         let table = report.phase_table();
-        for phase in [
-            "1-local-kmer-rank",
-            "2-local-sort",
-            "3-sample-exchange",
-            "5-globalized-rank",
-            "6-redistribute",
-            "8-local-align",
-            "9-local-ancestor",
-            "10-global-ancestor",
-            "11-fine-tune",
-            "12-glue",
-        ] {
-            assert!(table.contains(phase), "missing phase {phase}:\n{table}");
+        for phase in Phase::ALL {
+            assert!(table.contains(phase.name()), "missing phase {phase}:\n{table}");
         }
         // Compute-bearing phases carry their work in the unified report.
-        let of = |name: &str| {
-            report.phases.iter().find(|p| p.name == name).map(|p| p.work).unwrap_or(Work::ZERO)
-        };
-        assert!(of("1-local-kmer-rank").kmer_ops > 0);
-        assert!(of("8-local-align").dp_cells > 0);
+        let of = |phase: Phase| report.phase(phase).map(|p| p.work).unwrap_or(Work::ZERO);
+        assert!(of(Phase::LocalKmerRank).kmer_ops > 0);
+        assert!(of(Phase::LocalAlign).dp_cells > 0);
         assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum::<Work>());
+        // Every phase carries real wall time AND the virtual max across
+        // ranks (the distributed backend models both clocks).
+        for p in &report.phases {
+            assert!(p.seconds.is_some(), "{} lost its wall clock", p.name());
+            assert!(p.virtual_seconds.is_some(), "{} lost its virtual clock", p.name());
+        }
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub enum SadError {
     /// `SadConfig::band_policy` is `BandPolicy::Fixed(0)` — a zero-width
     /// band admits no alignment path.
     ZeroBandWidth,
+    /// The run was stopped at a phase boundary — the
+    /// [`crate::CancelToken`] supplied via [`crate::Aligner::cancel_token`]
+    /// was cancelled, or the [`crate::Aligner::deadline`] budget ran out.
+    Cancelled {
+        /// The phase that was about to start when cancellation was
+        /// observed.
+        phase: crate::pipeline::Phase,
+    },
 }
 
 impl std::fmt::Display for SadError {
@@ -74,6 +82,9 @@ impl std::fmt::Display for SadError {
             SadError::ZeroBandWidth => {
                 write!(f, "band_policy: a fixed band must be at least 1 column wide")
             }
+            SadError::Cancelled { phase } => {
+                write!(f, "run cancelled before phase {phase}")
+            }
         }
     }
 }
@@ -93,6 +104,10 @@ mod tests {
             (SadError::KmerExceedsShortest { k: 6, shortest: 4 }, "shortest"),
             (SadError::ClusterSizeMismatch { actual: 4, requested: 8 }, "4 ranks"),
             (SadError::ZeroParallelism, "thread"),
+            (
+                SadError::Cancelled { phase: crate::pipeline::Phase::LocalAlign },
+                "cancelled before phase 8-local-align",
+            ),
         ];
         for (err, needle) in cases {
             assert!(format!("{err}").contains(needle), "{err:?}");

@@ -28,9 +28,15 @@
 //!   baseline).
 //!
 //! Every backend returns the same [`RunReport`]; failures are typed
-//! [`SadError`]s instead of panics. The pre-0.2 entry points
-//! (`run_distributed`, `run_rayon`, `run_sequential`) remain as
-//! deprecated shims.
+//! [`SadError`]s instead of panics. All three backends record their run
+//! through the one [`pipeline`] layer: typed [`Phase`] ids with real
+//! wall-clock seconds per phase, live [`Event`]s to a registered
+//! [`Observer`], and cooperative cancellation via [`CancelToken`] or a
+//! deadline ([`SadError::Cancelled`] names the phase the run stopped at).
+//!
+//! The pre-0.2 entry points (`run_distributed`, `run_rayon`,
+//! `run_sequential`) — deprecated shims since 0.2 — are gone; see the
+//! README migration table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +48,7 @@ pub mod config;
 pub mod distributed;
 pub mod error;
 pub mod messages;
+pub mod pipeline;
 pub mod rank;
 pub mod rayon_impl;
 pub mod report;
@@ -51,12 +58,6 @@ pub use align::BandPolicy;
 pub use aligner::{Aligner, Backend};
 pub use config::SadConfig;
 pub use error::SadError;
+pub use pipeline::{CancelToken, Event, Observer, Phase};
 pub use rank::{rank_experiment, RankExperiment};
 pub use report::{BackendExtras, PhaseStat, RunReport};
-
-#[allow(deprecated)]
-pub use distributed::run_distributed;
-#[allow(deprecated)]
-pub use rayon_impl::run_rayon;
-#[allow(deprecated)]
-pub use sequential::run_sequential;

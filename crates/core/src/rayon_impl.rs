@@ -3,54 +3,39 @@
 //! Same pipeline as [`crate::distributed`], but buckets are aligned by a
 //! rayon thread pool instead of cluster ranks — the backend a downstream
 //! user on one big multicore machine would pick. Results are deterministic
-//! (bucketing is identical; only scheduling differs).
+//! (bucketing is identical; only scheduling differs). Phases are recorded
+//! through the shared [`PipelineCtx`], so the typed phase sequence matches
+//! the message-passing backend event for event.
 
 use crate::ancestor::{anchor_to_ancestor, glue_anchored, glue_block_diagonal};
 use crate::config::SadConfig;
 use crate::error::SadError;
+use crate::pipeline::{Phase, PipelineCtx};
 use crate::report::{BackendExtras, PhaseStat, RunReport};
 use align::consensus::consensus_sequence;
 use bioseq::kmer::{self, KmerProfile};
 use bioseq::{Msa, Sequence, Work};
 use rayon::prelude::*;
+use std::time::Instant;
 
 fn profile_of(seq: &Sequence, cfg: &SadConfig) -> KmerProfile {
     KmerProfile::build(seq, cfg.kmer_k, cfg.alphabet)
         .unwrap_or_else(|| KmerProfile::build(seq, 1, cfg.alphabet).expect("k=1 always works"))
 }
 
-/// Close a pipeline phase: account its work and record the stat.
-fn phase(work: &mut Work, phases: &mut Vec<PhaseStat>, name: &str, w: Work) {
-    *work += w;
-    phases.push(PhaseStat { name: name.into(), work: w, seconds: None });
-}
-
-/// Run the pipeline with `p` logical buckets on the rayon pool.
-///
-/// Deprecated shim over the [`crate::Aligner`] builder. The name and
-/// argument order match the 0.1 entry point, but the return type changed:
-/// `RayonOutcome` is gone, and degenerate input yields a typed
-/// [`SadError`] instead of the old behaviour (panic on empty input,
-/// trivial one-row alignment for a single sequence). See the README
-/// migration table.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Aligner::new(cfg).backend(Backend::Rayon { threads: p }).run(seqs)`"
-)]
-pub fn run_rayon(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> Result<RunReport, SadError> {
-    crate::Aligner::new(cfg.clone()).backend(crate::Backend::Rayon { threads: p }).run(seqs)
-}
-
-/// The shared-memory pipeline. Input validation happens in
-/// [`crate::Aligner::run`].
-pub(crate) fn rayon_pipeline(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> RunReport {
+/// The shared-memory pipeline with `p` logical buckets on the rayon pool.
+/// Input validation happens in [`crate::Aligner::run`].
+pub(crate) fn rayon_pipeline(
+    seqs: &[Sequence],
+    p: usize,
+    cfg: &SadConfig,
+    ctx: &PipelineCtx,
+) -> Result<RunReport, SadError> {
     debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
     debug_assert!(p >= 1, "Aligner::run rejects zero threads");
-    let mut work = Work::ZERO;
-    let mut phases: Vec<PhaseStat> = Vec::new();
     let n = seqs.len();
     let finish =
-        |msa: Msa, work: Work, phases: Vec<PhaseStat>, bucket_sizes: Vec<usize>| RunReport {
+        |msa: Msa, phases: Vec<PhaseStat>, work: Work, bucket_sizes: Vec<usize>| RunReport {
             msa,
             work,
             phases,
@@ -60,150 +45,195 @@ pub(crate) fn rayon_pipeline(seqs: &[Sequence], p: usize, cfg: &SadConfig) -> Ru
             extras: BackendExtras::Rayon { threads: p },
         };
 
-    // Emulate the per-rank sampling: split into p blocks, rank locally,
-    // sort each block by its local rank (the distributed step 2) and pick
-    // regular samples. The locally sorted order also decides how rank ties
-    // break during redistribution, so it must match the cluster backend.
+    // Step 1: emulate the per-rank ranking: split into p blocks and rank
+    // each block locally, in parallel.
     let chunk = n.div_ceil(p);
     let k = cfg.samples_for(p);
-    let block_results: Vec<(Vec<usize>, Vec<usize>, Work, Work)> = (0..p)
-        .into_par_iter()
-        .map(|b| {
-            let lo = (b * chunk).min(n);
-            let hi = ((b + 1) * chunk).min(n);
-            let mut w = Work::ZERO;
-            if lo >= hi {
-                return (Vec::new(), Vec::new(), w, Work::ZERO);
-            }
-            let idx: Vec<usize> = (lo..hi).collect();
-            let profs: Vec<KmerProfile> = idx.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
-            w.seq_bytes += idx.iter().map(|&i| seqs[i].len() as u64).sum::<u64>();
-            let ranks: Vec<f64> = profs
-                .iter()
-                .map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w))
-                .collect();
-            let mut order: Vec<usize> = (0..idx.len()).collect();
-            order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]));
-            let sorted_idx: Vec<usize> = order.iter().map(|&o| idx[o]).collect();
-            let m = idx.len();
+    let block_ranks = ctx.phase(Phase::LocalKmerRank, || {
+        let blocks: Vec<(Vec<usize>, Vec<f64>, Work)> = (0..p)
+            .into_par_iter()
+            .map(|b| {
+                let lo = (b * chunk).min(n);
+                let hi = ((b + 1) * chunk).min(n);
+                let mut w = Work::ZERO;
+                if lo >= hi {
+                    return (Vec::new(), Vec::new(), w);
+                }
+                let idx: Vec<usize> = (lo..hi).collect();
+                let profs: Vec<KmerProfile> =
+                    idx.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
+                w.seq_bytes += idx.iter().map(|&i| seqs[i].len() as u64).sum::<u64>();
+                let ranks: Vec<f64> = profs
+                    .iter()
+                    .map(|pr| kmer::kmer_rank(pr, &profs, cfg.rank_transform, &mut w))
+                    .collect();
+                (idx, ranks, w)
+            })
+            .collect();
+        let rank_w = blocks.iter().map(|(_, _, w)| *w).sum();
+        (blocks, rank_w)
+    })?;
+
+    // Step 2: sort each block by its local rank (the distributed step 2).
+    // The locally sorted order also decides how rank ties break during
+    // redistribution, so it must match the cluster backend.
+    let sorted_blocks = ctx.phase(Phase::LocalSort, || {
+        let mut sort_w = Work::ZERO;
+        let sorted: Vec<Vec<usize>> = block_ranks
+            .iter()
+            .map(|(idx, ranks, _)| {
+                let mut order: Vec<usize> = (0..idx.len()).collect();
+                order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]));
+                // Same n log n sort accounting as the distributed step 2.
+                sort_w += psrs::sort_work(idx.len());
+                order.into_iter().map(|o| idx[o]).collect()
+            })
+            .collect();
+        (sorted, sort_w)
+    })?;
+
+    // Steps 3–4: pick regular samples per block and pool them (shared
+    // memory: just indices). The global order of entry into redistribution
+    // is blocks in rank order, each block in its locally sorted order —
+    // exactly the distributed protocol.
+    let (entry_order, sample_profiles) = ctx.phase(Phase::SampleExchange, || {
+        let mut entry_order: Vec<usize> = Vec::with_capacity(n);
+        let mut sample_indices: Vec<usize> = Vec::new();
+        for sorted_idx in &sorted_blocks {
+            let m = sorted_idx.len();
             let kk = k.min(m);
-            let samples: Vec<usize> =
-                (0..kk).map(|s| sorted_idx[(((s + 1) * m) / (kk + 1)).min(m - 1)]).collect();
-            // Same n log n sort accounting as the distributed step 2.
-            (sorted_idx, samples, w, psrs::sort_work(m))
-        })
-        .collect();
-    let mut sample_indices: Vec<usize> = Vec::new();
-    // Global order of entry into redistribution: blocks in rank order, each
-    // block in its locally sorted order — exactly the distributed protocol.
-    let mut entry_order: Vec<usize> = Vec::with_capacity(n);
-    let mut rank_w = Work::ZERO;
-    let mut sort_w = Work::ZERO;
-    for (sorted_idx, s, w, sw) in block_results {
-        entry_order.extend(sorted_idx);
-        sample_indices.extend(s);
-        rank_w += w;
-        sort_w += sw;
-    }
-    phase(&mut work, &mut phases, "1-local-kmer-rank", rank_w);
-    phase(&mut work, &mut phases, "2-local-sort", sort_w);
-    let sample_profiles: Vec<KmerProfile> =
-        sample_indices.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
+            sample_indices
+                .extend((0..kk).map(|s| sorted_idx[(((s + 1) * m) / (kk + 1)).min(m - 1)]));
+            entry_order.extend(sorted_idx.iter().copied());
+        }
+        let profs: Vec<KmerProfile> =
+            sample_indices.iter().map(|&i| profile_of(&seqs[i], cfg)).collect();
+        ((entry_order, profs), Work::ZERO)
+    })?;
 
-    // Globalized ranks, in parallel over the entry order.
-    let ranked: Vec<(usize, f64, Work)> = entry_order
-        .into_par_iter()
-        .map(|i| {
-            let mut w = Work::ZERO;
-            let pr = profile_of(&seqs[i], cfg);
-            let r = kmer::kmer_rank(&pr, &sample_profiles, cfg.rank_transform, &mut w);
-            (i, r, w)
-        })
-        .collect();
-    let mut keyed: Vec<(usize, f64)> = Vec::with_capacity(n);
-    let mut grank_w = Work::ZERO;
-    for (i, r, w) in ranked {
-        keyed.push((i, r));
-        grank_w += w;
-    }
-    phase(&mut work, &mut phases, "5-globalized-rank", grank_w);
+    // Step 5: globalized ranks, in parallel over the entry order.
+    let keyed = ctx.phase(Phase::GlobalizedRank, || {
+        let ranked: Vec<(usize, f64, Work)> = entry_order
+            .into_par_iter()
+            .map(|i| {
+                let mut w = Work::ZERO;
+                let pr = profile_of(&seqs[i], cfg);
+                let r = kmer::kmer_rank(&pr, &sample_profiles, cfg.rank_transform, &mut w);
+                (i, r, w)
+            })
+            .collect();
+        let mut keyed: Vec<(usize, f64)> = Vec::with_capacity(n);
+        let mut grank_w = Work::ZERO;
+        for (i, r, w) in ranked {
+            keyed.push((i, r));
+            grank_w += w;
+        }
+        (keyed, grank_w)
+    })?;
 
-    // Sample-partition into p buckets by rank.
-    let (buckets_idx, psrs_w) = psrs::shared::sample_partition_by_with_work(keyed, p, |&(_, r)| r);
-    phase(&mut work, &mut phases, "6-redistribute", psrs_w);
+    // Steps 6–7: sample-partition into p buckets by rank.
+    let buckets_idx = ctx.phase(Phase::Redistribute, || {
+        psrs::shared::sample_partition_by_with_work(keyed, p, |&(_, r)| r)
+    })?;
     let bucket_sizes: Vec<usize> = buckets_idx.iter().map(Vec::len).collect();
     let buckets: Vec<Vec<Sequence>> =
         buckets_idx.iter().map(|b| b.iter().map(|&(i, _)| seqs[i].clone()).collect()).collect();
 
-    // Align buckets in parallel.
-    let aligned: Vec<Option<(Msa, Work)>> = buckets
-        .into_par_iter()
-        .map(|bucket| {
-            if bucket.is_empty() {
-                None
-            } else {
-                Some(cfg.engine.build_with_band(cfg.band_policy).align_with_work(&bucket))
-            }
-        })
-        .collect();
-    let mut local_msas: Vec<Msa> = Vec::new();
-    let mut align_w = Work::ZERO;
-    for entry in aligned.into_iter().flatten() {
-        local_msas.push(entry.0);
-        align_w += entry.1;
-    }
-    phase(&mut work, &mut phases, "8-local-align", align_w);
+    // Step 8: align buckets in parallel.
+    let local_msas = ctx.phase(Phase::LocalAlign, || {
+        let indexed: Vec<(usize, Vec<Sequence>)> = buckets.into_iter().enumerate().collect();
+        let aligned: Vec<Option<(Msa, Work)>> = indexed
+            .into_par_iter()
+            .map(|(b, bucket)| {
+                if bucket.is_empty() {
+                    None
+                } else {
+                    let t0 = Instant::now();
+                    let out = cfg.engine.build_with_band(cfg.band_policy).align_with_work(&bucket);
+                    ctx.bucket_aligned(b, out.0.num_rows(), t0.elapsed().as_secs_f64());
+                    Some(out)
+                }
+            })
+            .collect();
+        let mut local_msas: Vec<Msa> = Vec::new();
+        let mut align_w = Work::ZERO;
+        for entry in aligned.into_iter().flatten() {
+            local_msas.push(entry.0);
+            align_w += entry.1;
+        }
+        (local_msas, align_w)
+    })?;
     assert!(!local_msas.is_empty());
 
     if p == 1 || local_msas.len() == 1 {
         let msa = local_msas.into_iter().next().expect("one bucket");
-        return finish(msa, work, phases, bucket_sizes);
+        let (phases, work) = ctx.drain();
+        return Ok(finish(msa, phases, work, bucket_sizes));
     }
     if !cfg.fine_tune {
+        let msa = ctx.phase(Phase::Glue, || {
+            let mut glue_w = Work::ZERO;
+            let msa = glue_block_diagonal(&local_msas, &mut glue_w);
+            (msa, glue_w)
+        })?;
+        let (phases, work) = ctx.drain();
+        return Ok(finish(msa, phases, work, bucket_sizes));
+    }
+
+    // Step 9: ancestors per bucket.
+    let ancestors = ctx.phase(Phase::LocalAncestor, || {
+        let mut anc_w = Work::ZERO;
+        let ancestors: Vec<Sequence> = local_msas
+            .iter()
+            .enumerate()
+            .map(|(i, msa)| consensus_sequence(msa, format!("local-anc-{i}"), &mut anc_w))
+            .collect();
+        (ancestors, anc_w)
+    })?;
+
+    // Step 10: the global ancestor.
+    let ga = ctx.phase(Phase::GlobalAncestor, || {
+        let mut ga_w = Work::ZERO;
+        let ga = if ancestors.len() == 1 {
+            ancestors.into_iter().next().expect("one ancestor")
+        } else {
+            let (anc_msa, w) =
+                cfg.engine.build_with_band(cfg.band_policy).align_with_work(&ancestors);
+            ga_w += w;
+            consensus_sequence(&anc_msa, "global-ancestor", &mut ga_w)
+        };
+        (ga, ga_w)
+    })?;
+
+    // Step 11: fine-tune each bucket against the global ancestor, in
+    // parallel.
+    let anchored = ctx.phase(Phase::FineTune, || {
+        let blocks: Vec<(crate::messages::AnchoredBlockMsg, Work)> = local_msas
+            .par_iter()
+            .map(|msa| {
+                let mut w = Work::ZERO;
+                let b =
+                    anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut w);
+                (b, w)
+            })
+            .collect();
+        let mut anchored = Vec::with_capacity(blocks.len());
+        let mut tune_w = Work::ZERO;
+        for (b, w) in blocks {
+            anchored.push(b);
+            tune_w += w;
+        }
+        (anchored, tune_w)
+    })?;
+
+    // Step 12: glue.
+    let msa = ctx.phase(Phase::Glue, || {
         let mut glue_w = Work::ZERO;
-        let msa = glue_block_diagonal(&local_msas, &mut glue_w);
-        phase(&mut work, &mut phases, "12-glue", glue_w);
-        return finish(msa, work, phases, bucket_sizes);
-    }
-
-    // Ancestors → global ancestor.
-    let mut anc_w = Work::ZERO;
-    let ancestors: Vec<Sequence> = local_msas
-        .iter()
-        .enumerate()
-        .map(|(i, msa)| consensus_sequence(msa, format!("local-anc-{i}"), &mut anc_w))
-        .collect();
-    phase(&mut work, &mut phases, "9-local-ancestor", anc_w);
-    let mut ga_w = Work::ZERO;
-    let ga = if ancestors.len() == 1 {
-        ancestors.into_iter().next().expect("one ancestor")
-    } else {
-        let (anc_msa, w) = cfg.engine.build_with_band(cfg.band_policy).align_with_work(&ancestors);
-        ga_w += w;
-        consensus_sequence(&anc_msa, "global-ancestor", &mut ga_w)
-    };
-    phase(&mut work, &mut phases, "10-global-ancestor", ga_w);
-
-    // Fine-tune each bucket against the global ancestor, in parallel.
-    let blocks: Vec<(crate::messages::AnchoredBlockMsg, Work)> = local_msas
-        .par_iter()
-        .map(|msa| {
-            let mut w = Work::ZERO;
-            let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut w);
-            (b, w)
-        })
-        .collect();
-    let mut anchored = Vec::with_capacity(blocks.len());
-    let mut tune_w = Work::ZERO;
-    for (b, w) in blocks {
-        anchored.push(b);
-        tune_w += w;
-    }
-    phase(&mut work, &mut phases, "11-fine-tune", tune_w);
-    let mut glue_w = Work::ZERO;
-    let msa = glue_anchored(ga.len(), &anchored, &mut glue_w);
-    phase(&mut work, &mut phases, "12-glue", glue_w);
-    finish(msa, work, phases, bucket_sizes)
+        let msa = glue_anchored(ga.len(), &anchored, &mut glue_w);
+        (msa, glue_w)
+    })?;
+    let (phases, work) = ctx.drain();
+    Ok(finish(msa, phases, work, bucket_sizes))
 }
 
 #[cfg(test)]
@@ -255,7 +285,10 @@ mod tests {
         let b = run(&seqs, 4, &SadConfig::default());
         assert_eq!(a.msa, b.msa);
         assert_eq!(a.work, b.work);
-        assert_eq!(a.phases, b.phases);
+        assert_eq!(a.phase_sequence(), b.phase_sequence());
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            assert_eq!(pa.work, pb.work, "{}", pa.name());
+        }
     }
 
     #[test]
@@ -278,6 +311,8 @@ mod tests {
         assert_eq!(ray.bucket_sizes, dist.bucket_sizes);
         // And the same final alignment (pipelines are step-identical).
         assert_eq!(ray.msa, dist.msa);
+        // Step-identical down to the typed phase sequence.
+        assert_eq!(ray.phase_sequence(), dist.phase_sequence());
     }
 
     #[test]
@@ -286,6 +321,8 @@ mod tests {
         let cfg = SadConfig::default().with_fine_tune(false);
         let report = run(&seqs, 4, &cfg);
         check_complete(&report.msa, &seqs);
+        assert!(report.phase_sequence().ends_with(&[Phase::LocalAlign, Phase::Glue]));
+        assert!(!report.phase_sequence().contains(&Phase::FineTune));
     }
 
     #[test]
@@ -293,26 +330,14 @@ mod tests {
         let seqs = family(20, 6);
         let report = run(&seqs, 4, &SadConfig::default());
         assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum::<Work>());
-        let of = |name: &str| {
-            report.phases.iter().find(|p| p.name == name).map(|p| p.work).unwrap_or(Work::ZERO)
-        };
-        assert!(of("1-local-kmer-rank").kmer_ops > 0);
-        assert!(of("2-local-sort").sort_ops > 0);
-        assert!(of("6-redistribute").sort_ops > 0);
-        assert!(of("8-local-align").dp_cells > 0);
-        // Shared-memory runs carry no virtual clock.
-        assert!(report.phases.iter().all(|p| p.seconds.is_none()));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn shim_matches_aligner_and_rejects_degenerate_input() {
-        let seqs = family(12, 7);
-        let cfg = SadConfig::default();
-        let via_shim = run_rayon(&seqs, 4, &cfg).unwrap();
-        assert_eq!(via_shim.msa, run(&seqs, 4, &cfg).msa);
-        let one = family(1, 6);
-        assert_eq!(run_rayon(&one, 4, &cfg).unwrap_err(), SadError::TooFewSequences { found: 1 });
+        let of = |phase: Phase| report.phase(phase).map(|p| p.work).unwrap_or(Work::ZERO);
+        assert!(of(Phase::LocalKmerRank).kmer_ops > 0);
+        assert!(of(Phase::LocalSort).sort_ops > 0);
+        assert!(of(Phase::Redistribute).sort_ops > 0);
+        assert!(of(Phase::LocalAlign).dp_cells > 0);
+        // Shared-memory runs carry real wall time but no virtual clock.
+        assert!(report.phases.iter().all(|p| p.seconds.is_some()));
+        assert!(report.phases.iter().all(|p| p.virtual_seconds.is_none()));
     }
 
     #[test]

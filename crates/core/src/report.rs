@@ -1,26 +1,43 @@
 //! The unified run report shared by all three backends.
 //!
-//! `run_distributed`, `run_rayon` and `run_sequential` used to return
-//! three unrelated shapes (`SadRun`, `RayonOutcome`, `(Msa, Work)`),
-//! forcing every caller to special-case the backend. [`RunReport`] carries
-//! what *every* backend can produce — the alignment, total and per-phase
-//! work, the bucket/sample audit — and keeps backend-specific extras
-//! (virtual makespan, per-rank traces) behind [`BackendExtras`].
+//! Every backend records its run through the same
+//! [`crate::pipeline::PipelineCtx`], so [`RunReport`] carries what *every*
+//! backend can produce — the alignment, total and per-phase work, real
+//! wall-clock seconds per phase, the bucket/sample audit — and keeps
+//! backend-specific extras (virtual makespan, per-rank traces) behind
+//! [`BackendExtras`].
 
+use crate::pipeline::Phase;
 use bioseq::{Msa, Work};
 use vcluster::RankTrace;
 
 /// One pipeline phase's contribution to a run.
+///
+/// Marked `#[non_exhaustive]`: produced by the pipeline recorder, read
+/// freely; future fields are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct PhaseStat {
-    /// Phase label, numbered after the paper's Section 2 steps
-    /// (e.g. `"8-local-align"`).
-    pub name: String,
+    /// Which pipeline phase (typed; [`Phase::name`] gives the stable
+    /// label, e.g. `"8-local-align"`).
+    pub phase: Phase,
     /// Work performed in the phase, summed over ranks/threads.
     pub work: Work,
-    /// Maximum virtual seconds across ranks — only the distributed
-    /// backend models time, so this is `None` elsewhere.
+    /// Real wall-clock seconds the phase took (first rank in → last rank
+    /// out on the decomposed backends). Populated for every phase of a
+    /// completed run.
     pub seconds: Option<f64>,
+    /// Maximum *virtual* seconds across ranks under the cluster's cost
+    /// model — only the distributed backend models virtual time, so this
+    /// is `None` elsewhere.
+    pub virtual_seconds: Option<f64>,
+}
+
+impl PhaseStat {
+    /// The phase's stable label (shorthand for `self.phase.name()`).
+    pub fn name(&self) -> &'static str {
+        self.phase.name()
+    }
 }
 
 /// What only one backend can report.
@@ -93,6 +110,16 @@ impl RunReport {
         }
     }
 
+    /// The recorded stat for one phase, if the run executed it.
+    pub fn phase(&self, phase: Phase) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.phase == phase)
+    }
+
+    /// The typed phase sequence of the run, in execution order.
+    pub fn phase_sequence(&self) -> Vec<Phase> {
+        self.phases.iter().map(|p| p.phase).collect()
+    }
+
     /// Load imbalance: largest bucket relative to the perfect share.
     pub fn load_imbalance(&self) -> f64 {
         let n: usize = self.bucket_sizes.iter().sum();
@@ -105,9 +132,9 @@ impl RunReport {
 
     /// The unified per-phase table every backend can print: phase name,
     /// work units, DP cells as `filled/full-equivalent` (what the banded
-    /// kernel actually touched vs what an unbanded fill would have), and
-    /// (when the backend models time) the maximum virtual seconds across
-    /// ranks.
+    /// kernel actually touched vs what an unbanded fill would have), real
+    /// wall-clock seconds, and (when the backend models time) the maximum
+    /// virtual seconds across ranks.
     pub fn phase_table(&self) -> String {
         use std::fmt::Write;
         let dp_pair = |w: &Work| {
@@ -117,21 +144,23 @@ impl RunReport {
                 format!("{}/{}", w.dp_cells, w.dp_cells_full)
             }
         };
+        let secs =
+            |s: Option<f64>| s.map_or_else(|| format!("{:>12}", "-"), |s| format!("{s:>12.4}"));
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<28} {:>14} {:>21} {:>12}",
-            "phase", "work units", "dp cells (band/full)", "max (s)"
+            "{:<28} {:>14} {:>21} {:>12} {:>12}",
+            "phase", "work units", "dp cells (band/full)", "wall (s)", "virt max (s)"
         );
         for p in &self.phases {
-            let secs = p.seconds.map_or_else(|| format!("{:>12}", "-"), |s| format!("{s:>12.4}"));
             let _ = writeln!(
                 out,
-                "{:<28} {:>14} {:>21} {}",
-                p.name,
+                "{:<28} {:>14} {:>21} {} {}",
+                p.name(),
                 p.work.total_units(),
                 dp_pair(&p.work),
-                secs
+                secs(p.seconds),
+                secs(p.virtual_seconds)
             );
         }
         let _ = writeln!(
@@ -155,8 +184,18 @@ mod tests {
             msa,
             work: Work::dp(10) + Work::kmer(5),
             phases: vec![
-                PhaseStat { name: "1-local-kmer-rank".into(), work: Work::kmer(5), seconds: None },
-                PhaseStat { name: "8-local-align".into(), work: Work::dp(10), seconds: Some(0.25) },
+                PhaseStat {
+                    phase: Phase::LocalKmerRank,
+                    work: Work::kmer(5),
+                    seconds: Some(0.125),
+                    virtual_seconds: None,
+                },
+                PhaseStat {
+                    phase: Phase::LocalAlign,
+                    work: Work::dp(10),
+                    seconds: Some(0.25),
+                    virtual_seconds: Some(1.5),
+                },
             ],
             bucket_sizes: vec![2, 0],
             ranks: 2,
@@ -172,9 +211,11 @@ mod tests {
         assert!(table.contains("8-local-align"));
         assert!(table.contains("total"));
         assert!(table.contains("0.2500"));
-        assert!(table.contains('-'), "work-only phases render a dash");
+        assert!(table.contains("1.5000"), "virtual column renders:\n{table}");
+        assert!(table.contains('-'), "phases without a virtual clock render a dash");
         // The DP column prints filled/full-equivalent cells.
         assert!(table.contains("dp cells (band/full)"));
+        assert!(table.contains("wall (s)"));
         assert!(table.contains("10/10"), "Work::dp sets both counters:\n{table}");
     }
 
@@ -193,6 +234,15 @@ mod tests {
         assert_eq!(r.backend_name(), "rayon");
         assert_eq!(r.makespan(), None);
         assert!(r.traces().is_none());
+    }
+
+    #[test]
+    fn typed_phase_lookup() {
+        let r = report();
+        assert_eq!(r.phase_sequence(), vec![Phase::LocalKmerRank, Phase::LocalAlign]);
+        assert_eq!(r.phase(Phase::LocalAlign).unwrap().seconds, Some(0.25));
+        assert_eq!(r.phase(Phase::Glue), None);
+        assert_eq!(r.phases[0].name(), "1-local-kmer-rank");
     }
 
     #[test]

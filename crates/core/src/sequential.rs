@@ -3,45 +3,50 @@
 
 use crate::config::SadConfig;
 use crate::error::SadError;
-use crate::report::{BackendExtras, PhaseStat, RunReport};
+use crate::pipeline::{Phase, PipelineCtx};
+use crate::report::{BackendExtras, RunReport};
 use bioseq::{Msa, Sequence};
+use std::time::Instant;
 
-/// Align everything with the configured sequential engine.
-///
-/// Deprecated shim over the [`crate::Aligner`] builder. The name and
-/// argument order match the 0.1 entry point, but the return type changed
-/// from `(Msa, Work)` to `Result<RunReport, SadError>`: the alignment and
-/// work now live in [`RunReport::msa`] and [`RunReport::work`]. See the
-/// README migration table.
-#[deprecated(since = "0.2.0", note = "use `Aligner::new(cfg).run(seqs)`")]
-pub fn run_sequential(seqs: &[Sequence], cfg: &SadConfig) -> Result<RunReport, SadError> {
-    crate::Aligner::new(cfg.clone()).run(seqs)
-}
-
-/// The whole-set engine run. Input validation happens in
-/// [`crate::Aligner::run`].
-pub(crate) fn sequential_pipeline(seqs: &[Sequence], cfg: &SadConfig) -> RunReport {
+/// The whole-set engine run: a one-phase pipeline through the shared
+/// recorder. Input validation happens in [`crate::Aligner::run`].
+pub(crate) fn sequential_pipeline(
+    seqs: &[Sequence],
+    cfg: &SadConfig,
+    ctx: &PipelineCtx,
+) -> Result<RunReport, SadError> {
     debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
-    let (msa, work) = cfg.engine.build_with_band(cfg.band_policy).align_with_work(seqs);
-    RunReport {
+    let msa = ctx.phase(Phase::LocalAlign, || {
+        let t0 = Instant::now();
+        let (msa, work) = cfg.engine.build_with_band(cfg.band_policy).align_with_work(seqs);
+        ctx.bucket_aligned(0, msa.num_rows(), t0.elapsed().as_secs_f64());
+        (msa, work)
+    })?;
+    let (phases, work) = ctx.drain();
+    Ok(RunReport {
         msa,
         work,
-        phases: vec![PhaseStat { name: "8-local-align".into(), work, seconds: None }],
+        phases,
         bucket_sizes: vec![seqs.len()],
         ranks: 1,
         samples_per_rank: cfg.samples_for(1),
         extras: BackendExtras::Sequential,
-    }
+    })
 }
 
 /// Virtual seconds the sequential baseline would take on the given cost
 /// model (the denominator of every speedup in the paper).
+///
+/// Accepts anything the engine accepts (including a single sequence) —
+/// this is the raw baseline, not the validated [`crate::Aligner`] surface.
 pub fn sequential_seconds(
     seqs: &[Sequence],
     cfg: &SadConfig,
     cost: &vcluster::CostModel,
 ) -> (Msa, f64) {
-    let report = sequential_pipeline(seqs, cfg);
+    let ctx = PipelineCtx::new("sequential", 1, None, None, None);
+    let report = sequential_pipeline(seqs, cfg, &ctx)
+        .expect("no cancellation source attached to the baseline run");
     let secs = cost.work_seconds(&report.work);
     (report.msa, secs)
 }
@@ -49,7 +54,7 @@ pub fn sequential_seconds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Aligner, SadError};
+    use crate::{Aligner, Phase};
     use rosegen::{Family, FamilyConfig};
 
     fn family(n: usize, len: usize, seed: u64) -> Vec<Sequence> {
@@ -78,13 +83,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn shim_matches_aligner_and_rejects_degenerate_input() {
+    fn baseline_accepts_a_single_sequence() {
+        // The raw baseline bypasses Aligner's 2-sequence floor: a single
+        // sequence yields its trivial one-row alignment, as it always has.
+        let seqs = family(1, 40, 4);
+        let (msa, secs) =
+            sequential_seconds(&seqs, &SadConfig::default(), &vcluster::CostModel::beowulf_2008());
+        assert_eq!(msa.num_rows(), 1);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn one_typed_phase_with_wall_time() {
         let seqs = family(6, 40, 3);
-        let cfg = SadConfig::default();
-        let via_shim = run_sequential(&seqs, &cfg).unwrap();
-        let via_builder = Aligner::new(cfg.clone()).run(&seqs).unwrap();
-        assert_eq!(via_shim.msa, via_builder.msa);
-        assert_eq!(run_sequential(&[], &cfg).unwrap_err(), SadError::TooFewSequences { found: 0 });
+        let report = Aligner::new(SadConfig::default()).run(&seqs).unwrap();
+        assert_eq!(report.phase_sequence(), vec![Phase::LocalAlign]);
+        let stat = report.phase(Phase::LocalAlign).unwrap();
+        assert!(stat.seconds.is_some(), "sequential phases carry wall-clock time");
+        assert_eq!(stat.virtual_seconds, None, "no virtual clock off-cluster");
     }
 }

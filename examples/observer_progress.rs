@@ -1,0 +1,95 @@
+//! Observing a run: a progress-bar observer over the typed pipeline
+//! events, plus cancellation by token and by deadline.
+//!
+//! Run with: `cargo run --release --example observer_progress`
+
+use sample_align_d::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A ten-slot progress bar over [`Phase::ALL`]: one `#` per finished
+/// phase, printed on every `PhaseFinished` event.
+struct ProgressBar {
+    done: Mutex<Vec<Phase>>,
+}
+
+impl ProgressBar {
+    fn new() -> Self {
+        ProgressBar { done: Mutex::new(Vec::new()) }
+    }
+}
+
+impl Observer for ProgressBar {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::RunStarted { backend, n_seqs, ranks } => {
+                println!("aligning {n_seqs} sequences on {backend} ({ranks} ranks)");
+            }
+            Event::PhaseFinished { phase, seconds, .. } => {
+                let mut done = self.done.lock().unwrap();
+                done.push(*phase);
+                let bar: String =
+                    Phase::ALL.iter().map(|p| if done.contains(p) { '#' } else { '.' }).collect();
+                println!("[{bar}] {phase:<20} {seconds:.4}s");
+            }
+            Event::BucketAligned { bucket, rows, seconds } => {
+                println!("         bucket {bucket}: {rows} rows in {seconds:.4}s");
+            }
+            Event::RunFinished { seconds, cancelled } => {
+                let status = if *cancelled { "cancelled" } else { "done" };
+                println!("{status} in {seconds:.4}s");
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let family = Family::generate(&FamilyConfig {
+        n_seqs: 32,
+        avg_len: 100,
+        relatedness: 700.0,
+        seed: 7,
+        ..Default::default()
+    });
+
+    // 1. Watch a full run phase by phase.
+    println!("== observed run ==");
+    let report = Aligner::new(SadConfig::default())
+        .backend(Backend::Rayon { threads: 4 })
+        .observer(Arc::new(ProgressBar::new()))
+        .run(&family.seqs)
+        .expect("valid input");
+    println!("\nper-phase table (work, DP cells, wall seconds):");
+    print!("{}", report.phase_table());
+    assert!(report.phases.iter().all(|p| p.seconds.is_some()));
+
+    // 2. Stop a run from the outside: an observer flips the shared token
+    //    as soon as the buckets are aligned, and the pipeline returns a
+    //    typed SadError::Cancelled at the next phase boundary.
+    println!("\n== cancelled run ==");
+    let token = CancelToken::new();
+    let trigger = token.clone();
+    let cancel_after_align = move |event: &Event| {
+        if matches!(event, Event::PhaseFinished { phase: Phase::LocalAlign, .. }) {
+            trigger.cancel();
+        }
+    };
+    let err = Aligner::new(SadConfig::default())
+        .backend(Backend::Rayon { threads: 4 })
+        .cancel_token(token)
+        .observer(Arc::new(cancel_after_align))
+        .run(&family.seqs)
+        .expect_err("the token cancels the run");
+    println!("cancelled run returned: {err}");
+    assert!(matches!(err, SadError::Cancelled { .. }));
+
+    // 3. Or give the run a wall-clock budget instead.
+    let err = Aligner::new(SadConfig::default())
+        .deadline(Duration::ZERO)
+        .run(&family.seqs)
+        .expect_err("a zero budget cancels at the first boundary");
+    println!("zero deadline returned:  {err}");
+
+    println!("\nobserver example OK");
+}

@@ -66,12 +66,11 @@ pub mod prelude {
     pub use align::{BandPolicy, ClustalLite, DpArena, EngineChoice, MsaEngine, MuscleLite};
     pub use bioseq::{fasta, CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix};
     pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
-    pub use sad_core::{Aligner, Backend, BackendExtras, RunReport, SadConfig, SadError};
+    pub use sad_core::{
+        Aligner, Backend, BackendExtras, CancelToken, Event, Observer, Phase, PhaseStat, RunReport,
+        SadConfig, SadError,
+    };
     pub use vcluster::{CostModel, VirtualCluster};
-
-    // Pre-0.2 entry points, kept so old call sites keep compiling.
-    #[allow(deprecated)]
-    pub use sad_core::{run_distributed, run_rayon, run_sequential};
 }
 
 #[cfg(test)]

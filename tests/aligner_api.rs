@@ -106,6 +106,13 @@ fn all_three_backends_yield_identical_row_sets() {
         assert_eq!(report.bucket_sizes.iter().sum::<usize>(), seqs.len());
         assert!(!report.work.is_zero());
         assert!(report.phase_table().contains("8-local-align"));
+        assert!(report.phase_sequence().contains(&Phase::LocalAlign));
+        // Every phase of every backend carries real wall-clock seconds.
+        assert!(
+            report.phases.iter().all(|p| p.seconds.is_some()),
+            "{} lost wall-clock timing",
+            report.backend_name()
+        );
     }
     // The decomposed backends agree column-for-column, and only the
     // distributed one carries a virtual clock.

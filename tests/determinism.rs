@@ -130,19 +130,20 @@ fn determinism_holds_across_cluster_sizes_independently() {
 }
 
 #[test]
-fn deprecated_shims_reproduce_the_builder_bytes() {
-    // The pre-0.2 entry points are thin wrappers over Aligner; their
-    // output must stay byte-identical to the builder's.
-    #![allow(deprecated)]
+fn observation_does_not_perturb_the_run() {
+    // Attaching an observer and a (never-cancelled) token must not change
+    // a single output byte — the pipeline layer only watches.
     let fam = family(46);
     let cfg = SadConfig::default();
-    let cluster = VirtualCluster::new(4, CostModel::beowulf_2008());
-    let via_builder = on_cluster(4, &fam.seqs, &cfg);
-    let via_shim = run_distributed(&cluster, &fam.seqs, &cfg).unwrap();
-    assert_eq!(fasta::write_alignment(&via_builder.msa), fasta::write_alignment(&via_shim.msa));
-    let ray_shim = run_rayon(&fam.seqs, 4, &cfg).unwrap();
-    assert_eq!(fasta::write_alignment(&via_builder.msa), fasta::write_alignment(&ray_shim.msa));
-    let seq_builder = Aligner::new(cfg.clone()).run(&fam.seqs).unwrap();
-    let seq_shim = run_sequential(&fam.seqs, &cfg).unwrap();
-    assert_eq!(seq_builder.msa, seq_shim.msa);
+    let bare = on_cluster(4, &fam.seqs, &cfg);
+    let watched = Aligner::new(cfg.clone())
+        .backend(Backend::Distributed(VirtualCluster::new(4, CostModel::beowulf_2008())))
+        .observer(std::sync::Arc::new(|_: &Event| {}))
+        .cancel_token(CancelToken::new())
+        .run(&fam.seqs)
+        .unwrap();
+    assert_eq!(fasta::write_alignment(&bare.msa), fasta::write_alignment(&watched.msa));
+    assert_eq!(bare.makespan(), watched.makespan());
+    assert_eq!(bare.work, watched.work);
+    assert_eq!(bare.phase_sequence(), watched.phase_sequence());
 }
