@@ -101,6 +101,10 @@ impl MsaEngine for ClustalLite {
     }
 
     fn align_with_work(&self, seqs: &[Sequence]) -> (Msa, Work) {
+        self.align_with_work_in(seqs, &mut DpArena::new())
+    }
+
+    fn align_with_work_in(&self, seqs: &[Sequence], arena: &mut DpArena) -> (Msa, Work) {
         assert!(!seqs.is_empty(), "cannot align an empty set");
         let mut work = Work::ZERO;
         if seqs.len() == 1 {
@@ -120,8 +124,7 @@ impl MsaEngine for ClustalLite {
             weights: WeightScheme::Fixed(weights),
             band: self.band,
         };
-        let mut arena = DpArena::new();
-        let msa = progressive_align_with_arena(seqs, &tree, &cfg, &mut arena, &mut work);
+        let msa = progressive_align_with_arena(seqs, &tree, &cfg, arena, &mut work);
         (msa, work)
     }
 }

@@ -2,6 +2,7 @@
 //! system", exactly the role MUSCLE plays inside each Sample-Align-D
 //! processor.
 
+use crate::dp::DpArena;
 use bioseq::{Msa, Sequence, Work};
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +19,18 @@ pub trait MsaEngine: Send + Sync {
     /// The returned alignment contains exactly the input sequences (same
     /// ids, same residues once ungapped), rows in input order.
     fn align_with_work(&self, seqs: &[Sequence]) -> (Msa, Work);
+
+    /// Align using caller-provided DP scratch, so consecutive runs (e.g.
+    /// the jobs of a batch worker) reuse one [`DpArena`]'s buffers instead
+    /// of re-allocating per run. The arena is pure scratch: results and
+    /// work are identical to [`align_with_work`](Self::align_with_work).
+    ///
+    /// The default implementation ignores the arena and delegates, so
+    /// third-party engines stay source-compatible.
+    fn align_with_work_in(&self, seqs: &[Sequence], arena: &mut DpArena) -> (Msa, Work) {
+        let _ = arena;
+        self.align_with_work(seqs)
+    }
 
     /// Align without work accounting.
     fn align(&self, seqs: &[Sequence]) -> Msa {
@@ -103,6 +116,27 @@ mod tests {
                 assert_eq!(msa.ungapped(i).to_letters(), s.to_letters(), "{}", engine.name());
             }
             assert!(!work.is_zero(), "{} reported no work", engine.name());
+        }
+    }
+
+    #[test]
+    fn arena_reuse_is_pure_scratch() {
+        // Running several families back to back through one arena must
+        // yield exactly the fresh-arena results — the batch runner's
+        // per-worker reuse depends on it.
+        let families = [
+            seqs(&["MKVLAWGKVL", "MKILAWKIL", "MKVLWGKVL", "MKILAWGKIL"]),
+            seqs(&["PPWPPGGPPW", "PPWPPGGPW", "PPWPGGPPW"]),
+            seqs(&["MKVLAWGKVLSSDD", "MKVLAWGKVLSSD"]),
+        ];
+        for choice in EngineChoice::ALL {
+            let engine = choice.build();
+            let mut arena = crate::dp::DpArena::new();
+            for family in &families {
+                let fresh = engine.align_with_work(family);
+                let reused = engine.align_with_work_in(family, &mut arena);
+                assert_eq!(fresh, reused, "{}", engine.name());
+            }
         }
     }
 

@@ -100,26 +100,30 @@ impl MsaEngine for MuscleLite {
     }
 
     fn align_with_work(&self, seqs: &[Sequence]) -> (Msa, Work) {
+        self.align_with_work_in(seqs, &mut DpArena::new())
+    }
+
+    fn align_with_work_in(&self, seqs: &[Sequence], arena: &mut DpArena) -> (Msa, Work) {
         assert!(!seqs.is_empty(), "cannot align an empty set");
         let mut work = Work::ZERO;
         if seqs.len() == 1 {
             return (Msa::from_sequence(&seqs[0]), work);
         }
-        // One DP arena serves every stage of the run.
-        let mut arena = DpArena::new();
+        // One DP arena serves every stage of the run (and, when the caller
+        // hands one in, every run of a batch worker).
         // Stage 1: draft.
         let d1 = kmer_distance_matrix(seqs, self.kmer_k, self.alphabet, &mut work);
         work.tree_ops += (seqs.len() * seqs.len()) as u64;
         let tree1 = upgma(&d1);
         let cfg = self.progressive_cfg();
-        let mut msa = progressive_align_with_arena(seqs, &tree1, &cfg, &mut arena, &mut work);
+        let mut msa = progressive_align_with_arena(seqs, &tree1, &cfg, arena, &mut work);
         let mut tree = tree1;
         // Stage 2: improved tree from the draft alignment.
         if self.reestimate && seqs.len() > 2 {
             let d2 = kimura_from_msa(&msa, &mut work);
             work.tree_ops += (seqs.len() * seqs.len()) as u64;
             let tree2 = upgma(&d2);
-            msa = progressive_align_with_arena(seqs, &tree2, &cfg, &mut arena, &mut work);
+            msa = progressive_align_with_arena(seqs, &tree2, &cfg, arena, &mut work);
             tree = tree2;
         }
         // Stage 3: refinement.
@@ -133,7 +137,7 @@ impl MsaEngine for MuscleLite {
                 self.gaps,
                 self.refine_passes,
                 self.band,
-                &mut arena,
+                arena,
             );
             work += out.work;
             msa = out.msa;

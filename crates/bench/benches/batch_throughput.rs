@@ -1,0 +1,95 @@
+//! Throughput of the batch subsystem: a batch of 8 families on the
+//! worker pool versus the same 8 families run serially, one
+//! `Aligner::run` at a time.
+//!
+//! Beyond the criterion timings, the bench asserts the acceptance bar
+//! directly on multi-core hosts: with at least two cores, the batch-of-8
+//! median must be ≥ 1.5× faster than the 8 serial runs (8 jobs over W
+//! workers leave plenty of headroom above 1.5× even at W = 2). On a
+//! single-core host there is no parallelism to win from, so the bench
+//! reports the ratio without asserting it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_core::{Aligner, BatchJob, SadConfig};
+use std::time::Instant;
+
+fn jobs(n_jobs: usize, n_seqs: usize, seed: u64) -> Vec<BatchJob> {
+    (0..n_jobs)
+        .map(|i| {
+            let seqs = rosegen::Family::generate(&rosegen::FamilyConfig {
+                n_seqs,
+                avg_len: 120,
+                relatedness: 700.0,
+                seed: seed + i as u64,
+                id_prefix: format!("fam{i}-"),
+                ..Default::default()
+            })
+            .seqs;
+            BatchJob::new(format!("fam-{i}"), seqs)
+        })
+        .collect()
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let jobs = jobs(8, 16, 0xba7c);
+    // Sequential per-job backend: batch throughput must come from the
+    // worker pool scheduling jobs concurrently, not from intra-job
+    // parallelism competing for the same cores.
+    let aligner = Aligner::new(SadConfig::default());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = cores.min(jobs.len());
+
+    let serial_8 = || {
+        for job in &jobs {
+            let report = aligner.run(&job.seqs).expect("bench families are valid");
+            assert!(!report.work.is_zero());
+        }
+    };
+    let batch_8 = || {
+        let report = aligner.run_batch_with(&jobs, workers);
+        assert_eq!(report.failed(), 0);
+        report
+    };
+
+    // Warm-up, then the acceptance check on interleaved paired medians
+    // (interleaving decorrelates the comparison from machine-load drift).
+    serial_8();
+    let warm = batch_8();
+    let (mut serial_times, mut batch_times) = (Vec::new(), Vec::new());
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        serial_8();
+        serial_times.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        batch_8();
+        batch_times.push(t0.elapsed().as_secs_f64());
+    }
+    let t_serial = median(serial_times);
+    let t_batch = median(batch_times);
+    let speedup = t_serial / t_batch;
+    println!(
+        "batch-of-8 (N=16, L≈120, {workers} workers on {cores} cores): \
+         serial {t_serial:.4}s vs batch {t_batch:.4}s — {speedup:.2}x, {:.1} jobs/s",
+        warm.jobs_per_second()
+    );
+    if cores >= 2 {
+        assert!(
+            speedup >= 1.5,
+            "on a {cores}-core host a batch of 8 must beat 8 serial runs by ≥ 1.5x, \
+             got {speedup:.2}x (serial {t_serial:.4}s, batch {t_batch:.4}s)"
+        );
+    } else {
+        println!("single-core host: speedup assertion skipped (needs ≥ 2 cores)");
+    }
+
+    c.bench_function("batch/serial_8_jobs", |b| b.iter(serial_8));
+    c.bench_function("batch/batch_8_jobs", |b| b.iter(batch_8));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

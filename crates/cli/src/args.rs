@@ -16,6 +16,10 @@ pub enum Command {
     /// `sad align <in.fasta> [--backend B] [--p N] [--threads N] [--nodes N]
     /// [--engine E] [--no-fine-tune] [--progress]`
     Align(AlignArgs),
+    /// `sad batch <dir-or-manifest> [--out DIR] [--jobs N] [--backend B]
+    /// [--p N] [--threads N] [--nodes N] [--engine E] [--no-fine-tune]
+    /// [--kmer K] [--band B] [--progress]`
+    Batch(BatchArgs),
     /// `sad generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]`
     Generate(GenerateArgs),
     /// `sad scaling [--n N] [--procs 1,4,8,16]`
@@ -57,6 +61,53 @@ pub struct AlignArgs {
 
 impl AlignArgs {
     /// Effective decomposition width for the selected backend.
+    pub fn parallelism(&self) -> usize {
+        match self.backend {
+            Backend::Sequential => 1,
+            Backend::Rayon => self.threads.unwrap_or(self.p),
+            Backend::Distributed => self.nodes.unwrap_or(self.p),
+        }
+    }
+}
+
+/// Options of `sad batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchArgs {
+    /// A directory of FASTA files (`.fa`/`.fasta`, one job per file,
+    /// sorted by name) or a manifest file listing one FASTA path per line
+    /// (`#` comments allowed; relative paths resolve against the
+    /// manifest's directory).
+    pub input: String,
+    /// Output directory (`--out`, default `.`): one `<job>.aligned.fa`
+    /// per successful job; created if missing.
+    pub out_dir: String,
+    /// Concurrent jobs in flight (`--jobs`); defaults to the host's
+    /// available parallelism.
+    pub jobs: Option<usize>,
+    /// Generic per-job parallelism (`--p`), as in `sad align`.
+    pub p: usize,
+    /// Rayon bucket count (`--threads`), overriding `--p`.
+    pub threads: Option<usize>,
+    /// Virtual cluster size (`--nodes`), overriding `--p`.
+    pub nodes: Option<usize>,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// Per-job execution backend. Unlike `sad align` this defaults to
+    /// `sequential`: batch throughput comes from running jobs
+    /// concurrently (`--jobs`), not from decomposing each job.
+    pub backend: Backend,
+    /// Disable the ancestor fine-tuning step.
+    pub no_fine_tune: bool,
+    /// k-mer length override (`--kmer`).
+    pub kmer: Option<usize>,
+    /// DP kernel band policy (`--band auto|full|<width>`).
+    pub band: BandPolicy,
+    /// Stream job/phase progress to stderr (`--progress`).
+    pub progress: bool,
+}
+
+impl BatchArgs {
+    /// Effective per-job decomposition width for the selected backend.
     pub fn parallelism(&self) -> usize {
         match self.backend {
             Backend::Sequential => 1,
@@ -134,6 +185,11 @@ impl std::fmt::Display for ParseError {
 pub const USAGE: &str = "\
 usage: sad <command> [options]
   align <in.fasta> [--backend sequential|rayon|distributed] [--p N]
+                   [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
+                   [--engine muscle-fast|muscle|clustalw]
+                   [--band auto|full|<width>] [--progress]
+  batch <dir|manifest> [--out DIR] [--jobs N]
+                   [--backend sequential|rayon|distributed] [--p N]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>] [--progress]
@@ -227,6 +283,78 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 return Err(ParseError("--nodes only applies to --backend distributed".into()));
             }
             Ok(Args { command: Command::Align(a) })
+        }
+        "batch" => {
+            let mut input = None;
+            let mut b = BatchArgs {
+                input: String::new(),
+                out_dir: ".".into(),
+                jobs: None,
+                p: 4,
+                threads: None,
+                nodes: None,
+                engine: EngineChoice::MuscleFast,
+                backend: Backend::Sequential,
+                no_fine_tune: false,
+                kmer: None,
+                band: BandPolicy::default(),
+                progress: false,
+            };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--out" => b.out_dir = take_value("--out", &mut it)?.to_string(),
+                    "--jobs" => b.jobs = Some(parse_num("--jobs", take_value("--jobs", &mut it)?)?),
+                    "--p" => b.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    "--kmer" => b.kmer = Some(parse_num("--kmer", take_value("--kmer", &mut it)?)?),
+                    "--band" => {
+                        let v = take_value("--band", &mut it)?;
+                        b.band = BandPolicy::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "--band takes auto, full or a positive width, not {v:?}"
+                            ))
+                        })?;
+                    }
+                    "--threads" => {
+                        b.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
+                    }
+                    "--nodes" => {
+                        b.nodes = Some(parse_num("--nodes", take_value("--nodes", &mut it)?)?)
+                    }
+                    "--engine" => b.engine = parse_engine(take_value("--engine", &mut it)?)?,
+                    "--backend" => {
+                        b.backend = match take_value("--backend", &mut it)? {
+                            "sequential" => Backend::Sequential,
+                            "rayon" => Backend::Rayon,
+                            "distributed" | "cluster" => Backend::Distributed,
+                            other => return Err(ParseError(format!("unknown backend {other:?}"))),
+                        }
+                    }
+                    "--no-fine-tune" => b.no_fine_tune = true,
+                    "--progress" => b.progress = true,
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            b.input =
+                input.ok_or_else(|| ParseError("batch needs a directory or manifest".into()))?;
+            if b.p == 0 || b.threads == Some(0) || b.nodes == Some(0) {
+                return Err(ParseError("--p/--threads/--nodes must be at least 1".into()));
+            }
+            if b.jobs == Some(0) {
+                return Err(ParseError("--jobs must be at least 1".into()));
+            }
+            if b.kmer == Some(0) {
+                return Err(ParseError("--kmer must be at least 1".into()));
+            }
+            if b.threads.is_some() && b.backend != Backend::Rayon {
+                return Err(ParseError("--threads only applies to --backend rayon".into()));
+            }
+            if b.nodes.is_some() && b.backend != Backend::Distributed {
+                return Err(ParseError("--nodes only applies to --backend distributed".into()));
+            }
+            Ok(Args { command: Command::Batch(b) })
         }
         "generate" => {
             let mut g =
@@ -428,6 +556,64 @@ mod tests {
         assert!(parse(["align", "x.fa", "--backend", "rayon", "--nodes", "4"]).is_err());
         assert!(parse(["align", "x.fa", "--backend", "rayon", "--threads", "0"]).is_err());
         assert!(parse(["align", "x.fa", "--nodes", "0"]).is_err());
+    }
+
+    #[test]
+    fn batch_defaults_and_flags() {
+        let a = parse(["batch", "families/"]).unwrap();
+        match a.command {
+            Command::Batch(b) => {
+                assert_eq!(b.input, "families/");
+                assert_eq!(b.out_dir, ".");
+                assert_eq!(b.jobs, None);
+                assert_eq!(b.backend, Backend::Sequential, "batch defaults to sequential jobs");
+                assert_eq!(b.parallelism(), 1);
+                assert!(!b.progress);
+            }
+            _ => panic!("wrong command"),
+        }
+        let a = parse([
+            "batch",
+            "list.manifest",
+            "--out",
+            "aligned/",
+            "--jobs",
+            "8",
+            "--backend",
+            "rayon",
+            "--threads",
+            "2",
+            "--engine",
+            "clustalw",
+            "--band",
+            "32",
+            "--progress",
+        ])
+        .unwrap();
+        match a.command {
+            Command::Batch(b) => {
+                assert_eq!(b.input, "list.manifest");
+                assert_eq!(b.out_dir, "aligned/");
+                assert_eq!(b.jobs, Some(8));
+                assert_eq!(b.backend, Backend::Rayon);
+                assert_eq!(b.parallelism(), 2);
+                assert_eq!(b.engine, EngineChoice::Clustal);
+                assert_eq!(b.band, BandPolicy::Fixed(32));
+                assert!(b.progress);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_flags() {
+        assert!(parse(["batch"]).is_err(), "input is required");
+        assert!(parse(["batch", "d/", "--jobs", "0"]).is_err());
+        assert!(parse(["batch", "d/", "--threads", "4"]).is_err(), "threads need rayon");
+        assert!(parse(["batch", "d/", "--backend", "rayon", "--nodes", "4"]).is_err());
+        assert!(parse(["batch", "d/", "--p", "0"]).is_err());
+        assert!(parse(["batch", "d/", "--kmer", "0"]).is_err());
+        assert!(parse(["batch", "d/", "--band", "zig"]).is_err());
     }
 
     #[test]

@@ -1,20 +1,23 @@
 //! Subcommand implementations.
 
-use crate::args::{AlignArgs, Backend, EvalArgs, GenerateArgs, RankArgs, ScalingArgs};
+use crate::args::{AlignArgs, Backend, BatchArgs, EvalArgs, GenerateArgs, RankArgs, ScalingArgs};
 use bioseq::{fasta, Sequence};
 use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
 use rosegen::{Family, FamilyConfig};
-use sad_core::{rank_experiment, Aligner, Backend as SadBackend, RunReport, SadConfig};
+use sad_core::{rank_experiment, Aligner, Backend as SadBackend, BatchJob, RunReport, SadConfig};
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use vcluster::{CostModel, VirtualCluster};
 
 type Out<'a> = &'a mut dyn Write;
 
-fn read_fasta(path: &str) -> Result<Vec<Sequence>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let seqs = fasta::parse(&text).map_err(|e| format!("bad FASTA in {path}: {e}"))?;
+fn read_fasta(path: impl AsRef<Path>) -> Result<Vec<Sequence>, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let seqs = fasta::parse(&text).map_err(|e| format!("bad FASTA in {}: {e}", path.display()))?;
     if seqs.is_empty() {
-        return Err(format!("{path} contains no sequences"));
+        return Err(format!("{} contains no sequences", path.display()));
     }
     Ok(seqs)
 }
@@ -67,6 +70,131 @@ fn write_report_comments(report: &RunReport, n_seqs: usize, out: Out) {
     for line in report.phase_table().lines() {
         writeln!(out, "; {line}").ok();
     }
+}
+
+/// Collect the batch's input files: every `.fa`/`.fasta` in a directory
+/// (sorted by name), or the paths listed in a manifest file (one per
+/// line, `#` comments and blanks skipped, relative paths resolved against
+/// the manifest's directory).
+fn batch_inputs(input: &str) -> Result<Vec<PathBuf>, String> {
+    let path = Path::new(input);
+    let mut files = Vec::new();
+    if path.is_dir() {
+        let entries =
+            std::fs::read_dir(path).map_err(|e| format!("cannot read directory {input}: {e}"))?;
+        for entry in entries {
+            let p = entry.map_err(|e| format!("cannot read directory {input}: {e}"))?.path();
+            let is_fasta = p
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e.eq_ignore_ascii_case("fa") || e.eq_ignore_ascii_case("fasta"));
+            if p.is_file() && is_fasta {
+                files.push(p);
+            }
+        }
+        files.sort();
+    } else {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest {input}: {e}"))?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let p = Path::new(line);
+            files.push(if p.is_absolute() { p.to_path_buf() } else { base.join(p) });
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("{input} yields no FASTA inputs"));
+    }
+    Ok(files)
+}
+
+/// Job ids are file stems; duplicate or colliding stems (a manifest
+/// pulling `a/fam.fa` and `b/fam.fa`, or a literal `fam-2.fa` next to
+/// them) probe for the first free `<stem>-N` so output files never
+/// clobber each other.
+fn job_ids(files: &[PathBuf]) -> Vec<String> {
+    let mut used = std::collections::HashSet::new();
+    files
+        .iter()
+        .map(|p| {
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("job").to_string();
+            let mut id = stem.clone();
+            let mut n = 1usize;
+            while !used.insert(id.clone()) {
+                n += 1;
+                id = format!("{stem}-{n}");
+            }
+            id
+        })
+        .collect()
+}
+
+/// `sad batch`: align every family in a directory or manifest, write one
+/// aligned FASTA per successful job into `--out`, and print the batch
+/// summary table. Per-job failures — a one-sequence family, an
+/// unreadable or malformed FASTA file — are reported per job and the
+/// command exits with an error naming the failure count, without
+/// aborting the other jobs.
+pub fn batch(b: BatchArgs, out: Out) -> Result<(), String> {
+    let files = batch_inputs(&b.input)?;
+    let ids = job_ids(&files);
+    // Validate the output directory before aligning anything, so a bad
+    // `--out` fails in milliseconds instead of after the whole batch.
+    std::fs::create_dir_all(&b.out_dir)
+        .map_err(|e| format!("cannot create output directory {}: {e}", b.out_dir))?;
+    // Unreadable inputs are skipped (reported after the table), never
+    // fatal: one corrupt file must not abort its neighbours.
+    let mut jobs = Vec::with_capacity(files.len());
+    let mut skipped: Vec<(String, String)> = Vec::new();
+    for (path, id) in files.iter().zip(&ids) {
+        match read_fasta(path) {
+            Ok(seqs) => jobs.push(BatchJob::new(id.clone(), seqs)),
+            Err(err) => skipped.push((id.clone(), err)),
+        }
+    }
+    let mut cfg = SadConfig::default()
+        .with_engine(b.engine)
+        .with_fine_tune(!b.no_fine_tune)
+        .with_band_policy(b.band);
+    if let Some(k) = b.kmer {
+        cfg = cfg.with_kmer_k(k);
+    }
+    let backend = match b.backend {
+        Backend::Sequential => SadBackend::Sequential,
+        Backend::Rayon => SadBackend::Rayon { threads: b.parallelism() },
+        Backend::Distributed => {
+            SadBackend::Distributed(VirtualCluster::new(b.parallelism(), CostModel::beowulf_2008()))
+        }
+    };
+    let mut aligner = Aligner::new(cfg).backend(backend);
+    if b.progress {
+        aligner =
+            aligner.observer(std::sync::Arc::new(crate::progress::ProgressObserver::stderr()));
+    }
+    let report = match b.jobs {
+        Some(workers) => aligner.run_batch_with(&jobs, workers),
+        None => aligner.run_batch(&jobs),
+    };
+    for job in &report.jobs {
+        if let Ok(run) = &job.outcome {
+            let path = Path::new(&b.out_dir).join(format!("{}.aligned.fa", job.id));
+            std::fs::write(&path, fasta::write_alignment(&run.msa))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+    }
+    write!(out, "{}", report.summary_table()).map_err(|e| e.to_string())?;
+    for (id, err) in &skipped {
+        writeln!(out, "skipped {id}: {err}").map_err(|e| e.to_string())?;
+    }
+    let failed = report.failed() + skipped.len();
+    if failed > 0 {
+        return Err(format!("{failed} of {} jobs failed", files.len()));
+    }
+    Ok(())
 }
 
 /// `sad generate`
@@ -268,6 +396,109 @@ mod tests {
         assert_eq!(fasta::parse_alignment(&body(&wide)).unwrap().num_rows(), 8);
         // The report surfaces the banded/full cell counts.
         assert!(auto.contains("dp cells (band/full)"), "{auto}");
+    }
+
+    #[test]
+    fn batch_directory_aligns_every_family() {
+        let dir = tmpdir().join("batch-dir");
+        let out_dir = dir.join("aligned");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, seed) in [("fam_a", 1u64), ("fam_b", 2), ("fam_c", 3)] {
+            let text =
+                run_str(&["generate", "--n", "8", "--len", "40", "--seed", &seed.to_string()]);
+            std::fs::write(dir.join(format!("{name}.fa")), text).unwrap();
+        }
+        // A non-FASTA file in the directory is ignored.
+        std::fs::write(dir.join("notes.txt"), "not fasta").unwrap();
+        let out = run_str(&[
+            "batch",
+            dir.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--jobs",
+            "2",
+        ]);
+        assert!(out.contains("fam_a"), "{out}");
+        assert!(out.contains("3 ok, 0 failed"), "{out}");
+        assert!(out.contains("jobs/s"), "{out}");
+        for name in ["fam_a", "fam_b", "fam_c"] {
+            let written = std::fs::read_to_string(out_dir.join(format!("{name}.aligned.fa")))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(fasta::parse_alignment(&written).unwrap().num_rows(), 8, "{name}");
+        }
+        // Batch output matches the single-job command byte for byte.
+        let single =
+            run_str(&["align", dir.join("fam_a.fa").to_str().unwrap(), "--backend", "sequential"]);
+        let body: String =
+            single.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+        let batched = std::fs::read_to_string(out_dir.join("fam_a.aligned.fa")).unwrap();
+        assert_eq!(batched.trim_end(), body.trim_end());
+    }
+
+    #[test]
+    fn batch_manifest_reports_per_job_failures_without_aborting() {
+        let dir = tmpdir().join("batch-manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = run_str(&["generate", "--n", "6", "--len", "40", "--seed", "4"]);
+        std::fs::write(dir.join("good.fa"), good).unwrap();
+        std::fs::write(dir.join("solo.fa"), ">only\nMKVLAWGKVLMKVLAWGKVL\n").unwrap();
+        std::fs::write(dir.join("jobs.manifest"), "# one path per line\ngood.fa\n\nsolo.fa\n")
+            .unwrap();
+        let args = parse([
+            "batch",
+            dir.join("jobs.manifest").to_str().unwrap(),
+            "--out",
+            dir.join("out").to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        let err = crate::run(args, &mut buf).unwrap_err();
+        assert_eq!(err, "1 of 2 jobs failed");
+        let table = String::from_utf8(buf).unwrap();
+        assert!(table.contains("1 ok, 1 failed"), "{table}");
+        assert!(table.contains("error: need at least 2 sequences"), "{table}");
+        // The good job still wrote its alignment; the failed one did not.
+        assert!(dir.join("out/good.aligned.fa").exists());
+        assert!(!dir.join("out/solo.aligned.fa").exists());
+    }
+
+    #[test]
+    fn job_ids_never_collide() {
+        let files: Vec<std::path::PathBuf> =
+            ["a/fam.fa", "b/fam.fa", "c/fam-2.fa", "d/fam.fa"].iter().map(Into::into).collect();
+        let ids = job_ids(&files);
+        assert_eq!(ids, vec!["fam", "fam-2", "fam-2-2", "fam-3"]);
+        let unique: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn batch_skips_unreadable_files_without_aborting() {
+        let dir = tmpdir().join("batch-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = run_str(&["generate", "--n", "6", "--len", "40", "--seed", "5"]);
+        std::fs::write(dir.join("good.fa"), good).unwrap();
+        std::fs::write(dir.join("garbage.fa"), "this is not fasta at all").unwrap();
+        let args =
+            parse(["batch", dir.to_str().unwrap(), "--out", dir.join("out").to_str().unwrap()])
+                .unwrap();
+        let mut buf = Vec::new();
+        let err = crate::run(args, &mut buf).unwrap_err();
+        assert_eq!(err, "1 of 2 jobs failed");
+        let table = String::from_utf8(buf).unwrap();
+        assert!(table.contains("skipped garbage:"), "{table}");
+        assert!(table.contains("1 ok, 0 failed"), "{table}");
+        assert!(dir.join("out/good.aligned.fa").exists(), "healthy neighbour still aligned");
+    }
+
+    #[test]
+    fn batch_rejects_empty_inputs() {
+        let dir = tmpdir().join("batch-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = parse(["batch", dir.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        let err = crate::run(args, &mut buf).unwrap_err();
+        assert!(err.contains("no FASTA inputs"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //!   (`--backend sequential|rayon|distributed`, `--p`, `--threads`,
 //!   `--nodes`, `--engine`, `--no-fine-tune`, `--kmer`, and `--progress`
 //!   for a live per-phase display on stderr);
+//! * `sad batch <dir|manifest>` — align many families in one process:
+//!   one job per FASTA file, scheduled over `--jobs N` workers, one
+//!   `<job>.aligned.fa` per job in `--out DIR`, and the batch summary
+//!   table on stdout (per-job failures are reported, never abort the
+//!   batch);
 //! * `sad generate` — emit a rose-style synthetic family as FASTA
 //!   (`--n`, `--len`, `--relatedness`, `--seed`, `--reference <path>`);
 //! * `sad scaling` — print a Fig. 4/5-style scaling table (`--n`,
@@ -31,6 +36,7 @@ pub use args::{Args, Command, ParseError};
 pub fn run(args: Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     match args.command {
         Command::Align(a) => cmd::align(a, out),
+        Command::Batch(b) => cmd::batch(b, out),
         Command::Generate(g) => cmd::generate(g, out),
         Command::Scaling(s) => cmd::scaling(s, out),
         Command::Eval(e) => cmd::eval(e, out),

@@ -46,6 +46,16 @@ impl Observer for ProgressObserver {
                     format!("run finished in {seconds:.3}s")
                 }
             }
+            Event::JobStarted { job, id, n_seqs } => {
+                format!("job {job} [{id}]: started ({n_seqs} sequences)")
+            }
+            Event::JobFinished { job, id, seconds, ok } => {
+                if *ok {
+                    format!("job {job} [{id}]: done in {seconds:.3}s")
+                } else {
+                    format!("job {job} [{id}]: FAILED after {seconds:.3}s")
+                }
+            }
             // `Event` is non-exhaustive; render unknown events generically
             // rather than dropping them.
             other => format!("{other:?}"),
@@ -100,5 +110,31 @@ mod tests {
         assert!(text.contains("bucket"), "{text}");
         assert!(text.contains("run finished in"), "{text}");
         assert!(text.lines().all(|l| l.starts_with("[sad] ")), "{text}");
+    }
+
+    #[test]
+    fn renders_batch_job_events() {
+        let buf = SharedBuf::default();
+        let observer = Arc::new(ProgressObserver::new(Box::new(buf.clone())));
+        let family = |seed| {
+            rosegen::Family::generate(&rosegen::FamilyConfig {
+                n_seqs: 6,
+                avg_len: 40,
+                relatedness: 700.0,
+                seed,
+                ..Default::default()
+            })
+            .seqs
+        };
+        let jobs = vec![
+            sad_core::BatchJob::new("good", family(1)),
+            sad_core::BatchJob::new("bad", family(2)[..1].to_vec()),
+        ];
+        let batch = Aligner::new(SadConfig::default()).observer(observer).run_batch_with(&jobs, 1);
+        assert_eq!(batch.succeeded(), 1);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("job 0 [good]: started (6 sequences)"), "{text}");
+        assert!(text.contains("job 0 [good]: done in"), "{text}");
+        assert!(text.contains("job 1 [bad]: FAILED after"), "{text}");
     }
 }

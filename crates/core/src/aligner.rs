@@ -43,10 +43,12 @@
 //! assert_eq!(err, SadError::Cancelled { phase: Phase::LocalAlign });
 //! ```
 
+use crate::batch::{BatchJob, BatchReport};
 use crate::config::SadConfig;
 use crate::error::SadError;
 use crate::pipeline::{CancelToken, Observer, PipelineCtx};
 use crate::report::RunReport;
+use align::DpArena;
 use bioseq::Sequence;
 use std::sync::Arc;
 use std::time::Duration;
@@ -148,6 +150,11 @@ impl Aligner {
     /// [`Aligner::run`] starts. When it is exhausted the run stops at the
     /// next phase boundary with [`SadError::Cancelled`] — the pipeline is
     /// cooperative, so a long-running phase finishes before the check.
+    ///
+    /// In a batch the budget is batch-wide: it is measured from the start
+    /// of [`Aligner::run_batch`], and each job runs under whatever share
+    /// remains (jobs starting after exhaustion cancel at their first
+    /// phase boundary).
     pub fn deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
         self
@@ -161,11 +168,59 @@ impl Aligner {
     /// Validate configuration and input, then run the pipeline on the
     /// selected backend.
     pub fn run(&self, seqs: &[Sequence]) -> Result<RunReport, SadError> {
+        self.run_inner(seqs, &self.backend, self.cancel.clone(), self.deadline, &mut DpArena::new())
+    }
+
+    /// Run many independent families through this aligner's backend with
+    /// the default worker count (the host's available parallelism, capped
+    /// by the batch size). See [`Aligner::run_batch_with`].
+    pub fn run_batch(&self, jobs: &[BatchJob]) -> BatchReport {
+        crate::batch::run_batch(self, jobs, None)
+    }
+
+    /// Run many independent families through this aligner's backend,
+    /// scheduling across `workers` concurrent workers (clamped to
+    /// `1..=jobs.len()`).
+    ///
+    /// Scheduling is backend-aware: [`Backend::Sequential`] and
+    /// [`Backend::Rayon`] jobs are pulled from a shared queue by the
+    /// worker pool (work-stealing across jobs), while
+    /// [`Backend::Distributed`] jobs are round-robined over per-worker
+    /// clones of the virtual cluster. Each worker owns one [`DpArena`] of
+    /// DP scratch, reused across its jobs on the `Sequential` per-job
+    /// backend (the decomposed backends keep scratch on their own
+    /// internal worker threads).
+    ///
+    /// Failures never abort the batch: each [`BatchJob`] yields its own
+    /// `Result<RunReport, SadError>` inside the returned [`BatchReport`].
+    /// The aligner's [`CancelToken`] acts batch-wide (every remaining job
+    /// stops at its next phase boundary), a job's own
+    /// [`BatchJob::with_cancel`] token stops just that job, and a
+    /// registered [`Observer`] additionally receives
+    /// [`Event::JobStarted`](crate::Event::JobStarted)/
+    /// [`Event::JobFinished`](crate::Event::JobFinished) pairs — from
+    /// concurrent workers, so events of different jobs interleave.
+    pub fn run_batch_with(&self, jobs: &[BatchJob], workers: usize) -> BatchReport {
+        crate::batch::run_batch(self, jobs, Some(workers))
+    }
+
+    /// The shared single-run path: `run` uses the builder's own backend,
+    /// token, deadline and a fresh arena; the batch runner substitutes
+    /// per-job fused tokens, per-worker cluster clones, per-worker arenas
+    /// and each job's *remaining* share of the batch-wide budget.
+    pub(crate) fn run_inner(
+        &self,
+        seqs: &[Sequence],
+        backend: &Backend,
+        cancel: Option<CancelToken>,
+        budget: Option<Duration>,
+        scratch: &mut DpArena,
+    ) -> Result<RunReport, SadError> {
         self.cfg.validate()?;
         if seqs.len() < 2 {
             return Err(SadError::TooFewSequences { found: seqs.len() });
         }
-        let width = match &self.backend {
+        let width = match backend {
             Backend::Sequential => 1,
             Backend::Rayon { threads } => {
                 if *threads == 0 {
@@ -180,16 +235,12 @@ impl Aligner {
                 return Err(SadError::ClusterSizeMismatch { actual: width, requested });
             }
         }
-        let ctx = PipelineCtx::new(
-            self.backend.name(),
-            width,
-            self.observer.clone(),
-            self.cancel.clone(),
-            self.deadline,
-        );
+        let ctx = PipelineCtx::new(backend.name(), width, self.observer.clone(), cancel, budget);
         ctx.run_started(seqs.len());
-        let result = match &self.backend {
-            Backend::Sequential => crate::sequential::sequential_pipeline(seqs, &self.cfg, &ctx),
+        let result = match backend {
+            Backend::Sequential => {
+                crate::sequential::sequential_pipeline(seqs, &self.cfg, &ctx, scratch)
+            }
             Backend::Rayon { threads } => {
                 crate::rayon_impl::rayon_pipeline(seqs, *threads, &self.cfg, &ctx)
             }
@@ -199,6 +250,28 @@ impl Aligner {
         };
         ctx.run_finished(matches!(result, Err(SadError::Cancelled { .. })));
         result
+    }
+
+    /// The selected backend (the batch runner's scheduling key).
+    pub(crate) fn backend_ref(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The batch-wide cancellation token, if any.
+    pub(crate) fn cancel_ref(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The registered observer, if any (the batch runner emits its
+    /// `JobStarted`/`JobFinished` events through it).
+    pub(crate) fn observer_ref(&self) -> Option<&Arc<dyn Observer>> {
+        self.observer.as_ref()
+    }
+
+    /// The wall-clock budget, if any (the batch runner measures it from
+    /// the start of the whole batch).
+    pub(crate) fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
     }
 }
 

@@ -11,8 +11,23 @@
 use crate::aligner::{Aligner, Backend};
 use crate::config::SadConfig;
 use crate::pipeline::Phase;
-use bioseq::Sequence;
+use bioseq::{Sequence, Work};
 use vcluster::{CostModel, VirtualCluster};
+
+/// The DP accounting invariant every aggregated [`Work`] must satisfy:
+/// `dp_cells` counts only cells the banded kernel actually filled, so it
+/// can exceed the full-matrix equivalent `dp_cells_full` only by the
+/// bounded geometric series of adaptive band retries (factor ≤ 3). A
+/// violation means cells were double-counted somewhere — e.g. a batch
+/// aggregate accumulating the filled count without its matching
+/// full-matrix equivalent (the two must be summed in step, as
+/// `Work::add` does).
+///
+/// Checked by the audit sweep on every run and by
+/// [`crate::Aligner::run_batch`] on the batch aggregate.
+pub fn dp_accounting_ok(work: &Work) -> bool {
+    work.dp_cells <= 3 * work.dp_cells_full
+}
 
 /// Per-phase maxima for one `(N, p)` configuration.
 #[derive(Debug, Clone)]
@@ -47,12 +62,8 @@ pub fn sweep_n(
                 .backend(Backend::Distributed(cluster))
                 .run(&seqs)
                 .expect("audit sweeps use valid inputs");
-            // DP accounting invariant: `dp_cells` counts only cells the
-            // banded kernel actually filled. Adaptive retries sum a
-            // geometric band series, so even in the worst case the filled
-            // count stays within a small constant of one full fill.
             assert!(
-                run.work.dp_cells <= 3 * run.work.dp_cells_full,
+                dp_accounting_ok(&run.work),
                 "dp_cells {} exceeds the adaptive-banding bound (full equivalent {})",
                 run.work.dp_cells,
                 run.work.dp_cells_full
@@ -125,6 +136,27 @@ mod tests {
             ..Default::default()
         });
         fam.seqs[..n].to_vec()
+    }
+
+    #[test]
+    fn dp_accounting_flags_double_counting() {
+        // A clean banded fill and a clean full fill both pass, as does a
+        // clean sum of the two (Work::add sums both counters in step).
+        assert!(dp_accounting_ok(&Work::dp_banded(100, 900)));
+        assert!(dp_accounting_ok(&Work::dp(500)));
+        assert!(dp_accounting_ok(&Work::ZERO));
+        assert!(dp_accounting_ok(&(Work::dp_banded(100, 900) + Work::dp(500))));
+        // An aggregate that accumulates `dp_cells` without its matching
+        // `dp_cells_full` (e.g. a batch loop adding one side per job, or
+        // adding a job's filled cells repeatedly) drifts past the bound.
+        let mut skewed = Work::dp(900);
+        for _ in 0..4 {
+            skewed.dp_cells += 900; // job re-counted on the filled side only
+        }
+        assert!(!dp_accounting_ok(&skewed));
+        // Filled cells with no full-matrix equivalent at all is always a
+        // bookkeeping bug.
+        assert!(!dp_accounting_ok(&Work { dp_cells: 1, ..Work::ZERO }));
     }
 
     #[test]

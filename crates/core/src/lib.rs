@@ -34,6 +34,12 @@
 //! [`Observer`], and cooperative cancellation via [`CancelToken`] or a
 //! deadline ([`SadError::Cancelled`] names the phase the run stopped at).
 //!
+//! Many families per process: [`Aligner::run_batch`] schedules an ordered
+//! set of named [`BatchJob`]s across a backend-aware worker pool and
+//! returns a [`BatchReport`] — per-job `Result`s (failures are isolated),
+//! aggregate throughput, and `JobStarted`/`JobFinished` events on the
+//! same observer surface.
+//!
 //! The pre-0.2 entry points (`run_distributed`, `run_rayon`,
 //! `run_sequential`) — deprecated shims since 0.2 — are gone; see the
 //! README migration table.
@@ -44,6 +50,7 @@
 pub mod aligner;
 pub mod ancestor;
 pub mod audit;
+pub mod batch;
 pub mod config;
 pub mod distributed;
 pub mod error;
@@ -56,6 +63,7 @@ pub mod sequential;
 
 pub use align::BandPolicy;
 pub use aligner::{Aligner, Backend};
+pub use batch::{BatchJob, BatchReport, JobReport};
 pub use config::SadConfig;
 pub use error::SadError;
 pub use pipeline::{CancelToken, Event, Observer, Phase};

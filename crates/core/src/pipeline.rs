@@ -174,6 +174,31 @@ pub enum Event {
         /// `true` when the run stopped with [`SadError::Cancelled`].
         cancelled: bool,
     },
+    /// One batch job is about to run (see [`crate::Aligner::run_batch`]).
+    /// The job's own `RunStarted`…`RunFinished` stream nests inside its
+    /// `JobStarted`/`JobFinished` pair; jobs on different workers
+    /// interleave freely.
+    JobStarted {
+        /// Position of the job in the submitted batch.
+        job: usize,
+        /// The job's caller-chosen id.
+        id: String,
+        /// Input size of the job.
+        n_seqs: usize,
+    },
+    /// One batch job completed — successfully or with a per-job error
+    /// (batch jobs never abort their batch).
+    JobFinished {
+        /// Position of the job in the submitted batch.
+        job: usize,
+        /// The job's caller-chosen id.
+        id: String,
+        /// Real wall-clock seconds the job took.
+        seconds: f64,
+        /// Whether the job produced an alignment (`false` covers both
+        /// invalid jobs and cancelled ones).
+        ok: bool,
+    },
 }
 
 /// A callback watching one pipeline run.
@@ -208,9 +233,23 @@ impl<F: Fn(&Event) + Send + Sync> Observer for F {
 /// calling [`CancelToken::cancel`] from any thread stops the run at its
 /// next phase boundary with [`SadError::Cancelled`]. Cancellation is
 /// cooperative and sticky — a cancelled token stays cancelled.
-#[derive(Debug, Clone, Default)]
+///
+/// Tokens compose: [`CancelToken::fused`] builds a token that *observes*
+/// several source tokens at once, which is how a batch run combines its
+/// batch-wide token with each job's own (see
+/// [`crate::Aligner::run_batch`]).
+#[derive(Debug, Clone)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Flags of fused source tokens this token also observes. Cancelling
+    /// this token never propagates upstream.
+    upstream: Arc<[Arc<AtomicBool>]>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken { flag: Arc::default(), upstream: Arc::from(Vec::new()) }
+    }
 }
 
 impl CancelToken {
@@ -219,14 +258,28 @@ impl CancelToken {
         Self::default()
     }
 
+    /// A token that reads as cancelled when *any* of `sources` is (or it
+    /// is cancelled itself). Observation is one-way: cancelling the fused
+    /// token leaves every source untouched. The batch runner fuses the
+    /// batch-wide token with each job's own so either can stop a job.
+    pub fn fused<'a>(sources: impl IntoIterator<Item = &'a CancelToken>) -> CancelToken {
+        let mut upstream = Vec::new();
+        for source in sources {
+            upstream.push(Arc::clone(&source.flag));
+            upstream.extend(source.upstream.iter().cloned());
+        }
+        CancelToken { flag: Arc::default(), upstream: Arc::from(upstream) }
+    }
+
     /// Request cancellation. Idempotent and thread-safe.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::SeqCst);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested — on this token or on any
+    /// token it was [`fused`](CancelToken::fused) over.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::SeqCst)
+        self.flag.load(Ordering::SeqCst) || self.upstream.iter().any(|f| f.load(Ordering::SeqCst))
     }
 }
 
@@ -500,6 +553,27 @@ mod tests {
         assert_eq!(res, Err(SadError::Cancelled { phase: Phase::LocalSort }));
         // The cancelled phase was never recorded.
         assert_eq!(ctx.drain().0.len(), 1);
+    }
+
+    #[test]
+    fn fused_tokens_observe_every_source_one_way() {
+        let batch = CancelToken::new();
+        let job = CancelToken::new();
+        let fused = CancelToken::fused([&batch, &job]);
+        assert!(!fused.is_cancelled());
+        batch.cancel();
+        assert!(fused.is_cancelled(), "fused token sees the batch-wide source");
+        let fused2 = CancelToken::fused([&CancelToken::new(), &job]);
+        job.cancel();
+        assert!(fused2.is_cancelled(), "fused token sees the per-job source");
+        // One-way: cancelling a fused token leaves its sources untouched.
+        let source = CancelToken::new();
+        let derived = CancelToken::fused([&source]);
+        derived.cancel();
+        assert!(derived.is_cancelled() && !source.is_cancelled());
+        // Fusing is transitive through already-fused tokens.
+        let chained = CancelToken::fused([&fused]);
+        assert!(chained.is_cancelled(), "batch flag visible through two fuse layers");
     }
 
     #[test]

@@ -5,20 +5,27 @@ use crate::config::SadConfig;
 use crate::error::SadError;
 use crate::pipeline::{Phase, PipelineCtx};
 use crate::report::{BackendExtras, RunReport};
+use align::DpArena;
 use bioseq::{Msa, Sequence};
 use std::time::Instant;
 
 /// The whole-set engine run: a one-phase pipeline through the shared
 /// recorder. Input validation happens in [`crate::Aligner::run`].
+///
+/// `arena` is the engine's DP scratch: single runs pass a fresh one, the
+/// batch runner threads each worker's long-lived arena through so
+/// consecutive jobs reuse its buffers (results are identical either way).
 pub(crate) fn sequential_pipeline(
     seqs: &[Sequence],
     cfg: &SadConfig,
     ctx: &PipelineCtx,
+    arena: &mut DpArena,
 ) -> Result<RunReport, SadError> {
     debug_assert!(!seqs.is_empty(), "Aligner::run rejects empty input");
     let msa = ctx.phase(Phase::LocalAlign, || {
         let t0 = Instant::now();
-        let (msa, work) = cfg.engine.build_with_band(cfg.band_policy).align_with_work(seqs);
+        let (msa, work) =
+            cfg.engine.build_with_band(cfg.band_policy).align_with_work_in(seqs, arena);
         ctx.bucket_aligned(0, msa.num_rows(), t0.elapsed().as_secs_f64());
         (msa, work)
     })?;
@@ -45,7 +52,7 @@ pub fn sequential_seconds(
     cost: &vcluster::CostModel,
 ) -> (Msa, f64) {
     let ctx = PipelineCtx::new("sequential", 1, None, None, None);
-    let report = sequential_pipeline(seqs, cfg, &ctx)
+    let report = sequential_pipeline(seqs, cfg, &ctx, &mut DpArena::new())
         .expect("no cancellation source attached to the baseline run");
     let secs = cost.work_seconds(&report.work);
     (report.msa, secs)

@@ -67,8 +67,8 @@ pub mod prelude {
     pub use bioseq::{fasta, CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix};
     pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
     pub use sad_core::{
-        Aligner, Backend, BackendExtras, CancelToken, Event, Observer, Phase, PhaseStat, RunReport,
-        SadConfig, SadError,
+        Aligner, Backend, BackendExtras, BatchJob, BatchReport, CancelToken, Event, JobReport,
+        Observer, Phase, PhaseStat, RunReport, SadConfig, SadError,
     };
     pub use vcluster::{CostModel, VirtualCluster};
 }

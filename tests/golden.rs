@@ -1,0 +1,128 @@
+//! Golden-file snapshots of the CLI's report rendering: the `sad align`
+//! phase table and the `sad batch` summary table are pinned against
+//! committed fixtures, so a report-format regression fails the default
+//! test tier instead of shipping silently.
+//!
+//! Wall-clock readings differ between runs, so every float token is
+//! normalized to `<t>` before comparison; everything else — layout,
+//! headers, integer work/DP counters, sequence bodies, error renderings —
+//! is compared verbatim. Goldens are stored pre-normalized. To bless a
+//! deliberate format change, rerun with `BLESS=1`:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Run the CLI in-process, capturing stdout; returns the captured text
+/// and the command's result.
+fn run_cli(argv: &[&str]) -> (String, Result<(), String>) {
+    let args = sad_cli::args::parse(argv.iter().copied()).expect("golden argv parses");
+    let mut buf = Vec::new();
+    let result = sad_cli::run(args, &mut buf);
+    (String::from_utf8(buf).expect("CLI output is UTF-8"), result)
+}
+
+/// Replace every whitespace-separated token that reads as a float
+/// (trailing `,`/`;` tolerated) with `<t>`, collapsing runs of spaces —
+/// wall-clock and throughput readings vary per run, the rest of the
+/// report must not.
+fn normalize(out: &str) -> String {
+    let mut lines: Vec<String> = out
+        .lines()
+        .map(|line| {
+            line.split_whitespace()
+                .map(|tok| {
+                    let trimmed = tok.trim_end_matches([',', ';']);
+                    if trimmed.contains('.') && trimmed.parse::<f64>().is_ok() {
+                        tok.replace(trimmed, "<t>")
+                    } else {
+                        tok.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    lines.push(String::new()); // trailing newline
+    lines.join("\n")
+}
+
+/// Compare normalized CLI output against a committed golden file,
+/// rewriting the golden under `BLESS=1`.
+fn assert_matches_golden(name: &str, actual_raw: &str) {
+    let actual = normalize(actual_raw);
+    let path = golden_dir().join(name);
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} (run with BLESS=1 to create): {e}"));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot.\n\
+         If the format change is intentional, bless it: BLESS=1 cargo test --test golden"
+    );
+}
+
+#[test]
+fn align_phase_table_matches_golden() {
+    // The distributed backend pins the most: phase table with work units,
+    // banded/full DP cells, virtual makespan line and the FASTA body.
+    let input = golden_dir().join("fixtures/fam_a.fa");
+    let (out, result) = run_cli(&["align", input.to_str().unwrap(), "--p", "2"]);
+    result.expect("golden align succeeds");
+    assert_matches_golden("align_distributed.txt", &out);
+}
+
+#[test]
+fn align_sequential_table_matches_golden() {
+    let input = golden_dir().join("fixtures/fam_b.fa");
+    let (out, result) = run_cli(&["align", input.to_str().unwrap(), "--backend", "sequential"]);
+    result.expect("golden align succeeds");
+    assert_matches_golden("align_sequential.txt", &out);
+}
+
+#[test]
+fn batch_summary_table_matches_golden() {
+    // The committed manifest mixes two healthy families with a
+    // one-sequence file, pinning both the success rows and the per-job
+    // error rendering. One worker keeps the run order deterministic;
+    // the command exits with the failure count, which is part of the
+    // contract.
+    let manifest = golden_dir().join("batch.manifest");
+    let out_dir = std::env::temp_dir().join(format!("sad-golden-batch-{}", std::process::id()));
+    let (out, result) = run_cli(&[
+        "batch",
+        manifest.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]);
+    assert_eq!(result.unwrap_err(), "1 of 3 jobs failed");
+    assert_matches_golden("batch_summary.txt", &out);
+    // The healthy jobs wrote their alignments next to the summary.
+    for name in ["fam_a", "fam_b"] {
+        assert!(out_dir.join(format!("{name}.aligned.fa")).exists(), "{name}");
+    }
+    assert!(!out_dir.join("solo.aligned.fa").exists());
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn normalizer_touches_only_float_tokens() {
+    let sample =
+        "; 8-local-align 123 456/789 0.0042 1.5000\ntotal 99 jobs, 1.25 jobs/s;\n>seq0\nMKVL.AW\n";
+    let got = normalize(sample);
+    assert_eq!(
+        got, "; 8-local-align 123 456/789 <t> <t>\ntotal 99 jobs, <t> jobs/s;\n>seq0\nMKVL.AW\n",
+        "integers, ids and non-numeric dotted tokens must survive"
+    );
+}
