@@ -4,6 +4,10 @@
 //! Beyond wall-clock timings, the bench prints (and asserts) the
 //! banded-vs-full `dp_cells` counts: on length-500+ pairs the adaptive
 //! band must fill strictly fewer cells than the full matrix.
+//!
+//! It also writes `BENCH_dp_kernel.json` at the workspace root —
+//! cells/sec and wall time per (length, band) — the committed baseline
+//! future kernel work (ROADMAP item 2) has to beat.
 
 use align::dp::{BandPolicy, DpArena};
 use align::pairwise::global_align_with;
@@ -50,6 +54,7 @@ fn bench(c: &mut Criterion) {
     );
     assert_eq!(auto.score, full.score, "adaptive banding must stay exact");
 
+    let mut baseline = Vec::new();
     for (label, a, b) in [("short_100", &short_a, &short_b), ("long_600", &long_a, &long_b)] {
         for (policy_label, policy) in [("full", BandPolicy::Full), ("auto", BandPolicy::Auto)] {
             c.bench_function(&format!("dp_kernel/global_{label}_{policy_label}"), |bch| {
@@ -57,8 +62,39 @@ fn bench(c: &mut Criterion) {
                     global_align_with(std::hint::black_box(a), b, &matrix, gaps, policy, &mut arena)
                 })
             });
+            // The JSON baseline: cells filled per second at this
+            // (length, band), median of a few timed repeats.
+            let cells = global_align_with(a, b, &matrix, gaps, policy, &mut arena).work.dp_cells;
+            let mut times: Vec<f64> = (0..9)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    std::hint::black_box(global_align_with(
+                        std::hint::black_box(a),
+                        b,
+                        &matrix,
+                        gaps,
+                        policy,
+                        &mut arena,
+                    ));
+                    start.elapsed().as_secs_f64()
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            let seconds = times[times.len() / 2];
+            baseline.push(format!(
+                "    {{\"kernel\": \"global_{label}_{policy_label}\", \"dp_cells\": {cells}, \
+                 \"seconds_median\": {seconds:.9}, \"cells_per_sec\": {:.0}}}",
+                cells as f64 / seconds
+            ));
         }
     }
+    let json = format!(
+        "{{\n  \"bench\": \"dp_kernel\",\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        baseline.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dp_kernel.json");
+    std::fs::write(&path, json).expect("write BENCH_dp_kernel.json");
+    println!("wrote {}", path.display());
 
     // Profile–profile DP, the progressive-alignment hot path.
     let fam = Family::generate(&FamilyConfig {

@@ -1,0 +1,102 @@
+//! Throughput of the `sad serve` daemon: 16 distinct families submitted
+//! over one client connection, timed from worker release to queue drain,
+//! at 1, 4, and 8 workers.
+//!
+//! Each run uses a fresh harness (fresh journal, empty result cache) so
+//! every job does real DP work — resubmitting the same family would be
+//! answered from the cache and measure nothing. Besides the criterion
+//! timings, the bench writes `BENCH_serve_throughput.json` at the
+//! workspace root so the perf trajectory has a committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_serve::{ServeHarness, Submitted};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+// Jobs sized so DP dominates the per-job fixed costs (journal flush,
+// socket round-trips) — small enough to keep the bench quick, big
+// enough that added workers actually show.
+const N_JOBS: usize = 16;
+const N_SEQS: usize = 24;
+const AVG_LEN: usize = 150;
+const SAMPLES: usize = 3;
+
+fn families() -> Vec<String> {
+    (0..N_JOBS)
+        .map(|i| {
+            let family = rosegen::Family::generate(&rosegen::FamilyConfig {
+                n_seqs: N_SEQS,
+                avg_len: AVG_LEN,
+                relatedness: 700.0,
+                seed: 0x5e57e + i as u64,
+                id_prefix: format!("fam{i}-"),
+                ..Default::default()
+            });
+            bioseq::fasta::write(&family.seqs)
+        })
+        .collect()
+}
+
+/// One full serve run: stage all jobs behind paused workers, then time
+/// release → drain. Returns the drain wall time in seconds.
+fn run_once(workers: usize, jobs: &[String]) -> f64 {
+    let mut h =
+        ServeHarness::new(&format!("bench-w{workers}")).workers(workers).paused(true).start();
+    let mut client = h.client();
+    for (i, fasta) in jobs.iter().enumerate() {
+        match client.submit(Some(&format!("job-{i}")), 0, fasta).expect("submit") {
+            Submitted::Accepted { .. } => {}
+            Submitted::Rejected { reason } => panic!("job-{i} rejected: {reason}"),
+        }
+    }
+    let start = Instant::now();
+    h.release_workers();
+    assert!(h.server().wait_idle(Duration::from_secs(120)), "drain");
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = h.shutdown();
+    assert_eq!(stats.completed, N_JOBS);
+    assert_eq!(stats.cache_hits, 0, "distinct families, no cache shortcuts");
+    seconds
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let jobs = families();
+    let mut rows = Vec::new();
+    for workers in [1usize, 4, 8] {
+        c.bench_function(&format!("serve/throughput_{N_JOBS}_jobs_w{workers}"), |b| {
+            b.iter(|| run_once(workers, &jobs))
+        });
+        let secs = median((0..SAMPLES).map(|_| run_once(workers, &jobs)).collect());
+        let jobs_per_sec = N_JOBS as f64 / secs;
+        println!("serve throughput: {workers} workers → {jobs_per_sec:.1} jobs/s");
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"seconds_median\": {secs:.6}, \
+             \"jobs_per_sec\": {jobs_per_sec:.2}}}"
+        ));
+    }
+
+    // Worker counts above the host's core count can't scale; record the
+    // core count so the baseline is interpretable on other machines.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"jobs\": {N_JOBS},\n  \
+         \"n_seqs\": {N_SEQS},\n  \"avg_len\": {AVG_LEN},\n  \"samples\": {SAMPLES},\n  \
+         \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve_throughput.json");
+    std::fs::write(&path, json).expect("write BENCH_serve_throughput.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench
+}
+criterion_main!(benches);

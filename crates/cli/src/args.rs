@@ -28,6 +28,13 @@ pub enum Command {
     Eval(EvalArgs),
     /// `sad rank <in.fasta> [--p N]`
     Rank(RankArgs),
+    /// `sad serve [--host H] [--port N] [--journal FILE] [--out DIR]
+    /// [--workers N] [--queue N] [--backend B] [--p N] [--threads N]
+    /// [--nodes N] [--engine E] [--kmer K] [--band B] [--no-fine-tune]`
+    Serve(ServeArgs),
+    /// `sad submit <files...> [--host H] [--port N] [--out DIR]
+    /// [--priority N] [--cancel ID] [--shutdown]`
+    Submit(SubmitArgs),
 }
 
 /// Options of `sad align`.
@@ -170,6 +177,75 @@ pub struct RankArgs {
     pub p: usize,
 }
 
+/// Options of `sad serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Interface to bind (`--host`, default `127.0.0.1`).
+    pub host: String,
+    /// Port to bind (`--port`, default 7401; `0` = OS-assigned).
+    pub port: u16,
+    /// Write-ahead journal path (`--journal`, default
+    /// `sad-serve.journal.jsonl`). Restarting against the same journal
+    /// resumes unfinished jobs and skips verified-finished ones.
+    pub journal: String,
+    /// Output directory for `<job>.aligned.fa` files (`--out`, default `.`).
+    pub out_dir: String,
+    /// Worker threads draining the queue (`--workers`); defaults to the
+    /// host's available parallelism.
+    pub workers: Option<usize>,
+    /// Pending-job queue bound (`--queue`, default 32).
+    pub queue: usize,
+    /// Per-job execution backend; defaults to `sequential` like `sad
+    /// batch` (throughput comes from `--workers`, not per-job width).
+    pub backend: Backend,
+    /// Generic per-job parallelism (`--p`), as in `sad align`.
+    pub p: usize,
+    /// Rayon bucket count (`--threads`), overriding `--p`.
+    pub threads: Option<usize>,
+    /// Virtual cluster size (`--nodes`), overriding `--p`.
+    pub nodes: Option<usize>,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// k-mer length override (`--kmer`).
+    pub kmer: Option<usize>,
+    /// DP kernel band policy (`--band auto|full|<width>`).
+    pub band: BandPolicy,
+    /// Disable the ancestor fine-tuning step.
+    pub no_fine_tune: bool,
+}
+
+impl ServeArgs {
+    /// Effective per-job decomposition width for the selected backend.
+    pub fn parallelism(&self) -> usize {
+        match self.backend {
+            Backend::Sequential => 1,
+            Backend::Rayon => self.threads.unwrap_or(self.p),
+            Backend::Distributed => self.nodes.unwrap_or(self.p),
+        }
+    }
+}
+
+/// Options of `sad submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// FASTA files to submit, one job per file (job id = file stem).
+    /// May be empty when only `--cancel`/`--shutdown` is requested.
+    pub files: Vec<String>,
+    /// Server host (`--host`, default `127.0.0.1`).
+    pub host: String,
+    /// Server port (`--port`, default 7401).
+    pub port: u16,
+    /// Directory to also write returned alignments into (`--out`);
+    /// without it results are printed to stdout only as event summaries.
+    pub out_dir: Option<String>,
+    /// Scheduling priority for every submitted job (`--priority`).
+    pub priority: i64,
+    /// Send `CANCEL <id>` instead of/alongside submissions (`--cancel`).
+    pub cancel: Option<String>,
+    /// Send `SHUTDOWN` after everything else (`--shutdown`).
+    pub shutdown: bool,
+}
+
 /// Parse failure with a usage hint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -197,6 +273,13 @@ usage: sad <command> [options]
   scaling  [--n N] [--procs 1,4,8,16]
   eval     [--cases C] [--p N]
   rank <in.fasta> [--p N]
+  serve    [--host H] [--port N] [--journal FILE] [--out DIR] [--workers N]
+                   [--queue N] [--backend sequential|rayon|distributed]
+                   [--p N] [--threads N] [--nodes N] [--no-fine-tune]
+                   [--kmer K] [--engine muscle-fast|muscle|clustalw]
+                   [--band auto|full|<width>]
+  submit <files...> [--host H] [--port N] [--out DIR] [--priority N]
+                   [--cancel ID] [--shutdown]
 ";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -421,6 +504,113 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
             }
             r.input = input.ok_or_else(|| ParseError("rank needs an input file".into()))?;
             Ok(Args { command: Command::Rank(r) })
+        }
+        "serve" => {
+            let mut s = ServeArgs {
+                host: "127.0.0.1".into(),
+                port: 7401,
+                journal: "sad-serve.journal.jsonl".into(),
+                out_dir: ".".into(),
+                workers: None,
+                queue: 32,
+                backend: Backend::Sequential,
+                p: 4,
+                threads: None,
+                nodes: None,
+                engine: EngineChoice::MuscleFast,
+                kmer: None,
+                band: BandPolicy::default(),
+                no_fine_tune: false,
+            };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--host" => s.host = take_value("--host", &mut it)?.to_string(),
+                    "--port" => s.port = parse_num("--port", take_value("--port", &mut it)?)?,
+                    "--journal" => s.journal = take_value("--journal", &mut it)?.to_string(),
+                    "--out" => s.out_dir = take_value("--out", &mut it)?.to_string(),
+                    "--workers" => {
+                        s.workers = Some(parse_num("--workers", take_value("--workers", &mut it)?)?)
+                    }
+                    "--queue" => s.queue = parse_num("--queue", take_value("--queue", &mut it)?)?,
+                    "--p" => s.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    "--kmer" => s.kmer = Some(parse_num("--kmer", take_value("--kmer", &mut it)?)?),
+                    "--band" => {
+                        let v = take_value("--band", &mut it)?;
+                        s.band = BandPolicy::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "--band takes auto, full or a positive width, not {v:?}"
+                            ))
+                        })?;
+                    }
+                    "--threads" => {
+                        s.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
+                    }
+                    "--nodes" => {
+                        s.nodes = Some(parse_num("--nodes", take_value("--nodes", &mut it)?)?)
+                    }
+                    "--engine" => s.engine = parse_engine(take_value("--engine", &mut it)?)?,
+                    "--backend" => {
+                        s.backend = match take_value("--backend", &mut it)? {
+                            "sequential" => Backend::Sequential,
+                            "rayon" => Backend::Rayon,
+                            "distributed" | "cluster" => Backend::Distributed,
+                            other => return Err(ParseError(format!("unknown backend {other:?}"))),
+                        }
+                    }
+                    "--no-fine-tune" => s.no_fine_tune = true,
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            if s.p == 0 || s.threads == Some(0) || s.nodes == Some(0) {
+                return Err(ParseError("--p/--threads/--nodes must be at least 1".into()));
+            }
+            if s.workers == Some(0) {
+                return Err(ParseError("--workers must be at least 1".into()));
+            }
+            if s.queue == 0 {
+                return Err(ParseError("--queue must be at least 1".into()));
+            }
+            if s.kmer == Some(0) {
+                return Err(ParseError("--kmer must be at least 1".into()));
+            }
+            if s.threads.is_some() && s.backend != Backend::Rayon {
+                return Err(ParseError("--threads only applies to --backend rayon".into()));
+            }
+            if s.nodes.is_some() && s.backend != Backend::Distributed {
+                return Err(ParseError("--nodes only applies to --backend distributed".into()));
+            }
+            Ok(Args { command: Command::Serve(s) })
+        }
+        "submit" => {
+            let mut s = SubmitArgs {
+                files: Vec::new(),
+                host: "127.0.0.1".into(),
+                port: 7401,
+                out_dir: None,
+                priority: 0,
+                cancel: None,
+                shutdown: false,
+            };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--host" => s.host = take_value("--host", &mut it)?.to_string(),
+                    "--port" => s.port = parse_num("--port", take_value("--port", &mut it)?)?,
+                    "--out" => s.out_dir = Some(take_value("--out", &mut it)?.to_string()),
+                    "--priority" => {
+                        s.priority = parse_num("--priority", take_value("--priority", &mut it)?)?
+                    }
+                    "--cancel" => s.cancel = Some(take_value("--cancel", &mut it)?.to_string()),
+                    "--shutdown" => s.shutdown = true,
+                    other if !other.starts_with("--") => s.files.push(other.to_string()),
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            if s.files.is_empty() && s.cancel.is_none() && !s.shutdown {
+                return Err(ParseError(
+                    "submit needs at least one FASTA file, --cancel or --shutdown".into(),
+                ));
+            }
+            Ok(Args { command: Command::Submit(s) })
         }
         "--help" | "-h" | "help" => Err(ParseError("".into())),
         other => Err(ParseError(format!("unknown command {other:?}"))),
@@ -667,6 +857,87 @@ mod tests {
     #[test]
     fn zero_p_rejected() {
         assert!(parse(["align", "x.fa", "--p", "0"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        match parse(["serve"]).unwrap().command {
+            Command::Serve(s) => {
+                assert_eq!(s.host, "127.0.0.1");
+                assert_eq!(s.port, 7401);
+                assert_eq!(s.journal, "sad-serve.journal.jsonl");
+                assert_eq!(s.out_dir, ".");
+                assert_eq!(s.workers, None);
+                assert_eq!(s.queue, 32);
+                assert_eq!(s.backend, Backend::Sequential);
+                assert_eq!(s.parallelism(), 1);
+            }
+            _ => panic!("wrong command"),
+        }
+        let parsed = parse([
+            "serve",
+            "--port",
+            "0",
+            "--journal",
+            "j.jsonl",
+            "--out",
+            "outdir/",
+            "--workers",
+            "4",
+            "--queue",
+            "8",
+            "--backend",
+            "rayon",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        match parsed.command {
+            Command::Serve(s) => {
+                assert_eq!(s.port, 0);
+                assert_eq!(s.journal, "j.jsonl");
+                assert_eq!(s.out_dir, "outdir/");
+                assert_eq!(s.workers, Some(4));
+                assert_eq!(s.queue, 8);
+                assert_eq!(s.backend, Backend::Rayon);
+                assert_eq!(s.parallelism(), 2);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["serve", "--workers", "0"]).is_err());
+        assert!(parse(["serve", "--queue", "0"]).is_err());
+        assert!(parse(["serve", "--threads", "4"]).is_err(), "threads need rayon");
+        assert!(parse(["serve", "extra.fa"]).is_err(), "serve takes no positional args");
+    }
+
+    #[test]
+    fn submit_files_and_control_flags() {
+        match parse(["submit", "a.fa", "b.fa", "--priority", "2", "--out", "res/"]).unwrap().command
+        {
+            Command::Submit(s) => {
+                assert_eq!(s.files, vec!["a.fa", "b.fa"]);
+                assert_eq!(s.priority, 2);
+                assert_eq!(s.out_dir.as_deref(), Some("res/"));
+                assert_eq!(s.port, 7401);
+                assert!(!s.shutdown);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(["submit", "--cancel", "fam_a"]).unwrap().command {
+            Command::Submit(s) => {
+                assert!(s.files.is_empty());
+                assert_eq!(s.cancel.as_deref(), Some("fam_a"));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(["submit", "--shutdown", "--port", "9000"]).unwrap().command {
+            Command::Submit(s) => {
+                assert!(s.shutdown);
+                assert_eq!(s.port, 9000);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["submit"]).is_err(), "needs files, --cancel or --shutdown");
     }
 
     #[test]

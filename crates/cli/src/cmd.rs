@@ -1,6 +1,9 @@
 //! Subcommand implementations.
 
-use crate::args::{AlignArgs, Backend, BatchArgs, EvalArgs, GenerateArgs, RankArgs, ScalingArgs};
+use crate::args::{
+    AlignArgs, Backend, BatchArgs, EvalArgs, GenerateArgs, RankArgs, ScalingArgs, ServeArgs,
+    SubmitArgs,
+};
 use bioseq::{fasta, Sequence};
 use qbench::{evaluate_engine, evaluate_with, Benchmark, BenchmarkConfig};
 use rosegen::{Family, FamilyConfig};
@@ -283,6 +286,180 @@ pub fn rank(r: RankArgs, out: Out) -> Result<(), String> {
     writeln!(out, "{:<24} {:>12} {:>12}", "id", "centralized", "globalized").ok();
     for (i, s) in seqs.iter().enumerate() {
         writeln!(out, "{:<24} {:>12.5} {:>12.5}", s.id, exp.centralized[i], exp.globalized[i]).ok();
+    }
+    Ok(())
+}
+
+/// `sad serve` — run the alignment daemon until SIGTERM/SIGINT or a
+/// client `SHUTDOWN`, then drain and exit.
+pub fn serve(s: ServeArgs, out: Out) -> Result<(), String> {
+    use sad_serve::{ServeBackend, ServeConfig, Server};
+    let mut cfg = SadConfig::default()
+        .with_engine(s.engine)
+        .with_fine_tune(!s.no_fine_tune)
+        .with_band_policy(s.band);
+    if let Some(k) = s.kmer {
+        cfg = cfg.with_kmer_k(k);
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    let backend = match s.backend {
+        Backend::Sequential => ServeBackend::Sequential,
+        Backend::Rayon => ServeBackend::Rayon { threads: s.parallelism() },
+        Backend::Distributed => ServeBackend::Distributed { nodes: s.parallelism() },
+    };
+    let workers = s.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    });
+    let serve_cfg = ServeConfig {
+        host: s.host.clone(),
+        port: s.port,
+        journal: PathBuf::from(&s.journal),
+        out_dir: PathBuf::from(&s.out_dir),
+        workers,
+        queue_capacity: s.queue,
+        backend,
+        sad: cfg,
+        paused: false,
+        log: true,
+        hold: None,
+    };
+    sad_serve::signal::install_shutdown_handler();
+    let handle = Server::start(serve_cfg).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "sad-serve listening on {} ({} workers, journal {})",
+        handle.addr(),
+        workers,
+        s.journal
+    )
+    .ok();
+    let recovery = &handle.recovery;
+    if !recovery.requeued.is_empty() || !recovery.skipped.is_empty() || !recovery.reran.is_empty() {
+        writeln!(
+            out,
+            "recovered journal: {} re-queued, {} verified-finished (skipped), {} re-run",
+            recovery.requeued.len(),
+            recovery.skipped.len(),
+            recovery.reran.len()
+        )
+        .ok();
+    }
+    out.flush().ok();
+    while !sad_serve::signal::shutdown_requested() && !handle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stats = handle.shutdown();
+    writeln!(
+        out,
+        "stopped: {} accepted, {} completed ({} cached), {} cancelled, {} failed",
+        stats.accepted, stats.completed, stats.cache_hits, stats.cancelled, stats.failed
+    )
+    .ok();
+    Ok(())
+}
+
+/// `sad submit` — send FASTA files (and/or a cancel or shutdown request)
+/// to a running `sad serve` and stream back results.
+pub fn submit(s: SubmitArgs, out: Out) -> Result<(), String> {
+    use sad_serve::{Client, Submitted};
+    use std::net::ToSocketAddrs;
+    use std::time::Duration;
+    let addr = format!("{}:{}", s.host, s.port)
+        .to_socket_addrs()
+        .map_err(|e| format!("bad server address {}:{}: {e}", s.host, s.port))?
+        .next()
+        .ok_or_else(|| format!("bad server address {}:{}", s.host, s.port))?;
+    let mut client = Client::connect_with_retry(addr, Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if let Some(dir) = &s.out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create output directory {dir}: {e}"))?;
+    }
+
+    let mut failures = 0usize;
+    let mut accepted: Vec<String> = Vec::new();
+    for file in &s.files {
+        let path = Path::new(file);
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("job");
+        match client.submit(Some(stem), s.priority, &text).map_err(|e| e.to_string())? {
+            Submitted::Accepted { job } => {
+                writeln!(out, "accepted {} as job {job}", path.display()).ok();
+                accepted.push(job);
+            }
+            Submitted::Rejected { reason } => {
+                writeln!(out, "rejected {}: {reason}", path.display()).ok();
+                failures += 1;
+            }
+        }
+    }
+    for job in &accepted {
+        let terminal =
+            client.wait_terminal(job, Duration::from_secs(600)).map_err(|e| e.to_string())?;
+        match terminal.get("event").and_then(sad_serve::Json::as_str) {
+            Some("result") => {
+                let rows = terminal.get("rows").and_then(sad_serve::Json::as_u64).unwrap_or(0);
+                let digest =
+                    terminal.get("digest").and_then(sad_serve::Json::as_str).unwrap_or("?");
+                let cached =
+                    terminal.get("cached").and_then(sad_serve::Json::as_bool).unwrap_or(false);
+                writeln!(
+                    out,
+                    "job {job}: {rows} rows, digest {digest}{}",
+                    if cached { " (cached)" } else { "" }
+                )
+                .ok();
+                if let Some(dir) = &s.out_dir {
+                    if let Some(fasta_text) =
+                        terminal.get("fasta").and_then(sad_serve::Json::as_str)
+                    {
+                        let path = Path::new(dir).join(format!("{job}.aligned.fa"));
+                        std::fs::write(&path, fasta_text)
+                            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    }
+                }
+            }
+            Some("cancelled") => {
+                let detail = terminal.get("detail").and_then(sad_serve::Json::as_str).unwrap_or("");
+                writeln!(out, "job {job}: cancelled ({detail})").ok();
+                failures += 1;
+            }
+            _ => {
+                let msg =
+                    terminal.get("message").and_then(sad_serve::Json::as_str).unwrap_or("error");
+                writeln!(out, "job {job}: error: {msg}").ok();
+                failures += 1;
+            }
+        }
+    }
+    if let Some(id) = &s.cancel {
+        client.cancel(id).map_err(|e| e.to_string())?;
+        match client.wait_event(Duration::from_secs(10), |e| {
+            e.get("job").and_then(sad_serve::Json::as_str) == Some(id.as_str())
+        }) {
+            Ok(event) => {
+                let kind = event.get("event").and_then(sad_serve::Json::as_str).unwrap_or("?");
+                writeln!(out, "cancel {id}: {kind}").ok();
+            }
+            Err(e) => {
+                writeln!(out, "cancel {id}: no acknowledgement ({e})").ok();
+                failures += 1;
+            }
+        }
+    }
+    if s.shutdown {
+        client.shutdown().map_err(|e| e.to_string())?;
+        // `bye` confirms the drain request landed; a disconnect counts too.
+        match client.wait_event(Duration::from_secs(5), |e| {
+            e.get("event").and_then(sad_serve::Json::as_str) == Some("bye")
+        }) {
+            Ok(_) => writeln!(out, "server draining").ok(),
+            Err(_) => writeln!(out, "server closed").ok(),
+        };
+    }
+    if failures > 0 {
+        return Err(format!("{failures} request(s) failed"));
     }
     Ok(())
 }

@@ -18,7 +18,15 @@
 //!   `--procs 1,4,8,16`);
 //! * `sad eval` — PREFAB-like quality table (`--cases`, `--p`);
 //! * `sad rank <in.fasta>` — print per-sequence k-mer ranks
-//!   (centralized and globalized).
+//!   (centralized and globalized);
+//! * `sad serve` — run the journaled alignment daemon: TCP job
+//!   submission, write-ahead journal with crash recovery, result cache,
+//!   drain on SIGTERM or client `SHUTDOWN` (`--host`, `--port`,
+//!   `--journal`, `--out`, `--workers`, `--queue`, plus the per-job
+//!   pipeline flags of `sad batch`);
+//! * `sad submit <files...>` — send FASTA files to a running server and
+//!   stream back results (`--host`, `--port`, `--out`, `--priority`,
+//!   `--cancel ID`, `--shutdown`).
 //!
 //! Argument parsing is hand-rolled (no external CLI dependency) and lives
 //! in [`args`]; command implementations live in [`cmd`].
@@ -41,5 +49,7 @@ pub fn run(args: Args, out: &mut dyn std::io::Write) -> Result<(), String> {
         Command::Scaling(s) => cmd::scaling(s, out),
         Command::Eval(e) => cmd::eval(e, out),
         Command::Rank(r) => cmd::rank(r, out),
+        Command::Serve(s) => cmd::serve(s, out),
+        Command::Submit(s) => cmd::submit(s, out),
     }
 }

@@ -227,7 +227,15 @@ fn run_job(
         obs.on_event(&Event::JobStarted { job: index, id: job.id.clone(), n_seqs: job.seqs.len() });
     }
     let t0 = Instant::now();
-    let outcome = aligner.run_inner(&job.seqs, backend, cancel, budget, arena);
+    // A job whose token is already poisoned must release its worker slot
+    // immediately: skip pipeline setup entirely (no `RunStarted`/
+    // `RunFinished`, no cluster spin-up) and report the same error the
+    // first phase boundary would have produced.
+    let outcome = if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+        Err(SadError::Cancelled { phase: first_phase(backend) })
+    } else {
+        aligner.run_inner(&job.seqs, backend, cancel, budget, arena)
+    };
     let seconds = t0.elapsed().as_secs_f64();
     if let Some(obs) = aligner.observer_ref() {
         obs.on_event(&Event::JobFinished {
@@ -238,6 +246,18 @@ fn run_job(
         });
     }
     JobReport { id: job.id.clone(), n_seqs: job.seqs.len(), seconds, outcome }
+}
+
+/// The phase a backend's pipeline would check first — what
+/// [`SadError::Cancelled`] reports when a run is cancelled before any
+/// work happens. The sequential pipeline has no k-mer ranking stage, so
+/// its first boundary is the local alignment itself.
+fn first_phase(backend: &Backend) -> crate::pipeline::Phase {
+    use crate::pipeline::Phase;
+    match backend {
+        Backend::Sequential => Phase::LocalAlign,
+        Backend::Rayon { .. } | Backend::Distributed(_) => Phase::LocalKmerRank,
+    }
 }
 
 /// The batch runner behind [`crate::Aligner::run_batch`] /
@@ -430,6 +450,59 @@ mod tests {
             batch.job("poisoned").unwrap().outcome,
             Err(SadError::Cancelled { phase: Phase::LocalAlign })
         );
+    }
+
+    #[test]
+    fn poisoned_job_releases_its_slot_without_entering_the_pipeline() {
+        // A pre-cancelled job must be reported `JobStarted`/`JobFinished`
+        // but never reach pipeline setup: no `RunStarted` may be emitted
+        // for it, and its wall-clock must be negligible — that's what
+        // "releases the worker slot immediately" means.
+        let poison = CancelToken::new();
+        poison.cancel();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let all = vec![
+            BatchJob::new("poisoned", family(6, 2)).with_cancel(poison),
+            BatchJob::new("ok", family(6, 1)),
+        ];
+        for backend in [
+            Backend::Sequential,
+            Backend::Rayon { threads: 2 },
+            Backend::Distributed(VirtualCluster::new(2, CostModel::beowulf_2008())),
+        ] {
+            events.lock().unwrap().clear();
+            let recorder = Arc::new({
+                let sink = Arc::clone(&sink);
+                move |e: &Event| sink.lock().unwrap().push(e.clone())
+            });
+            let batch = Aligner::new(SadConfig::default())
+                .backend(backend.clone())
+                .observer(recorder)
+                .run_batch_with(&all, 1);
+            let expected_phase = first_phase(&backend);
+            assert_eq!(
+                batch.job("poisoned").unwrap().outcome,
+                Err(SadError::Cancelled { phase: expected_phase }),
+                "{}",
+                backend.name()
+            );
+            assert_eq!(batch.succeeded(), 1, "{}", backend.name());
+            let log = events.lock().unwrap();
+            // Workers run jobs in order: the poisoned job's started/
+            // finished pair comes first, and the only RunStarted in the
+            // stream belongs to the healthy job.
+            let runs = log.iter().filter(|e| matches!(e, Event::RunStarted { .. })).count();
+            assert_eq!(runs, 1, "{}: poisoned job must not enter the pipeline", backend.name());
+            let poisoned_finish = log
+                .iter()
+                .find_map(|e| match e {
+                    Event::JobFinished { id, ok, .. } if id == "poisoned" => Some(*ok),
+                    _ => None,
+                })
+                .expect("poisoned job reports JobFinished");
+            assert!(!poisoned_finish, "{}", backend.name());
+        }
     }
 
     #[test]

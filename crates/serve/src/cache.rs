@@ -1,0 +1,90 @@
+//! The result cache: `(input digest, config fingerprint)` → aligned FASTA.
+//!
+//! The pipeline is deterministic, so two submissions with the same input
+//! bytes under the same configuration are guaranteed the same output
+//! bytes. The cache exploits that: a duplicate submission is answered at
+//! accept time from memory — no queue slot, no worker, no DP cells. The
+//! cache is rebuilt on restart from journal `Finished{digest}` entries
+//! whose output files still verify, so a warm restart keeps its hits.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A cached alignment result.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Digest of the aligned FASTA text.
+    pub digest: String,
+    /// Number of aligned rows.
+    pub rows: usize,
+    /// The aligned FASTA text itself.
+    pub fasta: String,
+}
+
+/// Thread-safe result cache.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<(String, String), CachedResult>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Look up a result by input digest + config fingerprint.
+    pub fn get(&self, input: &str, fingerprint: &str) -> Option<CachedResult> {
+        self.map.lock().unwrap().get(&(input.to_string(), fingerprint.to_string())).cloned()
+    }
+
+    /// Record a completed result.
+    pub fn insert(&self, input: &str, fingerprint: &str, result: CachedResult) {
+        self.map.lock().unwrap().insert((input.to_string(), fingerprint.to_string()), result);
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_both_key_halves() {
+        let cache = ResultCache::new();
+        let result =
+            CachedResult { digest: "d".into(), rows: 2, fasta: ">a\nMK-L\n>b\nMKIL\n".into() };
+        cache.insert("in1", "cfg1", result.clone());
+        assert_eq!(cache.get("in1", "cfg1").unwrap().fasta, result.fasta);
+        assert!(cache.get("in1", "cfg2").is_none(), "same input, other config: miss");
+        assert!(cache.get("in2", "cfg1").is_none(), "other input, same config: miss");
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn newer_insert_wins() {
+        let cache = ResultCache::new();
+        cache.insert(
+            "in",
+            "cfg",
+            CachedResult { digest: "old".into(), rows: 1, fasta: "old".into() },
+        );
+        cache.insert(
+            "in",
+            "cfg",
+            CachedResult { digest: "new".into(), rows: 1, fasta: "new".into() },
+        );
+        assert_eq!(cache.get("in", "cfg").unwrap().digest, "new");
+        assert_eq!(cache.len(), 1);
+    }
+}

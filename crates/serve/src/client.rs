@@ -1,0 +1,248 @@
+//! A blocking protocol client: what `sad submit` and the tests speak.
+
+use crate::json::Json;
+use crate::protocol::{LineEvent, LineReader};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A connected client. Reads are pull-based: [`Client::next_event`]
+/// surfaces server lines in arrival order; the `wait_*` helpers buffer
+/// unrelated events so interleaved job streams don't get lost.
+pub struct Client {
+    stream: TcpStream,
+    reader: LineReader<TcpStream>,
+    buffered: VecDeque<Json>,
+    /// The server greeting, captured at connect.
+    pub hello: Json,
+}
+
+/// A client-side protocol failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// The server sent something unparseable.
+    Protocol(String),
+    /// A `wait_*` deadline passed.
+    TimedOut,
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::TimedOut => write!(f, "timed out waiting for a server event"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The server's answer to a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submitted {
+    /// Admitted under this server-assigned job id.
+    Accepted {
+        /// The job id to watch for in subsequent events.
+        job: String,
+    },
+    /// Refused with this reason.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl Client {
+    /// Connect and read the server greeting.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone()?;
+        let mut client = Client {
+            stream,
+            reader: LineReader::new(reader_stream),
+            buffered: VecDeque::new(),
+            hello: Json::Null,
+        };
+        let hello = client.next_event(Duration::from_secs(5))?;
+        match hello.get("event").and_then(Json::as_str) {
+            Some("hello") => client.hello = hello,
+            _ => {
+                return Err(ClientError::Protocol(format!(
+                    "expected hello, got {}",
+                    hello.encode()
+                )))
+            }
+        }
+        Ok(client)
+    }
+
+    /// Connect, retrying for up to `patience` (covers server start-up
+    /// races in the CLI and CI smoke steps).
+    pub fn connect_with_retry(addr: SocketAddr, patience: Duration) -> Result<Client, ClientError> {
+        let deadline = Instant::now() + patience;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Submit a FASTA payload; block until the server accepts or rejects.
+    pub fn submit(
+        &mut self,
+        id: Option<&str>,
+        priority: i64,
+        fasta: &str,
+    ) -> Result<Submitted, ClientError> {
+        let mut fields = vec![("cmd", Json::str("submit"))];
+        if let Some(id) = id {
+            fields.push(("id", Json::str(id)));
+        }
+        fields.push(("priority", Json::Num(priority as f64)));
+        fields.push(("fasta", Json::str(fasta)));
+        let line =
+            Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>())
+                .encode();
+        self.send_line(&line)?;
+        // The ack names the requested id (or is the connection's next
+        // accepted/rejected when no id was proposed).
+        let ack = self.wait_event(Duration::from_secs(30), |e| {
+            let kind = e.get("event").and_then(Json::as_str);
+            if !matches!(kind, Some("accepted") | Some("rejected")) {
+                return false;
+            }
+            match id {
+                Some(id) => e.get("requested").and_then(Json::as_str) == Some(id),
+                None => true,
+            }
+        })?;
+        match ack.get("event").and_then(Json::as_str) {
+            Some("accepted") => {
+                let job = ack
+                    .get("job")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ClientError::Protocol("accepted without job id".into()))?;
+                Ok(Submitted::Accepted { job: job.to_string() })
+            }
+            _ => {
+                let reason =
+                    ack.get("reason").and_then(Json::as_str).unwrap_or("unknown").to_string();
+                Ok(Submitted::Rejected { reason })
+            }
+        }
+    }
+
+    /// Send `CANCEL <job>`.
+    pub fn cancel(&mut self, job: &str) -> Result<(), ClientError> {
+        self.send_line(&format!("CANCEL {job}"))
+    }
+
+    /// Send `SHUTDOWN` (drain-and-stop); the server answers `bye`.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send_line("SHUTDOWN")
+    }
+
+    /// One event straight off the wire, ignoring the buffer.
+    fn read_fresh(&mut self, timeout: Duration) -> Result<Json, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.reader.next_line()? {
+                LineEvent::Line(line) => {
+                    return Json::parse(&line)
+                        .map_err(|e| ClientError::Protocol(format!("bad event line: {e}")));
+                }
+                LineEvent::TimedOut => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::TimedOut);
+                    }
+                }
+                LineEvent::Eof => return Err(ClientError::Disconnected),
+            }
+        }
+    }
+
+    /// Next server event (buffered first), or [`ClientError::TimedOut`].
+    pub fn next_event(&mut self, timeout: Duration) -> Result<Json, ClientError> {
+        if let Some(event) = self.buffered.pop_front() {
+            return Ok(event);
+        }
+        self.read_fresh(timeout)
+    }
+
+    /// Pull events until one matches `pred`, buffering the rest in order.
+    pub fn wait_event(
+        &mut self,
+        timeout: Duration,
+        pred: impl Fn(&Json) -> bool,
+    ) -> Result<Json, ClientError> {
+        // The match may already be sitting in the buffer.
+        if let Some(at) = self.buffered.iter().position(&pred) {
+            return Ok(self.buffered.remove(at).expect("index in range"));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::TimedOut);
+            }
+            let event = self.read_fresh(remaining)?;
+            if pred(&event) {
+                return Ok(event);
+            }
+            self.buffered.push_back(event);
+        }
+    }
+
+    /// Wait for the terminal event of `job`: `result`, `cancelled`, or
+    /// `error`.
+    pub fn wait_terminal(&mut self, job: &str, timeout: Duration) -> Result<Json, ClientError> {
+        self.wait_event(timeout, |e| {
+            e.get("job").and_then(Json::as_str) == Some(job)
+                && matches!(
+                    e.get("event").and_then(Json::as_str),
+                    Some("result") | Some("cancelled") | Some("error")
+                )
+        })
+    }
+
+    /// Wait specifically for a `result` event of `job`.
+    pub fn wait_result(&mut self, job: &str, timeout: Duration) -> Result<Json, ClientError> {
+        let terminal = self.wait_terminal(job, timeout)?;
+        match terminal.get("event").and_then(Json::as_str) {
+            Some("result") => Ok(terminal),
+            _ => Err(ClientError::Protocol(format!(
+                "job {job} did not produce a result: {}",
+                terminal.encode()
+            ))),
+        }
+    }
+}

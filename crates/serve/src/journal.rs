@@ -1,0 +1,379 @@
+//! The write-ahead job journal: append-only JSONL, replayed on restart.
+//!
+//! Every job leaves a durable trail: one [`JournalEntry::Accepted`] line
+//! (carrying the full input so a restarted server can re-run the job
+//! without the submitting client), one `Started` line per attempt, and
+//! exactly one terminal `Finished` line — with the output digest on
+//! success, so recovery can verify the output file before trusting it.
+//!
+//! Replay is tolerant of exactly one failure mode: a torn or truncated
+//! **final** line (the write the process died inside). Anything else —
+//! garbage in the middle of the file, an unknown entry kind, a missing
+//! field — is a hard [`JournalError::CorruptLine`]: the journal is the
+//! source of truth for what work is owed, and silently skipping interior
+//! damage could drop or double-run jobs.
+
+use crate::json::Json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// A job entered the system: the write that makes it durable. Carries
+    /// everything needed to re-run it after a crash.
+    Accepted {
+        /// Server-unique job id.
+        job: String,
+        /// Submitting client (connection number; `None` for jobs re-queued
+        /// by recovery).
+        client: Option<u64>,
+        /// Scheduling priority (higher first).
+        priority: i64,
+        /// Digest of `fasta` (the cache key's first half).
+        input: String,
+        /// Fingerprint of the config the job will run under (the cache
+        /// key's second half).
+        fingerprint: String,
+        /// The raw FASTA input.
+        fasta: String,
+    },
+    /// A worker picked the job up. A job may start more than once across
+    /// restarts; it finishes exactly once.
+    Started {
+        /// The job id.
+        job: String,
+    },
+    /// The job reached a terminal state.
+    Finished {
+        /// The job id.
+        job: String,
+        /// Whether an alignment was produced.
+        ok: bool,
+        /// Digest of the written output file (present iff `ok`).
+        digest: Option<String>,
+        /// The failure rendering (present iff `!ok`).
+        error: Option<String>,
+    },
+}
+
+impl JournalEntry {
+    /// The job id this entry belongs to.
+    pub fn job(&self) -> &str {
+        match self {
+            JournalEntry::Accepted { job, .. }
+            | JournalEntry::Started { job }
+            | JournalEntry::Finished { job, .. } => job,
+        }
+    }
+
+    /// Encode as one JSONL line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            JournalEntry::Accepted { job, client, priority, input, fingerprint, fasta } => {
+                Json::obj([
+                    ("entry", Json::str("accepted")),
+                    ("job", Json::str(job)),
+                    ("client", client.map_or(Json::Null, |c| Json::Num(c as f64))),
+                    ("priority", Json::Num(*priority as f64)),
+                    ("input", Json::str(input)),
+                    ("fingerprint", Json::str(fingerprint)),
+                    ("fasta", Json::str(fasta)),
+                ])
+            }
+            JournalEntry::Started { job } => {
+                Json::obj([("entry", Json::str("started")), ("job", Json::str(job))])
+            }
+            JournalEntry::Finished { job, ok, digest, error } => Json::obj([
+                ("entry", Json::str("finished")),
+                ("job", Json::str(job)),
+                ("ok", Json::Bool(*ok)),
+                ("digest", digest.as_ref().map_or(Json::Null, Json::str)),
+                ("error", error.as_ref().map_or(Json::Null, Json::str)),
+            ]),
+        }
+        .encode()
+    }
+
+    /// Decode one journal line.
+    pub fn decode(line: &str) -> Result<JournalEntry, String> {
+        let value = Json::parse(line).map_err(|e| e.to_string())?;
+        let kind = value
+            .get("entry")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing \"entry\" kind".to_string())?;
+        let job = value
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing \"job\" id".to_string())?
+            .to_string();
+        let text = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing {key:?}"))
+        };
+        match kind {
+            "accepted" => Ok(JournalEntry::Accepted {
+                job,
+                client: value.get("client").and_then(Json::as_u64),
+                priority: value.get("priority").and_then(Json::as_i64).unwrap_or(0),
+                input: text("input")?,
+                fingerprint: text("fingerprint")?,
+                fasta: text("fasta")?,
+            }),
+            "started" => Ok(JournalEntry::Started { job }),
+            "finished" => {
+                let ok = value
+                    .get("ok")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| "missing \"ok\" verdict".to_string())?;
+                Ok(JournalEntry::Finished {
+                    job,
+                    ok,
+                    digest: value.get("digest").and_then(Json::as_str).map(str::to_string),
+                    error: value.get("error").and_then(Json::as_str).map(str::to_string),
+                })
+            }
+            other => Err(format!("unknown entry kind {other:?}")),
+        }
+    }
+}
+
+/// Why a journal could not be replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// A non-final line failed to decode — interior corruption is never
+    /// silently skipped.
+    CorruptLine {
+        /// 1-based line number.
+        line: usize,
+        /// The decode failure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::CorruptLine { line, reason } => {
+                write!(f, "corrupt journal line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The outcome of replaying a journal file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every decoded entry, in file order.
+    pub entries: Vec<JournalEntry>,
+    /// Whether an unparseable final line was dropped (a torn write from
+    /// the previous process's death).
+    pub dropped_torn_tail: bool,
+}
+
+/// Replay a journal file. A missing file is an empty journal. The final
+/// line is allowed to be torn (dropped, reported via
+/// [`Replay::dropped_torn_tail`]); any earlier undecodable line is a hard
+/// [`JournalError::CorruptLine`].
+pub fn replay(path: &Path) -> Result<Replay, JournalError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Replay::default()),
+        Err(e) => return Err(JournalError::Io(e)),
+    };
+    let lines: Vec<&str> = text.split('\n').collect();
+    let mut replay = Replay::default();
+    // `split('\n')` yields a final "" for a well-terminated file; a
+    // non-empty final element means the last write had no newline — the
+    // classic torn tail.
+    let last = lines.len() - 1;
+    for (i, line) in lines.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match JournalEntry::decode(line) {
+            Ok(entry) => replay.entries.push(entry),
+            Err(_) if i == last || (i == last - 1 && lines[last].is_empty()) => {
+                // The final line of the file: tolerated as a torn write.
+                replay.dropped_torn_tail = true;
+            }
+            Err(reason) => return Err(JournalError::CorruptLine { line: i + 1, reason }),
+        }
+    }
+    Ok(replay)
+}
+
+/// The append-only journal writer. One line per entry, flushed before the
+/// call returns so the entry is durable (from the process's point of view)
+/// before dependent state becomes visible.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Open (creating if missing) the journal at `path` for appending.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one entry and flush it.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
+        let mut line = entry.encode();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sad-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry::Accepted {
+                job: "fam_a".into(),
+                client: Some(1),
+                priority: 2,
+                input: "00000000deadbeef".into(),
+                fingerprint: "0000000000000001".into(),
+                fasta: ">a\nMKVL\n>b\nMKIL\n".into(),
+            },
+            JournalEntry::Started { job: "fam_a".into() },
+            JournalEntry::Finished {
+                job: "fam_a".into(),
+                ok: true,
+                digest: Some("00000000cafebabe".into()),
+                error: None,
+            },
+            JournalEntry::Finished {
+                job: "fam_b".into(),
+                ok: false,
+                digest: None,
+                error: Some("cancelled before start".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn entries_roundtrip_through_jsonl() {
+        for entry in sample_entries() {
+            let line = entry.encode();
+            assert!(!line.contains('\n'), "one line per entry: {line}");
+            assert_eq!(JournalEntry::decode(&line).unwrap(), entry, "{line}");
+            assert_eq!(
+                entry.job(),
+                if matches!(entry, JournalEntry::Finished { ok: false, .. }) {
+                    "fam_b"
+                } else {
+                    "fam_a"
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn append_then_replay_is_identity() {
+        let path = tmp("roundtrip.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path).unwrap();
+        for entry in sample_entries() {
+            journal.append(&entry).unwrap();
+        }
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.entries, sample_entries());
+        assert!(!replay.dropped_torn_tail);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let replay = replay(Path::new("/nonexistent/sad/journal.jsonl")).unwrap();
+        assert!(replay.entries.is_empty());
+        assert!(!replay.dropped_torn_tail);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let path = tmp("torn.jsonl");
+        let good = JournalEntry::Started { job: "fam_a".into() }.encode();
+        // Case 1: the process died mid-write — no trailing newline.
+        std::fs::write(&path, format!("{good}\n{{\"entry\":\"finis")).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.dropped_torn_tail);
+        // Case 2: a newline made it out but the line is still garbage.
+        std::fs::write(&path, format!("{good}\n{{\"entry\":\"finis\n")).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.dropped_torn_tail);
+    }
+
+    #[test]
+    fn interior_corruption_is_a_hard_error() {
+        let path = tmp("corrupt.jsonl");
+        let good = JournalEntry::Started { job: "fam_a".into() }.encode();
+        std::fs::write(&path, format!("{good}\nGARBAGE NOT JSON\n{good}\n")).unwrap();
+        match replay(&path) {
+            Err(JournalError::CorruptLine { line: 2, .. }) => {}
+            other => panic!("expected CorruptLine at 2, got {other:?}"),
+        }
+        // Decodable JSON with an unknown kind is just as corrupt.
+        std::fs::write(&path, format!("{{\"entry\":\"exploded\",\"job\":\"x\"}}\n{good}\n"))
+            .unwrap();
+        match replay(&path) {
+            Err(JournalError::CorruptLine { line: 1, reason }) => {
+                assert!(reason.contains("exploded"), "{reason}");
+                assert!(format!("{}", JournalError::CorruptLine { line: 1, reason })
+                    .contains("corrupt journal line 1"));
+            }
+            other => panic!("expected CorruptLine at 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_missing_fields() {
+        for bad in [
+            "{\"job\":\"x\"}",
+            "{\"entry\":\"accepted\",\"job\":\"x\"}",
+            "{\"entry\":\"finished\",\"job\":\"x\"}",
+            "{\"entry\":\"started\"}",
+        ] {
+            assert!(JournalEntry::decode(bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,955 @@
+//! The daemon: accept loop, connection readers, worker pool, recovery.
+//!
+//! Lifecycle of a job:
+//!
+//! 1. A connection reader parses a `submit`, validates the FASTA, and —
+//!    under the queue lock — journals `Accepted` and acknowledges the
+//!    client *before* the job becomes visible to workers.
+//! 2. A worker pops it (priority + per-client round-robin), journals
+//!    `Started`, and runs it on the server's backend, forwarding
+//!    `PhaseFinished` observer events to the submitting client.
+//! 3. On success the worker writes `<out>/<job>.aligned.fa`, journals
+//!    `Finished{digest}`, feeds the result cache, and streams the aligned
+//!    FASTA back. On failure (including cancellation) it journals
+//!    `Finished{ok:false}` — unless the server was [`ServerHandle::kill`]ed,
+//!    which deliberately skips the terminal journal write to simulate a
+//!    crash, leaving the journal owing the job.
+//!
+//! On [`Server::start`], the journal is replayed: finished jobs whose
+//! output file still matches the journaled digest are skipped (and warm
+//! the cache); everything else still owed is re-queued.
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::digest;
+use crate::journal::{Journal, JournalEntry, JournalError};
+use crate::protocol::{event, parse_request, LineEvent, LineReader, Request};
+use crate::queue::{JobQueue, PushError, PushResult, QueuedJob};
+use sad_core::{Aligner, Backend, CancelToken, Event, SadConfig, SadError};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vcluster::{CostModel, VirtualCluster};
+
+/// Which execution substrate the server runs jobs on. A plain-data mirror
+/// of [`Backend`] (the distributed arm names a cluster size rather than
+/// holding a live cluster), so the config stays `Clone + Debug` and each
+/// worker can build its own backend instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// Direct single-bucket runs.
+    Sequential,
+    /// Shared-memory pipeline with this many threads per job.
+    Rayon {
+        /// Threads per job.
+        threads: usize,
+    },
+    /// Virtual-cluster pipeline with this many nodes per job.
+    Distributed {
+        /// Cluster nodes per job.
+        nodes: usize,
+    },
+}
+
+impl ServeBackend {
+    /// Build a fresh backend instance (each worker gets its own).
+    pub fn instantiate(&self) -> Backend {
+        match self {
+            ServeBackend::Sequential => Backend::Sequential,
+            ServeBackend::Rayon { threads } => Backend::Rayon { threads: *threads },
+            ServeBackend::Distributed { nodes } => {
+                Backend::Distributed(VirtualCluster::new(*nodes, CostModel::beowulf_2008()))
+            }
+        }
+    }
+
+    /// Stable label for logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeBackend::Sequential => "sequential",
+            ServeBackend::Rayon { .. } => "rayon",
+            ServeBackend::Distributed { .. } => "distributed",
+        }
+    }
+}
+
+/// Deterministic mid-job breakpoint for tests: while engaged, every job
+/// blocks right after journaling `Started` (and streaming its `started`
+/// event) until [`JobHold::release`]. This lets a test pin a worker
+/// *inside* a job — then kill the server or cancel the job — without any
+/// timing race, no matter how fast the alignment itself is. A kill wakes
+/// held workers immediately. Disengaged holds are free to pass through.
+#[derive(Clone, Default)]
+pub struct JobHold {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl JobHold {
+    /// A disengaged hold (jobs pass straight through).
+    pub fn new() -> JobHold {
+        JobHold::default()
+    }
+
+    /// Block every subsequent job right after its `started` event.
+    pub fn engage(&self) {
+        *self.gate.0.lock().unwrap() = true;
+    }
+
+    /// Let held (and future) jobs proceed.
+    pub fn release(&self) {
+        *self.gate.0.lock().unwrap() = false;
+        self.gate.1.notify_all();
+    }
+
+    /// Park until released or `abort` turns true (polled, so a kill that
+    /// never notifies still gets through).
+    fn wait(&self, abort: impl Fn() -> bool) {
+        let (lock, cv) = &*self.gate;
+        let mut engaged = lock.lock().unwrap();
+        while *engaged && !abort() {
+            engaged = cv.wait_timeout(engaged, Duration::from_millis(20)).unwrap().0;
+        }
+    }
+}
+
+impl std::fmt::Debug for JobHold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHold").field("engaged", &*self.gate.0.lock().unwrap()).finish()
+    }
+}
+
+/// Everything a server needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind; `0` asks the OS for an ephemeral port (tests).
+    pub port: u16,
+    /// Path of the write-ahead journal (created if missing).
+    pub journal: PathBuf,
+    /// Directory for `<job>.aligned.fa` outputs (created if missing).
+    pub out_dir: PathBuf,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bound on pending (queued, not yet started) jobs.
+    pub queue_capacity: usize,
+    /// Execution substrate for every job.
+    pub backend: ServeBackend,
+    /// Pipeline configuration for every job.
+    pub sad: SadConfig,
+    /// Start with workers paused (tests stage queues deterministically,
+    /// then call [`ServerHandle::release_workers`]).
+    pub paused: bool,
+    /// Log lifecycle lines to stderr.
+    pub log: bool,
+    /// Optional mid-job breakpoint (tests only; `None` in production).
+    pub hold: Option<JobHold>,
+}
+
+impl ServeConfig {
+    /// A localhost config with the given journal path and output
+    /// directory; everything else defaulted (1 worker, queue of 32,
+    /// sequential backend, ephemeral port).
+    pub fn new(journal: impl Into<PathBuf>, out_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            host: "127.0.0.1".into(),
+            port: 0,
+            journal: journal.into(),
+            out_dir: out_dir.into(),
+            workers: 1,
+            queue_capacity: 32,
+            backend: ServeBackend::Sequential,
+            sad: SadConfig::default(),
+            paused: false,
+            log: false,
+            hold: None,
+        }
+    }
+}
+
+/// Why a server failed to start or operate.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The journal could not be replayed or appended.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> Self {
+        ServeError::Journal(e)
+    }
+}
+
+/// What journal replay decided for each journaled job.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryReport {
+    /// Jobs re-queued because they were accepted but never finished.
+    pub requeued: Vec<String>,
+    /// Finished jobs whose output file verified against the journaled
+    /// digest — skipped, and their results warm the cache.
+    pub skipped: Vec<String>,
+    /// Finished jobs whose output file was missing or failed digest
+    /// verification — re-queued to run again.
+    pub reran: Vec<String>,
+    /// Whether the journal's final line was torn and dropped.
+    pub dropped_torn_tail: bool,
+}
+
+/// A snapshot of server counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Jobs admitted (including cache hits and recovery re-queues).
+    pub accepted: usize,
+    /// Jobs finished with an alignment (including cache hits).
+    pub completed: usize,
+    /// Submissions answered from the result cache with no worker.
+    pub cache_hits: usize,
+    /// Jobs that ended cancelled.
+    pub cancelled: usize,
+    /// Jobs that ended in a non-cancellation error.
+    pub failed: usize,
+    /// DP cells actually computed by workers since start — the "zero new
+    /// work" assertion for cached resubmission reads this.
+    pub dp_cells: u64,
+}
+
+/// One connected client's outgoing line stream, shared between the
+/// connection's reader thread (acks) and whatever worker runs its jobs
+/// (progress + results). Write failures are swallowed: a client that
+/// disconnected mid-stream must not crash the job, which still completes
+/// and journals normally.
+#[derive(Clone)]
+pub struct EventSink(Arc<Mutex<Option<TcpStream>>>);
+
+impl EventSink {
+    fn new(stream: TcpStream) -> EventSink {
+        EventSink(Arc::new(Mutex::new(Some(stream))))
+    }
+
+    /// A sink that discards everything (recovered jobs have no client).
+    pub fn null() -> EventSink {
+        EventSink(Arc::new(Mutex::new(None)))
+    }
+
+    /// Send one event line (newline appended). Errors are ignored.
+    pub fn send(&self, line: &str) {
+        let mut guard = self.0.lock().unwrap();
+        if let Some(stream) = guard.as_mut() {
+            let mut bytes = line.as_bytes().to_vec();
+            bytes.push(b'\n');
+            if stream.write_all(&bytes).and_then(|()| stream.flush()).is_err() {
+                // Peer gone: stop trying for the rest of the connection.
+                *guard = None;
+            }
+        }
+    }
+}
+
+struct Stats {
+    accepted: AtomicUsize,
+    completed: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cancelled: AtomicUsize,
+    failed: AtomicUsize,
+    dp_cells: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    fingerprint: String,
+    queue: JobQueue,
+    journal: Mutex<Journal>,
+    cache: ResultCache,
+    /// Per-job cancel tokens, registered at admission, removed at the
+    /// job's terminal event. Covers both pending and running jobs.
+    inflight: Mutex<HashMap<String, CancelToken>>,
+    /// Submitting client's sink per job (absent for recovered jobs).
+    sinks: Mutex<HashMap<String, EventSink>>,
+    /// All job ids ever seen (journal + live), for collision handling.
+    ids: Mutex<std::collections::HashSet<String>>,
+    next_client: AtomicU64,
+    next_job: AtomicU64,
+    /// Abrupt-stop flag: workers stop journaling and exit ASAP.
+    kill: AtomicBool,
+    /// Graceful-stop flag: stop accepting, drain the queue, exit.
+    drain: AtomicBool,
+    /// Fused into every job's cancel token; [`ServerHandle::kill`] fires it.
+    kill_token: CancelToken,
+    /// Worker pause gate (`paused`, release via notify).
+    gate: Mutex<bool>,
+    gate_cv: Condvar,
+    /// Jobs currently executing on a worker.
+    active: AtomicUsize,
+    stats: Stats,
+}
+
+impl Shared {
+    fn output_path(&self, job: &str) -> PathBuf {
+        self.cfg.out_dir.join(format!("{job}.aligned.fa"))
+    }
+
+    fn log(&self, line: &str) {
+        if self.cfg.log {
+            eprintln!("[sad-serve] {line}");
+        }
+    }
+
+    fn journal_append(&self, entry: &JournalEntry) -> Result<(), JournalError> {
+        self.journal.lock().unwrap().append(entry)
+    }
+
+    /// Reserve a server-unique job id, unique-ifying collisions with a
+    /// `-2`, `-3`… suffix (the batch runner's convention).
+    fn reserve_id(&self, requested: Option<&str>) -> String {
+        let base = match requested {
+            Some(id) if !id.trim().is_empty() => id.trim().to_string(),
+            _ => format!("job-{}", self.next_job.fetch_add(1, Ordering::Relaxed) + 1),
+        };
+        let mut ids = self.ids.lock().unwrap();
+        if ids.insert(base.clone()) {
+            return base;
+        }
+        let mut n = 2usize;
+        loop {
+            let candidate = format!("{base}-{n}");
+            if ids.insert(candidate.clone()) {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] or [`ServerHandle::kill`].
+pub struct Server;
+
+impl Server {
+    /// Replay the journal, bind the socket, start workers and the accept
+    /// loop.
+    pub fn start(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+        std::fs::create_dir_all(&cfg.out_dir)?;
+        let replay = crate::journal::replay(&cfg.journal)?;
+        let backend_proto = cfg.backend.instantiate();
+        let fingerprint = digest::config_fingerprint(&cfg.sad, &backend_proto);
+        let workers = cfg.workers.max(1);
+        let paused = cfg.paused;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_capacity.max(1)),
+            journal: Mutex::new(Journal::open(&cfg.journal)?),
+            cache: ResultCache::new(),
+            inflight: Mutex::new(HashMap::new()),
+            sinks: Mutex::new(HashMap::new()),
+            ids: Mutex::new(std::collections::HashSet::new()),
+            next_client: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+            kill: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            kill_token: CancelToken::new(),
+            gate: Mutex::new(paused),
+            gate_cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+            stats: Stats {
+                accepted: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                cache_hits: AtomicUsize::new(0),
+                cancelled: AtomicUsize::new(0),
+                failed: AtomicUsize::new(0),
+                dp_cells: AtomicU64::new(0),
+            },
+            fingerprint,
+            cfg,
+        });
+
+        let recovery = recover(&shared, replay);
+        shared.log(&format!(
+            "recovery: {} requeued, {} skipped, {} reran",
+            recovery.requeued.len(),
+            recovery.skipped.len(),
+            recovery.reran.len()
+        ));
+
+        let listener = TcpListener::bind((shared.cfg.host.as_str(), shared.cfg.port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        shared.log(&format!("listening on {addr} ({})", shared.cfg.backend.label()));
+
+        let worker_handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sad-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sad-serve-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle { shared, addr, accept: Some(accept), workers: worker_handles, recovery })
+    }
+}
+
+/// Control handle for a started server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// What journal replay decided at start.
+    pub recovery: RecoveryReport,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Open the worker pause gate (no-op if not paused).
+    pub fn release_workers(&self) {
+        *self.shared.gate.lock().unwrap() = false;
+        self.shared.gate_cv.notify_all();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            dp_cells: s.dp_cells.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of journal-replay cache entries plus live results.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Whether a graceful shutdown has been requested (by a client
+    /// `SHUTDOWN` or by [`ServerHandle::shutdown`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.drain.load(Ordering::SeqCst)
+    }
+
+    /// Block until the queue is empty and no job is executing, or the
+    /// timeout passes. Returns whether idle was reached.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.queue.is_empty() && self.shared.active.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Graceful stop: stop accepting, let workers drain the queue, join
+    /// everything. Running and queued jobs complete and journal normally.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop(false);
+        self.stats()
+    }
+
+    /// Abrupt stop simulating a crash: fire the kill token, drop queued
+    /// jobs, and make workers exit *without* journaling terminal entries
+    /// for jobs the kill interrupted — the journal is left owing them,
+    /// exactly as a SIGKILL would.
+    pub fn kill(mut self) -> ServerStats {
+        self.stop(true);
+        self.stats()
+    }
+
+    fn stop(&mut self, kill: bool) {
+        if kill {
+            self.shared.kill.store(true, Ordering::SeqCst);
+            self.shared.kill_token.cancel();
+            self.shared.queue.clear();
+        }
+        self.shared.drain.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Wake paused workers so they can observe the flags and exit.
+        self.release_workers();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.log(if kill { "killed" } else { "drained and stopped" });
+    }
+}
+
+/// Fold the replayed journal into queue + cache state.
+fn recover(shared: &Arc<Shared>, replay: crate::journal::Replay) -> RecoveryReport {
+    struct JobTrail {
+        accepted: Option<JournalEntry>,
+        finished: Option<(bool, Option<String>)>,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut trails: HashMap<String, JobTrail> = HashMap::new();
+    for entry in &replay.entries {
+        let job = entry.job().to_string();
+        let trail = trails.entry(job.clone()).or_insert_with(|| {
+            order.push(job.clone());
+            JobTrail { accepted: None, finished: None }
+        });
+        match entry {
+            JournalEntry::Accepted { .. } => trail.accepted = Some(entry.clone()),
+            JournalEntry::Started { .. } => {}
+            JournalEntry::Finished { ok, digest, .. } => {
+                trail.finished = Some((*ok, digest.clone()));
+            }
+        }
+    }
+    let mut report =
+        RecoveryReport { dropped_torn_tail: replay.dropped_torn_tail, ..Default::default() };
+    for id in order {
+        let trail = &trails[&id];
+        shared.ids.lock().unwrap().insert(id.clone());
+        let Some(JournalEntry::Accepted { priority, input, fingerprint, fasta, .. }) =
+            trail.accepted.clone()
+        else {
+            continue;
+        };
+        let requeue = |report_bucket: &mut Vec<String>| {
+            let job = QueuedJob {
+                id: id.clone(),
+                client: None,
+                priority,
+                input: input.clone(),
+                fingerprint: shared.fingerprint.clone(),
+                fasta: fasta.clone(),
+            };
+            if shared.queue.push_recovered(job).is_ok() {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                report_bucket.push(id.clone());
+            }
+        };
+        match &trail.finished {
+            None => requeue(&mut report.requeued),
+            Some((true, Some(digest))) => {
+                let path = shared.output_path(&id);
+                match std::fs::read_to_string(&path) {
+                    Ok(text) if digest::payload(&text) == *digest => {
+                        let rows = text.lines().filter(|l| l.starts_with('>')).count();
+                        shared.cache.insert(
+                            &input,
+                            &fingerprint,
+                            CachedResult { digest: digest.clone(), rows, fasta: text },
+                        );
+                        report.skipped.push(id.clone());
+                    }
+                    // Missing or corrupt output: the journaled claim fails
+                    // verification, so the work is still owed.
+                    _ => requeue(&mut report.reran),
+                }
+            }
+            // `ok` with no digest never happens in well-formed journals;
+            // treat it like a failed verification.
+            Some((true, None)) => requeue(&mut report.reran),
+            // Terminal failure (including explicit cancels): not re-run.
+            Some((false, _)) => {}
+        }
+    }
+    report
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.kill.load(Ordering::SeqCst) || shared.drain.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                // Events are small single lines; without NODELAY they sit
+                // in Nagle's buffer and clients see them tens of ms late.
+                stream.set_nodelay(true).ok();
+                let client = shared.next_client.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.log(&format!("client {client} connected from {peer}"));
+                let shared = Arc::clone(shared);
+                // Detached: the thread exits on EOF, read error, or kill.
+                let _ = std::thread::Builder::new()
+                    .name(format!("sad-serve-conn-{client}"))
+                    .spawn(move || connection_loop(&shared, stream, client));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, client: u64) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let sink = EventSink::new(stream);
+    sink.send(&event::hello());
+    let mut reader = LineReader::new(reader_stream);
+    loop {
+        match reader.next_line() {
+            Ok(LineEvent::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line) {
+                    Ok(Request::Submit { id, priority, fasta }) => {
+                        handle_submit(shared, client, &sink, id.as_deref(), priority, &fasta);
+                    }
+                    Ok(Request::Cancel { job }) => handle_cancel(shared, &sink, &job),
+                    Ok(Request::Shutdown) => {
+                        shared.log(&format!("client {client} requested shutdown"));
+                        sink.send(&event::bye());
+                        shared.drain.store(true, Ordering::SeqCst);
+                        shared.queue.close();
+                        return;
+                    }
+                    Err(reason) => sink.send(&event::error(None, &reason)),
+                }
+            }
+            Ok(LineEvent::TimedOut) => {
+                if shared.kill.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(LineEvent::Eof) | Err(_) => {
+                shared.log(&format!("client {client} disconnected"));
+                return;
+            }
+        }
+    }
+}
+
+fn handle_submit(
+    shared: &Arc<Shared>,
+    client: u64,
+    sink: &EventSink,
+    requested: Option<&str>,
+    priority: i64,
+    fasta: &str,
+) {
+    let label = requested.unwrap_or("<unnamed>");
+    // Validate before spending a job id or queue slot.
+    let seqs = match bioseq::fasta::parse(fasta) {
+        Ok(seqs) => seqs,
+        Err(e) => {
+            sink.send(&event::rejected(label, &format!("invalid FASTA: {e}")));
+            return;
+        }
+    };
+    if let Err(e) = shared.cfg.sad.validate_for(&seqs) {
+        sink.send(&event::rejected(label, &e.to_string()));
+        return;
+    }
+    let id = shared.reserve_id(requested);
+    let input = digest::payload(fasta);
+
+    // Cache hit: answer at accept time — no queue slot, no worker, no DP.
+    if let Some(hit) = shared.cache.get(&input, &shared.fingerprint) {
+        let journaled = {
+            let mut journal = shared.journal.lock().unwrap();
+            journal
+                .append(&JournalEntry::Accepted {
+                    job: id.clone(),
+                    client: Some(client),
+                    priority,
+                    input: input.clone(),
+                    fingerprint: shared.fingerprint.clone(),
+                    fasta: fasta.to_string(),
+                })
+                .and_then(|()| {
+                    std::fs::write(shared.output_path(&id), &hit.fasta)
+                        .map_err(JournalError::Io)?;
+                    journal.append(&JournalEntry::Finished {
+                        job: id.clone(),
+                        ok: true,
+                        digest: Some(hit.digest.clone()),
+                        error: None,
+                    })
+                })
+        };
+        if let Err(e) = journaled {
+            sink.send(&event::rejected(label, &format!("journal write failed: {e}")));
+            return;
+        }
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        sink.send(&event::accepted(label, &id));
+        sink.send(&event::result(&id, true, &hit.digest, hit.rows, 0.0, &hit.fasta));
+        shared.log(&format!("job {id}: served from cache"));
+        return;
+    }
+
+    let job = QueuedJob {
+        id: id.clone(),
+        client: Some(client),
+        priority,
+        input: input.clone(),
+        fingerprint: shared.fingerprint.clone(),
+        fasta: fasta.to_string(),
+    };
+    let entry = JournalEntry::Accepted {
+        job: id.clone(),
+        client: Some(client),
+        priority,
+        input,
+        fingerprint: shared.fingerprint.clone(),
+        fasta: fasta.to_string(),
+    };
+    // Registered before visibility so a worker that pops the job
+    // immediately finds its token and sink.
+    shared.inflight.lock().unwrap().insert(id.clone(), CancelToken::new());
+    shared.sinks.lock().unwrap().insert(id.clone(), sink.clone());
+    let pushed = shared.queue.push(job, || {
+        shared.journal_append(&entry)?;
+        // Acknowledge inside the admission critical section: the client
+        // is guaranteed to see `accepted` before any event a worker
+        // emits for this job.
+        sink.send(&event::accepted(label, &id));
+        Ok::<(), JournalError>(())
+    });
+    match pushed {
+        Ok(()) => {
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(refusal) => {
+            shared.inflight.lock().unwrap().remove(&id);
+            shared.sinks.lock().unwrap().remove(&id);
+            let reason = match refusal {
+                PushResult::Refused(PushError::Full) => "queue full".to_string(),
+                PushResult::Refused(PushError::Closed) => "server shutting down".to_string(),
+                PushResult::Action(e) => format!("journal write failed: {e}"),
+            };
+            sink.send(&event::rejected(label, &reason));
+        }
+    }
+}
+
+fn handle_cancel(shared: &Arc<Shared>, sink: &EventSink, job: &str) {
+    // Still pending: remove it from the queue — the slot frees
+    // immediately, no worker ever sees the job.
+    if let Some(_cancelled) = shared.queue.cancel(job) {
+        shared.inflight.lock().unwrap().remove(job);
+        let submitter = shared.sinks.lock().unwrap().remove(job);
+        let terminal = JournalEntry::Finished {
+            job: job.to_string(),
+            ok: false,
+            digest: None,
+            error: Some("cancelled before start".into()),
+        };
+        if !shared.kill.load(Ordering::SeqCst) {
+            let _ = shared.journal_append(&terminal);
+        }
+        shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        let line = event::cancelled(job, "cancelled before start");
+        sink.send(&line);
+        if let Some(submitter) = submitter {
+            submitter.send(&line);
+        }
+        return;
+    }
+    // Running: fire its token; the worker observes it at the next phase
+    // boundary and emits the terminal `cancelled` event.
+    if let Some(token) = shared.inflight.lock().unwrap().get(job) {
+        token.cancel();
+        sink.send(&event::cancel_requested(job));
+        return;
+    }
+    sink.send(&event::error(Some(job), "unknown or already finished job"));
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let backend = shared.cfg.backend.instantiate();
+    loop {
+        // Pause gate (tests stage the queue, then release).
+        {
+            let mut paused = shared.gate.lock().unwrap();
+            while *paused {
+                if shared.kill.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A drain request releases the gate: graceful shutdown
+                // still finishes what's queued.
+                if shared.drain.load(Ordering::SeqCst) {
+                    break;
+                }
+                let (guard, _) =
+                    shared.gate_cv.wait_timeout(paused, Duration::from_millis(50)).unwrap();
+                paused = guard;
+            }
+        }
+        if shared.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(job) = shared.queue.pop(Duration::from_millis(50)) else {
+            if shared.kill.load(Ordering::SeqCst)
+                || (shared.drain.load(Ordering::SeqCst) && shared.queue.is_empty())
+            {
+                return;
+            }
+            continue;
+        };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        run_one(shared, &backend, &job);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_one(shared: &Arc<Shared>, backend: &Backend, job: &QueuedJob) {
+    let killed = || shared.kill.load(Ordering::SeqCst);
+    if killed() {
+        return;
+    }
+    let sink = shared.sinks.lock().unwrap().get(&job.id).cloned().unwrap_or_else(EventSink::null);
+    let token = shared.inflight.lock().unwrap().entry(job.id.clone()).or_default().clone();
+    if !killed() && shared.journal_append(&JournalEntry::Started { job: job.id.clone() }).is_err() {
+        shared.log(&format!("job {}: journal write failed, dropping", job.id));
+        return;
+    }
+    sink.send(&event::started(&job.id));
+    shared.log(&format!("job {}: started", job.id));
+    if let Some(hold) = &shared.cfg.hold {
+        hold.wait(killed);
+        if killed() {
+            return;
+        }
+    }
+
+    let seqs = match bioseq::fasta::parse(&job.fasta) {
+        Ok(seqs) => seqs,
+        Err(e) => {
+            finish_err(shared, &sink, job, &format!("invalid FASTA: {e}"), false);
+            return;
+        }
+    };
+    let forward_sink = sink.clone();
+    let forward_id = job.id.clone();
+    let observer = Arc::new(move |e: &Event| {
+        if let Event::PhaseFinished { phase, seconds, .. } = e {
+            forward_sink.send(&event::phase(&forward_id, phase.name(), *seconds));
+        }
+    });
+    let started_at = Instant::now();
+    let outcome = Aligner::new(shared.cfg.sad.clone())
+        .backend(backend.clone())
+        .cancel_token(CancelToken::fused([&shared.kill_token, &token]))
+        .observer(observer)
+        .run(&seqs);
+    match outcome {
+        Ok(report) => {
+            let text = bioseq::fasta::write_alignment(&report.msa);
+            let out_digest = digest::payload(&text);
+            if killed() {
+                // Crash simulation: no output, no terminal journal entry.
+                shared.inflight.lock().unwrap().remove(&job.id);
+                return;
+            }
+            if let Err(e) = std::fs::write(shared.output_path(&job.id), &text) {
+                finish_err(shared, &sink, job, &format!("output write failed: {e}"), false);
+                return;
+            }
+            shared.cache.insert(
+                &job.input,
+                &job.fingerprint,
+                CachedResult {
+                    digest: out_digest.clone(),
+                    rows: report.msa.num_rows(),
+                    fasta: text.clone(),
+                },
+            );
+            let _ = shared.journal_append(&JournalEntry::Finished {
+                job: job.id.clone(),
+                ok: true,
+                digest: Some(out_digest.clone()),
+                error: None,
+            });
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.dp_cells.fetch_add(report.work.dp_cells, Ordering::Relaxed);
+            shared.inflight.lock().unwrap().remove(&job.id);
+            shared.sinks.lock().unwrap().remove(&job.id);
+            let seconds = started_at.elapsed().as_secs_f64();
+            sink.send(&event::result(
+                &job.id,
+                false,
+                &out_digest,
+                report.msa.num_rows(),
+                seconds,
+                &text,
+            ));
+            shared.log(&format!("job {}: finished in {seconds:.3}s", job.id));
+        }
+        Err(e) => {
+            if killed() {
+                shared.inflight.lock().unwrap().remove(&job.id);
+                return;
+            }
+            let cancelled = matches!(e, SadError::Cancelled { .. });
+            finish_err(shared, &sink, job, &e.to_string(), cancelled);
+        }
+    }
+}
+
+fn finish_err(shared: &Arc<Shared>, sink: &EventSink, job: &QueuedJob, msg: &str, cancelled: bool) {
+    let _ = shared.journal_append(&JournalEntry::Finished {
+        job: job.id.clone(),
+        ok: false,
+        digest: None,
+        error: Some(msg.to_string()),
+    });
+    if cancelled {
+        shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        sink.send(&event::cancelled(&job.id, msg));
+    } else {
+        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        sink.send(&event::error(Some(&job.id), msg));
+    }
+    shared.inflight.lock().unwrap().remove(&job.id);
+    shared.sinks.lock().unwrap().remove(&job.id);
+    shared.log(&format!("job {}: {msg}", job.id));
+}
+
+/// Convenience used by tests and the CLI: where a job's output lands.
+pub fn output_path(out_dir: &Path, job: &str) -> PathBuf {
+    out_dir.join(format!("{job}.aligned.fa"))
+}

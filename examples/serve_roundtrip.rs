@@ -1,0 +1,83 @@
+//! Serve round-trip: the alignment daemon, in one process.
+//!
+//! Starts a `sad serve` server on an ephemeral port, submits a synthetic
+//! family over TCP, streams the per-phase events back, resubmits the
+//! same bytes to show the result cache answering instantly, then
+//! restarts the server against the same journal to show crash recovery
+//! verifying and skipping the finished job.
+//!
+//! ```text
+//! cargo run --release --example serve_roundtrip
+//! ```
+
+use sample_align_d::prelude::*;
+use sample_align_d::sad_serve::{Client, ServeConfig, Server, Submitted};
+use std::time::Duration;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("sad-serve-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create demo dir");
+    let cfg = ServeConfig::new(dir.join("journal.jsonl"), dir.join("out"));
+
+    // ── A server and a client ──────────────────────────────────────────
+    let handle = Server::start(cfg.clone()).expect("start server");
+    println!("server listening on {}", handle.addr());
+    let mut client =
+        Client::connect_with_retry(handle.addr(), Duration::from_secs(5)).expect("connect");
+
+    let family = Family::generate(&FamilyConfig {
+        n_seqs: 12,
+        avg_len: 90,
+        relatedness: 700.0,
+        seed: 42,
+        ..Default::default()
+    });
+    let fasta = sample_align_d::bioseq::fasta::write(&family.seqs);
+
+    // Submit and stream: accepted → started → one line per phase → result.
+    let job = match client.submit(Some("demo"), 0, &fasta).expect("submit") {
+        Submitted::Accepted { job } => job,
+        Submitted::Rejected { reason } => panic!("rejected: {reason}"),
+    };
+    println!("accepted as job {job}");
+    let result = loop {
+        let event = client.next_event(Duration::from_secs(60)).expect("event");
+        match event.get("event").and_then(|e| e.as_str()) {
+            Some("phase") => {
+                println!("  phase {}", event.get("phase").and_then(|p| p.as_str()).unwrap_or("?"))
+            }
+            Some("result") => break event,
+            _ => {}
+        }
+    };
+    println!(
+        "result: {} rows, digest {}",
+        result.get("rows").and_then(|r| r.as_u64()).unwrap_or(0),
+        result.get("digest").and_then(|d| d.as_str()).unwrap_or("?"),
+    );
+
+    // Resubmit the same bytes: answered from the cache, no DP work.
+    let rerun = match client.submit(Some("demo"), 0, &fasta).expect("resubmit") {
+        Submitted::Accepted { job } => job,
+        Submitted::Rejected { reason } => panic!("rejected: {reason}"),
+    };
+    let cached = client.wait_result(&rerun, Duration::from_secs(60)).expect("cached result");
+    println!(
+        "resubmitted as {rerun}: cached = {}",
+        cached.get("cached").and_then(|c| c.as_bool()).unwrap_or(false)
+    );
+
+    let stats = handle.shutdown();
+    println!("server drained: {} completed, {} cache hits", stats.completed, stats.cache_hits);
+
+    // ── Restart against the same journal: recovery skips verified work ─
+    let handle = Server::start(cfg).expect("restart server");
+    let recovery = &handle.recovery;
+    println!(
+        "after restart: {} skipped (output verified), {} requeued",
+        recovery.skipped.len(),
+        recovery.requeued.len()
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -59,6 +59,7 @@ pub use psrs;
 pub use qbench;
 pub use rosegen;
 pub use sad_core;
+pub use sad_serve;
 pub use vcluster;
 
 /// The most common imports for working with the system.

@@ -126,3 +126,86 @@ fn normalizer_touches_only_float_tokens() {
         "integers, ids and non-numeric dotted tokens must survive"
     );
 }
+
+/// Decode a serve event line and blank its volatile fields (wall-clock
+/// `seconds`), keeping everything else — event order, job ids, digests,
+/// cached flags, row counts, and the full aligned FASTA — verbatim.
+fn scrub_serve_event(line: &str) -> String {
+    use sad_serve::Json;
+    let mut value = Json::parse(line).expect("server event parses as JSON");
+    if let Json::Obj(fields) = &mut value {
+        for (key, field) in fields {
+            if key == "seconds" {
+                *field = Json::str("<t>");
+            }
+        }
+    }
+    value.encode()
+}
+
+#[test]
+fn serve_session_transcript_matches_golden() {
+    use std::io::Write;
+    use std::time::Duration;
+
+    let mut h = sad_serve::ServeHarness::new("golden-session").start();
+    let mut stream = std::net::TcpStream::connect(h.server().addr()).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let mut reader = sad_serve::protocol::LineReader::new(stream.try_clone().expect("clone"));
+    let mut transcript = String::new();
+
+    let read_until = |reader: &mut sad_serve::protocol::LineReader<std::net::TcpStream>,
+                      transcript: &mut String,
+                      stop: &str| {
+        loop {
+            match reader.next_line() {
+                Ok(sad_serve::protocol::LineEvent::Line(line)) => {
+                    let scrubbed = scrub_serve_event(&line);
+                    transcript.push_str("<< ");
+                    transcript.push_str(&scrubbed);
+                    transcript.push('\n');
+                    if scrubbed.contains(&format!("\"event\":\"{stop}\"")) {
+                        return;
+                    }
+                }
+                other => panic!("waiting for {stop}: {other:?}"),
+            }
+        }
+    };
+    let send = |stream: &mut std::net::TcpStream, transcript: &mut String, line: &str| {
+        transcript.push_str(">> ");
+        transcript.push_str(line);
+        transcript.push('\n');
+        writeln!(stream, "{line}").expect("send request");
+    };
+
+    read_until(&mut reader, &mut transcript, "hello");
+    // Cold submission: accepted → started → per-phase progress → result.
+    let fasta = std::fs::read_to_string(golden_dir().join("fixtures/fam_a.fa")).expect("fixture");
+    let submit = sad_serve::Json::obj([
+        ("cmd", sad_serve::Json::str("submit")),
+        ("id", sad_serve::Json::str("fam_a")),
+        ("fasta", sad_serve::Json::str(&fasta)),
+    ])
+    .encode();
+    send(&mut stream, &mut transcript, &submit);
+    read_until(&mut reader, &mut transcript, "result");
+    // Byte-identical resubmission: answered from the cache, no started.
+    send(&mut stream, &mut transcript, &submit);
+    read_until(&mut reader, &mut transcript, "result");
+    // Cancelling an unknown job is an error event, not a dropped line.
+    send(&mut stream, &mut transcript, "CANCEL no-such-job");
+    read_until(&mut reader, &mut transcript, "error");
+    // Graceful goodbye.
+    send(&mut stream, &mut transcript, "SHUTDOWN");
+    read_until(&mut reader, &mut transcript, "bye");
+    drop(reader);
+
+    // The server drained after the SHUTDOWN request.
+    assert!(h.server().wait_idle(Duration::from_secs(30)), "server drains");
+    let stats = h.shutdown();
+    // Both submissions completed; exactly one was served from the cache.
+    assert_eq!((stats.completed, stats.cache_hits), (2, 1));
+    assert_matches_golden("serve_session.txt", &transcript);
+}
