@@ -217,9 +217,10 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
     Ok(replay)
 }
 
-/// The append-only journal writer. One line per entry, flushed before the
-/// call returns so the entry is durable (from the process's point of view)
-/// before dependent state becomes visible.
+/// The append-only journal writer. One line per entry, fsynced
+/// (`sync_data`) before the call returns, so an entry is durable against
+/// both process death and OS crash/power loss before dependent state —
+/// the client's `accepted` ack in particular — becomes visible.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
@@ -244,12 +245,14 @@ impl Journal {
         &self.path
     }
 
-    /// Append one entry and flush it.
+    /// Append one entry and fsync it. `File::flush` would be a no-op
+    /// (std files have no userspace buffer); only `sync_data` makes the
+    /// write-ahead guarantee hold across an OS crash.
     pub fn append(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
         let mut line = entry.encode();
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
-        self.file.flush()?;
+        self.file.sync_data()?;
         Ok(())
     }
 }

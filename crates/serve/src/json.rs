@@ -136,11 +136,13 @@ impl Json {
     }
 
     /// Parse one JSON value from `text`, requiring that nothing but
-    /// whitespace follows it.
+    /// whitespace follows it. Nesting deeper than [`MAX_DEPTH`] is
+    /// rejected (protocol lines come from untrusted peers; unbounded
+    /// recursion would let `"[[[[…"` overflow the stack).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError { at: pos, reason: "trailing characters after value" });
@@ -199,8 +201,16 @@ fn expect(bytes: &[u8], pos: &mut usize, what: u8, reason: &'static str) -> Resu
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+/// Maximum container nesting [`Json::parse`] accepts. The protocol and
+/// journal never nest more than a couple of levels; the bound exists so a
+/// hostile line cannot recurse the connection thread off its stack.
+pub const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
+    if depth >= MAX_DEPTH {
+        return Err(JsonError { at: *pos, reason: "nesting too deep" });
+    }
     match bytes.get(*pos) {
         None => Err(JsonError { at: *pos, reason: "unexpected end of input" }),
         Some(b'{') => {
@@ -216,7 +226,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':', "expected ':' after object key")?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -238,7 +248,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -315,17 +325,42 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => '\u{8}',
                     Some(b'f') => '\u{c}',
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or(JsonError { at: *pos, reason: "truncated \\u escape" })?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| JsonError { at: *pos, reason: "bad \\u escape" })?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| JsonError { at: *pos, reason: "bad \\u escape" })?;
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
-                        // Surrogates are not paired up — the writer never
-                        // emits them (it only escapes control characters).
-                        char::from_u32(code).unwrap_or('\u{fffd}')
+                        match code {
+                            // A high surrogate must be immediately followed
+                            // by a `\uDC00`–`\uDFFF` low surrogate; standard
+                            // encoders emit non-BMP characters this way.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err(JsonError {
+                                        at: *pos,
+                                        reason: "unpaired high surrogate",
+                                    });
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(JsonError {
+                                        at: *pos,
+                                        reason: "unpaired high surrogate",
+                                    });
+                                }
+                                *pos += 6;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or(JsonError { at: *pos, reason: "bad \\u escape" })?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(JsonError {
+                                    at: *pos,
+                                    reason: "unpaired low surrogate",
+                                })
+                            }
+                            code => char::from_u32(code)
+                                .ok_or(JsonError { at: *pos, reason: "bad \\u escape" })?,
+                        }
                     }
                     _ => return Err(JsonError { at: *pos, reason: "unknown escape" }),
                 };
@@ -336,6 +371,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             Some(_) => *pos += 1,
         }
     }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, JsonError> {
+    let hex = bytes.get(at..at + 4).ok_or(JsonError { at, reason: "truncated \\u escape" })?;
+    let hex = std::str::from_utf8(hex).map_err(|_| JsonError { at, reason: "bad \\u escape" })?;
+    u32::from_str_radix(hex, 16).map_err(|_| JsonError { at, reason: "bad \\u escape" })
 }
 
 fn str_slice(bytes: &[u8], start: usize, end: usize) -> Result<&str, JsonError> {
@@ -406,5 +447,44 @@ mod tests {
     fn unicode_escapes_decode() {
         assert_eq!(Json::parse(r#""Aé""#), Ok(Json::Str("Aé".into())));
         assert!(Json::parse(r#""\u00g1""#).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_character() {
+        // What `json.dumps("😀")` (ensure_ascii) puts on the wire.
+        assert_eq!(Json::parse(r#""😀""#), Ok(Json::Str("😀".into())));
+        assert_eq!(Json::parse(r#""a😀b""#), Ok(Json::Str("a😀b".into())));
+        // Non-BMP characters survive an encode→parse round trip whether
+        // sent raw or escaped.
+        let raw = Json::Str("header 𝛼😀".into());
+        assert_eq!(Json::parse(&raw.encode()), Ok(raw));
+    }
+
+    #[test]
+    fn unpaired_surrogates_are_rejected() {
+        for bad in [
+            r#""\ud83d""#,       // lone high surrogate
+            r#""\ud83dx""#,      // high surrogate, then a plain char
+            r#""\ud83d\n""#,     // high surrogate, then a non-\u escape
+            r#""\ud83d\ud83d""#, // high followed by another high
+            r#""\ude00""#,       // lone low surrogate
+            r#""\ud83d\ude0""#,  // truncated low escape
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Within the bound: fine.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH - 1), "]".repeat(MAX_DEPTH - 1));
+        assert!(Json::parse(&ok).is_ok());
+        // One past it: a clean error, not deeper recursion.
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert_eq!(Json::parse(&deep).unwrap_err().reason, "nesting too deep");
+        // The attack shape from untrusted input: a huge run of openers
+        // must error out instead of overflowing the stack.
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&"{\"k\":".repeat(100_000)).is_err());
     }
 }

@@ -14,6 +14,13 @@
 //! {"cmd":"shutdown"}                    SHUTDOWN
 //! ```
 //!
+//! A proposed `id` names the output file, so it is restricted to ASCII
+//! `[A-Za-z0-9._-]` with no leading `.` and at most
+//! [`crate::server::MAX_JOB_ID_LEN`] bytes; anything else is `rejected`.
+//! Request lines are bounded by [`MAX_LINE_BYTES`] and JSON nesting by
+//! [`crate::json::MAX_DEPTH`] — the daemon listens on a plain TCP socket,
+//! so every frame is treated as hostile until parsed.
+//!
 //! ## Events
 //!
 //! ```text
@@ -215,6 +222,12 @@ pub enum LineEvent {
     Eof,
 }
 
+/// The longest single line [`LineReader`] accepts. A peer that streams
+/// bytes without ever sending `'\n'` would otherwise grow the buffer
+/// without bound; past this the reader errors and the caller drops the
+/// connection. Generous enough for any realistic FASTA submission.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
 /// Incremental line framing over any [`Read`].
 ///
 /// `BufReader::read_line` blocks until a full line or EOF; under a read
@@ -222,28 +235,42 @@ pub enum LineEvent {
 /// reader instead accumulates raw chunks and only surfaces complete
 /// lines, turning timeouts into [`LineEvent::TimedOut`] ticks so the
 /// caller can poll shutdown flags between reads without losing data.
+/// Lines longer than [`MAX_LINE_BYTES`] are an [`std::io::Error`]
+/// (`InvalidData`).
 pub struct LineReader<R> {
     inner: R,
     buf: Vec<u8>,
+    /// Prefix of `buf` already known to hold no `'\n'` (so each arriving
+    /// chunk is scanned once, not the whole buffer again).
+    scanned: usize,
 }
 
 impl<R: Read> LineReader<R> {
     /// Wrap a readable stream.
     pub fn new(inner: R) -> LineReader<R> {
-        LineReader { inner, buf: Vec::new() }
+        LineReader { inner, buf: Vec::new(), scanned: 0 }
     }
 
     /// Pull the next line, timeout tick, or EOF.
     pub fn next_line(&mut self) -> std::io::Result<LineEvent> {
         loop {
-            if let Some(at) = self.buf.iter().position(|&b| b == b'\n') {
+            if let Some(at) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let at = self.scanned + at;
                 let rest = self.buf.split_off(at + 1);
                 let mut line = std::mem::replace(&mut self.buf, rest);
+                self.scanned = 0;
                 line.pop(); // the '\n'
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
                 return Ok(LineEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line exceeds {MAX_LINE_BYTES} bytes without a newline"),
+                ));
             }
             let mut chunk = [0u8; 4096];
             match self.inner.read(&mut chunk) {
@@ -254,6 +281,7 @@ impl<R: Read> LineReader<R> {
                     // A final unterminated line: surface it, then EOF.
                     let line = String::from_utf8_lossy(&self.buf).into_owned();
                     self.buf.clear();
+                    self.scanned = 0;
                     return Ok(LineEvent::Line(line));
                 }
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
@@ -359,6 +387,24 @@ mod tests {
         assert_eq!(reader.next_line().unwrap(), LineEvent::TimedOut);
         assert_eq!(reader.next_line().unwrap(), LineEvent::Line("{\"b\":2}".into()));
         assert_eq!(reader.next_line().unwrap(), LineEvent::Line("tail".into()));
+        assert_eq!(reader.next_line().unwrap(), LineEvent::Eof);
+    }
+
+    #[test]
+    fn line_reader_caps_unterminated_lines() {
+        // A peer that streams bytes and never sends '\n' must get an
+        // error (the caller drops the connection), not unbounded memory.
+        let endless = std::io::Read::take(std::io::repeat(b'x'), MAX_LINE_BYTES as u64 + 8192);
+        let err = LineReader::new(endless).next_line().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // At exactly the cap with a newline, the line still goes through.
+        let mut data = vec![b'y'; MAX_LINE_BYTES];
+        data.push(b'\n');
+        let mut reader = LineReader::new(std::io::Cursor::new(data));
+        match reader.next_line().unwrap() {
+            LineEvent::Line(line) => assert_eq!(line.len(), MAX_LINE_BYTES),
+            other => panic!("expected a line, got {other:?}"),
+        }
         assert_eq!(reader.next_line().unwrap(), LineEvent::Eof);
     }
 }

@@ -245,7 +245,14 @@ pub struct ServerStats {
 pub struct EventSink(Arc<Mutex<Option<TcpStream>>>);
 
 impl EventSink {
+    /// How long one event write may block before the peer is treated as
+    /// gone. Bounds the time a worker (or the connection's reader thread,
+    /// which shares the sink mutex) can be wedged by a client that
+    /// submitted a job and then stopped reading.
+    pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
     fn new(stream: TcpStream) -> EventSink {
+        stream.set_write_timeout(Some(EventSink::WRITE_TIMEOUT)).ok();
         EventSink(Arc::new(Mutex::new(Some(stream))))
     }
 
@@ -254,14 +261,18 @@ impl EventSink {
         EventSink(Arc::new(Mutex::new(None)))
     }
 
-    /// Send one event line (newline appended). Errors are ignored.
+    /// Send one event line (newline appended). Errors are ignored. A
+    /// write that times out ([`EventSink::WRITE_TIMEOUT`]) is treated the
+    /// same as a disconnect: the stream is dropped so no later send — and
+    /// no worker — ever blocks on this peer again.
     pub fn send(&self, line: &str) {
         let mut guard = self.0.lock().unwrap();
         if let Some(stream) = guard.as_mut() {
             let mut bytes = line.as_bytes().to_vec();
             bytes.push(b'\n');
             if stream.write_all(&bytes).and_then(|()| stream.flush()).is_err() {
-                // Peer gone: stop trying for the rest of the connection.
+                // Peer gone (or not draining): stop trying for the rest
+                // of the connection.
                 *guard = None;
             }
         }
@@ -306,8 +317,30 @@ struct Shared {
     stats: Stats,
 }
 
+/// Longest accepted client-proposed job id.
+pub const MAX_JOB_ID_LEN: usize = 100;
+
+/// Whether a client-proposed job id is safe to embed in an output path.
+/// Ids become `<out_dir>/<id>.aligned.fa` via `Path::join`, so anything
+/// resembling a path — separators, `..`, absolute paths (which `join`
+/// substitutes wholesale) — must never get this far. Allowed: ASCII
+/// alphanumerics plus `.`, `_`, `-`; no leading `.`; at most
+/// [`MAX_JOB_ID_LEN`] bytes.
+pub fn valid_job_id(id: &str) -> bool {
+    id.len() <= MAX_JOB_ID_LEN && path_safe_id(id)
+}
+
+/// The safety half of [`valid_job_id`] (no length bound — server-side
+/// collision suffixes may push a maximal id a few bytes past it).
+fn path_safe_id(id: &str) -> bool {
+    !id.is_empty()
+        && !id.starts_with('.')
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
 impl Shared {
     fn output_path(&self, job: &str) -> PathBuf {
+        debug_assert!(path_safe_id(job), "unvalidated job id reached output_path: {job:?}");
         self.cfg.out_dir.join(format!("{job}.aligned.fa"))
     }
 
@@ -669,7 +702,23 @@ fn handle_submit(
     fasta: &str,
 ) {
     let label = requested.unwrap_or("<unnamed>");
-    // Validate before spending a job id or queue slot.
+    // Validate before spending a job id or queue slot. The id check is
+    // load-bearing: ids are interpolated into output paths, so a
+    // traversal-shaped id ("../x", "/abs/path") must be refused here —
+    // over TCP there is no auth between a submit and a filesystem write.
+    if let Some(req) = requested {
+        let req = req.trim();
+        if !req.is_empty() && !valid_job_id(req) {
+            sink.send(&event::rejected(
+                label,
+                &format!(
+                    "invalid job id: use ASCII [A-Za-z0-9._-], no leading '.', \
+                     at most {MAX_JOB_ID_LEN} bytes"
+                ),
+            ));
+            return;
+        }
+    }
     let seqs = match bioseq::fasta::parse(fasta) {
         Ok(seqs) => seqs,
         Err(e) => {
@@ -952,4 +1001,34 @@ fn finish_err(shared: &Arc<Shared>, sink: &EventSink, job: &QueuedJob, msg: &str
 /// Convenience used by tests and the CLI: where a job's output lands.
 pub fn output_path(out_dir: &Path, job: &str) -> PathBuf {
     out_dir.join(format!("{job}.aligned.fa"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_validation_refuses_path_shapes() {
+        for ok in ["fam_a", "c0-j1", "Fam.2", "x", &"a".repeat(MAX_JOB_ID_LEN)] {
+            assert!(valid_job_id(ok), "{ok:?} should be accepted");
+        }
+        for bad in [
+            "",
+            "../../etc/cron.d/evil",
+            "/etc/passwd",
+            "..",
+            ".",
+            ".hidden",
+            "a/b",
+            "a\\b",
+            "fam a",
+            "fam\n",
+            "fam\u{e9}",
+            &"a".repeat(MAX_JOB_ID_LEN + 1),
+        ] {
+            assert!(!valid_job_id(bad), "{bad:?} should be refused");
+        }
+        // Collision suffixes on a maximal id stay path-safe.
+        assert!(path_safe_id(&format!("{}-2", "a".repeat(MAX_JOB_ID_LEN))));
+    }
 }

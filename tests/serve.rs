@@ -330,6 +330,33 @@ fn cancelling_a_running_job_stops_it_at_a_phase_boundary() {
 }
 
 #[test]
+fn traversal_shaped_job_ids_are_rejected_before_any_write() {
+    let mut h = ServeHarness::new("hostile-ids").start();
+    let mut client = h.client();
+    let fasta = family_fasta(6, 40, 71);
+    // Ids are interpolated into output paths; every path-shaped or
+    // otherwise unsafe id must be refused at submit time.
+    for hostile in
+        ["../../escape", "/tmp/abs-path", "..", ".hidden", "a/b", "fam a", &"x".repeat(200)]
+    {
+        match client.submit(Some(hostile), 0, &fasta).expect("submit") {
+            Submitted::Rejected { reason } => {
+                assert!(reason.contains("invalid job id"), "{hostile:?}: {reason}")
+            }
+            Submitted::Accepted { job } => panic!("{hostile:?} accepted as {job}"),
+        }
+    }
+    // Nothing was journaled or written for the refused submissions, and a
+    // well-formed id still goes through on the same connection.
+    assert!(h.journal_entries().is_empty(), "rejected ids leave no journal trail");
+    let job = submit_ok(&mut client, "fam_ok.1-x", &fasta);
+    client.wait_result(&job, WAIT).expect("valid id still accepted");
+    let escape = h.out_dir().parent().expect("out dir has a parent").join("escape.aligned.fa");
+    assert!(!escape.exists(), "no output escaped the output directory");
+    h.shutdown();
+}
+
+#[test]
 fn client_disconnect_mid_stream_does_not_lose_the_job() {
     let mut h = ServeHarness::new("disconnect").workers(1).paused(true).start();
     let mut client = h.client();
