@@ -1,0 +1,105 @@
+//! End-to-end throughput of the Pyro-Align-style large-N read mode:
+//! simulate a read set, align it on the rayon backend with the
+//! hierarchical `max_bucket` cap, and report reads aligned per second.
+//!
+//! Writes `BENCH_reads.json` at the workspace root — reads/sec per read
+//! count — the committed baseline for large-N work. The 1k point also
+//! runs under criterion for cycle-accurate tracking; 1k and 10k are
+//! timed on every invocation, while the 50k point (minutes of wall
+//! clock) only runs when `SAD_PAPER_SCALE=1`, so the default bench (and
+//! CI) stays fast. Without the env var the committed JSON retains the
+//! blessed 50k figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rosegen::{Family, FamilyConfig, ReadSet, ReadSimConfig};
+use sad_core::{Aligner, Backend, SadConfig};
+
+/// The cap every bench run aligns under (the `sad reads` default).
+const MAX_BUCKET: usize = 512;
+
+fn simulate(total_reads: usize) -> ReadSet {
+    let fam = Family::generate(&FamilyConfig {
+        n_seqs: 4,
+        avg_len: 400,
+        relatedness: 800.0,
+        seed: 1,
+        ..Default::default()
+    });
+    ReadSet::from_family(
+        &fam,
+        &ReadSimConfig { total_reads: Some(total_reads), seed: 1, ..Default::default() },
+    )
+}
+
+fn aligner_for(n: usize) -> Aligner {
+    // Mirror `sad reads`: widen the first pass so blocks approach the cap
+    // and the O(w²) local rank never sees a giant block.
+    let threads = n.div_ceil(MAX_BUCKET).max(4);
+    Aligner::new(SadConfig::default().with_max_bucket(Some(MAX_BUCKET)))
+        .backend(Backend::Rayon { threads })
+}
+
+fn bench(c: &mut Criterion) {
+    let paper_scale = std::env::var("SAD_PAPER_SCALE").is_ok_and(|v| v == "1");
+
+    // Criterion tracking on the smallest size only; the larger points are
+    // single timed runs below.
+    let small = simulate(1_000);
+    c.bench_function("reads_throughput/align_1k_cap512", |b| {
+        b.iter(|| aligner_for(small.len()).run(std::hint::black_box(&small.reads)).unwrap())
+    });
+
+    let mut rows = Vec::new();
+    let mut sizes = vec![1_000usize, 10_000];
+    if paper_scale {
+        sizes.push(50_000);
+    } else {
+        println!("skipping the 50k point (set SAD_PAPER_SCALE=1 to run it)");
+    }
+    for n in sizes {
+        let set = simulate(n);
+        // Large points cost minutes each: one timed run, not a median.
+        let repeats = if n <= 1_000 { 3 } else { 1 };
+        let mut times: Vec<f64> = (0..repeats)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let report =
+                    std::hint::black_box(aligner_for(n).run(&set.reads)).expect("valid read set");
+                let elapsed = start.elapsed().as_secs_f64();
+                let largest = report.bucket_sizes.iter().max().copied().unwrap_or(0);
+                assert!(largest <= MAX_BUCKET, "bucket {largest} exceeds the cap {MAX_BUCKET}");
+                elapsed
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let seconds = times[times.len() / 2];
+        let reads_per_sec = n as f64 / seconds;
+        println!("{n} reads: {seconds:.3}s ({reads_per_sec:.0} reads/sec)");
+        rows.push(format!(
+            "    {{\"reads\": {n}, \"max_bucket\": {MAX_BUCKET}, \
+             \"seconds_median\": {seconds:.3}, \"reads_per_sec\": {reads_per_sec:.1}}}"
+        ));
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_reads.json");
+    if !paper_scale {
+        // Carry the blessed 50k figure over so a fast run never erases it.
+        if let Ok(prev) = std::fs::read_to_string(&path) {
+            if let Some(line) = prev.lines().find(|l| l.contains("\"reads\": 50000")) {
+                rows.push(line.trim_end().trim_end_matches(',').to_string());
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"reads_throughput\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&path, json).expect("write BENCH_reads.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -110,6 +110,155 @@ pub fn parse_alignment(text: &str) -> Result<Msa, FastaError> {
     Ok(Msa::from_rows(ids, rows))
 }
 
+/// Error from the streaming [`Reader`].
+///
+/// Unlike [`FastaError`] this cannot be `Clone`/`Eq` because it carries the
+/// underlying [`std::io::Error`] when the byte source itself fails (which
+/// includes non-UTF-8 bytes, surfaced by `read_line` as
+/// [`std::io::ErrorKind::InvalidData`]).
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed (or produced non-UTF-8 bytes).
+    Io(std::io::Error),
+    /// The FASTA text itself was malformed.
+    Parse(FastaError),
+}
+
+impl ReadError {
+    /// Whether this error means the input bytes were not UTF-8 text.
+    pub fn is_not_utf8(&self) -> bool {
+        matches!(self, ReadError::Io(e) if e.kind() == std::io::ErrorKind::InvalidData)
+    }
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) if self.is_not_utf8() => {
+                write!(f, "input is not UTF-8 text ({e})")
+            }
+            ReadError::Io(e) => write!(f, "{e}"),
+            ReadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+/// Streaming ungapped-FASTA reader over any [`std::io::BufRead`].
+///
+/// Yields one [`Sequence`] per record, holding at most a single record in
+/// memory at a time — a 50k-read input never materialises as one giant
+/// `String` the way [`parse`] requires. Record semantics are byte-for-byte
+/// identical to [`parse`]: trailing whitespace (including CRLF endings) is
+/// trimmed per line, blank lines are skipped, the id is the first
+/// whitespace-delimited header token, data before the first header is an
+/// error, and a final record without a trailing newline still parses.
+///
+/// After the first error the iterator fuses and yields nothing further.
+///
+/// ```
+/// use bioseq::fasta::Reader;
+/// let input = b">a desc\nMKV\nLAW\n>b\nMKIL";
+/// let seqs: Vec<_> = Reader::new(&input[..]).collect::<Result<_, _>>().unwrap();
+/// assert_eq!(seqs[0].id, "a");
+/// assert_eq!(seqs[0].to_letters(), "MKVLAW");
+/// assert_eq!(seqs[1].to_letters(), "MKIL");
+/// ```
+#[derive(Debug)]
+pub struct Reader<R> {
+    inner: R,
+    /// Record under construction: `(id, body-so-far)`.
+    pending: Option<(String, String)>,
+    /// 1-based number of the last line read.
+    lineno: usize,
+    done: bool,
+}
+
+impl<R: std::io::BufRead> Reader<R> {
+    /// Wrap a buffered byte source.
+    pub fn new(inner: R) -> Reader<R> {
+        Reader { inner, pending: None, lineno: 0, done: false }
+    }
+
+    fn finish(&mut self, id: String, body: String) -> Result<Sequence, ReadError> {
+        Sequence::from_str(id.clone(), &body)
+            .map_err(|source| ReadError::Parse(FastaError::BadSequence { id, source }))
+    }
+
+    fn next_record(&mut self) -> Result<Option<Sequence>, ReadError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.inner.read_line(&mut line)? == 0 {
+                return match self.pending.take() {
+                    Some((id, body)) => self.finish(id, body).map(Some),
+                    None => Ok(None),
+                };
+            }
+            self.lineno += 1;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(header) = trimmed.strip_prefix('>') {
+                let id = header.split_whitespace().next().unwrap_or("").to_string();
+                if let Some((prev_id, prev_body)) = self.pending.replace((id, String::new())) {
+                    return self.finish(prev_id, prev_body).map(Some);
+                }
+            } else {
+                match self.pending.as_mut() {
+                    Some((_, body)) => body.push_str(trimmed),
+                    None => {
+                        return Err(ReadError::Parse(FastaError::DataBeforeHeader {
+                            line: self.lineno,
+                        }))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for Reader<R> {
+    type Item = Result<Sequence, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(seq)) => Some(Ok(seq)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Open a FASTA file for streaming: a [`Reader`] over a buffered file.
+pub fn open(path: &std::path::Path) -> std::io::Result<Reader<std::io::BufReader<std::fs::File>>> {
+    Ok(Reader::new(std::io::BufReader::new(std::fs::File::open(path)?)))
+}
+
 fn split_records(text: &str) -> Result<Vec<(String, String)>, FastaError> {
     let mut records: Vec<(String, String)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -238,6 +387,75 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         assert!(parse("").unwrap().is_empty());
+    }
+
+    /// Collect the streaming reader over in-memory bytes, mapping its
+    /// parse errors back to `FastaError` so results compare directly
+    /// against `parse`.
+    fn stream(text: &str) -> Result<Vec<Sequence>, FastaError> {
+        Reader::new(text.as_bytes())
+            .map(|r| {
+                r.map_err(|e| match e {
+                    ReadError::Parse(p) => p,
+                    ReadError::Io(io) => panic!("in-memory source cannot fail: {io}"),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reader_matches_parse_on_awkward_inputs() {
+        // CRLF endings, blank lines, multi-line bodies, descriptions,
+        // missing trailing newline, empty input, lone header.
+        for text in [
+            "",
+            ">a\nMKVL\n",
+            ">a desc here\nMKVL\nAW\n>b\nMKIL\n",
+            ">a\r\nMKVL\r\nAW\r\n>b\r\nMKIL\r\n",
+            "\n\n>a\n\nMKVL\n\n\n>b\nMK\nIL\n\n",
+            ">a\nMKVL\n>b\nMKIL",
+            ">only-header\n",
+            ">x\n  \nMK\n",
+        ] {
+            assert_eq!(stream(text), parse(text), "parity on {text:?}");
+        }
+    }
+
+    #[test]
+    fn reader_matches_parse_on_errors() {
+        // Data before the first header, with the same 1-based line number.
+        for text in ["MKVL\n>a\nMK\n", "\n\nMKVL\n>a\nMK\n", ">a\nMK\n>b\nMK-L\n>c\nMK\n"] {
+            assert_eq!(stream(text), parse(text), "error parity on {text:?}");
+        }
+    }
+
+    #[test]
+    fn reader_fuses_after_error() {
+        let mut r = Reader::new(&b"junk\n>a\nMKVL\n"[..]);
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none(), "reader yields nothing after an error");
+    }
+
+    #[test]
+    fn reader_surfaces_non_utf8_as_io_invalid_data() {
+        let bytes: &[u8] = b">a\nMK\xFF\xFEVL\n";
+        let errs: Vec<ReadError> = Reader::new(bytes).filter_map(Result::err).collect::<Vec<_>>();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].is_not_utf8(), "{:?}", errs[0]);
+        assert!(errs[0].to_string().contains("not UTF-8"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn open_streams_a_real_file() {
+        let dir = std::env::temp_dir().join(format!("bioseq-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("two.fa");
+        std::fs::write(&path, ">a\nMKVL\n>b\nMKIL\n").unwrap();
+        let seqs: Vec<Sequence> =
+            open(&path).unwrap().collect::<Result<_, _>>().expect("file parses");
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[1].to_letters(), "MKIL");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub enum Command {
     /// [--p N] [--threads N] [--nodes N] [--engine E] [--no-fine-tune]
     /// [--kmer K] [--band B] [--progress]`
     Batch(BatchArgs),
+    /// `sad reads [in.fasta] [--reads N] [--coverage C] [--read-len L]
+    /// [--error-rate E] [--sources N] [--source-len L] [--seed S]
+    /// [--max-bucket N|none] [--min-q Q] [--out FILE] [--backend B]
+    /// [--p N] [--threads N] [--nodes N] [--engine E] [--kmer K]
+    /// [--band B] [--no-fine-tune] [--progress]`
+    Reads(ReadsArgs),
     /// `sad generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]`
     Generate(GenerateArgs),
     /// `sad scaling [--n N] [--procs 1,4,8,16]`
@@ -124,6 +130,73 @@ impl BatchArgs {
     }
 }
 
+/// Options of `sad reads` — the Pyro-Align-style large-N read mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadsArgs {
+    /// Optional input FASTA of reads (streamed, never slurped). Without
+    /// it a read set is simulated from a synthetic family, which also
+    /// enables the quality gate (`--min-q`) against the known truth.
+    pub input: Option<String>,
+    /// Bucket size cap (`--max-bucket`, default 512): first-pass buckets
+    /// larger than this are recursively re-sampled and re-partitioned.
+    /// `--max-bucket none` disables the hierarchical pass.
+    pub max_bucket: Option<usize>,
+    /// Exact number of simulated reads (`--reads`); overrides coverage.
+    pub reads: Option<usize>,
+    /// Simulated sequencing depth (`--coverage`, default 8).
+    pub coverage: f64,
+    /// Mean simulated read length (`--read-len`, default 90).
+    pub read_len: usize,
+    /// Homopolymer error rate (`--error-rate`, default 0.01).
+    pub error_rate: f64,
+    /// Source sequences in the simulated family (`--sources`, default 4).
+    pub sources: usize,
+    /// Average source sequence length (`--source-len`, default 400).
+    pub source_len: usize,
+    /// RNG seed for the simulation (`--seed`).
+    pub seed: u64,
+    /// Quality gate (`--min-q`): fail unless the mean pairwise Q of the
+    /// recovered alignment against the simulated truth reaches this.
+    /// Simulated input only — real read files carry no truth.
+    pub min_q: Option<f64>,
+    /// Write the aligned reads as gapped FASTA here (`--out`); stdout
+    /// carries only the run summary either way.
+    pub out: Option<String>,
+    /// Generic parallelism (`--p`): lower bound on the bucket count.
+    pub p: usize,
+    /// Rayon bucket count (`--threads`), overriding `--p`.
+    pub threads: Option<usize>,
+    /// Virtual cluster size (`--nodes`), overriding `--p`.
+    pub nodes: Option<usize>,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// Execution backend; defaults to `rayon`, the only backend that
+    /// supports the hierarchical cap.
+    pub backend: Backend,
+    /// Disable the ancestor fine-tuning step.
+    pub no_fine_tune: bool,
+    /// k-mer length override (`--kmer`); reads shorter than `k` are
+    /// rejected, so very short reads need a smaller `k`.
+    pub kmer: Option<usize>,
+    /// DP kernel band policy (`--band auto|full|<width>`).
+    pub band: BandPolicy,
+    /// Stream a live per-phase progress display to stderr (`--progress`).
+    pub progress: bool,
+}
+
+impl ReadsArgs {
+    /// User-requested decomposition width for the selected backend (the
+    /// command widens this to `reads / max_bucket` so first-pass blocks
+    /// already approach the cap).
+    pub fn parallelism(&self) -> usize {
+        match self.backend {
+            Backend::Sequential => 1,
+            Backend::Rayon => self.threads.unwrap_or(self.p),
+            Backend::Distributed => self.nodes.unwrap_or(self.p),
+        }
+    }
+}
+
 /// Execution backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -195,6 +268,9 @@ pub struct ServeArgs {
     pub workers: Option<usize>,
     /// Pending-job queue bound (`--queue`, default 32).
     pub queue: usize,
+    /// Result-cache budget in MiB (`--cache-mb`, default 64); the
+    /// in-memory result cache evicts least-recently-used entries past it.
+    pub cache_mb: usize,
     /// Per-job execution backend; defaults to `sequential` like `sad
     /// batch` (throughput comes from `--workers`, not per-job width).
     pub backend: Backend,
@@ -269,12 +345,20 @@ usage: sad <command> [options]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>] [--progress]
+  reads [in.fasta] [--reads N] [--coverage C] [--read-len L] [--error-rate E]
+                   [--sources N] [--source-len L] [--seed S]
+                   [--max-bucket N|none] [--min-q Q] [--out FILE]
+                   [--backend sequential|rayon|distributed] [--p N]
+                   [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
+                   [--engine muscle-fast|muscle|clustalw]
+                   [--band auto|full|<width>] [--progress]
   generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]
   scaling  [--n N] [--procs 1,4,8,16]
   eval     [--cases C] [--p N]
   rank <in.fasta> [--p N]
   serve    [--host H] [--port N] [--journal FILE] [--out DIR] [--workers N]
-                   [--queue N] [--backend sequential|rayon|distributed]
+                   [--queue N] [--cache-mb N]
+                   [--backend sequential|rayon|distributed]
                    [--p N] [--threads N] [--nodes N] [--no-fine-tune]
                    [--kmer K] [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>]
@@ -439,6 +523,138 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
             }
             Ok(Args { command: Command::Batch(b) })
         }
+        "reads" => {
+            let mut input = None;
+            let mut r = ReadsArgs {
+                input: None,
+                max_bucket: Some(512),
+                reads: None,
+                coverage: 8.0,
+                read_len: 90,
+                error_rate: 0.01,
+                sources: 4,
+                source_len: 400,
+                seed: 0,
+                min_q: None,
+                out: None,
+                p: 4,
+                threads: None,
+                nodes: None,
+                engine: EngineChoice::MuscleFast,
+                backend: Backend::Rayon,
+                no_fine_tune: false,
+                kmer: None,
+                band: BandPolicy::default(),
+                progress: false,
+            };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--max-bucket" => {
+                        r.max_bucket = match take_value("--max-bucket", &mut it)? {
+                            "none" => None,
+                            v => Some(parse_num("--max-bucket", v)?),
+                        }
+                    }
+                    "--reads" => {
+                        r.reads = Some(parse_num("--reads", take_value("--reads", &mut it)?)?)
+                    }
+                    "--coverage" => {
+                        r.coverage = parse_num("--coverage", take_value("--coverage", &mut it)?)?
+                    }
+                    "--read-len" => {
+                        r.read_len = parse_num("--read-len", take_value("--read-len", &mut it)?)?
+                    }
+                    "--error-rate" => {
+                        r.error_rate =
+                            parse_num("--error-rate", take_value("--error-rate", &mut it)?)?
+                    }
+                    "--sources" => {
+                        r.sources = parse_num("--sources", take_value("--sources", &mut it)?)?
+                    }
+                    "--source-len" => {
+                        r.source_len =
+                            parse_num("--source-len", take_value("--source-len", &mut it)?)?
+                    }
+                    "--seed" => r.seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+                    "--min-q" => {
+                        r.min_q = Some(parse_num("--min-q", take_value("--min-q", &mut it)?)?)
+                    }
+                    "--out" => r.out = Some(take_value("--out", &mut it)?.to_string()),
+                    "--p" => r.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    "--kmer" => r.kmer = Some(parse_num("--kmer", take_value("--kmer", &mut it)?)?),
+                    "--band" => {
+                        let v = take_value("--band", &mut it)?;
+                        r.band = BandPolicy::parse(v).ok_or_else(|| {
+                            ParseError(format!(
+                                "--band takes auto, full or a positive width, not {v:?}"
+                            ))
+                        })?;
+                    }
+                    "--threads" => {
+                        r.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
+                    }
+                    "--nodes" => {
+                        r.nodes = Some(parse_num("--nodes", take_value("--nodes", &mut it)?)?)
+                    }
+                    "--engine" => r.engine = parse_engine(take_value("--engine", &mut it)?)?,
+                    "--backend" => {
+                        r.backend = match take_value("--backend", &mut it)? {
+                            "sequential" => Backend::Sequential,
+                            "rayon" => Backend::Rayon,
+                            "distributed" | "cluster" => Backend::Distributed,
+                            other => return Err(ParseError(format!("unknown backend {other:?}"))),
+                        }
+                    }
+                    "--no-fine-tune" => r.no_fine_tune = true,
+                    "--progress" => r.progress = true,
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            r.input = input;
+            if r.p == 0 || r.threads == Some(0) || r.nodes == Some(0) {
+                return Err(ParseError("--p/--threads/--nodes must be at least 1".into()));
+            }
+            if r.max_bucket == Some(0) {
+                return Err(ParseError("--max-bucket must be at least 1 (or none)".into()));
+            }
+            if r.reads == Some(0) {
+                return Err(ParseError("--reads must be at least 1".into()));
+            }
+            if r.kmer == Some(0) {
+                return Err(ParseError("--kmer must be at least 1".into()));
+            }
+            if r.read_len == 0 || r.sources == 0 || r.source_len == 0 {
+                return Err(ParseError(
+                    "--read-len/--sources/--source-len must be at least 1".into(),
+                ));
+            }
+            if !(0.0..1.0).contains(&r.error_rate) {
+                return Err(ParseError("--error-rate must be in [0, 1)".into()));
+            }
+            if r.coverage <= 0.0 {
+                return Err(ParseError("--coverage must be positive".into()));
+            }
+            if let Some(q) = r.min_q {
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(ParseError("--min-q must be in [0, 1]".into()));
+                }
+                if r.input.is_some() {
+                    return Err(ParseError(
+                        "--min-q needs the simulated truth; it cannot gate a read file".into(),
+                    ));
+                }
+            }
+            if r.threads.is_some() && r.backend != Backend::Rayon {
+                return Err(ParseError("--threads only applies to --backend rayon".into()));
+            }
+            if r.nodes.is_some() && r.backend != Backend::Distributed {
+                return Err(ParseError("--nodes only applies to --backend distributed".into()));
+            }
+            Ok(Args { command: Command::Reads(r) })
+        }
         "generate" => {
             let mut g =
                 GenerateArgs { n: 100, len: 300, relatedness: 800.0, seed: 0, reference: None };
@@ -513,6 +729,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 out_dir: ".".into(),
                 workers: None,
                 queue: 32,
+                cache_mb: 64,
                 backend: Backend::Sequential,
                 p: 4,
                 threads: None,
@@ -532,6 +749,9 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                         s.workers = Some(parse_num("--workers", take_value("--workers", &mut it)?)?)
                     }
                     "--queue" => s.queue = parse_num("--queue", take_value("--queue", &mut it)?)?,
+                    "--cache-mb" => {
+                        s.cache_mb = parse_num("--cache-mb", take_value("--cache-mb", &mut it)?)?
+                    }
                     "--p" => s.p = parse_num("--p", take_value("--p", &mut it)?)?,
                     "--kmer" => s.kmer = Some(parse_num("--kmer", take_value("--kmer", &mut it)?)?),
                     "--band" => {
@@ -938,6 +1158,113 @@ mod tests {
             _ => panic!("wrong command"),
         }
         assert!(parse(["submit"]).is_err(), "needs files, --cancel or --shutdown");
+    }
+
+    #[test]
+    fn reads_defaults_and_flags() {
+        match parse(["reads"]).unwrap().command {
+            Command::Reads(r) => {
+                assert_eq!(r.input, None, "no file means simulated input");
+                assert_eq!(r.max_bucket, Some(512));
+                assert_eq!(r.backend, Backend::Rayon, "reads defaults to rayon");
+                assert_eq!(r.coverage, 8.0);
+                assert_eq!(r.read_len, 90);
+                assert_eq!(r.parallelism(), 4);
+                assert!(!r.progress);
+            }
+            _ => panic!("wrong command"),
+        }
+        let parsed = parse([
+            "reads",
+            "reads.fa",
+            "--max-bucket",
+            "64",
+            "--backend",
+            "rayon",
+            "--threads",
+            "8",
+            "--kmer",
+            "3",
+            "--band",
+            "16",
+            "--out",
+            "aligned.fa",
+        ])
+        .unwrap();
+        match parsed.command {
+            Command::Reads(r) => {
+                assert_eq!(r.input.as_deref(), Some("reads.fa"));
+                assert_eq!(r.max_bucket, Some(64));
+                assert_eq!(r.parallelism(), 8);
+                assert_eq!(r.kmer, Some(3));
+                assert_eq!(r.band, BandPolicy::Fixed(16));
+                assert_eq!(r.out.as_deref(), Some("aligned.fa"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn reads_simulation_and_gate_flags() {
+        let parsed = parse([
+            "reads",
+            "--reads",
+            "500",
+            "--coverage",
+            "12",
+            "--error-rate",
+            "0.05",
+            "--sources",
+            "2",
+            "--source-len",
+            "300",
+            "--seed",
+            "7",
+            "--min-q",
+            "0.8",
+            "--max-bucket",
+            "none",
+        ])
+        .unwrap();
+        match parsed.command {
+            Command::Reads(r) => {
+                assert_eq!(r.reads, Some(500));
+                assert_eq!(r.coverage, 12.0);
+                assert_eq!(r.error_rate, 0.05);
+                assert_eq!(r.sources, 2);
+                assert_eq!(r.source_len, 300);
+                assert_eq!(r.seed, 7);
+                assert_eq!(r.min_q, Some(0.8));
+                assert_eq!(r.max_bucket, None);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn reads_rejects_bad_flags() {
+        assert!(parse(["reads", "--max-bucket", "0"]).is_err());
+        assert!(parse(["reads", "--reads", "0"]).is_err());
+        assert!(parse(["reads", "--error-rate", "1.5"]).is_err());
+        assert!(parse(["reads", "--coverage", "0"]).is_err());
+        assert!(parse(["reads", "--read-len", "0"]).is_err());
+        assert!(parse(["reads", "--min-q", "2"]).is_err());
+        assert!(parse(["reads", "in.fa", "--min-q", "0.9"]).is_err(), "gate needs the truth");
+        assert!(parse(["reads", "--threads", "4", "--backend", "sequential"]).is_err());
+        assert!(parse(["reads", "--nodes", "4"]).is_err(), "nodes need distributed");
+    }
+
+    #[test]
+    fn serve_cache_budget_flag() {
+        match parse(["serve"]).unwrap().command {
+            Command::Serve(s) => assert_eq!(s.cache_mb, 64),
+            _ => panic!("wrong command"),
+        }
+        match parse(["serve", "--cache-mb", "8"]).unwrap().command {
+            Command::Serve(s) => assert_eq!(s.cache_mb, 8),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["serve", "--cache-mb", "x"]).is_err());
     }
 
     #[test]

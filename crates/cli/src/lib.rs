@@ -12,6 +12,12 @@
 //!   `<job>.aligned.fa` per job in `--out DIR`, and the batch summary
 //!   table on stdout (per-job failures are reported, never abort the
 //!   batch);
+//! * `sad reads` — the Pyro-Align-style large-N read mode: align a file
+//!   of short reads (streamed record by record, never slurped) or a
+//!   simulated read set, recursively decomposing buckets past
+//!   `--max-bucket` on the rayon backend; prints the bucket census,
+//!   decomposition depth and phase table, gates simulated runs on mean
+//!   pair-Q with `--min-q`, and writes the alignment via `--out`;
 //! * `sad generate` — emit a rose-style synthetic family as FASTA
 //!   (`--n`, `--len`, `--relatedness`, `--seed`, `--reference <path>`);
 //! * `sad scaling` — print a Fig. 4/5-style scaling table (`--n`,
@@ -45,6 +51,7 @@ pub fn run(args: Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     match args.command {
         Command::Align(a) => cmd::align(a, out),
         Command::Batch(b) => cmd::batch(b, out),
+        Command::Reads(r) => cmd::reads(r, out),
         Command::Generate(g) => cmd::generate(g, out),
         Command::Scaling(s) => cmd::scaling(s, out),
         Command::Eval(e) => cmd::eval(e, out),

@@ -228,7 +228,15 @@ impl Aligner {
                 }
                 *threads
             }
-            Backend::Distributed(cluster) => cluster.p(),
+            Backend::Distributed(cluster) => {
+                // The SPMD protocol has no recursive redistribution
+                // collective; reject the cap instead of silently ignoring
+                // it (see SadConfig::max_bucket).
+                if self.cfg.max_bucket.is_some() {
+                    return Err(SadError::MaxBucketUnsupported { backend: "distributed" });
+                }
+                cluster.p()
+            }
         };
         if let Some(requested) = self.ranks {
             if requested != width {
@@ -381,6 +389,20 @@ mod tests {
         let err =
             Aligner::new(SadConfig::default()).backend(Backend::Rayon { threads: 0 }).run(&seqs);
         assert_eq!(err, Err(SadError::ZeroParallelism));
+    }
+
+    #[test]
+    fn max_bucket_rejected_on_distributed_only() {
+        let seqs = family(12, 9);
+        let cfg = SadConfig::default().with_max_bucket(Some(4));
+        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+        let err = Aligner::new(cfg.clone()).backend(Backend::Distributed(cluster)).run(&seqs);
+        assert_eq!(err, Err(SadError::MaxBucketUnsupported { backend: "distributed" }));
+        // Rayon honours the cap; sequential has no buckets and ignores it.
+        let ray = Aligner::new(cfg.clone()).backend(Backend::Rayon { threads: 2 }).run(&seqs);
+        assert!(ray.unwrap().bucket_sizes.iter().all(|&b| b <= 4));
+        let seq = Aligner::new(cfg).run(&seqs).unwrap();
+        assert_eq!(seq.bucket_sizes, vec![12]);
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub struct SadConfig {
     /// The default, [`BandPolicy::Auto`], fills only a diagonal band and
     /// adaptively widens it until the optimum is provably unconstrained.
     pub band_policy: BandPolicy,
+    /// Hierarchical bucketing cap (the Pyro-Align large-N read mode):
+    /// when set, any post-redistribution bucket larger than this is
+    /// recursively re-sampled and re-partitioned
+    /// ([`crate::Phase::SubPartition`]) until every leaf bucket fits, so
+    /// no single engine run — and no single rank — ever centralises an
+    /// oversized bucket. `None` (the default) keeps the flat paper
+    /// pipeline. Supported on the rayon backend; the sequential backend
+    /// has no buckets and ignores it; the distributed backend rejects it
+    /// with [`SadError::MaxBucketUnsupported`].
+    pub max_bucket: Option<usize>,
 }
 
 impl Default for SadConfig {
@@ -51,6 +61,7 @@ impl Default for SadConfig {
             matrix: SubstMatrix::blosum62(),
             gaps: GapPenalties::default(),
             band_policy: BandPolicy::default(),
+            max_bucket: None,
         }
     }
 }
@@ -111,6 +122,13 @@ impl SadConfig {
         self
     }
 
+    /// Cap bucket sizes via hierarchical sub-partitioning (`None`
+    /// restores the flat paper pipeline).
+    pub fn with_max_bucket(mut self, cap: Option<usize>) -> Self {
+        self.max_bucket = cap;
+        self
+    }
+
     /// Effective sample count per rank for a cluster of `p`.
     pub fn samples_for(&self, p: usize) -> usize {
         self.samples_per_rank.unwrap_or_else(|| p.saturating_sub(1)).max(1)
@@ -128,6 +146,9 @@ impl SadConfig {
         }
         if self.band_policy == BandPolicy::Fixed(0) {
             return Err(SadError::ZeroBandWidth);
+        }
+        if self.max_bucket == Some(0) {
+            return Err(SadError::ZeroMaxBucket);
         }
         Ok(())
     }
@@ -180,12 +201,24 @@ mod tests {
             .with_fine_tune(false)
             .with_matrix(SubstMatrix::blosum62())
             .with_gaps(GapPenalties::default())
-            .with_band_policy(BandPolicy::Fixed(48));
+            .with_band_policy(BandPolicy::Fixed(48))
+            .with_max_bucket(Some(256));
         assert_eq!(cfg.kmer_k, 4);
         assert_eq!(cfg.samples_per_rank, Some(3));
         assert_eq!(cfg.engine, EngineChoice::Clustal);
         assert!(!cfg.fine_tune);
         assert_eq!(cfg.band_policy, BandPolicy::Fixed(48));
+        assert_eq!(cfg.max_bucket, Some(256));
+    }
+
+    #[test]
+    fn validate_rejects_zero_max_bucket() {
+        assert_eq!(
+            SadConfig::default().with_max_bucket(Some(0)).validate(),
+            Err(SadError::ZeroMaxBucket)
+        );
+        assert_eq!(SadConfig::default().with_max_bucket(Some(1)).validate(), Ok(()));
+        assert_eq!(SadConfig::default().with_max_bucket(None).validate(), Ok(()));
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub(crate) fn distributed_pipeline(
         bucket_sizes,
         ranks: cluster.p(),
         samples_per_rank: cfg.samples_for(cluster.p()),
+        decomposition_depth: 0,
         extras: BackendExtras::Distributed { makespan: run.makespan, traces: run.traces },
     })
 }
@@ -441,7 +442,9 @@ mod tests {
             ]
         );
         let table = report.phase_table();
-        for phase in Phase::ALL {
+        // SubPartition is opt-in (max_bucket) and rayon-only; every other
+        // phase must show up in a default run's table.
+        for phase in Phase::ALL.into_iter().filter(|&p| p != Phase::SubPartition) {
             assert!(table.contains(phase.name()), "missing phase {phase}:\n{table}");
         }
         // Compute-bearing phases carry their work in the unified report.

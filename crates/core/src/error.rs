@@ -52,6 +52,18 @@ pub enum SadError {
     /// `SadConfig::band_policy` is `BandPolicy::Fixed(0)` — a zero-width
     /// band admits no alignment path.
     ZeroBandWidth,
+    /// `SadConfig::max_bucket` is `Some(0)` — a bucket must hold at least
+    /// one sequence, so a zero cap can never be satisfied.
+    ZeroMaxBucket,
+    /// `SadConfig::max_bucket` was set on a backend without hierarchical
+    /// bucketing support. The virtual cluster's SPMD protocol has no
+    /// recursive redistribution collective yet, so only the rayon backend
+    /// honours the cap (the sequential backend has no buckets and ignores
+    /// it).
+    MaxBucketUnsupported {
+        /// Stable name of the rejecting backend.
+        backend: &'static str,
+    },
     /// The run was stopped at a phase boundary — the
     /// [`crate::CancelToken`] supplied via [`crate::Aligner::cancel_token`]
     /// was cancelled, or the [`crate::Aligner::deadline`] budget ran out.
@@ -82,6 +94,12 @@ impl std::fmt::Display for SadError {
             SadError::ZeroBandWidth => {
                 write!(f, "band_policy: a fixed band must be at least 1 column wide")
             }
+            SadError::ZeroMaxBucket => {
+                write!(f, "max_bucket must be at least 1 when set explicitly")
+            }
+            SadError::MaxBucketUnsupported { backend } => {
+                write!(f, "max_bucket: hierarchical bucketing is not supported on the {backend} backend (use rayon)")
+            }
             SadError::Cancelled { phase } => {
                 write!(f, "run cancelled before phase {phase}")
             }
@@ -104,6 +122,8 @@ mod tests {
             (SadError::KmerExceedsShortest { k: 6, shortest: 4 }, "shortest"),
             (SadError::ClusterSizeMismatch { actual: 4, requested: 8 }, "4 ranks"),
             (SadError::ZeroParallelism, "thread"),
+            (SadError::ZeroMaxBucket, "max_bucket"),
+            (SadError::MaxBucketUnsupported { backend: "distributed" }, "distributed backend"),
             (
                 SadError::Cancelled { phase: crate::pipeline::Phase::LocalAlign },
                 "cancelled before phase 8-local-align",

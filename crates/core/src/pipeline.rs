@@ -33,9 +33,10 @@ use std::time::{Duration, Instant};
 /// A typed id for one step of the Sample-Align-D pipeline.
 ///
 /// Variants are numbered after the algorithm listing in Section 2 of the
-/// paper (steps 4 and 7 are folded into their preceding collectives), so
-/// [`Phase::step`] and [`Phase::name`] line up with the cost analysis of
-/// Section 3. The discriminant order is pipeline order.
+/// paper (step 4 is folded into its preceding collective, and the step-7
+/// slot hosts the hierarchical sub-partition pass of the large-N read
+/// mode), so [`Phase::step`] and [`Phase::name`] line up with the cost
+/// analysis of Section 3. The discriminant order is pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum Phase {
@@ -47,8 +48,13 @@ pub enum Phase {
     SampleExchange,
     /// Step 5: re-rank every sequence against the pooled global sample.
     GlobalizedRank,
-    /// Steps 6–7: PSRS redistribution so similar sequences co-locate.
+    /// Step 6: PSRS redistribution so similar sequences co-locate.
     Redistribute,
+    /// Step 7: hierarchical sub-partitioning — buckets exceeding
+    /// [`crate::SadConfig::max_bucket`] are recursively re-sampled and
+    /// re-partitioned until every leaf bucket fits the cap. Only recorded
+    /// when a cap is configured (the Pyro-Align large-N read mode).
+    SubPartition,
     /// Step 8: the sequential MSA engine on each bucket.
     LocalAlign,
     /// Step 9: consensus ("local ancestor") extraction per bucket.
@@ -63,12 +69,13 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase in pipeline order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::LocalKmerRank,
         Phase::LocalSort,
         Phase::SampleExchange,
         Phase::GlobalizedRank,
         Phase::Redistribute,
+        Phase::SubPartition,
         Phase::LocalAlign,
         Phase::LocalAncestor,
         Phase::GlobalAncestor,
@@ -85,6 +92,7 @@ impl Phase {
             Phase::SampleExchange => "3-sample-exchange",
             Phase::GlobalizedRank => "5-globalized-rank",
             Phase::Redistribute => "6-redistribute",
+            Phase::SubPartition => "7-sub-partition",
             Phase::LocalAlign => "8-local-align",
             Phase::LocalAncestor => "9-local-ancestor",
             Phase::GlobalAncestor => "10-global-ancestor",
@@ -101,6 +109,7 @@ impl Phase {
             Phase::SampleExchange => 3,
             Phase::GlobalizedRank => 5,
             Phase::Redistribute => 6,
+            Phase::SubPartition => 7,
             Phase::LocalAlign => 8,
             Phase::LocalAncestor => 9,
             Phase::GlobalAncestor => 10,
@@ -155,6 +164,19 @@ pub enum Event {
         work: Work,
         /// Real wall-clock duration of the phase in seconds.
         seconds: f64,
+    },
+    /// One over-cap bucket was recursively re-partitioned (inside
+    /// [`Phase::SubPartition`], hierarchical mode only). Splits of one
+    /// first-pass bucket arrive in increasing `depth` order.
+    BucketSplit {
+        /// First-pass (post-redistribution) bucket the split belongs to.
+        bucket: usize,
+        /// Recursion depth of this split (1 = first re-partition).
+        depth: usize,
+        /// Sequences in the bucket before the split.
+        size: usize,
+        /// Sub-buckets the split produced.
+        parts: usize,
     },
     /// One bucket finished its local alignment (inside
     /// [`Phase::LocalAlign`]). Decomposed backends emit these from worker
@@ -455,6 +477,11 @@ impl PipelineCtx {
     /// inside [`Phase::LocalAlign`].
     pub(crate) fn bucket_aligned(&self, bucket: usize, rows: usize, seconds: f64) {
         self.emit(Event::BucketAligned { bucket, rows, seconds });
+    }
+
+    /// Emit [`Event::BucketSplit`] (inside [`Phase::SubPartition`]).
+    pub(crate) fn bucket_split(&self, bucket: usize, depth: usize, size: usize, parts: usize) {
+        self.emit(Event::BucketSplit { bucket, depth, size, parts });
     }
 
     /// Close the recorder: the finished phases in pipeline order plus

@@ -35,14 +35,17 @@ pub(crate) fn rayon_pipeline(
     debug_assert!(p >= 1, "Aligner::run rejects zero threads");
     let n = seqs.len();
     let finish =
-        |msa: Msa, phases: Vec<PhaseStat>, work: Work, bucket_sizes: Vec<usize>| RunReport {
-            msa,
-            work,
-            phases,
-            bucket_sizes,
-            ranks: p,
-            samples_per_rank: cfg.samples_for(p),
-            extras: BackendExtras::Rayon { threads: p },
+        |msa: Msa, phases: Vec<PhaseStat>, work: Work, bucket_sizes: Vec<usize>, depth: usize| {
+            RunReport {
+                msa,
+                work,
+                phases,
+                bucket_sizes,
+                ranks: p,
+                samples_per_rank: cfg.samples_for(p),
+                decomposition_depth: depth,
+                extras: BackendExtras::Rayon { threads: p },
+            }
         };
 
     // Step 1: emulate the per-rank ranking: split into p blocks and rank
@@ -131,10 +134,34 @@ pub(crate) fn rayon_pipeline(
         (keyed, grank_w)
     })?;
 
-    // Steps 6–7: sample-partition into p buckets by rank.
+    // Step 6: sample-partition into p buckets by rank.
     let buckets_idx = ctx.phase(Phase::Redistribute, || {
         psrs::shared::sample_partition_by_with_work(keyed, p, |&(_, r)| r)
     })?;
+
+    // Step 7 (hierarchical mode only): recursively re-sample and
+    // re-partition any bucket over the cap, so no single engine run ever
+    // centralises an oversized bucket. Leaves replace their first-pass
+    // bucket in order, so concatenation still yields the global rank
+    // order.
+    let (buckets_idx, depth) = match cfg.max_bucket {
+        Some(cap) => ctx.phase(Phase::SubPartition, || {
+            let mut splitter = BucketSplitter {
+                cap,
+                ctx,
+                root: 0,
+                out: Vec::with_capacity(buckets_idx.len()),
+                deepest: 0,
+                work: Work::ZERO,
+            };
+            for (b, bucket) in buckets_idx.into_iter().enumerate() {
+                splitter.root = b;
+                splitter.split(bucket, 1);
+            }
+            ((splitter.out, splitter.deepest), splitter.work)
+        })?,
+        None => (buckets_idx, 0),
+    };
     let bucket_sizes: Vec<usize> = buckets_idx.iter().map(Vec::len).collect();
     let buckets: Vec<Vec<Sequence>> =
         buckets_idx.iter().map(|b| b.iter().map(|&(i, _)| seqs[i].clone()).collect()).collect();
@@ -165,10 +192,13 @@ pub(crate) fn rayon_pipeline(
     })?;
     assert!(!local_msas.is_empty());
 
-    if p == 1 || local_msas.len() == 1 {
+    // A lone bucket IS the global alignment (p == 1 without a cap, or a
+    // degenerate partition); with a cap even p == 1 can decompose into
+    // many leaves, so the test is on the bucket count, not on p.
+    if local_msas.len() == 1 {
         let msa = local_msas.into_iter().next().expect("one bucket");
         let (phases, work) = ctx.drain();
-        return Ok(finish(msa, phases, work, bucket_sizes));
+        return Ok(finish(msa, phases, work, bucket_sizes, depth));
     }
     if !cfg.fine_tune {
         let msa = ctx.phase(Phase::Glue, || {
@@ -177,7 +207,7 @@ pub(crate) fn rayon_pipeline(
             (msa, glue_w)
         })?;
         let (phases, work) = ctx.drain();
-        return Ok(finish(msa, phases, work, bucket_sizes));
+        return Ok(finish(msa, phases, work, bucket_sizes, depth));
     }
 
     // Step 9: ancestors per bucket.
@@ -233,7 +263,63 @@ pub(crate) fn rayon_pipeline(
         (msa, glue_w)
     })?;
     let (phases, work) = ctx.drain();
-    Ok(finish(msa, phases, work, bucket_sizes))
+    Ok(finish(msa, phases, work, bucket_sizes, depth))
+}
+
+/// Recursive bucket decomposition state for [`Phase::SubPartition`]: the
+/// cap, the first-pass bucket being split (`root`), and the accumulated
+/// leaves, deepest split and partition work.
+struct BucketSplitter<'a> {
+    cap: usize,
+    ctx: &'a PipelineCtx,
+    /// First-pass (post-redistribution) bucket currently being split.
+    root: usize,
+    /// Finished leaves, in rank order.
+    out: Vec<Vec<(usize, f64)>>,
+    /// Deepest split recorded across all roots.
+    deepest: usize,
+    work: Work,
+}
+
+impl BucketSplitter<'_> {
+    /// Recursively split `bucket` until every leaf holds at most `cap`
+    /// sequences, appending the leaves (in rank order) to `out`.
+    ///
+    /// Each over-cap bucket is re-partitioned by the same
+    /// regular-sampling partition the first pass used, over its own
+    /// members — the hierarchical decomposition of the Pyro-Align
+    /// follow-up. Identical rank keys can defeat sampling (every member
+    /// lands in one sub-bucket); that no-progress case falls back to
+    /// chunking the (already sorted) bucket into contiguous runs of at
+    /// most `cap`, which always terminates.
+    fn split(&mut self, bucket: Vec<(usize, f64)>, depth: usize) {
+        if bucket.len() <= self.cap {
+            self.out.push(bucket);
+            return;
+        }
+        self.deepest = self.deepest.max(depth);
+        let size = bucket.len();
+        let parts = size.div_ceil(self.cap);
+        self.ctx.bucket_split(self.root, depth, size, parts);
+        let (subs, sw) = psrs::shared::sample_partition_by_with_work(bucket, parts, |&(_, r)| r);
+        self.work += sw;
+        if subs.iter().map(Vec::len).max().unwrap_or(0) == size {
+            // No progress: all keys collapsed onto one pivot side. The
+            // bucket comes back sorted, so contiguous chunks of ≤ cap
+            // preserve rank order exactly.
+            let whole: Vec<(usize, f64)> = subs.into_iter().flatten().collect();
+            for chunk in whole.chunks(size.div_ceil(parts)) {
+                debug_assert!(chunk.len() <= self.cap);
+                self.out.push(chunk.to_vec());
+            }
+            return;
+        }
+        for sub in subs {
+            if !sub.is_empty() {
+                self.split(sub, depth + 1);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -345,5 +431,79 @@ mod tests {
         let seqs3 = family(3, 7);
         let report = run(&seqs3, 8, &SadConfig::default());
         check_complete(&report.msa, &seqs3);
+    }
+
+    #[test]
+    fn max_bucket_caps_every_leaf() {
+        let seqs = family(60, 8);
+        let cfg = SadConfig::default().with_max_bucket(Some(8));
+        let report = run(&seqs, 2, &cfg);
+        check_complete(&report.msa, &seqs);
+        assert!(report.bucket_sizes.iter().all(|&b| b <= 8), "{:?}", report.bucket_sizes);
+        assert_eq!(report.bucket_sizes.iter().sum::<usize>(), 60);
+        assert!(report.decomposition_depth >= 1, "60 seqs over 2 buckets must split");
+        assert!(report.phase_sequence().contains(&Phase::SubPartition));
+        // The sub-partition phase slots between redistribution and the
+        // engine runs.
+        let seq = report.phase_sequence();
+        let at = |p| seq.iter().position(|&x| x == p).unwrap();
+        assert!(at(Phase::Redistribute) < at(Phase::SubPartition));
+        assert!(at(Phase::SubPartition) < at(Phase::LocalAlign));
+    }
+
+    #[test]
+    fn uncapped_runs_have_no_sub_partition_phase() {
+        let seqs = family(24, 9);
+        let report = run(&seqs, 4, &SadConfig::default());
+        assert!(!report.phase_sequence().contains(&Phase::SubPartition));
+        assert_eq!(report.decomposition_depth, 0);
+    }
+
+    #[test]
+    fn loose_cap_matches_flat_partition() {
+        // A cap nothing exceeds records the phase but splits nothing: the
+        // buckets — and the alignment — match the uncapped run.
+        let seqs = family(24, 10);
+        let flat = run(&seqs, 4, &SadConfig::default());
+        let capped = run(&seqs, 4, &SadConfig::default().with_max_bucket(Some(1000)));
+        assert_eq!(capped.bucket_sizes, flat.bucket_sizes);
+        assert_eq!(capped.msa, flat.msa);
+        assert_eq!(capped.decomposition_depth, 0);
+        assert!(capped.phase_sequence().contains(&Phase::SubPartition));
+    }
+
+    #[test]
+    fn capped_p1_decomposes_instead_of_centralising() {
+        let seqs = family(40, 11);
+        let cfg = SadConfig::default().with_max_bucket(Some(10));
+        let report = run(&seqs, 1, &cfg);
+        check_complete(&report.msa, &seqs);
+        assert!(report.bucket_sizes.len() >= 4, "{:?}", report.bucket_sizes);
+        assert!(report.bucket_sizes.iter().all(|&b| b <= 10));
+    }
+
+    #[test]
+    fn capped_runs_are_deterministic() {
+        let seqs = family(48, 12);
+        let cfg = SadConfig::default().with_max_bucket(Some(6));
+        let a = run(&seqs, 3, &cfg);
+        let b = run(&seqs, 3, &cfg);
+        assert_eq!(a.msa, b.msa);
+        assert_eq!(a.bucket_sizes, b.bucket_sizes);
+        assert_eq!(a.decomposition_depth, b.decomposition_depth);
+    }
+
+    #[test]
+    fn identical_rank_keys_still_terminate() {
+        // Identical sequences share one rank key; sampling cannot split
+        // them, so the chunking fallback must cap the leaves.
+        let seqs: Vec<Sequence> = (0..30)
+            .map(|i| Sequence::from_codes(format!("dup{i}"), vec![1, 2, 3, 4, 5, 6, 7, 8]))
+            .collect();
+        let cfg = SadConfig::default().with_kmer_k(2).with_max_bucket(Some(4));
+        let report = run(&seqs, 2, &cfg);
+        check_complete(&report.msa, &seqs);
+        assert!(report.bucket_sizes.iter().all(|&b| b <= 4), "{:?}", report.bucket_sizes);
+        assert_eq!(report.bucket_sizes.iter().sum::<usize>(), 30);
     }
 }

@@ -80,6 +80,10 @@ pub struct RunReport {
     pub ranks: usize,
     /// Effective regular samples contributed per rank (`k` in the paper).
     pub samples_per_rank: usize,
+    /// Maximum recursion depth of hierarchical sub-partitioning
+    /// ([`Phase::SubPartition`]): 0 when every first-pass bucket already
+    /// fit [`crate::SadConfig::max_bucket`] — or when no cap was set.
+    pub decomposition_depth: usize,
     /// Backend-specific extras.
     pub extras: BackendExtras,
 }
@@ -200,6 +204,7 @@ mod tests {
             bucket_sizes: vec![2, 0],
             ranks: 2,
             samples_per_rank: 1,
+            decomposition_depth: 0,
             extras: BackendExtras::Rayon { threads: 2 },
         }
     }

@@ -37,6 +37,7 @@ pub(crate) fn sequential_pipeline(
         bucket_sizes: vec![seqs.len()],
         ranks: 1,
         samples_per_rank: cfg.samples_for(1),
+        decomposition_depth: 0,
         extras: BackendExtras::Sequential,
     })
 }

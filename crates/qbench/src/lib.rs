@@ -11,13 +11,18 @@
 //! generative process supplies a *true* alignment to use as the reference,
 //! and the two most divergent leaves play the role of the structure pair.
 //! [`harness`] runs any alignment system over a benchmark and reports mean
-//! `Q`, exactly like the paper's Table 2.
+//! `Q`, exactly like the paper's Table 2. [`reads`] extends the same
+//! pair-scoring idea to the Pyro-Align large-N read mode: a simulated
+//! read set's sparse truth is sampled pair-by-pair, so recovered read
+//! alignments are gated in O(sample) memory at any read count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod reads;
 pub mod refset;
 
 pub use harness::{evaluate_engine, evaluate_with, EngineReport};
+pub use reads::mean_read_pair_q;
 pub use refset::{Benchmark, BenchmarkConfig, ReferenceCase};

@@ -15,7 +15,10 @@
 //!   alignment** ([`family`]) — the property PREFAB-style Q scoring needs;
 //! * a genome-like sampler ([`genome`]) producing phylogenetically diverse
 //!   mixtures of families with the M. acetivorans ORF length statistics
-//!   (average ≈ 316 aa) for the Fig. 6 experiment.
+//!   (average ≈ 316 aa) for the Fig. 6 experiment;
+//! * a pyrosequencing read simulator ([`reads`]) fragmenting a family into
+//!   short overlapping reads with homopolymer-biased indel errors — the
+//!   Pyro-Align large-N workload, with per-read alignment truth.
 //!
 //! The *relatedness* knob follows rose's convention: larger values mean
 //! more divergent families (`expected substitutions per site ≈
@@ -27,8 +30,10 @@
 pub mod family;
 pub mod genome;
 pub mod mutation;
+pub mod reads;
 pub mod rng;
 pub mod treegen;
 
 pub use family::{Family, FamilyConfig};
 pub use genome::{GenomeConfig, GenomeSample};
+pub use reads::{ReadSet, ReadSimConfig};

@@ -1,0 +1,476 @@
+//! Pyrosequencing-style read simulation: fragment a family's sequences
+//! into short overlapping reads with homopolymer-biased indel errors.
+//!
+//! Pyro-Align (the authors' follow-up to Sample-Align-D) aligns tens of
+//! thousands of short 454 reads drawn from one genomic region. This module
+//! reproduces that workload shape from any generated [`crate::Family`]:
+//! each row of the family's true alignment is fragmented into reads of
+//! roughly `read_len` residues at the requested coverage, and each read is
+//! then corrupted with the 454 error model — *overcalls* (an extra copy of
+//! the current residue) and *undercalls* (a dropped residue), with the
+//! event probability scaled by the length of the homopolymer run at that
+//! position, which is exactly where pyrosequencers err.
+//!
+//! Every residue of every read carries a **true column key**, so the read
+//! set knows its own reference alignment: original residues keep the
+//! source alignment's column, overcalled residues mint fresh sub-columns
+//! anchored after the column they duplicate. The truth is kept *sparse*
+//! (per-read key lists) so a 50k-read set costs megabytes, not the
+//! gigabytes a dense 50k-row reference matrix would need; [`ReadSet::
+//! reference_msa`] materialises the dense form for small sets and
+//! [`ReadSet::true_pair`] projects the exact two-row reference alignment
+//! of any read pair for PREFAB-style Q scoring at any scale.
+
+use crate::family::Family;
+use crate::rng::{geometric, normal};
+use bioseq::alphabet::GAP_CODE;
+use bioseq::{Msa, Sequence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Bits of a column key reserved for overcall sub-columns.
+const SUB_BITS: u32 = 24;
+
+/// Parameters of a simulated read set.
+#[derive(Debug, Clone)]
+pub struct ReadSimConfig {
+    /// Mean sequencing depth per source position; the number of reads cut
+    /// from a source row of length `L` is `coverage × L / read_len`
+    /// (ignored when [`ReadSimConfig::total_reads`] is set).
+    pub coverage: f64,
+    /// Exact number of reads to generate, distributed across source rows
+    /// in proportion to their lengths. Overrides `coverage`.
+    pub total_reads: Option<usize>,
+    /// Mean read length in residues.
+    pub read_len: usize,
+    /// Standard deviation of the read length.
+    pub len_sd: f64,
+    /// Per-residue probability that an error event starts at a position in
+    /// a run of length 1; a run of length `r` multiplies this by `r`,
+    /// mimicking pyrosequencing's homopolymer weakness.
+    pub error_rate: f64,
+    /// Reads never shrink below this many residues (undercalls that would
+    /// go lower are skipped, sampled reads are at least this long).
+    pub min_len: usize,
+    /// RNG seed (read sets are fully deterministic given their config).
+    pub seed: u64,
+    /// Identifier prefix: reads are named `<prefix><index>`.
+    pub id_prefix: String,
+}
+
+impl Default for ReadSimConfig {
+    fn default() -> Self {
+        ReadSimConfig {
+            coverage: 8.0,
+            total_reads: None,
+            read_len: 90,
+            len_sd: 10.0,
+            error_rate: 0.01,
+            min_len: 30,
+            seed: 0,
+            id_prefix: "read".to_string(),
+        }
+    }
+}
+
+/// A simulated read set with its implicit reference alignment.
+#[derive(Debug, Clone)]
+pub struct ReadSet {
+    /// The (error-corrupted) reads.
+    pub reads: Vec<Sequence>,
+    /// `truth[i][j]` is the true column key of read `i`'s `j`-th residue;
+    /// each list is strictly increasing, and equal keys across reads mean
+    /// "aligned in the reference".
+    pub truth: Vec<Vec<u64>>,
+    /// Index of the source alignment row each read was cut from.
+    pub sources: Vec<usize>,
+}
+
+impl ReadSet {
+    /// Fragment a family's sequences into reads (see module docs).
+    pub fn from_family(fam: &Family, cfg: &ReadSimConfig) -> ReadSet {
+        ReadSet::from_reference(&fam.reference, cfg)
+    }
+
+    /// Fragment the rows of a reference alignment into reads. Original
+    /// residues inherit the alignment's column indices as truth keys, so
+    /// reads cut from homologous regions of different rows overlap in the
+    /// implied reference.
+    ///
+    /// # Panics
+    /// Panics if the alignment is empty, `read_len == 0`, `min_len == 0`,
+    /// or `error_rate` is not in `[0, 1)`.
+    pub fn from_reference(reference: &Msa, cfg: &ReadSimConfig) -> ReadSet {
+        assert!(reference.num_rows() > 0, "need at least one source row");
+        assert!(cfg.read_len > 0 && cfg.min_len > 0, "read lengths must be positive");
+        assert!(cfg.min_len <= cfg.read_len, "min_len must not exceed read_len");
+        assert!((0.0..1.0).contains(&cfg.error_rate), "error_rate must be in [0, 1)");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Source rows as (column key, residue) pairs; original columns are
+        // key `col << SUB_BITS`, leaving sub-column space for overcalls.
+        let rows: Vec<Vec<(u64, u8)>> = (0..reference.num_rows())
+            .map(|i| {
+                reference
+                    .row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c != GAP_CODE)
+                    .map(|(col, &c)| ((col as u64) << SUB_BITS, c))
+                    .collect()
+            })
+            .collect();
+        let total_len: usize = rows.iter().map(Vec::len).sum();
+        assert!(total_len > 0, "source alignment has no residues");
+
+        // How many reads to cut from each row: proportional to length,
+        // with the remainder of an exact total spread over the longest
+        // rows first (deterministic).
+        let quota: Vec<usize> = match cfg.total_reads {
+            Some(total) => {
+                let mut q: Vec<usize> =
+                    rows.iter().map(|r| total * r.len() / total_len.max(1)).collect();
+                let mut short = total.saturating_sub(q.iter().sum::<usize>());
+                let mut by_len: Vec<usize> = (0..rows.len()).collect();
+                by_len.sort_by_key(|&i| std::cmp::Reverse(rows[i].len()));
+                for &i in by_len.iter().cycle().take(short.min(total)) {
+                    q[i] += 1;
+                    short -= 1;
+                    if short == 0 {
+                        break;
+                    }
+                }
+                q
+            }
+            None => rows
+                .iter()
+                .map(|r| {
+                    ((cfg.coverage * r.len() as f64 / cfg.read_len as f64).round() as usize).max(1)
+                })
+                .collect(),
+        };
+
+        let mut sub_counters: HashMap<u64, u64> = HashMap::new();
+        let mut reads = Vec::new();
+        let mut truth = Vec::new();
+        let mut sources = Vec::new();
+        for (row_idx, (row, &n_reads)) in rows.iter().zip(quota.iter()).enumerate() {
+            for _ in 0..n_reads {
+                let want = normal(&mut rng, cfg.read_len as f64, cfg.len_sd).round();
+                let len = (want.max(cfg.min_len as f64) as usize).min(row.len()).max(1);
+                let start = rng.gen_range(0..=row.len() - len);
+                let mut read: Vec<(u64, u8)> = row[start..start + len].to_vec();
+                apply_homopolymer_errors(&mut read, cfg, &mut rng, &mut sub_counters);
+                sources.push(row_idx);
+                truth.push(read.iter().map(|&(k, _)| k).collect());
+                reads.push(read.into_iter().map(|(_, r)| r).collect::<Vec<u8>>());
+            }
+        }
+
+        // Stable ids; width covers the final count.
+        let width = reads.len().to_string().len().max(4);
+        let reads = reads
+            .into_iter()
+            .enumerate()
+            .map(|(i, codes)| {
+                Sequence::from_codes(format!("{}{:02$}", cfg.id_prefix, i, width), codes)
+            })
+            .collect();
+        let set = ReadSet { reads, truth, sources };
+        debug_assert!(set.truth.iter().all(|t| t.windows(2).all(|w| w[0] < w[1])));
+        set
+    }
+
+    /// Number of reads.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the set holds no reads.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Number of reference columns reads `i` and `j` share (residues that
+    /// are aligned to each other in the truth).
+    pub fn overlap(&self, i: usize, j: usize) -> usize {
+        merge_count(&self.truth[i], &self.truth[j])
+    }
+
+    /// The exact two-row reference alignment of reads `i` and `j`: their
+    /// residues scattered over the union of their true columns. Suitable
+    /// as the `ref` rows of [`bioseq::compare::q_score_pair`].
+    pub fn true_pair(&self, i: usize, j: usize) -> (Vec<u8>, Vec<u8>) {
+        let (ta, tb) = (&self.truth[i], &self.truth[j]);
+        let (ca, cb) = (self.reads[i].codes(), self.reads[j].codes());
+        let mut row_a = Vec::with_capacity(ta.len() + tb.len());
+        let mut row_b = Vec::with_capacity(ta.len() + tb.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < ta.len() || b < tb.len() {
+            let ka = ta.get(a).copied().unwrap_or(u64::MAX);
+            let kb = tb.get(b).copied().unwrap_or(u64::MAX);
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    row_a.push(ca[a]);
+                    row_b.push(GAP_CODE);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    row_a.push(GAP_CODE);
+                    row_b.push(cb[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    row_a.push(ca[a]);
+                    row_b.push(cb[b]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        (row_a, row_b)
+    }
+
+    /// Materialise the dense reference alignment of the whole read set.
+    ///
+    /// Dense means O(reads × columns) memory — fine for the thousands of
+    /// reads the quality harness scores, ruinous at 50k; large-scale
+    /// scoring should sample pairs through [`ReadSet::true_pair`] instead.
+    pub fn reference_msa(&self) -> Msa {
+        let mut cols: Vec<u64> = self.truth.iter().flatten().copied().collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let pos: HashMap<u64, usize> = cols.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let rows: Vec<Vec<u8>> = self
+            .truth
+            .iter()
+            .zip(&self.reads)
+            .map(|(keys, read)| {
+                let mut row = vec![GAP_CODE; cols.len()];
+                for (&k, &res) in keys.iter().zip(read.codes()) {
+                    row[pos[&k]] = res;
+                }
+                row
+            })
+            .collect();
+        let ids = self.reads.iter().map(|r| r.id.clone()).collect();
+        Msa::from_rows(ids, rows)
+    }
+}
+
+/// Count equal keys in two strictly-increasing lists.
+fn merge_count(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Walk the read and inject 454-style errors: at each position, an error
+/// event fires with probability `error_rate × run_len` (capped at 0.5);
+/// half the events *undercall* (drop the residue), half *overcall*
+/// (insert geometric-many duplicates of it in fresh sub-columns).
+fn apply_homopolymer_errors(
+    read: &mut Vec<(u64, u8)>,
+    cfg: &ReadSimConfig,
+    rng: &mut StdRng,
+    sub_counters: &mut HashMap<u64, u64>,
+) {
+    if cfg.error_rate == 0.0 {
+        return;
+    }
+    let mut pos = 0usize;
+    while pos < read.len() {
+        let res = read[pos].1;
+        let run = read[pos..].iter().take_while(|&&(_, r)| r == res).count();
+        let p = (cfg.error_rate * run as f64).min(0.5);
+        if rng.gen_bool(p) {
+            if rng.gen_bool(0.5) {
+                // Undercall: the run reads one residue short.
+                if read.len() > cfg.min_len {
+                    read.remove(pos);
+                    continue;
+                }
+            } else {
+                // Overcall: extra copies of the current residue, each in a
+                // fresh sub-column anchored after the duplicated one.
+                let extra = geometric(rng, 0.7);
+                let anchor = read[pos].0 >> SUB_BITS;
+                let fresh: Vec<(u64, u8)> = (0..extra)
+                    .map(|_| {
+                        let counter = sub_counters.entry(anchor).or_insert(0);
+                        *counter += 1;
+                        assert!(*counter < (1 << SUB_BITS), "sub-column space exhausted");
+                        ((anchor << SUB_BITS) | *counter, res)
+                    })
+                    .collect();
+                read.splice(pos + 1..pos + 1, fresh);
+                pos += extra;
+            }
+        }
+        pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::FamilyConfig;
+    use bioseq::compare::q_score_pair;
+
+    fn small_family() -> Family {
+        Family::generate(&FamilyConfig {
+            n_seqs: 4,
+            avg_len: 200,
+            relatedness: 300.0,
+            seed: 9,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fam = small_family();
+        let cfg = ReadSimConfig { seed: 5, ..Default::default() };
+        let a = ReadSet::from_family(&fam, &cfg);
+        let b = ReadSet::from_family(&fam, &cfg);
+        assert_eq!(a.reads, b.reads);
+        assert_eq!(a.truth, b.truth);
+        let c = ReadSet::from_family(&fam, &ReadSimConfig { seed: 6, ..cfg });
+        assert_ne!(a.reads, c.reads);
+    }
+
+    #[test]
+    fn coverage_controls_read_count() {
+        let fam = small_family();
+        let lo = ReadSet::from_family(&fam, &ReadSimConfig { coverage: 4.0, ..Default::default() });
+        let hi =
+            ReadSet::from_family(&fam, &ReadSimConfig { coverage: 16.0, ..Default::default() });
+        assert!(hi.len() > lo.len() * 3, "coverage 16x vs 4x: {} vs {}", hi.len(), lo.len());
+        // Total residues ≈ coverage × total source length.
+        let total: usize = fam.seqs.iter().map(Sequence::len).sum();
+        let bases: usize = lo.reads.iter().map(Sequence::len).sum();
+        let depth = bases as f64 / total as f64;
+        assert!((2.0..8.0).contains(&depth), "4x requested, got {depth:.1}x");
+    }
+
+    #[test]
+    fn total_reads_is_exact() {
+        let fam = small_family();
+        for want in [1usize, 7, 100, 1003] {
+            let set = ReadSet::from_family(
+                &fam,
+                &ReadSimConfig { total_reads: Some(want), ..Default::default() },
+            );
+            assert_eq!(set.len(), want);
+        }
+    }
+
+    #[test]
+    fn error_free_reads_are_exact_fragments() {
+        let fam = small_family();
+        let set = ReadSet::from_family(
+            &fam,
+            &ReadSimConfig { error_rate: 0.0, seed: 2, ..Default::default() },
+        );
+        for (i, read) in set.reads.iter().enumerate() {
+            let src = fam.seqs[set.sources[i]].to_letters();
+            assert!(
+                src.contains(&read.to_letters()),
+                "read {i} is not a substring of its source row"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_msa_is_valid_and_ungaps_to_reads() {
+        let fam = small_family();
+        let set = ReadSet::from_family(
+            &fam,
+            &ReadSimConfig { coverage: 3.0, error_rate: 0.03, seed: 4, ..Default::default() },
+        );
+        let msa = set.reference_msa();
+        msa.validate().unwrap();
+        assert_eq!(msa.num_rows(), set.len());
+        for i in 0..set.len() {
+            assert_eq!(msa.ungapped(i), set.reads[i], "read {i}");
+        }
+    }
+
+    #[test]
+    fn true_pair_matches_dense_reference() {
+        let fam = small_family();
+        let set = ReadSet::from_family(
+            &fam,
+            &ReadSimConfig {
+                total_reads: Some(40),
+                error_rate: 0.02,
+                seed: 8,
+                ..Default::default()
+            },
+        );
+        let msa = set.reference_msa();
+        for (i, j) in [(0usize, 1usize), (3, 17), (5, 35)] {
+            let (ra, rb) = set.true_pair(i, j);
+            // Scoring the dense reference rows against the sparse pairwise
+            // projection must be a perfect match wherever they overlap.
+            if set.overlap(i, j) > 0 {
+                let q = q_score_pair(msa.row(i), msa.row(j), &ra, &rb);
+                assert_eq!(q, Some(1.0), "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn reads_from_same_region_overlap_in_truth() {
+        let fam = small_family();
+        let set = ReadSet::from_family(
+            &fam,
+            &ReadSimConfig { coverage: 10.0, seed: 3, ..Default::default() },
+        );
+        let overlapping = (1..set.len()).filter(|&j| set.overlap(0, j) > 10).count();
+        assert!(overlapping > 0, "10x coverage must create overlapping reads");
+    }
+
+    #[test]
+    fn errors_perturb_reads() {
+        let fam = small_family();
+        let clean = ReadSet::from_family(
+            &fam,
+            &ReadSimConfig { error_rate: 0.0, seed: 7, ..Default::default() },
+        );
+        let noisy = ReadSet::from_family(
+            &fam,
+            &ReadSimConfig { error_rate: 0.08, seed: 7, ..Default::default() },
+        );
+        assert_eq!(clean.len(), noisy.len());
+        assert_ne!(clean.reads, noisy.reads, "8% error rate must change reads");
+        // Overcalled residues mint sub-columns: some truth key has a
+        // nonzero sub part.
+        let minted = noisy.truth.iter().flatten().any(|k| k & ((1 << SUB_BITS) - 1) != 0);
+        assert!(minted, "overcalls should mint sub-columns");
+    }
+
+    #[test]
+    fn ids_are_unique_and_prefixed() {
+        let fam = small_family();
+        let set = ReadSet::from_family(
+            &fam,
+            &ReadSimConfig { total_reads: Some(25), id_prefix: "r7_".into(), ..Default::default() },
+        );
+        assert!(set.reads.iter().all(|r| r.id.starts_with("r7_")));
+        let uniq: std::collections::HashSet<&str> =
+            set.reads.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(uniq.len(), 25);
+    }
+}

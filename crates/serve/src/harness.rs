@@ -74,6 +74,13 @@ impl ServeHarness {
         self
     }
 
+    /// Result-cache byte budget (default 64 MiB). Small budgets let tests
+    /// watch LRU eviction and bounded journal re-warm.
+    pub fn cache_budget_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.cache_budget_bytes = bytes;
+        self
+    }
+
     /// Install a mid-job breakpoint (see [`crate::server::JobHold`]).
     /// Keep a clone to `engage`/`release` it from the test.
     pub fn hold(mut self, hold: crate::server::JobHold) -> Self {

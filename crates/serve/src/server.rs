@@ -141,6 +141,9 @@ pub struct ServeConfig {
     pub backend: ServeBackend,
     /// Pipeline configuration for every job.
     pub sad: SadConfig,
+    /// Byte budget of the in-memory result cache (`--cache-mb` on the
+    /// CLI); least-recently-used results are evicted past it.
+    pub cache_budget_bytes: usize,
     /// Start with workers paused (tests stage queues deterministically,
     /// then call [`ServerHandle::release_workers`]).
     pub paused: bool,
@@ -164,6 +167,7 @@ impl ServeConfig {
             queue_capacity: 32,
             backend: ServeBackend::Sequential,
             sad: SadConfig::default(),
+            cache_budget_bytes: crate::cache::DEFAULT_BUDGET_BYTES,
             paused: false,
             log: false,
             hold: None,
@@ -393,7 +397,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity.max(1)),
             journal: Mutex::new(Journal::open(&cfg.journal)?),
-            cache: ResultCache::new(),
+            cache: ResultCache::with_budget_bytes(cfg.cache_budget_bytes),
             inflight: Mutex::new(HashMap::new()),
             sinks: Mutex::new(HashMap::new()),
             ids: Mutex::new(std::collections::HashSet::new()),

@@ -66,7 +66,8 @@ pub use vcluster;
 pub mod prelude {
     pub use align::{BandPolicy, ClustalLite, DpArena, EngineChoice, MsaEngine, MuscleLite};
     pub use bioseq::{fasta, CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix};
-    pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample};
+    pub use qbench::mean_read_pair_q;
+    pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample, ReadSet, ReadSimConfig};
     pub use sad_core::{
         Aligner, Backend, BackendExtras, BatchJob, BatchReport, CancelToken, Event, JobReport,
         Observer, Phase, PhaseStat, RunReport, SadConfig, SadError,

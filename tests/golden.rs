@@ -117,6 +117,35 @@ fn batch_summary_table_matches_golden() {
 }
 
 #[test]
+fn reads_summary_matches_golden() {
+    // The large-N read mode's summary: read census, bucket census with the
+    // cap verdict, decomposition depth, the truth-gated mean pair Q and
+    // the phase table. Everything but wall-clock floats is pinned — the
+    // simulation, bucketing and alignment are deterministic per seed.
+    let (out, result) = run_cli(&[
+        "reads",
+        "--reads",
+        "200",
+        "--read-len",
+        "60",
+        "--source-len",
+        "200",
+        "--sources",
+        "2",
+        "--max-bucket",
+        "32",
+        "--threads",
+        "2",
+        "--kmer",
+        "3",
+        "--seed",
+        "1",
+    ]);
+    result.expect("golden reads run succeeds");
+    assert_matches_golden("reads_summary.txt", &out);
+}
+
+#[test]
 fn normalizer_touches_only_float_tokens() {
     let sample =
         "; 8-local-align 123 456/789 0.0042 1.5000\ntotal 99 jobs, 1.25 jobs/s;\n>seq0\nMKVL.AW\n";

@@ -143,6 +143,83 @@ fn decomposed_backends_emit_identical_phase_sequences() {
     }
 }
 
+/// A capped rayon run over `total_reads` simulated reads: every bucket
+/// the engine aligned (per `BucketAligned` events) must respect the cap,
+/// and the `BucketSplit` trail must be well-formed.
+fn assert_capped_read_run(total_reads: usize, cap: usize) {
+    let sources = Family::generate(&FamilyConfig {
+        n_seqs: 4,
+        avg_len: 300,
+        relatedness: 800.0,
+        seed: 7,
+        ..Default::default()
+    });
+    let reads = ReadSet::from_family(
+        &sources,
+        &ReadSimConfig { total_reads: Some(total_reads), seed: 7, ..Default::default() },
+    );
+    let rec = Arc::new(Recorder::default());
+    let report = Aligner::new(SadConfig::default().with_max_bucket(Some(cap)))
+        .backend(Backend::Rayon { threads: total_reads.div_ceil(cap).max(4) })
+        .observer(Arc::clone(&rec) as Arc<dyn Observer>)
+        .run(&reads.reads)
+        .unwrap();
+    assert_eq!(report.msa.num_rows(), total_reads, "every read lands in the alignment");
+    assert!(report.bucket_sizes.iter().all(|&s| s <= cap), "{:?}", report.bucket_sizes);
+    assert!(report.decomposition_depth >= 1, "{total_reads} reads over cap {cap} must split");
+
+    let events = rec.events();
+    // The observer stream is the ground truth: no engine invocation ever
+    // saw more than `cap` rows...
+    let aligned: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::BucketAligned { rows, .. } => Some(*rows),
+            _ => None,
+        })
+        .collect();
+    assert!(!aligned.is_empty());
+    assert!(aligned.iter().all(|&rows| rows <= cap), "an engine run exceeded the cap");
+    assert_eq!(aligned.iter().sum::<usize>(), total_reads, "bucket rows partition the reads");
+    // ...every split happened on an over-cap bucket, in increasing depth
+    // per first-pass bucket, inside the sub-partition phase.
+    let splits: Vec<(usize, usize, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::BucketSplit { bucket, depth, size, .. } => Some((*bucket, *depth, *size)),
+            _ => None,
+        })
+        .collect();
+    assert!(!splits.is_empty(), "a capped large-N run must record its splits");
+    let max_depth = splits.iter().map(|&(_, d, _)| d).max().unwrap();
+    assert_eq!(max_depth, report.decomposition_depth, "report depth == deepest split event");
+    for &(bucket, depth, size) in &splits {
+        assert!(size > cap, "bucket {bucket} split at size {size} <= cap {cap}");
+        assert!(depth >= 1);
+    }
+    for window in splits.windows(2) {
+        let ((b0, d0, _), (b1, d1, _)) = (window[0], window[1]);
+        assert!(b1 > b0 || (b1 == b0 && d1 >= d0), "splits arrive bucket-major, depth-increasing");
+    }
+    assert!(started(&events).contains(&Phase::SubPartition), "splits live in their own phase");
+}
+
+#[test]
+fn capped_read_run_never_exceeds_the_bucket_cap() {
+    assert_capped_read_run(2_000, 128);
+}
+
+#[test]
+fn capped_read_run_at_paper_scale() {
+    // The full Pyro-Align-scale contract (~minutes of wall clock): only
+    // run when asked, like the 50k bench point.
+    if std::env::var("SAD_PAPER_SCALE").as_deref() != Ok("1") {
+        eprintln!("skipping the 50k read run (set SAD_PAPER_SCALE=1 to run it)");
+        return;
+    }
+    assert_capped_read_run(50_000, 512);
+}
+
 #[test]
 fn pre_cancelled_token_stops_every_backend_at_the_first_boundary() {
     let seqs = family(12, 3);

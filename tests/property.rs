@@ -85,6 +85,87 @@ proptest! {
     }
 }
 
+/// Residues every FASTA surface accepts.
+const RESIDUES: [char; 20] = [
+    'A', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'K', 'L', 'M', 'N', 'P', 'Q', 'R', 'S', 'T', 'V', 'W',
+    'Y',
+];
+
+/// Strategy: 1..6 records, each 1..4 residue body lines (ids are derived
+/// from the record index when the text is assembled).
+fn arb_fasta_records() -> impl Strategy<Value = Vec<Vec<String>>> {
+    let body_line = prop::collection::vec(0usize..RESIDUES.len(), 1..20)
+        .prop_map(|codes| codes.into_iter().map(|c| RESIDUES[c]).collect::<String>());
+    prop::collection::vec(prop::collection::vec(body_line, 1..4), 1..6)
+}
+
+/// Assemble syntactically varied FASTA text: LF or CRLF endings,
+/// multi-line records, interspersed blank lines, an optional missing
+/// trailing newline, and (rarely) a leading junk line that must fail
+/// identically in both parsers.
+fn assemble_fasta(
+    records: &[Vec<String>],
+    crlf: bool,
+    trailing: bool,
+    blanks: &[bool],
+    leading_junk: bool,
+) -> String {
+    let eol = if crlf { "\r\n" } else { "\n" };
+    let mut text = String::new();
+    if leading_junk {
+        text.push_str("sequence data before any header");
+        text.push_str(eol);
+    }
+    for (i, lines) in records.iter().enumerate() {
+        text.push_str(&format!(">read_{i} case {i}{eol}"));
+        for line in lines {
+            text.push_str(line);
+            text.push_str(eol);
+        }
+        if blanks[i % blanks.len()] {
+            text.push_str(eol);
+        }
+    }
+    if !trailing {
+        while text.ends_with('\n') || text.ends_with('\r') {
+            text.pop();
+        }
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_reader_matches_whole_file_parse(
+        records in arb_fasta_records(),
+        crlf in 0u8..2,
+        trailing in 0u8..2,
+        blank_codes in prop::collection::vec(0u8..2, 6..7),
+        junk in 0u8..32,
+    ) {
+        let blanks: Vec<bool> = blank_codes.iter().map(|&b| b == 1).collect();
+        let text =
+            assemble_fasta(&records, crlf == 1, trailing == 1, &blanks, junk < 3);
+        // The streaming fasta::Reader must agree with fasta::parse byte
+        // for byte — same records in the same order, or the same typed
+        // error — on every input shape, so `sad align` and `sad reads`
+        // ingesting via the reader stay drop-in replacements for the
+        // old slurp-then-parse path.
+        let parsed = fasta::parse(&text);
+        let streamed: Result<Vec<Sequence>, _> = fasta::Reader::new(text.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| match e {
+                fasta::ReadError::Parse(parse_err) => parse_err,
+                fasta::ReadError::Io(io_err) => {
+                    panic!("in-memory reads cannot fail I/O: {io_err}")
+                }
+            });
+        prop_assert_eq!(streamed, parsed);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -233,6 +233,37 @@ fn missing_or_corrupt_output_file_is_rerun_on_restart() {
 }
 
 #[test]
+fn restart_rewarm_respects_the_cache_budget() {
+    // Three results fit comfortably in the default 64 MiB cache, but not
+    // in a 1 KiB one: journal replay re-warms in completion order, so the
+    // LRU budget must keep the newest results and evict the oldest.
+    let mut h = ServeHarness::new("rewarm-budget").cache_budget_bytes(1024).start();
+    let mut client = h.client();
+    let fastas: Vec<String> = (0..3).map(|i| family_fasta(6, 60, 40 + i as u64)).collect();
+    for (i, fasta) in fastas.iter().enumerate() {
+        let id = submit_ok(&mut client, &format!("fam_{i}"), fasta);
+        client.wait_result(&id, WAIT).expect("result");
+    }
+    h.shutdown();
+
+    h.restart();
+    assert!(h.server().wait_idle(WAIT));
+    let warmed = h.server().cache_len();
+    assert!((1..3).contains(&warmed), "replay re-warmed {warmed} entries under a 2 KiB budget");
+
+    // The newest result survived replay; the oldest was evicted, so
+    // resubmitting it is a cold run again.
+    let mut client = h.client();
+    let hot = submit_ok(&mut client, "hot", &fastas[2]);
+    let hot_result = client.wait_result(&hot, WAIT).expect("hot result");
+    assert_eq!(hot_result.get("cached").and_then(Json::as_bool), Some(true));
+    let cold = submit_ok(&mut client, "cold", &fastas[0]);
+    let cold_result = client.wait_result(&cold, WAIT).expect("cold result");
+    assert_eq!(cold_result.get("cached").and_then(Json::as_bool), Some(false));
+    h.shutdown();
+}
+
+#[test]
 fn cached_resubmission_does_zero_new_dp_work() {
     let mut h = ServeHarness::new("cache").start();
     let mut client = h.client();
