@@ -2,8 +2,8 @@
 //! pairwise distances → neighbor-joining guide tree → tree-derived sequence
 //! weights → weighted progressive alignment.
 
-use crate::distance::{alignment_distance_matrix_with, kmer_distance_matrix};
-use crate::dp::{BandPolicy, DpArena};
+use crate::distance::{alignment_distance_matrix_with_kernel, kmer_distance_matrix};
+use crate::dp::{BandPolicy, DpArena, DpKernel};
 use crate::engine::MsaEngine;
 use crate::progressive::{progressive_align_with_arena, ProgressiveConfig, WeightScheme};
 use bioseq::{CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix, Work};
@@ -27,6 +27,8 @@ pub struct ClustalLite {
     /// Band policy for every DP kernel instance (pairwise distances and
     /// progressive merging).
     pub band: BandPolicy,
+    /// DP kernel selection (scalar, striped, or adaptive auto).
+    pub kernel: DpKernel,
 }
 
 impl Default for ClustalLite {
@@ -38,6 +40,7 @@ impl Default for ClustalLite {
             kmer_k: 3,
             alphabet: CompressedAlphabet::Identity,
             band: BandPolicy::default(),
+            kernel: DpKernel::default(),
         }
     }
 }
@@ -46,6 +49,12 @@ impl ClustalLite {
     /// Select the DP kernel band policy.
     pub fn with_band(mut self, band: BandPolicy) -> Self {
         self.band = band;
+        self
+    }
+
+    /// Select the DP kernel variant.
+    pub fn with_kernel(mut self, kernel: DpKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -93,10 +102,15 @@ pub fn clustal_tree_weights(tree: &Tree) -> Vec<f64> {
 
 impl MsaEngine for ClustalLite {
     fn name(&self) -> String {
-        if self.band == BandPolicy::default() {
+        let base = if self.band == BandPolicy::default() {
             "clustal-lite".to_string()
         } else {
             format!("clustal-lite+{}", self.band.label())
+        };
+        if self.kernel == DpKernel::default() {
+            base
+        } else {
+            format!("{base}+{}", self.kernel.label())
         }
     }
 
@@ -111,7 +125,14 @@ impl MsaEngine for ClustalLite {
             return (Msa::from_sequence(&seqs[0]), work);
         }
         let dist = if seqs.len() <= self.full_pairwise_threshold {
-            alignment_distance_matrix_with(seqs, &self.matrix, self.gaps, self.band, &mut work)
+            alignment_distance_matrix_with_kernel(
+                seqs,
+                &self.matrix,
+                self.gaps,
+                self.band,
+                self.kernel,
+                &mut work,
+            )
         } else {
             kmer_distance_matrix(seqs, self.kmer_k, self.alphabet, &mut work)
         };
@@ -123,6 +144,7 @@ impl MsaEngine for ClustalLite {
             gaps: self.gaps,
             weights: WeightScheme::Fixed(weights),
             band: self.band,
+            kernel: self.kernel,
         };
         let msa = progressive_align_with_arena(seqs, &tree, &cfg, arena, &mut work);
         (msa, work)

@@ -113,6 +113,26 @@ pub fn alignment_distance_matrix_with(
     band: crate::dp::BandPolicy,
     work: &mut Work,
 ) -> DistMatrix {
+    alignment_distance_matrix_with_kernel(
+        seqs,
+        matrix,
+        gaps,
+        band,
+        crate::dp::DpKernel::default(),
+        work,
+    )
+}
+
+/// [`alignment_distance_matrix_with`] under an explicit
+/// [`crate::dp::DpKernel`] selection.
+pub fn alignment_distance_matrix_with_kernel(
+    seqs: &[Sequence],
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    band: crate::dp::BandPolicy,
+    kernel: crate::dp::DpKernel,
+    work: &mut Work,
+) -> DistMatrix {
     let n = seqs.len();
     let rows: Vec<(Vec<f64>, Work)> = (1..n)
         .into_par_iter()
@@ -121,8 +141,8 @@ pub fn alignment_distance_matrix_with(
             let mut arena = crate::dp::DpArena::new();
             let row: Vec<f64> = (0..i)
                 .map(|j| {
-                    crate::pairwise::alignment_distance_with(
-                        &seqs[i], &seqs[j], matrix, gaps, band, &mut arena, &mut w,
+                    crate::pairwise::alignment_distance_with_kernel(
+                        &seqs[i], &seqs[j], matrix, gaps, band, kernel, &mut arena, &mut w,
                     )
                 })
                 .collect();

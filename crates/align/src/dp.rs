@@ -27,9 +27,22 @@
 //!   the full fill, so results converge to the full-DP optimum while
 //!   [`bioseq::Work::dp_cells`] records only the cells actually filled.
 //!
-//! Scores are `f64` throughout. For integer substitution matrices and gap
-//! penalties every intermediate value is an exact small integer, so the
-//! kernel reproduces the historical `i64` pairwise scores bit-for-bit.
+//! * **Two interchangeable kernels.** The classic scalar `f64` fill and a
+//!   striped `f32` fill (selected by [`DpKernel`]) that scores whole rows
+//!   through the batched [`ColumnScorer`] API, splits the recurrence into
+//!   two vectorizable passes plus one serial suffix scan, and bit-packs
+//!   the traceback into u64 planes. The scalar kernel is the
+//!   property-test oracle: when the scorer reports
+//!   [`ColumnScorer::f32_compatible`] (integral scores whose running sums
+//!   stay below 2²⁴) every striped decision is provably identical and
+//!   [`DpKernel::Auto`] selects the striped path; otherwise scores may
+//!   differ by a relative epsilon (~1e-6) and `Auto` stays on the scalar
+//!   oracle so traceback ops never drift.
+//!
+//! Scalar scores are `f64` throughout. For integer substitution matrices
+//! and gap penalties every intermediate value is an exact small integer,
+//! so both kernels reproduce the historical `i64` pairwise scores
+//! bit-for-bit.
 
 use crate::profile::{Profile, ProfileColumn};
 use bioseq::alphabet::CODE_COUNT;
@@ -120,6 +133,56 @@ impl BandPolicy {
 /// alignments pay no banding overhead (and lose no optimality).
 pub const AUTO_MIN_BAND: usize = 32;
 
+/// Which matrix-fill implementation [`gotoh_global_with`] runs.
+///
+/// Both kernels produce identical traceback ops whenever the scorer is
+/// [`ColumnScorer::f32_compatible`]; see the module docs for the epsilon
+/// contract when it is not. Semiglobal and local alignments always use
+/// the scalar fill regardless of this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DpKernel {
+    /// The one-cell-at-a-time `f64` fill: the property-test oracle.
+    Scalar,
+    /// The data-parallel `f32` row fill with bit-packed traceback.
+    Striped,
+    /// Per-instance choice: striped whenever the scorer guarantees
+    /// f32-exact decisions, scalar otherwise.
+    #[default]
+    Auto,
+}
+
+impl DpKernel {
+    /// Stable label for engine names, CLI round-trips and reports:
+    /// `"scalar"`, `"striped"`, or `"auto"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DpKernel::Scalar => "scalar",
+            DpKernel::Striped => "striped",
+            DpKernel::Auto => "auto",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back into a kernel choice. Returns
+    /// `None` for unknown text.
+    pub fn parse(text: &str) -> Option<DpKernel> {
+        match text {
+            "scalar" => Some(DpKernel::Scalar),
+            "striped" => Some(DpKernel::Striped),
+            "auto" => Some(DpKernel::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// Largest magnitude below which every integer is exactly representable
+/// in `f32` (2²⁴): the boundary of the striped kernel's exactness proof.
+const F32_EXACT_LIMIT: f64 = 16_777_216.0;
+
+/// Build the [`SubstScorer`] per-residue lane table only for instances of
+/// at least this many cells; below it the batched default fill is cheap
+/// enough and the table would cost more than it saves.
+const LANE_TABLE_MIN_CELLS: usize = 256;
+
 /// The column-level scoring interface the kernel is generic over.
 ///
 /// `i` indexes columns of the first side (`0..len_a()`), `j` of the second
@@ -143,6 +206,51 @@ pub trait ColumnScorer {
     fn gap_open_b(&self, j: usize) -> f64;
     /// Cost of extending a gap run in A across B's column `j`.
     fn gap_extend_b(&self, j: usize) -> f64;
+
+    /// Batched scoring: write `substitution(i, j0 + k)` for `k` in
+    /// `0..out.len()` as `f32` lanes. The default loops over the scalar
+    /// method; scorers with a denser layout override it (this is the
+    /// striped kernel's hot path).
+    fn fill_substitution_row(&self, i: usize, j0: usize, out: &mut [f32]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.substitution(i, j0 + k) as f32;
+        }
+    }
+
+    /// Batched gap costs: write `gap_open_b(j0 + k)` as `f32` lanes.
+    fn fill_gap_open_b_row(&self, j0: usize, out: &mut [f32]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.gap_open_b(j0 + k) as f32;
+        }
+    }
+
+    /// Batched gap costs: write `gap_extend_b(j0 + k)` as `f32` lanes.
+    fn fill_gap_extend_b_row(&self, j0: usize, out: &mut [f32]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.gap_extend_b(j0 + k) as f32;
+        }
+    }
+
+    /// Whether every decision the striped `f32` kernel would take on this
+    /// instance is exact: all scores and gap costs are integers, and the
+    /// worst-case running sum stays below 2²⁴ (f32's exact-integer
+    /// range). When true, [`DpKernel::Auto`] selects the striped kernel
+    /// with byte-identical traceback guaranteed. The conservative default
+    /// keeps scorers that have not audited their arithmetic on the scalar
+    /// oracle.
+    fn f32_compatible(&self) -> bool {
+        false
+    }
+
+    /// Whether [`BandPolicy::Auto`]'s confirmation refills should cache
+    /// scored substitution rows in the arena and reuse the overlap
+    /// instead of rescoring. Worth it when
+    /// [`fill_substitution_row`](Self::fill_substitution_row) does real
+    /// per-cell work (PSP dot products); pointless when it is already a
+    /// table copy.
+    fn cache_substitution_rows(&self) -> bool {
+        true
+    }
 }
 
 /// Residue-vs-residue scorer: a substitution matrix plus uniform affine
@@ -155,12 +263,45 @@ pub struct SubstScorer<'a> {
     matrix: &'a SubstMatrix,
     open: f64,
     extend: f64,
+    /// Per-residue score lanes: `lanes[c·m + j] = S(c, b[j])` for every
+    /// code `c` present in `a`, so a striped row fill is one table copy.
+    /// Left empty for tiny instances where building it costs more than
+    /// the fill saves (the batched default path covers those).
+    lanes: Vec<f32>,
+    f32_ok: bool,
 }
 
 impl<'a> SubstScorer<'a> {
     /// Build a scorer over two code slices.
     pub fn new(a: &'a [u8], b: &'a [u8], matrix: &'a SubstMatrix, gaps: GapPenalties) -> Self {
-        SubstScorer { a, b, matrix, open: gaps.open as f64, extend: gaps.extend as f64 }
+        let (open, extend) = (gaps.open as f64, gaps.extend as f64);
+        let m = b.len();
+        let lanes = if a.len() * m >= LANE_TABLE_MIN_CELLS {
+            let mut present = [false; CODE_COUNT];
+            for &c in a {
+                present[c as usize] = true;
+            }
+            let mut lanes = vec![0.0f32; CODE_COUNT * m];
+            for (c, lane) in lanes.chunks_mut(m).enumerate() {
+                if !present[c] {
+                    continue;
+                }
+                let row = matrix.row(c as u8);
+                for (slot, &code) in lane.iter_mut().zip(b) {
+                    *slot = row[code as usize] as f32;
+                }
+            }
+            lanes
+        } else {
+            Vec::new()
+        };
+        // Integer matrix, integer gaps: the striped kernel is exact as
+        // long as no running sum can leave f32's exact-integer range.
+        let max_step = (0..CODE_COUNT)
+            .flat_map(|c| matrix.row(c as u8).iter())
+            .fold(open.abs().max(extend.abs()), |acc, &v| acc.max((v as f64).abs()));
+        let f32_ok = (a.len() + m + 2) as f64 * max_step < F32_EXACT_LIMIT;
+        SubstScorer { a, b, matrix, open, extend, lanes, f32_ok }
     }
 }
 
@@ -193,6 +334,31 @@ impl ColumnScorer for SubstScorer<'_> {
     fn gap_extend_b(&self, _j: usize) -> f64 {
         self.extend
     }
+    fn fill_substitution_row(&self, i: usize, j0: usize, out: &mut [f32]) {
+        if self.lanes.is_empty() {
+            let row = self.matrix.row(self.a[i]);
+            for (slot, &code) in out.iter_mut().zip(&self.b[j0..]) {
+                *slot = row[code as usize] as f32;
+            }
+        } else {
+            let lane = &self.lanes[self.a[i] as usize * self.b.len() + j0..];
+            out.copy_from_slice(&lane[..out.len()]);
+        }
+    }
+    fn fill_gap_open_b_row(&self, _j0: usize, out: &mut [f32]) {
+        out.fill(self.open as f32);
+    }
+    fn fill_gap_extend_b_row(&self, _j0: usize, out: &mut [f32]) {
+        out.fill(self.extend as f32);
+    }
+    fn f32_compatible(&self) -> bool {
+        self.f32_ok
+    }
+    /// Row fills are table copies (or one gather for tiny instances) —
+    /// caching them in the arena would only duplicate the copy.
+    fn cache_substitution_rows(&self) -> bool {
+        false
+    }
 }
 
 /// Profile-vs-profile scorer: the weighted PSP objective. Gap penalties
@@ -206,10 +372,17 @@ pub struct PspScorer<'a> {
     /// Dense expected-score vectors for B's columns: `psp(i, j)` becomes a
     /// sparse dot of A's column `i` against `eb[j]`.
     eb: Vec<[f64; CODE_COUNT]>,
+    /// Lane-major `f32` transpose of `eb` (`et[c·m + j] = eb[j][c]`): the
+    /// striped row fill accumulates `w·et` over A's sparse residues with
+    /// unit-stride multiply-adds.
+    et: Vec<f32>,
     open_a: Vec<f64>,
     extend_a: Vec<f64>,
     open_b: Vec<f64>,
     extend_b: Vec<f64>,
+    open_b32: Vec<f32>,
+    extend_b32: Vec<f32>,
+    f32_ok: bool,
 }
 
 impl<'a> PspScorer<'a> {
@@ -229,13 +402,41 @@ impl<'a> PspScorer<'a> {
         let (wa_tot, wb_tot) = (pa.total_weight, pb.total_weight);
         let rate_a: Vec<f64> = pa.cols.iter().map(|c| c.residue_weight() * wb_tot).collect();
         let rate_b: Vec<f64> = pb.cols.iter().map(|c| c.residue_weight() * wa_tot).collect();
+        let open_a: Vec<f64> = rate_a.iter().map(|r| open * r).collect();
+        let extend_a: Vec<f64> = rate_a.iter().map(|r| extend * r).collect();
+        let open_b: Vec<f64> = rate_b.iter().map(|r| open * r).collect();
+        let extend_b: Vec<f64> = rate_b.iter().map(|r| extend * r).collect();
+        let m = pb.len();
+        let mut et = vec![0.0f32; CODE_COUNT * m];
+        for (j, e) in eb.iter().enumerate() {
+            for (c, &v) in e.iter().enumerate() {
+                et[c * m + j] = v as f32;
+            }
+        }
+        // Exactness audit for the striped kernel: integral weights make
+        // every PSP term an integer, and the magnitude bound keeps the
+        // worst-case running sum inside f32's exact-integer range. Both
+        // must hold before Auto may leave the f64 oracle.
+        let gap_costs = || open_a.iter().chain(&extend_a).chain(&open_b).chain(&extend_b);
+        let integral = pa.cols.iter().all(ProfileColumn::weights_integral)
+            && eb.iter().flatten().all(|v| v.fract() == 0.0)
+            && gap_costs().all(|v| v.fract() == 0.0);
+        let wa_max = pa.cols.iter().map(ProfileColumn::residue_weight).fold(0.0f64, f64::max);
+        let e_max = eb.iter().flatten().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        let g_max = gap_costs().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        let step = (wa_max * e_max).max(g_max);
+        let f32_ok = integral && (pa.len() + m + 2) as f64 * step < F32_EXACT_LIMIT;
         PspScorer {
             cols_a: &pa.cols,
             eb,
-            open_a: rate_a.iter().map(|r| open * r).collect(),
-            extend_a: rate_a.iter().map(|r| extend * r).collect(),
-            open_b: rate_b.iter().map(|r| open * r).collect(),
-            extend_b: rate_b.iter().map(|r| extend * r).collect(),
+            et,
+            open_a,
+            extend_a,
+            open_b32: open_b.iter().map(|&v| v as f32).collect(),
+            extend_b32: extend_b.iter().map(|&v| v as f32).collect(),
+            open_b,
+            extend_b,
+            f32_ok,
         }
     }
 }
@@ -274,6 +475,26 @@ impl ColumnScorer for PspScorer<'_> {
     fn gap_extend_b(&self, j: usize) -> f64 {
         self.extend_b[j]
     }
+    fn fill_substitution_row(&self, i: usize, j0: usize, out: &mut [f32]) {
+        out.fill(0.0);
+        let m = self.eb.len();
+        for &(a, wgt) in &self.cols_a[i].residues {
+            let w = wgt as f32;
+            let lane = &self.et[a as usize * m + j0..][..out.len()];
+            for (slot, &e) in out.iter_mut().zip(lane) {
+                *slot += w * e;
+            }
+        }
+    }
+    fn fill_gap_open_b_row(&self, j0: usize, out: &mut [f32]) {
+        out.copy_from_slice(&self.open_b32[j0..j0 + out.len()]);
+    }
+    fn fill_gap_extend_b_row(&self, j0: usize, out: &mut [f32]) {
+        out.copy_from_slice(&self.extend_b32[j0..j0 + out.len()]);
+    }
+    fn f32_compatible(&self) -> bool {
+        self.f32_ok
+    }
 }
 
 // Packed traceback layout: one byte per in-band cell.
@@ -287,6 +508,57 @@ const TB_X_EXT: u8 = 0b0000_0100;
 const TB_X_FROM_Y: u8 = 0b0000_1000;
 const TB_Y_EXT: u8 = 0b0001_0000;
 const TB_Y_FROM_X: u8 = 0b0010_0000;
+
+/// Number of traceback bit-planes the striped kernel stores (bits 0–5 of
+/// the byte layout above; [`TB_M_START`] only occurs in scalar-only
+/// modes, so two M bits suffice).
+const TB_PLANES: usize = 6;
+
+/// Gather the low bit of each byte of `x` into one byte (result bit `k` =
+/// LSB of byte `k`, little-endian). Each byte's bit is scattered by the
+/// multiply to a distinct position of the top byte — positions `56 + k`
+/// are hit exactly once and every cross term lands strictly below bit 56,
+/// each at its own position, so no carry can reach the result.
+#[inline]
+fn gather_lsb(x: u64) -> u8 {
+    (((x & 0x0101_0101_0101_0101).wrapping_mul(0x0102_0408_1020_4080)) >> 56) as u8
+}
+
+/// Substitution rows cached across [`BandPolicy::Auto`]'s confirmation
+/// refills (striped kernel): per row, the scored column range and values,
+/// so a doubled band rescores only the fresh flanks.
+#[derive(Debug, Default)]
+struct SubRows {
+    vals: Vec<f32>,
+    off: Vec<usize>,
+    j0: Vec<usize>,
+    len: Vec<usize>,
+}
+
+impl SubRows {
+    fn reset(&mut self, n: usize) {
+        self.vals.clear();
+        for v in [&mut self.off, &mut self.j0, &mut self.len] {
+            v.clear();
+            v.resize(n + 1, 0);
+        }
+    }
+
+    fn row(&self, i: usize) -> Option<(usize, &[f32])> {
+        let len = *self.len.get(i)?;
+        if len == 0 {
+            return None;
+        }
+        Some((self.j0[i], &self.vals[self.off[i]..self.off[i] + len]))
+    }
+
+    fn push_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+        self.off[i] = self.vals.len();
+        self.j0[i] = j0;
+        self.len[i] = vals.len();
+        self.vals.extend_from_slice(vals);
+    }
+}
 
 /// Reusable scratch for the kernel: two rolling score rows per layer, the
 /// packed traceback, and per-row band geometry. One arena serves any
@@ -312,6 +584,37 @@ pub struct DpArena {
     row_hi: Vec<usize>,
     /// Last-column layer scores per row (semiglobal end-cell scan).
     lastcol: Vec<(f64, f64, f64)>,
+    // Rolling `f32` score rows for the striped kernel.
+    mp32: Vec<f32>,
+    xp32: Vec<f32>,
+    yp32: Vec<f32>,
+    mc32: Vec<f32>,
+    xc32: Vec<f32>,
+    yc32: Vec<f32>,
+    /// Striped traceback: [`TB_PLANES`] u64 bit-planes per row (one per
+    /// traceback bit), rows concatenated. 6 bits per in-band cell instead
+    /// of the scalar byte store's 8.
+    tbw: Vec<u64>,
+    /// Per-row offset of the row's first word in `tbw`.
+    row_woff: Vec<usize>,
+    /// Whether the last fill wrote the bit-plane store (`tbw`) instead of
+    /// the byte store (`tb`).
+    packed: bool,
+    // Striped per-row scratch: scored substitution row, Y open
+    // candidates + their origin bit, unpacked traceback bytes.
+    srow: Vec<f32>,
+    oy: Vec<f32>,
+    yfrom: Vec<u8>,
+    tbrow: Vec<u8>,
+    // Per-column B gap costs, scored once per fill.
+    gob32: Vec<f32>,
+    geb32: Vec<f32>,
+    // Substitution-row cache across Auto confirmation refills
+    // (double-buffered: last fill's rows are read while the current
+    // fill's are recorded).
+    sub_cur: SubRows,
+    sub_prev: SubRows,
+    sub_valid: bool,
 }
 
 impl DpArena {
@@ -322,7 +625,18 @@ impl DpArena {
 
     #[inline]
     fn tb_at(&self, i: usize, j: usize) -> u8 {
-        self.tb[self.row_off[i] + (j - self.row_jlo[i])]
+        let k = j - self.row_jlo[i];
+        if !self.packed {
+            return self.tb[self.row_off[i] + k];
+        }
+        let wpp = (self.row_hi[i] + 1 - self.row_jlo[i]).div_ceil(64);
+        let base = self.row_woff[i];
+        let (word, bit) = (k / 64, k % 64);
+        let mut byte = 0u8;
+        for p in 0..TB_PLANES {
+            byte |= (((self.tbw[base + p * wpp + word] >> bit) & 1) as u8) << p;
+        }
+        byte
     }
 }
 
@@ -425,6 +739,7 @@ fn fill<S: ColumnScorer>(s: &S, mode: Mode, hw: usize, arena: &mut DpArena) -> F
     arena.row_hi.clear();
     arena.row_hi.resize(n + 1, 0);
     arena.tb.clear();
+    arena.packed = false;
     if mode == Mode::Semiglobal {
         arena.lastcol.clear();
         arena.lastcol.resize(n + 1, (NEG_INF, NEG_INF, NEG_INF));
@@ -540,6 +855,248 @@ fn fill<S: ColumnScorer>(s: &S, mode: Mode, hw: usize, arena: &mut DpArena) -> F
     FillOutcome { cells, end: (arena.mp[m], arena.xp[m], arena.yp[m]), best }
 }
 
+/// The striped fill: the scalar recurrence split into two vectorizable
+/// row passes plus one serial suffix scan, over `f32` lanes, with the
+/// traceback packed into u64 bit-planes. Global mode only; band geometry,
+/// tie-breaking and cell accounting match [`fill`] exactly.
+///
+/// Pass 1 computes M (diagonal predecessor) and X (vertical) for the
+/// whole row — both read only the previous row, so the loop carries no
+/// dependency and autovectorizes. Pass 2 computes each cell's best
+/// gap-*open* candidate for Y from the now-final M/X row. Pass 3 is the
+/// lazy-F-style serial scan resolving Y's row-carried extension chain —
+/// the only serial work left per row.
+///
+/// With `cache_rows`, scored substitution rows are recorded in the arena
+/// and the next (wider) fill of the same instance copies the overlap
+/// instead of rescoring — [`BandPolicy::Auto`]'s confirmation pass then
+/// pays only for the fresh band flanks.
+fn fill_striped<S: ColumnScorer>(
+    s: &S,
+    hw: usize,
+    cache_rows: bool,
+    arena: &mut DpArena,
+) -> FillOutcome {
+    let n = s.len_a();
+    let m = s.len_b();
+    let w = m + 1;
+    let centre = |i: usize| (i * m).checked_div(n).unwrap_or(0);
+    let lo = |i: usize| centre(i).saturating_sub(hw);
+    let hi = |i: usize| (centre(i) + hw).min(m);
+
+    for v in [
+        &mut arena.mp32,
+        &mut arena.xp32,
+        &mut arena.yp32,
+        &mut arena.mc32,
+        &mut arena.xc32,
+        &mut arena.yc32,
+    ] {
+        v.clear();
+        v.resize(w, f32::NEG_INFINITY);
+    }
+    for v in [&mut arena.row_jlo, &mut arena.row_lo, &mut arena.row_hi, &mut arena.row_woff] {
+        v.clear();
+        v.resize(n + 1, 0);
+    }
+    arena.tbw.clear();
+    arena.packed = true;
+
+    // Per-column B gap costs, scored once for the whole fill.
+    arena.gob32.clear();
+    arena.gob32.resize(m, 0.0);
+    arena.geb32.clear();
+    arena.geb32.resize(m, 0.0);
+    s.fill_gap_open_b_row(0, &mut arena.gob32);
+    s.fill_gap_extend_b_row(0, &mut arena.geb32);
+
+    let reuse = cache_rows && arena.sub_valid;
+    if cache_rows {
+        std::mem::swap(&mut arena.sub_cur, &mut arena.sub_prev);
+        arena.sub_cur.reset(n);
+    }
+
+    // Row 0: M origin and the Y run along the top edge.
+    arena.mp32[0] = 0.0;
+    let mut by = 0.0f32;
+    for j in 1..=hi(0) {
+        by -= if j == 1 { arena.gob32[0] } else { arena.geb32[j - 1] };
+        arena.yp32[j] = by;
+    }
+
+    let mut bx = 0.0f32;
+    let mut cells = 0u64;
+    for i in 1..=n {
+        let (rlo, rhi) = (lo(i), hi(i));
+        let jstart = rlo.max(1);
+        arena.row_lo[i] = rlo;
+        arena.row_hi[i] = rhi;
+        arena.row_jlo[i] = jstart;
+        arena.row_woff[i] = arena.tbw.len();
+        let width = rhi + 1 - jstart;
+        cells += width as u64;
+        let wpp = width.div_ceil(64);
+
+        // Clear the current row across every cell rows i and i+1 can
+        // read, so values from two rows ago never leak through.
+        let next_hi = if i < n { hi(i + 1) } else { rhi };
+        let clo = rlo.saturating_sub(1);
+        let chi = rhi.max(next_hi);
+        for v in [&mut arena.mc32, &mut arena.xc32, &mut arena.yc32] {
+            for slot in &mut v[clo..=chi] {
+                *slot = f32::NEG_INFINITY;
+            }
+        }
+
+        // Cell (i, 0): the left-edge boundary.
+        if rlo == 0 {
+            bx -= if i == 1 { s.gap_open_a(0) as f32 } else { s.gap_extend_a(i - 1) as f32 };
+            arena.xc32[0] = bx;
+        }
+
+        // Score the substitution row (columns jstart..=rhi pair A's
+        // column i-1 with B's columns jstart-1..rhi-1), reusing the
+        // previous fill's overlap when it is cached.
+        let sub_j0 = jstart - 1;
+        arena.srow.clear();
+        arena.srow.resize(width, 0.0);
+        let mut scored = false;
+        if reuse {
+            if let Some((pj0, pvals)) = arena.sub_prev.row(i) {
+                let o_lo = sub_j0.max(pj0);
+                let o_hi = (sub_j0 + width).min(pj0 + pvals.len());
+                if o_lo < o_hi {
+                    arena.srow[o_lo - sub_j0..o_hi - sub_j0]
+                        .copy_from_slice(&pvals[o_lo - pj0..o_hi - pj0]);
+                    if o_lo > sub_j0 {
+                        s.fill_substitution_row(i - 1, sub_j0, &mut arena.srow[..o_lo - sub_j0]);
+                    }
+                    if o_hi < sub_j0 + width {
+                        s.fill_substitution_row(i - 1, o_hi, &mut arena.srow[o_hi - sub_j0..]);
+                    }
+                    scored = true;
+                }
+            }
+        }
+        if !scored {
+            s.fill_substitution_row(i - 1, sub_j0, &mut arena.srow);
+        }
+        if cache_rows {
+            arena.sub_cur.push_row(i, sub_j0, &arena.srow);
+        }
+
+        let goa = s.gap_open_a(i - 1) as f32;
+        let gea = s.gap_extend_a(i - 1) as f32;
+        arena.tbrow.clear();
+        arena.tbrow.resize(width, 0);
+
+        // Pass 1: M and X, no carried dependency.
+        {
+            let mp = &arena.mp32[jstart - 1..=rhi];
+            let xp = &arena.xp32[jstart - 1..=rhi];
+            let yp = &arena.yp32[jstart - 1..=rhi];
+            let mc = &mut arena.mc32[jstart..=rhi];
+            let xc = &mut arena.xc32[jstart..=rhi];
+            let srow = &arena.srow[..width];
+            let tbrow = &mut arena.tbrow[..width];
+            for k in 0..width {
+                // M from the best diagonal predecessor, ties M ≥ X ≥ Y
+                // (strict `>` replacements keep the earlier layer).
+                let (dm, dx, dy) = (mp[k], xp[k], yp[k]);
+                let mut bv = dm;
+                let mut bf = 0u8;
+                if dx > bv {
+                    bv = dx;
+                    bf = 1;
+                }
+                if dy > bv {
+                    bv = dy;
+                    bf = 2;
+                }
+                mc[k] = bv + srow[k];
+                // X: open from M/Y above or extend the run.
+                let (um, ux, uy) = (mp[k + 1], xp[k + 1], yp[k + 1]);
+                let open_x = um.max(uy) - goa;
+                let ext_x = ux - gea;
+                let ext = ext_x >= open_x;
+                xc[k] = if ext { ext_x } else { open_x };
+                let xbits = if ext {
+                    TB_X_EXT
+                } else if um >= uy {
+                    0
+                } else {
+                    TB_X_FROM_Y
+                };
+                tbrow[k] = bf | xbits;
+            }
+        }
+
+        // Pass 2: Y's open candidates from the final M/X row.
+        {
+            let mc = &arena.mc32[jstart - 1..rhi];
+            let xc = &arena.xc32[jstart - 1..rhi];
+            let gob = &arena.gob32[jstart - 1..rhi];
+            arena.oy.clear();
+            arena.oy.resize(width, 0.0);
+            arena.yfrom.clear();
+            arena.yfrom.resize(width, 0);
+            let oy = &mut arena.oy[..width];
+            let yfrom = &mut arena.yfrom[..width];
+            for k in 0..width {
+                let (lm, lx) = (mc[k], xc[k]);
+                oy[k] = lm.max(lx) - gob[k];
+                yfrom[k] = if lm >= lx { 0 } else { TB_Y_FROM_X };
+            }
+        }
+
+        // Pass 3: the serial extension scan (lazy-F equivalent).
+        {
+            let geb = &arena.geb32[jstart - 1..rhi];
+            let oy = &arena.oy[..width];
+            let yfrom = &arena.yfrom[..width];
+            let tbrow = &mut arena.tbrow[..width];
+            let yc = &mut arena.yc32;
+            let mut yprev = yc[jstart - 1];
+            for k in 0..width {
+                let ext = yprev - geb[k];
+                let open = oy[k];
+                let (v, bits) = if ext >= open { (ext, TB_Y_EXT) } else { (open, yfrom[k]) };
+                yc[jstart + k] = v;
+                yprev = v;
+                tbrow[k] |= bits;
+            }
+        }
+
+        // Pack the row's traceback bytes into bit-planes: SWAR gathers
+        // 8 cells' worth of one bit per multiply.
+        let base = arena.tbw.len();
+        arena.tbw.resize(base + TB_PLANES * wpp, 0);
+        let words = &mut arena.tbw[base..];
+        for (wi, block) in arena.tbrow.chunks(64).enumerate() {
+            for (ci, chunk) in block.chunks(8).enumerate() {
+                let mut buf = [0u8; 8];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                let x = u64::from_le_bytes(buf);
+                for (p, plane) in words.chunks_mut(wpp).enumerate() {
+                    plane[wi] |= (gather_lsb(x >> p) as u64) << (8 * ci);
+                }
+            }
+        }
+
+        std::mem::swap(&mut arena.mp32, &mut arena.mc32);
+        std::mem::swap(&mut arena.xp32, &mut arena.xc32);
+        std::mem::swap(&mut arena.yp32, &mut arena.yc32);
+    }
+    arena.sub_valid = cache_rows;
+    // After the final swap the last filled row sits in the "previous"
+    // buffers (row 0 included, when n == 0).
+    FillOutcome {
+        cells,
+        end: (arena.mp32[m] as f64, arena.xp32[m] as f64, arena.yp32[m] as f64),
+        best: (0.0, 0, 0),
+    }
+}
+
 /// Walk of the packed traceback from `(i, j, layer)` back to the origin:
 /// the recovered ops, whether the path touched a (clipped) band edge, and
 /// the first cell of the path. `stop_start` ends the walk at a fresh-start
@@ -641,14 +1198,41 @@ impl Traceback {
 /// to a full fill; [`DpResult::cells`] sums the cells of every attempt
 /// (a geometric series bounded by a small constant times one full fill).
 pub fn gotoh_global<S: ColumnScorer>(s: &S, policy: BandPolicy, arena: &mut DpArena) -> DpResult {
+    gotoh_global_with(s, policy, DpKernel::Auto, arena)
+}
+
+/// [`gotoh_global`] with an explicit [`DpKernel`] choice. `Scalar` and
+/// `Striped` force their fill; `Auto` (the [`gotoh_global`] default) runs
+/// striped exactly when the scorer guarantees f32-exact decisions
+/// ([`ColumnScorer::f32_compatible`]), so results never depend on the
+/// heuristic. Banding behaves identically under either kernel.
+pub fn gotoh_global_with<S: ColumnScorer>(
+    s: &S,
+    policy: BandPolicy,
+    kernel: DpKernel,
+    arena: &mut DpArena,
+) -> DpResult {
     let n = s.len_a();
     let m = s.len_b();
+    let striped = match kernel {
+        DpKernel::Scalar => false,
+        DpKernel::Striped => true,
+        DpKernel::Auto => s.f32_compatible(),
+    };
+    // Auto's confirmation refills revisit the same rows with a doubled
+    // band: cache scored rows when the scorer's row fill is worth saving.
+    let cache = striped && policy == BandPolicy::Auto && s.cache_substitution_rows();
+    arena.sub_valid = false;
     let full_cells = (n as u64) * (m as u64);
     // hw ≥ m covers every column of every row: a full fill.
     let full_hw = m;
     let feasible = n.abs_diff(m) + 1;
     let run = |hw: usize, arena: &mut DpArena| -> (FillOutcome, Traceback, f64) {
-        let out = fill(s, Mode::Global, hw, arena);
+        let out = if striped {
+            fill_striped(s, hw, cache, arena)
+        } else {
+            fill(s, Mode::Global, hw, arena)
+        };
         let (score, layer) = best3(out.end.0, out.end.1, out.end.2);
         let tb = Traceback::walk(arena, m, (n, m), layer, false);
         (out, tb, score)
@@ -788,6 +1372,80 @@ mod tests {
         assert_eq!(best3(1.0, 1.0, 1.0), (1.0, 0));
         assert_eq!(best3(0.0, 1.0, 1.0), (1.0, 1));
         assert_eq!(best3(0.0, 0.0, 1.0), (1.0, 2));
+    }
+
+    #[test]
+    fn kernel_labels_roundtrip() {
+        for k in [DpKernel::Scalar, DpKernel::Striped, DpKernel::Auto] {
+            assert_eq!(DpKernel::parse(k.label()), Some(k));
+        }
+        assert_eq!(DpKernel::parse("simd"), None);
+        assert_eq!(DpKernel::parse(""), None);
+        assert_eq!(DpKernel::default(), DpKernel::Auto);
+    }
+
+    #[test]
+    fn gather_lsb_matches_naive() {
+        let cases = [
+            0u64,
+            u64::MAX,
+            0x0101_0101_0101_0101,
+            0x8000_0000_0000_0001,
+            0xdead_beef_cafe_f00d,
+            0x0123_4567_89ab_cdef,
+        ];
+        for x in cases {
+            let mut want = 0u8;
+            for k in 0..8 {
+                want |= (((x >> (8 * k)) & 1) as u8) << k;
+            }
+            assert_eq!(gather_lsb(x), want, "{x:#018x}");
+        }
+    }
+
+    #[test]
+    fn striped_matches_scalar_on_every_policy() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties::default();
+        // An indel-riddled pair so every traceback bit class is exercised.
+        let a: Vec<u8> = (0..90).map(|i| ((i * 7) % 20) as u8).collect();
+        let mut b = a.clone();
+        b.drain(30..40);
+        b.insert(50, 3);
+        let s = scorer(&a, &b, &matrix, gaps);
+        assert!(s.f32_compatible(), "integer BLOSUM scoring is f32-exact at this size");
+        let mut arena = DpArena::new();
+        for policy in [BandPolicy::Full, BandPolicy::Auto, BandPolicy::Fixed(8)] {
+            let scalar = gotoh_global_with(&s, policy, DpKernel::Scalar, &mut arena);
+            let striped = gotoh_global_with(&s, policy, DpKernel::Striped, &mut arena);
+            assert_eq!(scalar, striped, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn striped_handles_empty_sides() {
+        let matrix = SubstMatrix::blosum62();
+        let gaps = GapPenalties { open: 3, extend: 1 };
+        let a = [12u8, 9, 17];
+        let empty: [u8; 0] = [];
+        let mut arena = DpArena::new();
+        for policy in [BandPolicy::Full, BandPolicy::Auto, BandPolicy::Fixed(4)] {
+            let out = gotoh_global_with(
+                &scorer(&a, &empty, &matrix, gaps),
+                policy,
+                DpKernel::Striped,
+                &mut arena,
+            );
+            assert_eq!(out.ops, vec![ColOp::FromA; 3], "{policy:?}");
+            assert_eq!(out.score, -(3.0 + 2.0), "{policy:?}");
+            let out = gotoh_global_with(
+                &scorer(&empty, &a, &matrix, gaps),
+                policy,
+                DpKernel::Striped,
+                &mut arena,
+            );
+            assert_eq!(out.ops, vec![ColOp::FromB; 3], "{policy:?}");
+        }
     }
 
     #[test]

@@ -53,20 +53,31 @@ pub enum EngineChoice {
 
 impl EngineChoice {
     /// Instantiate the engine with default parameters (and the default
-    /// adaptive band policy).
+    /// adaptive band policy and kernel).
     pub fn build(self) -> Box<dyn MsaEngine> {
         self.build_with_band(crate::dp::BandPolicy::default())
     }
 
     /// Instantiate the engine with an explicit DP kernel band policy.
     pub fn build_with_band(self, band: crate::dp::BandPolicy) -> Box<dyn MsaEngine> {
+        self.build_with(band, crate::dp::DpKernel::default())
+    }
+
+    /// Instantiate the engine with explicit band policy and DP kernel.
+    pub fn build_with(
+        self,
+        band: crate::dp::BandPolicy,
+        kernel: crate::dp::DpKernel,
+    ) -> Box<dyn MsaEngine> {
         match self {
-            EngineChoice::MuscleFast => Box::new(crate::muscle::MuscleLite::fast().with_band(band)),
+            EngineChoice::MuscleFast => {
+                Box::new(crate::muscle::MuscleLite::fast().with_band(band).with_kernel(kernel))
+            }
             EngineChoice::MuscleStandard => {
-                Box::new(crate::muscle::MuscleLite::standard().with_band(band))
+                Box::new(crate::muscle::MuscleLite::standard().with_band(band).with_kernel(kernel))
             }
             EngineChoice::Clustal => {
-                Box::new(crate::clustal::ClustalLite::default().with_band(band))
+                Box::new(crate::clustal::ClustalLite::default().with_band(band).with_kernel(kernel))
             }
         }
     }

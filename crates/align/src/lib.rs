@@ -44,7 +44,7 @@ pub mod progressive;
 pub mod refine;
 
 pub use clustal::ClustalLite;
-pub use dp::{BandPolicy, DpArena};
+pub use dp::{BandPolicy, DpArena, DpKernel};
 pub use engine::{EngineChoice, MsaEngine};
 pub use muscle::MuscleLite;
 pub use profile::Profile;

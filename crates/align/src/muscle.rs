@@ -11,7 +11,7 @@
 //! stage 3 adds `O(N²·L)` per bipartition pass.
 
 use crate::distance::{kimura_from_msa, kmer_distance_matrix};
-use crate::dp::{BandPolicy, DpArena};
+use crate::dp::{BandPolicy, DpArena, DpKernel};
 use crate::engine::MsaEngine;
 use crate::progressive::{progressive_align_with_arena, ProgressiveConfig, WeightScheme};
 use crate::refine::refine_with;
@@ -38,6 +38,8 @@ pub struct MuscleLite {
     pub henikoff: bool,
     /// Band policy for every DP kernel instance the engine runs.
     pub band: BandPolicy,
+    /// DP kernel selection (scalar, striped, or adaptive auto).
+    pub kernel: DpKernel,
 }
 
 impl MuscleLite {
@@ -52,6 +54,7 @@ impl MuscleLite {
             refine_passes: 0,
             henikoff: false,
             band: BandPolicy::default(),
+            kernel: DpKernel::default(),
         }
     }
 
@@ -63,6 +66,12 @@ impl MuscleLite {
     /// Select the DP kernel band policy.
     pub fn with_band(mut self, band: BandPolicy) -> Self {
         self.band = band;
+        self
+    }
+
+    /// Select the DP kernel variant.
+    pub fn with_kernel(mut self, kernel: DpKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -80,6 +89,7 @@ impl MuscleLite {
             gaps: self.gaps,
             weights: if self.henikoff { WeightScheme::Henikoff } else { WeightScheme::Uniform },
             band: self.band,
+            kernel: self.kernel,
         }
     }
 }
@@ -90,12 +100,18 @@ impl MsaEngine for MuscleLite {
             (false, 0) => "muscle-lite-fast".to_string(),
             _ => format!("muscle-lite(r{},p{})", u8::from(self.reestimate), self.refine_passes),
         };
-        // The default (adaptive) kernel keeps the historical names; any
-        // other policy is called out so reports show the kernel used.
-        if self.band == BandPolicy::default() {
+        // The default (adaptive) band and kernel keep the historical
+        // names; any other choice is called out so reports show the exact
+        // DP configuration used.
+        let base = if self.band == BandPolicy::default() {
             base
         } else {
             format!("{base}+{}", self.band.label())
+        };
+        if self.kernel == DpKernel::default() {
+            base
+        } else {
+            format!("{base}+{}", self.kernel.label())
         }
     }
 
@@ -137,6 +153,7 @@ impl MsaEngine for MuscleLite {
                 self.gaps,
                 self.refine_passes,
                 self.band,
+                self.kernel,
                 arena,
             );
             work += out.work;
@@ -234,6 +251,15 @@ mod tests {
         assert_eq!(
             MuscleLite::standard().with_band(BandPolicy::Fixed(16)).name(),
             "muscle-lite(r1,p2)+band16"
+        );
+        // Non-default kernels show up too, after the band suffix.
+        assert_eq!(
+            MuscleLite::fast().with_kernel(DpKernel::Scalar).name(),
+            "muscle-lite-fast+scalar"
+        );
+        assert_eq!(
+            MuscleLite::fast().with_band(BandPolicy::Full).with_kernel(DpKernel::Striped).name(),
+            "muscle-lite-fast+full+striped"
         );
     }
 

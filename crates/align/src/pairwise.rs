@@ -5,7 +5,7 @@
 //! Every entry point is a thin wrapper over the shared [`crate::dp`]
 //! kernel — this module owns no DP recurrence of its own.
 
-use crate::dp::{self, BandPolicy, ColOp, DpArena, SubstScorer};
+use crate::dp::{self, BandPolicy, ColOp, DpArena, DpKernel, SubstScorer};
 use bioseq::alphabet::GAP_CODE;
 use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
 
@@ -95,11 +95,26 @@ pub fn global_align_with(
     policy: BandPolicy,
     arena: &mut DpArena,
 ) -> PairAlignment {
+    global_align_with_kernel(a, b, matrix, gaps, policy, DpKernel::Auto, arena)
+}
+
+/// [`global_align_with`] with an explicit [`DpKernel`] choice (the
+/// default `Auto` picks the striped fill whenever it is provably exact).
+pub fn global_align_with_kernel(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    kernel: DpKernel,
+    arena: &mut DpArena,
+) -> PairAlignment {
     let (ac, bc) = (a.codes(), b.codes());
     let scorer = SubstScorer::new(ac, bc, matrix, gaps);
-    let out = dp::gotoh_global(&scorer, policy, arena);
+    let out = dp::gotoh_global_with(&scorer, policy, kernel, arena);
     let (row_a, row_b) = rows_from_ops(ac, bc, &out.ops);
-    // Integer matrix + integer gaps keep every intermediate exact in f64.
+    // Integer matrix + integer gaps keep every intermediate exact in f64
+    // (and in f32 lanes whenever Auto selects the striped kernel).
     PairAlignment { row_a, row_b, score: out.score as i64, work: out.work() }
 }
 
@@ -224,7 +239,22 @@ pub fn alignment_distance_with(
     arena: &mut DpArena,
     work: &mut Work,
 ) -> f64 {
-    let aln = global_align_with(a, b, matrix, gaps, policy, arena);
+    alignment_distance_with_kernel(a, b, matrix, gaps, policy, DpKernel::Auto, arena, work)
+}
+
+/// [`alignment_distance_with`] with an explicit [`DpKernel`] choice.
+#[allow(clippy::too_many_arguments)]
+pub fn alignment_distance_with_kernel(
+    a: &Sequence,
+    b: &Sequence,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    kernel: DpKernel,
+    arena: &mut DpArena,
+    work: &mut Work,
+) -> f64 {
+    let aln = global_align_with_kernel(a, b, matrix, gaps, policy, kernel, arena);
     *work += aln.work;
     1.0 - aln.identity()
 }

@@ -6,7 +6,7 @@
 //! being consumed and the total weight of the profile receiving the gap, so
 //! the objective stays in (weighted) sum-of-pairs units end to end.
 
-use crate::dp::{self, BandPolicy, DpArena, PspScorer};
+use crate::dp::{self, BandPolicy, DpArena, DpKernel, PspScorer};
 use crate::profile::Profile;
 use bioseq::alphabet::GAP_CODE;
 use bioseq::{GapPenalties, Msa, SubstMatrix, Work};
@@ -47,10 +47,25 @@ pub fn align_profiles_with(
     policy: BandPolicy,
     arena: &mut DpArena,
 ) -> ProfileAlignment {
+    align_profiles_with_kernel(pa, pb, matrix, gaps, policy, DpKernel::Auto, arena)
+}
+
+/// [`align_profiles_with`] with an explicit [`DpKernel`] choice (the
+/// default `Auto` picks the striped fill whenever the PSP arithmetic is
+/// provably f32-exact — uniform integral weights).
+pub fn align_profiles_with_kernel(
+    pa: &Profile,
+    pb: &Profile,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    kernel: DpKernel,
+    arena: &mut DpArena,
+) -> ProfileAlignment {
     assert!(!pa.is_empty() && !pb.is_empty(), "profiles must be non-empty");
     let mut work = Work::ZERO;
     let scorer = PspScorer::new(pa, pb, matrix, gaps, &mut work);
-    let out = dp::gotoh_global(&scorer, policy, arena);
+    let out = dp::gotoh_global_with(&scorer, policy, kernel, arena);
     work += out.work();
     ProfileAlignment { ops: out.ops, score: out.score, work }
 }
@@ -130,9 +145,24 @@ pub fn align_and_merge_with(
     arena: &mut DpArena,
     work: &mut Work,
 ) -> Msa {
+    align_and_merge_with_kernel(a, b, matrix, gaps, policy, DpKernel::Auto, arena, work)
+}
+
+/// [`align_and_merge_with`] with an explicit [`DpKernel`] choice.
+#[allow(clippy::too_many_arguments)]
+pub fn align_and_merge_with_kernel(
+    a: &Msa,
+    b: &Msa,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    policy: BandPolicy,
+    kernel: DpKernel,
+    arena: &mut DpArena,
+    work: &mut Work,
+) -> Msa {
     let pa = Profile::from_msa(a, work);
     let pb = Profile::from_msa(b, work);
-    let aln = align_profiles_with(&pa, &pb, matrix, gaps, policy, arena);
+    let aln = align_profiles_with_kernel(&pa, &pb, matrix, gaps, policy, kernel, arena);
     *work += aln.work;
     merge_msas(a, b, &aln.ops, work)
 }

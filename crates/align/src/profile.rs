@@ -27,6 +27,17 @@ impl ProfileColumn {
         self.residues.iter().map(|&(_, w)| w).sum()
     }
 
+    /// Whether every residue weight and the gap weight is an exact
+    /// integer. Uniform (unweighted) profiles qualify; Henikoff and
+    /// tree-derived weights generally do not. This is one leg of the
+    /// striped DP kernel's f32-exactness audit
+    /// ([`crate::dp::ColumnScorer::f32_compatible`]): integral weights
+    /// times an integer substitution matrix keep every PSP term an exact
+    /// integer.
+    pub fn weights_integral(&self) -> bool {
+        self.residues.iter().all(|&(_, w)| w.fract() == 0.0) && self.gap_weight.fract() == 0.0
+    }
+
     /// Dense expected-score vector against a substitution matrix:
     /// `E[a] = Σ_b w(b) · S(a, b)`.
     pub fn expected_scores(&self, matrix: &SubstMatrix) -> [f64; CODE_COUNT] {
@@ -195,6 +206,23 @@ mod tests {
         assert_eq!(p.cols[1].residues, vec![(c('K'), 2.0)]);
         assert_eq!(p.cols[1].gap_weight, 1.0);
         assert!(w.col_ops > 0);
+    }
+
+    #[test]
+    fn weights_integral_tracks_the_f32_exactness_leg() {
+        let m = msa(">a\nMK-V\n>b\nMKIV\n>c\nM-IV\n");
+        let mut w = Work::ZERO;
+        // Uniform weights are exact integers in every column, including
+        // the gapped ones.
+        let uniform = Profile::from_msa(&m, &mut w);
+        assert!(uniform.cols.iter().all(ProfileColumn::weights_integral));
+        // Doubling stays integral; any fractional weight breaks the
+        // guarantee — residue or gap side alike.
+        let doubled = Profile::from_msa_weighted(&m, &[2.0, 2.0, 2.0], &mut w);
+        assert!(doubled.cols.iter().all(ProfileColumn::weights_integral));
+        let skewed = Profile::from_msa_weighted(&m, &[1.5, 1.0, 1.0], &mut w);
+        assert!(!skewed.cols[0].weights_integral(), "fractional residue weight");
+        assert!(!skewed.cols[2].weights_integral(), "fractional gap weight");
     }
 
     #[test]

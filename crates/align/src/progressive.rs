@@ -5,8 +5,8 @@
 //! pluggable (uniform, Henikoff position-based, or fixed per-sequence
 //! weights such as CLUSTALW's tree weights).
 
-use crate::dp::{BandPolicy, DpArena};
-use crate::papro::{align_profiles_with, merge_msas};
+use crate::dp::{BandPolicy, DpArena, DpKernel};
+use crate::papro::{align_profiles_with_kernel, merge_msas};
 use crate::profile::{henikoff_weights, Profile};
 use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
 use phylo::Tree;
@@ -36,6 +36,8 @@ pub struct ProgressiveConfig {
     pub weights: WeightScheme,
     /// Band policy for every profile–profile DP along the tree.
     pub band: BandPolicy,
+    /// DP kernel for every profile–profile DP along the tree.
+    pub kernel: DpKernel,
 }
 
 impl Default for ProgressiveConfig {
@@ -45,6 +47,7 @@ impl Default for ProgressiveConfig {
             gaps: GapPenalties::default(),
             weights: WeightScheme::Uniform,
             band: BandPolicy::default(),
+            kernel: DpKernel::default(),
         }
     }
 }
@@ -98,7 +101,15 @@ pub fn progressive_align_with_arena(
                 let wb = row_weights(&msa_b, &rows_b, cfg, work);
                 let pa = Profile::from_msa_weighted(&msa_a, &wa, work);
                 let pb = Profile::from_msa_weighted(&msa_b, &wb, work);
-                let aln = align_profiles_with(&pa, &pb, &cfg.matrix, cfg.gaps, cfg.band, arena);
+                let aln = align_profiles_with_kernel(
+                    &pa,
+                    &pb,
+                    &cfg.matrix,
+                    cfg.gaps,
+                    cfg.band,
+                    cfg.kernel,
+                    arena,
+                );
                 *work += aln.work;
                 let merged = merge_msas(&msa_a, &msa_b, &aln.ops, work);
                 let mut rows = rows_a;

@@ -1,16 +1,22 @@
-//! Micro-benchmarks of the `align::dp` Gotoh kernel: banded vs full on
-//! short and long sequence pairs, plus the banded profile–profile path.
+//! Micro-benchmarks of the `align::dp` Gotoh kernel: scalar vs striped
+//! fills, banded vs full, on pairwise and profile–profile shapes.
 //!
-//! Beyond wall-clock timings, the bench prints (and asserts) the
-//! banded-vs-full `dp_cells` counts: on length-500+ pairs the adaptive
-//! band must fill strictly fewer cells than the full matrix.
+//! Beyond wall-clock timings, the bench asserts the kernel contract:
 //!
-//! It also writes `BENCH_dp_kernel.json` at the workspace root —
-//! cells/sec and wall time per (length, band) — the committed baseline
-//! future kernel work (ROADMAP item 2) has to beat.
+//! * the adaptive band fills strictly fewer cells than the full matrix on
+//!   length-500+ pairs, at the same score;
+//! * the striped kernel produces identical results to the scalar kernel;
+//! * the striped kernel is never a regression — at least 0.9× the scalar
+//!   kernel's cells/sec on every measured shape (CI runs this bench, so a
+//!   striped slowdown fails the build).
+//!
+//! It also writes `BENCH_dp_kernel.json` at the workspace root — one
+//! entry per (case, band, kernel) with cells/sec and median wall time —
+//! the committed baseline future kernel work has to beat.
 
-use align::dp::{BandPolicy, DpArena};
-use align::pairwise::global_align_with;
+use align::dp::{BandPolicy, DpArena, DpKernel};
+use align::pairwise::global_align_with_kernel;
+use align::papro::align_profiles_with_kernel;
 use align::{MsaEngine, MuscleLite, Profile};
 use bioseq::{GapPenalties, Sequence, SubstMatrix, Work};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -30,16 +36,65 @@ fn pair(avg_len: usize, seed: u64) -> (Sequence, Sequence) {
     (a, b)
 }
 
+/// One measured (case, band, kernel) point.
+struct Entry {
+    case: &'static str,
+    band: &'static str,
+    kernel: &'static str,
+    dp_cells: u64,
+    seconds_median: f64,
+}
+
+impl Entry {
+    fn cells_per_sec(&self) -> f64 {
+        self.dp_cells as f64 / self.seconds_median
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"case\": \"{}\", \"band\": \"{}\", \"kernel\": \"{}\", \
+             \"dp_cells\": {}, \"seconds_median\": {:.9}, \"cells_per_sec\": {:.0}}}",
+            self.case,
+            self.band,
+            self.kernel,
+            self.dp_cells,
+            self.seconds_median,
+            self.cells_per_sec()
+        )
+    }
+}
+
+/// Median wall time of `runs` calls to `f`.
+fn median_seconds(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+const BANDS: [(&str, BandPolicy); 2] = [("full", BandPolicy::Full), ("auto", BandPolicy::Auto)];
+const KERNELS: [(&str, DpKernel); 2] =
+    [("scalar", DpKernel::Scalar), ("striped", DpKernel::Striped)];
+
 fn bench(c: &mut Criterion) {
     let matrix = SubstMatrix::blosum62();
     let gaps = GapPenalties::default();
     let (short_a, short_b) = pair(100, 0x51);
     let (long_a, long_b) = pair(600, 0x52);
+    let (xl_a, xl_b) = pair(1200, 0x54);
     let mut arena = DpArena::new();
 
     // Cell accounting: the acceptance bar for the banded kernel.
-    let full = global_align_with(&long_a, &long_b, &matrix, gaps, BandPolicy::Full, &mut arena);
-    let auto = global_align_with(&long_a, &long_b, &matrix, gaps, BandPolicy::Auto, &mut arena);
+    let ga = |band, kernel, arena: &mut DpArena| {
+        global_align_with_kernel(&long_a, &long_b, &matrix, gaps, band, kernel, arena)
+    };
+    let full = ga(BandPolicy::Full, DpKernel::Scalar, &mut arena);
+    let auto = ga(BandPolicy::Auto, DpKernel::Scalar, &mut arena);
     println!(
         "dp_cells on L≈600 pair: banded {} vs full {} ({:.1}x fewer), scores {} == {}",
         auto.work.dp_cells,
@@ -53,50 +108,14 @@ fn bench(c: &mut Criterion) {
         "banded must fill strictly fewer cells than full on length-500+ pairs"
     );
     assert_eq!(auto.score, full.score, "adaptive banding must stay exact");
-
-    let mut baseline = Vec::new();
-    for (label, a, b) in [("short_100", &short_a, &short_b), ("long_600", &long_a, &long_b)] {
-        for (policy_label, policy) in [("full", BandPolicy::Full), ("auto", BandPolicy::Auto)] {
-            c.bench_function(&format!("dp_kernel/global_{label}_{policy_label}"), |bch| {
-                bch.iter(|| {
-                    global_align_with(std::hint::black_box(a), b, &matrix, gaps, policy, &mut arena)
-                })
-            });
-            // The JSON baseline: cells filled per second at this
-            // (length, band), median of a few timed repeats.
-            let cells = global_align_with(a, b, &matrix, gaps, policy, &mut arena).work.dp_cells;
-            let mut times: Vec<f64> = (0..9)
-                .map(|_| {
-                    let start = std::time::Instant::now();
-                    std::hint::black_box(global_align_with(
-                        std::hint::black_box(a),
-                        b,
-                        &matrix,
-                        gaps,
-                        policy,
-                        &mut arena,
-                    ));
-                    start.elapsed().as_secs_f64()
-                })
-                .collect();
-            times.sort_by(f64::total_cmp);
-            let seconds = times[times.len() / 2];
-            baseline.push(format!(
-                "    {{\"kernel\": \"global_{label}_{policy_label}\", \"dp_cells\": {cells}, \
-                 \"seconds_median\": {seconds:.9}, \"cells_per_sec\": {:.0}}}",
-                cells as f64 / seconds
-            ));
-        }
+    // Kernel identity: the striped fill is an implementation detail.
+    for (_, band) in BANDS {
+        let s = ga(band, DpKernel::Scalar, &mut arena);
+        let v = ga(band, DpKernel::Striped, &mut arena);
+        assert_eq!((s.row_a, s.row_b, s.score), (v.row_a, v.row_b, v.score));
     }
-    let json = format!(
-        "{{\n  \"bench\": \"dp_kernel\",\n  \"kernels\": [\n{}\n  ]\n}}\n",
-        baseline.join(",\n")
-    );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dp_kernel.json");
-    std::fs::write(&path, json).expect("write BENCH_dp_kernel.json");
-    println!("wrote {}", path.display());
 
-    // Profile–profile DP, the progressive-alignment hot path.
+    // The profile–profile (PSP) shape, the progressive-alignment hot path.
     let fam = Family::generate(&FamilyConfig {
         n_seqs: 16,
         avg_len: 300,
@@ -111,20 +130,135 @@ fn bench(c: &mut Criterion) {
     let mut w = Work::ZERO;
     let pa = Profile::from_msa(&msa_a, &mut w);
     let pb = Profile::from_msa(&msa_b, &mut w);
-    for (policy_label, policy) in [("full", BandPolicy::Full), ("auto", BandPolicy::Auto)] {
-        c.bench_function(&format!("dp_kernel/profile_8x8_L300_{policy_label}"), |bch| {
+
+    // Criterion timings for the headline shapes.
+    for (kernel_label, kernel) in KERNELS {
+        for (band_label, band) in BANDS {
+            c.bench_function(&format!("dp_kernel/global_600_{band_label}_{kernel_label}"), |bch| {
+                bch.iter(|| {
+                    global_align_with_kernel(
+                        std::hint::black_box(&long_a),
+                        &long_b,
+                        &matrix,
+                        gaps,
+                        band,
+                        kernel,
+                        &mut arena,
+                    )
+                })
+            });
+        }
+        c.bench_function(&format!("dp_kernel/profile_8x8_L300_auto_{kernel_label}"), |bch| {
             bch.iter(|| {
-                align::papro::align_profiles_with(
+                align_profiles_with_kernel(
                     std::hint::black_box(&pa),
                     &pb,
                     &matrix,
                     gaps,
-                    policy,
+                    BandPolicy::Auto,
+                    kernel,
                     &mut arena,
                 )
             })
         });
     }
+
+    // The JSON baseline: every (case, band, kernel) point, median of a few
+    // timed repeats.
+    let mut entries: Vec<Entry> = Vec::new();
+    for (case, a, b) in [
+        ("global_100", &short_a, &short_b),
+        ("global_600", &long_a, &long_b),
+        ("global_1200", &xl_a, &xl_b),
+    ] {
+        for (band_label, band) in BANDS {
+            for (kernel_label, kernel) in KERNELS {
+                let cells = global_align_with_kernel(a, b, &matrix, gaps, band, kernel, &mut arena)
+                    .work
+                    .dp_cells;
+                let seconds = median_seconds(9, || {
+                    std::hint::black_box(global_align_with_kernel(
+                        std::hint::black_box(a),
+                        b,
+                        &matrix,
+                        gaps,
+                        band,
+                        kernel,
+                        &mut arena,
+                    ));
+                });
+                entries.push(Entry {
+                    case,
+                    band: band_label,
+                    kernel: kernel_label,
+                    dp_cells: cells,
+                    seconds_median: seconds,
+                });
+            }
+        }
+    }
+    for (band_label, band) in BANDS {
+        for (kernel_label, kernel) in KERNELS {
+            let cells =
+                align_profiles_with_kernel(&pa, &pb, &matrix, gaps, band, kernel, &mut arena)
+                    .work
+                    .dp_cells;
+            let seconds = median_seconds(9, || {
+                std::hint::black_box(align_profiles_with_kernel(
+                    std::hint::black_box(&pa),
+                    &pb,
+                    &matrix,
+                    gaps,
+                    band,
+                    kernel,
+                    &mut arena,
+                ));
+            });
+            entries.push(Entry {
+                case: "profile_8x8_L300",
+                band: band_label,
+                kernel: kernel_label,
+                dp_cells: cells,
+                seconds_median: seconds,
+            });
+        }
+    }
+
+    // CI gate: the striped kernel must not regress below 0.9× the scalar
+    // kernel's throughput on any shape it ran.
+    for e in &entries {
+        println!(
+            "{}_{}_{}: {} cells, {:.6}s median, {:.0} cells/s",
+            e.case,
+            e.band,
+            e.kernel,
+            e.dp_cells,
+            e.seconds_median,
+            e.cells_per_sec()
+        );
+    }
+    for scalar in entries.iter().filter(|e| e.kernel == "scalar") {
+        let striped = entries
+            .iter()
+            .find(|e| e.kernel == "striped" && e.case == scalar.case && e.band == scalar.band)
+            .expect("every scalar shape has a striped twin");
+        assert!(
+            striped.cells_per_sec() >= 0.9 * scalar.cells_per_sec(),
+            "striped kernel regressed on {}_{}: {:.0} cells/s vs scalar {:.0} cells/s",
+            scalar.case,
+            scalar.band,
+            striped.cells_per_sec(),
+            scalar.cells_per_sec()
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"dp_kernel\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.iter().map(Entry::json).collect::<Vec<_>>().join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dp_kernel.json");
+    std::fs::write(&path, json).expect("write BENCH_dp_kernel.json");
+    println!("wrote {}", path.display());
 }
 
 criterion_group! {

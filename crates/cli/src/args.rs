@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (keeps the dependency set to the approved
 //! crates).
 
-use align::{BandPolicy, EngineChoice};
+use align::{BandPolicy, DpKernel, EngineChoice};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,17 +14,17 @@ pub struct Args {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `sad align <in.fasta> [--backend B] [--p N] [--threads N] [--nodes N]
-    /// [--engine E] [--no-fine-tune] [--progress]`
+    /// [--engine E] [--no-fine-tune] [--kernel K] [--progress]`
     Align(AlignArgs),
     /// `sad batch <dir-or-manifest> [--out DIR] [--jobs N] [--backend B]
     /// [--p N] [--threads N] [--nodes N] [--engine E] [--no-fine-tune]
-    /// [--kmer K] [--band B] [--progress]`
+    /// [--kmer K] [--band B] [--kernel K] [--progress]`
     Batch(BatchArgs),
     /// `sad reads [in.fasta] [--reads N] [--coverage C] [--read-len L]
     /// [--error-rate E] [--sources N] [--source-len L] [--seed S]
     /// [--max-bucket N|none] [--min-q Q] [--out FILE] [--backend B]
     /// [--p N] [--threads N] [--nodes N] [--engine E] [--kmer K]
-    /// [--band B] [--no-fine-tune] [--progress]`
+    /// [--band B] [--kernel K] [--no-fine-tune] [--progress]`
     Reads(ReadsArgs),
     /// `sad generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]`
     Generate(GenerateArgs),
@@ -36,7 +36,8 @@ pub enum Command {
     Rank(RankArgs),
     /// `sad serve [--host H] [--port N] [--journal FILE] [--out DIR]
     /// [--workers N] [--queue N] [--backend B] [--p N] [--threads N]
-    /// [--nodes N] [--engine E] [--kmer K] [--band B] [--no-fine-tune]`
+    /// [--nodes N] [--engine E] [--kmer K] [--band B] [--kernel K]
+    /// [--no-fine-tune]`
     Serve(ServeArgs),
     /// `sad submit <files...> [--host H] [--port N] [--out DIR]
     /// [--priority N] [--cancel ID] [--shutdown]`
@@ -67,6 +68,8 @@ pub struct AlignArgs {
     pub kmer: Option<usize>,
     /// DP kernel band policy (`--band auto|full|<width>`).
     pub band: BandPolicy,
+    /// DP kernel variant (`--kernel scalar|striped|auto`).
+    pub kernel: DpKernel,
     /// Stream a live per-phase progress display to stderr (`--progress`),
     /// built on the pipeline observer API.
     pub progress: bool,
@@ -115,6 +118,8 @@ pub struct BatchArgs {
     pub kmer: Option<usize>,
     /// DP kernel band policy (`--band auto|full|<width>`).
     pub band: BandPolicy,
+    /// DP kernel variant (`--kernel scalar|striped|auto`).
+    pub kernel: DpKernel,
     /// Stream job/phase progress to stderr (`--progress`).
     pub progress: bool,
 }
@@ -180,6 +185,8 @@ pub struct ReadsArgs {
     pub kmer: Option<usize>,
     /// DP kernel band policy (`--band auto|full|<width>`).
     pub band: BandPolicy,
+    /// DP kernel variant (`--kernel scalar|striped|auto`).
+    pub kernel: DpKernel,
     /// Stream a live per-phase progress display to stderr (`--progress`).
     pub progress: bool,
 }
@@ -286,6 +293,8 @@ pub struct ServeArgs {
     pub kmer: Option<usize>,
     /// DP kernel band policy (`--band auto|full|<width>`).
     pub band: BandPolicy,
+    /// DP kernel variant (`--kernel scalar|striped|auto`).
+    pub kernel: DpKernel,
     /// Disable the ancestor fine-tuning step.
     pub no_fine_tune: bool,
 }
@@ -339,19 +348,22 @@ usage: sad <command> [options]
   align <in.fasta> [--backend sequential|rayon|distributed] [--p N]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
-                   [--band auto|full|<width>] [--progress]
+                   [--band auto|full|<width>]
+                   [--kernel scalar|striped|auto] [--progress]
   batch <dir|manifest> [--out DIR] [--jobs N]
                    [--backend sequential|rayon|distributed] [--p N]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
-                   [--band auto|full|<width>] [--progress]
+                   [--band auto|full|<width>]
+                   [--kernel scalar|striped|auto] [--progress]
   reads [in.fasta] [--reads N] [--coverage C] [--read-len L] [--error-rate E]
                    [--sources N] [--source-len L] [--seed S]
                    [--max-bucket N|none] [--min-q Q] [--out FILE]
                    [--backend sequential|rayon|distributed] [--p N]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
-                   [--band auto|full|<width>] [--progress]
+                   [--band auto|full|<width>]
+                   [--kernel scalar|striped|auto] [--progress]
   generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]
   scaling  [--n N] [--procs 1,4,8,16]
   eval     [--cases C] [--p N]
@@ -362,6 +374,7 @@ usage: sad <command> [options]
                    [--p N] [--threads N] [--nodes N] [--no-fine-tune]
                    [--kmer K] [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>]
+                   [--kernel scalar|striped|auto]
   submit <files...> [--host H] [--port N] [--out DIR] [--priority N]
                    [--cancel ID] [--shutdown]
 ";
@@ -381,6 +394,11 @@ fn parse_engine(v: &str) -> Result<EngineChoice, ParseError> {
     EngineChoice::from_label(v).ok_or_else(|| ParseError(format!("unknown engine {v:?}")))
 }
 
+fn parse_kernel(v: &str) -> Result<DpKernel, ParseError> {
+    DpKernel::parse(v)
+        .ok_or_else(|| ParseError(format!("--kernel takes scalar, striped or auto, not {v:?}")))
+}
+
 /// Parse a full argument vector (without the binary name).
 pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseError> {
     let mut it = argv.into_iter();
@@ -398,6 +416,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 no_fine_tune: false,
                 kmer: None,
                 band: BandPolicy::default(),
+                kernel: DpKernel::default(),
                 progress: false,
             };
             while let Some(tok) = it.next() {
@@ -412,6 +431,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                             ))
                         })?;
                     }
+                    "--kernel" => a.kernel = parse_kernel(take_value("--kernel", &mut it)?)?,
                     "--threads" => {
                         a.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
                     }
@@ -465,6 +485,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 no_fine_tune: false,
                 kmer: None,
                 band: BandPolicy::default(),
+                kernel: DpKernel::default(),
                 progress: false,
             };
             while let Some(tok) = it.next() {
@@ -481,6 +502,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                             ))
                         })?;
                     }
+                    "--kernel" => b.kernel = parse_kernel(take_value("--kernel", &mut it)?)?,
                     "--threads" => {
                         b.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
                     }
@@ -545,6 +567,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 no_fine_tune: false,
                 kmer: None,
                 band: BandPolicy::default(),
+                kernel: DpKernel::default(),
                 progress: false,
             };
             while let Some(tok) = it.next() {
@@ -590,6 +613,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                             ))
                         })?;
                     }
+                    "--kernel" => r.kernel = parse_kernel(take_value("--kernel", &mut it)?)?,
                     "--threads" => {
                         r.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
                     }
@@ -737,6 +761,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 engine: EngineChoice::MuscleFast,
                 kmer: None,
                 band: BandPolicy::default(),
+                kernel: DpKernel::default(),
                 no_fine_tune: false,
             };
             while let Some(tok) = it.next() {
@@ -762,6 +787,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                             ))
                         })?;
                     }
+                    "--kernel" => s.kernel = parse_kernel(take_value("--kernel", &mut it)?)?,
                     "--threads" => {
                         s.threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
                     }
@@ -936,6 +962,38 @@ mod tests {
         assert!(parse(["align", "x.fa", "--band", "0"]).is_err());
         assert!(parse(["align", "x.fa", "--band", "wavefront"]).is_err());
         assert!(parse(["align", "x.fa", "--band"]).is_err());
+    }
+
+    #[test]
+    fn kernel_flag_parses_and_rejects_nonsense() {
+        // Default is the adaptive (exactness-audited) kernel.
+        match parse(["align", "x.fa"]).unwrap().command {
+            Command::Align(a) => assert_eq!(a.kernel, DpKernel::Auto),
+            _ => panic!("wrong command"),
+        }
+        for (text, want) in
+            [("scalar", DpKernel::Scalar), ("striped", DpKernel::Striped), ("auto", DpKernel::Auto)]
+        {
+            match parse(["align", "x.fa", "--kernel", text]).unwrap().command {
+                Command::Align(a) => assert_eq!(a.kernel, want, "{text}"),
+                _ => panic!("wrong command"),
+            }
+        }
+        // Every DP-running subcommand takes the flag.
+        match parse(["batch", "d/", "--kernel", "scalar"]).unwrap().command {
+            Command::Batch(b) => assert_eq!(b.kernel, DpKernel::Scalar),
+            _ => panic!("wrong command"),
+        }
+        match parse(["reads", "--kernel", "striped"]).unwrap().command {
+            Command::Reads(r) => assert_eq!(r.kernel, DpKernel::Striped),
+            _ => panic!("wrong command"),
+        }
+        match parse(["serve", "--kernel", "scalar"]).unwrap().command {
+            Command::Serve(s) => assert_eq!(s.kernel, DpKernel::Scalar),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["align", "x.fa", "--kernel", "avx"]).is_err());
+        assert!(parse(["align", "x.fa", "--kernel"]).is_err());
     }
 
     #[test]

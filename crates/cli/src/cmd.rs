@@ -43,7 +43,8 @@ pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
     let mut cfg = SadConfig::default()
         .with_engine(a.engine)
         .with_fine_tune(!a.no_fine_tune)
-        .with_band_policy(a.band);
+        .with_band_policy(a.band)
+        .with_dp_kernel(a.kernel);
     if let Some(k) = a.kmer {
         cfg = cfg.with_kmer_k(k);
     }
@@ -128,6 +129,7 @@ pub fn reads(r: ReadsArgs, out: Out) -> Result<(), String> {
         .with_engine(r.engine)
         .with_fine_tune(!r.no_fine_tune)
         .with_band_policy(r.band)
+        .with_dp_kernel(r.kernel)
         .with_max_bucket(r.max_bucket);
     if let Some(k) = r.kmer {
         cfg = cfg.with_kmer_k(k);
@@ -308,7 +310,8 @@ pub fn batch(b: BatchArgs, out: Out) -> Result<(), String> {
     let mut cfg = SadConfig::default()
         .with_engine(b.engine)
         .with_fine_tune(!b.no_fine_tune)
-        .with_band_policy(b.band);
+        .with_band_policy(b.band)
+        .with_dp_kernel(b.kernel);
     if let Some(k) = b.kmer {
         cfg = cfg.with_kmer_k(k);
     }
@@ -443,7 +446,8 @@ pub fn serve(s: ServeArgs, out: Out) -> Result<(), String> {
     let mut cfg = SadConfig::default()
         .with_engine(s.engine)
         .with_fine_tune(!s.no_fine_tune)
-        .with_band_policy(s.band);
+        .with_band_policy(s.band)
+        .with_dp_kernel(s.kernel);
     if let Some(k) = s.kmer {
         cfg = cfg.with_kmer_k(k);
     }
@@ -720,6 +724,27 @@ mod tests {
         assert_eq!(fasta::parse_alignment(&body(&wide)).unwrap().num_rows(), 8);
         // The report surfaces the banded/full cell counts.
         assert!(auto.contains("dp cells (band/full)"), "{auto}");
+    }
+
+    #[test]
+    fn kernel_flag_flows_into_the_run() {
+        let dir = tmpdir();
+        let input = dir.join("kernel.fa");
+        std::fs::write(&input, run_str(&["generate", "--n", "8", "--len", "60", "--seed", "11"]))
+            .unwrap();
+        let path = input.to_str().unwrap();
+        // All three kernels align the file identically; only the report
+        // label differs.
+        let scalar = run_str(&["align", path, "--p", "2", "--kernel", "scalar"]);
+        let striped = run_str(&["align", path, "--p", "2", "--kernel", "striped"]);
+        let auto = run_str(&["align", path, "--p", "2", "--kernel", "auto"]);
+        let body =
+            |out: &str| out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+        assert_eq!(body(&scalar), body(&striped), "striped kernel must match scalar");
+        assert_eq!(body(&scalar), body(&auto));
+        assert!(scalar.contains("dp kernel: scalar"), "{scalar}");
+        assert!(striped.contains("dp kernel: striped"), "{striped}");
+        assert!(auto.contains("dp kernel: auto"), "{auto}");
     }
 
     #[test]

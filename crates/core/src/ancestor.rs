@@ -10,8 +10,8 @@
 //! lets the paper "just join" the tweaked sub-alignments.
 
 use crate::messages::AnchoredBlockMsg;
-use align::papro::{align_profiles_with, ColOp};
-use align::{BandPolicy, DpArena, Profile};
+use align::papro::{align_profiles_with_kernel, ColOp};
+use align::{BandPolicy, DpArena, DpKernel, Profile};
 use bioseq::alphabet::GAP_CODE;
 use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
 
@@ -20,19 +20,29 @@ use bioseq::{GapPenalties, Msa, Sequence, SubstMatrix, Work};
 /// Returns the bucket's rows rewritten into "ancestor + private inserts"
 /// coordinates: the result has exactly `ancestor.len()` anchor columns (in
 /// order) plus the bucket's insert columns. The profile DP runs under
-/// `band` (see [`BandPolicy`]).
+/// `band` (see [`BandPolicy`]) with the `kernel` fill variant (see
+/// [`DpKernel`]).
 pub fn anchor_to_ancestor(
     local: &Msa,
     ancestor: &Sequence,
     matrix: &SubstMatrix,
     gaps: GapPenalties,
     band: BandPolicy,
+    kernel: DpKernel,
     work: &mut Work,
 ) -> AnchoredBlockMsg {
     let p_local = Profile::from_msa(local, work);
     let anc_msa = Msa::from_sequence(ancestor);
     let p_anc = Profile::from_msa(&anc_msa, work);
-    let aln = align_profiles_with(&p_local, &p_anc, matrix, gaps, band, &mut DpArena::new());
+    let aln = align_profiles_with_kernel(
+        &p_local,
+        &p_anc,
+        matrix,
+        gaps,
+        band,
+        kernel,
+        &mut DpArena::new(),
+    );
     *work += aln.work;
     let mut rows: Vec<Vec<u8>> =
         (0..local.num_rows()).map(|_| Vec::with_capacity(aln.ops.len())).collect();
@@ -190,7 +200,15 @@ mod tests {
         let local = msa(">a\nMKVLAW\n>b\nMKV-AW\n");
         let anc = Sequence::from_str("GA", "MKVAW").unwrap();
         let mut w = Work::ZERO;
-        let block = anchor_to_ancestor(&local, &anc, &mat, gaps, BandPolicy::Auto, &mut w);
+        let block = anchor_to_ancestor(
+            &local,
+            &anc,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w,
+        );
         assert_eq!(block.ids, vec!["a".to_string(), "b".to_string()]);
         assert_eq!(block.is_anchor.iter().filter(|&&a| a).count(), 5);
         // Rows ungap to the originals.
@@ -211,8 +229,24 @@ mod tests {
         let bucket2 = msa(">c\nMKVLAW\n>d\nMKVLAW\n");
         let anc = Sequence::from_str("GA", "MKVLAW").unwrap();
         let mut w = Work::ZERO;
-        let b1 = anchor_to_ancestor(&bucket, &anc, &mat, gaps, BandPolicy::Auto, &mut w);
-        let b2 = anchor_to_ancestor(&bucket2, &anc, &mat, gaps, BandPolicy::Auto, &mut w);
+        let b1 = anchor_to_ancestor(
+            &bucket,
+            &anc,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w,
+        );
+        let b2 = anchor_to_ancestor(
+            &bucket2,
+            &anc,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w,
+        );
         let glued = glue_anchored(anc.len(), &[b1, b2], &mut w);
         glued.validate().unwrap();
         assert_eq!(glued.num_rows(), 4);
@@ -229,8 +263,24 @@ mod tests {
         let bucket2 = msa(">b\nMKVLAW\n");
         let anc = Sequence::from_str("GA", "MKVLAW").unwrap();
         let mut w = Work::ZERO;
-        let b1 = anchor_to_ancestor(&bucket1, &anc, &mat, gaps, BandPolicy::Auto, &mut w);
-        let b2 = anchor_to_ancestor(&bucket2, &anc, &mat, gaps, BandPolicy::Auto, &mut w);
+        let b1 = anchor_to_ancestor(
+            &bucket1,
+            &anc,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w,
+        );
+        let b2 = anchor_to_ancestor(
+            &bucket2,
+            &anc,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w,
+        );
         let glued = glue_anchored(anc.len(), &[b1, b2], &mut w);
         glued.validate().unwrap();
         assert_eq!(glued.ungapped(0).to_letters(), "MKVWWWLAW");
@@ -262,8 +312,24 @@ mod tests {
         let anchored = glue_anchored(
             anc.len(),
             &[
-                anchor_to_ancestor(&bucket1, &anc, &mat, gaps, BandPolicy::Auto, &mut w),
-                anchor_to_ancestor(&bucket2, &anc, &mat, gaps, BandPolicy::Auto, &mut w),
+                anchor_to_ancestor(
+                    &bucket1,
+                    &anc,
+                    &mat,
+                    gaps,
+                    BandPolicy::Auto,
+                    DpKernel::default(),
+                    &mut w,
+                ),
+                anchor_to_ancestor(
+                    &bucket2,
+                    &anc,
+                    &mat,
+                    gaps,
+                    BandPolicy::Auto,
+                    DpKernel::default(),
+                    &mut w,
+                ),
             ],
             &mut w,
         );
@@ -280,7 +346,15 @@ mod tests {
         let bucket = msa(">a\nMKVLAW\n>b\nMKV-AW\n");
         let anc = Sequence::from_str("GA", "MKVLAW").unwrap();
         let mut w = Work::ZERO;
-        let block = anchor_to_ancestor(&bucket, &anc, &mat, gaps, BandPolicy::Auto, &mut w);
+        let block = anchor_to_ancestor(
+            &bucket,
+            &anc,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w,
+        );
         let glued = glue_anchored(anc.len(), &[block], &mut w);
         assert_eq!(glued.num_rows(), 2);
         for r in 0..2 {

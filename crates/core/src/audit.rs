@@ -225,6 +225,43 @@ mod tests {
     }
 
     #[test]
+    fn kernel_choice_never_changes_results_or_accounting() {
+        // The striped kernel is an implementation detail: forcing either
+        // variant across a whole run must produce the same alignment and,
+        // crucially, the same dp_cells/dp_cells_full accounting — the
+        // virtual cluster's cost model charges cells, not wall-clock, so
+        // any divergence would skew every reported speedup.
+        use align::DpKernel;
+        let fam = Family::generate(&FamilyConfig {
+            n_seqs: 16,
+            avg_len: 80,
+            relatedness: 400.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let run = |kernel: DpKernel| {
+            let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+            Aligner::new(SadConfig::default().with_dp_kernel(kernel))
+                .backend(Backend::Distributed(cluster))
+                .run(&fam.seqs)
+                .unwrap()
+        };
+        let scalar = run(DpKernel::Scalar);
+        let striped = run(DpKernel::Striped);
+        let auto = run(DpKernel::Auto);
+        assert_eq!(scalar.msa, striped.msa);
+        assert_eq!(scalar.msa, auto.msa);
+        assert_eq!(scalar.work.dp_cells, striped.work.dp_cells);
+        assert_eq!(scalar.work.dp_cells_full, striped.work.dp_cells_full);
+        assert_eq!(scalar.work, striped.work);
+        assert_eq!(scalar.work, auto.work);
+        // Only the report label records which fill ran.
+        assert_eq!(scalar.kernel, "scalar");
+        assert_eq!(striped.kernel, "striped");
+        assert_eq!(auto.kernel, "auto");
+    }
+
+    #[test]
     fn audit_points_carry_all_phases() {
         let points = sweep_n(&[24], 2, &SadConfig::default(), CostModel::beowulf_2008(), workload);
         let phases: Vec<Phase> = points[0].phases.iter().map(|&(p, _)| p).collect();

@@ -1,7 +1,7 @@
 //! Sample-Align-D configuration.
 
 use crate::error::SadError;
-use align::{BandPolicy, EngineChoice};
+use align::{BandPolicy, DpKernel, EngineChoice};
 use bioseq::{CompressedAlphabet, GapPenalties, RankTransform, Sequence, SubstMatrix};
 use serde::Serialize;
 
@@ -37,6 +37,11 @@ pub struct SadConfig {
     /// The default, [`BandPolicy::Auto`], fills only a diagonal band and
     /// adaptively widens it until the optimum is provably unconstrained.
     pub band_policy: BandPolicy,
+    /// DP kernel variant for every alignment in the pipeline. The
+    /// default, [`DpKernel::Auto`], runs the striped f32 kernel whenever
+    /// the scorer certifies bit-exact f32 arithmetic and the scalar f64
+    /// kernel otherwise; `Scalar`/`Striped` force one variant.
+    pub dp_kernel: DpKernel,
     /// Hierarchical bucketing cap (the Pyro-Align large-N read mode):
     /// when set, any post-redistribution bucket larger than this is
     /// recursively re-sampled and re-partitioned
@@ -61,6 +66,7 @@ impl Default for SadConfig {
             matrix: SubstMatrix::blosum62(),
             gaps: GapPenalties::default(),
             band_policy: BandPolicy::default(),
+            dp_kernel: DpKernel::default(),
             max_bucket: None,
         }
     }
@@ -119,6 +125,12 @@ impl SadConfig {
     /// Set the DP kernel band policy for the whole pipeline.
     pub fn with_band_policy(mut self, band_policy: BandPolicy) -> Self {
         self.band_policy = band_policy;
+        self
+    }
+
+    /// Select the DP kernel variant for the whole pipeline.
+    pub fn with_dp_kernel(mut self, kernel: DpKernel) -> Self {
+        self.dp_kernel = kernel;
         self
     }
 
@@ -202,12 +214,14 @@ mod tests {
             .with_matrix(SubstMatrix::blosum62())
             .with_gaps(GapPenalties::default())
             .with_band_policy(BandPolicy::Fixed(48))
+            .with_dp_kernel(DpKernel::Striped)
             .with_max_bucket(Some(256));
         assert_eq!(cfg.kmer_k, 4);
         assert_eq!(cfg.samples_per_rank, Some(3));
         assert_eq!(cfg.engine, EngineChoice::Clustal);
         assert!(!cfg.fine_tune);
         assert_eq!(cfg.band_policy, BandPolicy::Fixed(48));
+        assert_eq!(cfg.dp_kernel, DpKernel::Striped);
         assert_eq!(cfg.max_bucket, Some(256));
     }
 

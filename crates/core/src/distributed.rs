@@ -75,6 +75,7 @@ pub(crate) fn distributed_pipeline(
         ranks: cluster.p(),
         samples_per_rank: cfg.samples_for(cluster.p()),
         decomposition_depth: 0,
+        kernel: cfg.dp_kernel.label(),
         extras: BackendExtras::Distributed { makespan: run.makespan, traces: run.traces },
     })
 }
@@ -203,7 +204,7 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig, ctx: &PipelineC
     }
     ctx.rank_enter(Phase::LocalAlign);
     node.phase_start(Phase::LocalAlign.name());
-    let engine = cfg.engine.build_with_band(cfg.band_policy);
+    let engine = cfg.engine.build_with(cfg.band_policy, cfg.dp_kernel);
     let mut align_w = Work::ZERO;
     let local_msa: Option<Msa> = if bucket.is_empty() {
         None
@@ -298,7 +299,15 @@ fn sad_node(node: &Node, all_seqs: &[Sequence], cfg: &SadConfig, ctx: &PipelineC
     node.phase_start(Phase::FineTune.name());
     let mut tune_w = Work::ZERO;
     let block: Option<AnchoredBlockMsg> = local_msa.as_ref().map(|msa| {
-        let b = anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut tune_w);
+        let b = anchor_to_ancestor(
+            msa,
+            &ga,
+            &cfg.matrix,
+            cfg.gaps,
+            cfg.band_policy,
+            cfg.dp_kernel,
+            &mut tune_w,
+        );
         node.compute(tune_w);
         b
     });

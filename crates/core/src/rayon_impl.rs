@@ -44,6 +44,7 @@ pub(crate) fn rayon_pipeline(
                 ranks: p,
                 samples_per_rank: cfg.samples_for(p),
                 decomposition_depth: depth,
+                kernel: cfg.dp_kernel.label(),
                 extras: BackendExtras::Rayon { threads: p },
             }
         };
@@ -176,7 +177,10 @@ pub(crate) fn rayon_pipeline(
                     None
                 } else {
                     let t0 = Instant::now();
-                    let out = cfg.engine.build_with_band(cfg.band_policy).align_with_work(&bucket);
+                    let out = cfg
+                        .engine
+                        .build_with(cfg.band_policy, cfg.dp_kernel)
+                        .align_with_work(&bucket);
                     ctx.bucket_aligned(b, out.0.num_rows(), t0.elapsed().as_secs_f64());
                     Some(out)
                 }
@@ -228,7 +232,7 @@ pub(crate) fn rayon_pipeline(
             ancestors.into_iter().next().expect("one ancestor")
         } else {
             let (anc_msa, w) =
-                cfg.engine.build_with_band(cfg.band_policy).align_with_work(&ancestors);
+                cfg.engine.build_with(cfg.band_policy, cfg.dp_kernel).align_with_work(&ancestors);
             ga_w += w;
             consensus_sequence(&anc_msa, "global-ancestor", &mut ga_w)
         };
@@ -242,8 +246,15 @@ pub(crate) fn rayon_pipeline(
             .par_iter()
             .map(|msa| {
                 let mut w = Work::ZERO;
-                let b =
-                    anchor_to_ancestor(msa, &ga, &cfg.matrix, cfg.gaps, cfg.band_policy, &mut w);
+                let b = anchor_to_ancestor(
+                    msa,
+                    &ga,
+                    &cfg.matrix,
+                    cfg.gaps,
+                    cfg.band_policy,
+                    cfg.dp_kernel,
+                    &mut w,
+                );
                 (b, w)
             })
             .collect();

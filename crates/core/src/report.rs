@@ -84,6 +84,11 @@ pub struct RunReport {
     /// ([`Phase::SubPartition`]): 0 when every first-pass bucket already
     /// fit [`crate::SadConfig::max_bucket`] — or when no cap was set.
     pub decomposition_depth: usize,
+    /// DP kernel selection the run was configured with
+    /// ([`align::DpKernel::label`]: `"scalar"`, `"striped"`, or
+    /// `"auto"`). The kernel never changes results or work accounting —
+    /// this label records which fill implementation produced them.
+    pub kernel: &'static str,
     /// Backend-specific extras.
     pub extras: BackendExtras,
 }
@@ -174,6 +179,7 @@ impl RunReport {
             self.work.total_units(),
             dp_pair(&self.work)
         );
+        let _ = writeln!(out, "dp kernel: {}", self.kernel);
         out
     }
 }
@@ -205,6 +211,7 @@ mod tests {
             ranks: 2,
             samples_per_rank: 1,
             decomposition_depth: 0,
+            kernel: "auto",
             extras: BackendExtras::Rayon { threads: 2 },
         }
     }
@@ -222,6 +229,7 @@ mod tests {
         assert!(table.contains("dp cells (band/full)"));
         assert!(table.contains("wall (s)"));
         assert!(table.contains("10/10"), "Work::dp sets both counters:\n{table}");
+        assert!(table.contains("dp kernel: auto"), "kernel label renders:\n{table}");
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub(crate) fn sequential_pipeline(
     let msa = ctx.phase(Phase::LocalAlign, || {
         let t0 = Instant::now();
         let (msa, work) =
-            cfg.engine.build_with_band(cfg.band_policy).align_with_work_in(seqs, arena);
+            cfg.engine.build_with(cfg.band_policy, cfg.dp_kernel).align_with_work_in(seqs, arena);
         ctx.bucket_aligned(0, msa.num_rows(), t0.elapsed().as_secs_f64());
         (msa, work)
     })?;
@@ -38,6 +38,7 @@ pub(crate) fn sequential_pipeline(
         ranks: 1,
         samples_per_rank: cfg.samples_for(1),
         decomposition_depth: 0,
+        kernel: cfg.dp_kernel.label(),
         extras: BackendExtras::Sequential,
     })
 }
@@ -84,7 +85,7 @@ mod tests {
         let seqs = family(6, 40, 2);
         let cfg = SadConfig::default();
         let report = Aligner::new(cfg.clone()).run(&seqs).unwrap();
-        assert_eq!(report.msa, cfg.engine.build_with_band(cfg.band_policy).align(&seqs));
+        assert_eq!(report.msa, cfg.engine.build_with(cfg.band_policy, cfg.dp_kernel).align(&seqs));
         assert_eq!(report.bucket_sizes, vec![6]);
         assert_eq!(report.ranks, 1);
         assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum());
