@@ -19,6 +19,9 @@
 //! * [`refine`] — MUSCLE-style tree-bipartition iterative refinement;
 //! * [`consensus`] — consensus/“ancestor” extraction from an alignment
 //!   (the local/global ancestors of the paper);
+//! * [`anchor`] — conserved-anchor detection by colinear k-mer chaining,
+//!   the substrate of vertical (length-wise) domain decomposition and of
+//!   anchor-seeded profile merges;
 //! * [`engine`] — the [`MsaEngine`] trait plus two full
 //!   systems: [`muscle::MuscleLite`] (k-mer distance → UPGMA → progressive →
 //!   optional re-estimation and refinement; a faithful skeleton of MUSCLE
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anchor;
 pub mod clustal;
 pub mod consensus;
 pub mod distance;
@@ -43,6 +47,7 @@ pub mod profile;
 pub mod progressive;
 pub mod refine;
 
+pub use anchor::{Anchor, AnchorSpec};
 pub use clustal::ClustalLite;
 pub use dp::{BandPolicy, DpArena, DpKernel};
 pub use engine::{EngineChoice, MsaEngine};

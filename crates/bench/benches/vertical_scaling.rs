@@ -1,0 +1,193 @@
+//! Scaling of the vertical (length-wise) decomposition: whole-length vs
+//! anchored-block alignment on long related families.
+//!
+//! Beyond wall-clock timings, the bench asserts the decomposition
+//! contract on an anchored length-2000 family:
+//!
+//! * vertical mode fills **strictly fewer** DP cells than the whole-length
+//!   progressive alignment under a full-matrix band (the honest
+//!   comparison — adaptive banding shrinks both bills);
+//! * the glued MSA's Q against the family's true reference alignment is
+//!   within tolerance of the whole-length result;
+//! * sequential and rayon vertical runs are byte-identical.
+//!
+//! It also writes `BENCH_vertical.json` at the workspace root — one entry
+//! per (length, mode) with dp_cells, block census and median wall time —
+//! the committed baseline future decomposition work has to beat.
+
+use bioseq::compare::q_score_msa;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rosegen::{Family, FamilyConfig};
+use sad_core::{Aligner, Backend, BandPolicy, RunReport, SadConfig, VerticalConfig};
+
+/// A long, closely related family (low rose relatedness = few
+/// substitutions per site), the shape vertical decomposition targets.
+fn anchored_family(len: usize, seed: u64) -> Family {
+    Family::generate(&FamilyConfig {
+        n_seqs: 8,
+        avg_len: len,
+        relatedness: 120.0,
+        indel_rate: 0.01,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn vcfg() -> VerticalConfig {
+    VerticalConfig { max_block_len: 256, ..Default::default() }
+}
+
+fn run(seqs: &[bioseq::Sequence], vertical: bool, band: BandPolicy) -> RunReport {
+    let mut cfg = SadConfig::default().with_band_policy(band);
+    if vertical {
+        cfg = cfg.with_vertical(vcfg());
+    }
+    Aligner::new(cfg).run(seqs).expect("valid bench input")
+}
+
+/// One measured (length, mode, band) point.
+struct Entry {
+    case: String,
+    mode: &'static str,
+    band: &'static str,
+    dp_cells: u64,
+    blocks: usize,
+    seam_windows: usize,
+    q_vs_reference: f64,
+    seconds_median: f64,
+}
+
+impl Entry {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"case\": \"{}\", \"mode\": \"{}\", \"band\": \"{}\", \
+             \"dp_cells\": {}, \"blocks\": {}, \"seam_windows\": {}, \
+             \"q_vs_reference\": {:.4}, \"seconds_median\": {:.9}}}",
+            self.case,
+            self.mode,
+            self.band,
+            self.dp_cells,
+            self.blocks,
+            self.seam_windows,
+            self.q_vs_reference,
+            self.seconds_median
+        )
+    }
+}
+
+/// Median wall time of `runs` calls to `f`.
+fn median_seconds(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Q tolerance between the glued and the whole-length alignment, both
+/// scored against the generative truth.
+const Q_TOLERANCE: f64 = 0.05;
+
+fn bench(c: &mut Criterion) {
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for (len, seed) in [(600usize, 0x61u64), (1200, 0x62), (2000, 0x63)] {
+        let fam = anchored_family(len, seed);
+        for (band_label, band) in [("full", BandPolicy::Full), ("auto", BandPolicy::Auto)] {
+            for (mode, vertical) in [("whole", false), ("vertical", true)] {
+                let report = run(&fam.seqs, vertical, band);
+                let v = report.vertical.as_ref();
+                let q = q_score_msa(&report.msa, &fam.reference).unwrap_or(0.0);
+                let seconds = median_seconds(3, || {
+                    std::hint::black_box(run(std::hint::black_box(&fam.seqs), vertical, band));
+                });
+                entries.push(Entry {
+                    case: format!("family_8xL{len}"),
+                    mode,
+                    band: band_label,
+                    dp_cells: report.work.dp_cells,
+                    blocks: v.map_or(1, |v| v.blocks()),
+                    seam_windows: v.map_or(0, |v| v.seam_windows),
+                    q_vs_reference: q,
+                    seconds_median: seconds,
+                });
+            }
+        }
+    }
+
+    for e in &entries {
+        println!(
+            "{}_{}_{}: {} cells, {} blocks, {} seams, Q {:.4}, {:.4}s median",
+            e.case,
+            e.mode,
+            e.band,
+            e.dp_cells,
+            e.blocks,
+            e.seam_windows,
+            e.q_vs_reference,
+            e.seconds_median
+        );
+    }
+
+    // CI gates, on the length-2000 full-band point (the acceptance bar).
+    let pick = |mode: &str, band: &str| {
+        entries
+            .iter()
+            .find(|e| e.case == "family_8xL2000" && e.mode == mode && e.band == band)
+            .expect("measured point")
+    };
+    let whole = pick("whole", "full");
+    let vert = pick("vertical", "full");
+    assert!(vert.blocks >= 2, "a length-2000 family at relatedness 120 must anchor into blocks");
+    assert!(
+        vert.dp_cells < whole.dp_cells,
+        "vertical must fill strictly fewer DP cells than whole-length: {} vs {}",
+        vert.dp_cells,
+        whole.dp_cells
+    );
+    assert!(
+        vert.q_vs_reference >= whole.q_vs_reference - Q_TOLERANCE,
+        "vertical glue lost too much quality: Q {:.4} vs whole-length {:.4}",
+        vert.q_vs_reference,
+        whole.q_vs_reference
+    );
+
+    // Backend determinism: sequential and rayon vertical are byte-equal.
+    let fam = anchored_family(1200, 0x62);
+    let cfg = SadConfig::default().with_vertical(vcfg());
+    let seq = Aligner::new(cfg.clone()).run(&fam.seqs).expect("valid input");
+    let ray = Aligner::new(cfg)
+        .backend(Backend::Rayon { threads: 4 })
+        .run(&fam.seqs)
+        .expect("valid input");
+    assert_eq!(seq.msa, ray.msa, "vertical output must be backend-independent");
+    assert_eq!(seq.work, ray.work);
+
+    // Criterion timings for the headline shapes.
+    let fam_long = anchored_family(2000, 0x63);
+    c.bench_function("vertical_scaling/whole_8xL2000_auto", |bch| {
+        bch.iter(|| run(std::hint::black_box(&fam_long.seqs), false, BandPolicy::Auto))
+    });
+    c.bench_function("vertical_scaling/vertical_8xL2000_auto", |bch| {
+        bch.iter(|| run(std::hint::black_box(&fam_long.seqs), true, BandPolicy::Auto))
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"vertical_scaling\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.iter().map(Entry::json).collect::<Vec<_>>().join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_vertical.json");
+    std::fs::write(&path, json).expect("write BENCH_vertical.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

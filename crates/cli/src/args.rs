@@ -14,7 +14,8 @@ pub struct Args {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `sad align <in.fasta> [--backend B] [--p N] [--threads N] [--nodes N]
-    /// [--engine E] [--no-fine-tune] [--kernel K] [--progress]`
+    /// [--engine E] [--no-fine-tune] [--kernel K] [--progress]
+    /// [--vertical [--max-block N] [--seam-window W]]`
     Align(AlignArgs),
     /// `sad batch <dir-or-manifest> [--out DIR] [--jobs N] [--backend B]
     /// [--p N] [--threads N] [--nodes N] [--engine E] [--no-fine-tune]
@@ -73,6 +74,15 @@ pub struct AlignArgs {
     /// Stream a live per-phase progress display to stderr (`--progress`),
     /// built on the pipeline observer API.
     pub progress: bool,
+    /// Vertical (length-wise) decomposition (`--vertical`): cut the
+    /// family at conserved anchors, align the blocks in parallel, glue
+    /// and seam-polish. Sequential and rayon backends only.
+    pub vertical: bool,
+    /// Vertical block-length cap (`--max-block N`; requires `--vertical`).
+    pub max_block: Option<usize>,
+    /// Seam-polish half-window (`--seam-window W`; requires `--vertical`;
+    /// `0` disables seam refinement).
+    pub seam_window: Option<usize>,
 }
 
 impl AlignArgs {
@@ -350,6 +360,8 @@ usage: sad <command> [options]
                    [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>]
                    [--kernel scalar|striped|auto] [--progress]
+                   [--vertical [--max-block N] [--seam-window W]]
+                   (--vertical needs sequential or rayon; defaults to rayon)
   batch <dir|manifest> [--out DIR] [--jobs N]
                    [--backend sequential|rayon|distributed] [--p N]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
@@ -418,10 +430,23 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 band: BandPolicy::default(),
                 kernel: DpKernel::default(),
                 progress: false,
+                vertical: false,
+                max_block: None,
+                seam_window: None,
             };
+            let mut backend_set = false;
             while let Some(tok) = it.next() {
                 match tok {
                     "--p" => a.p = parse_num("--p", take_value("--p", &mut it)?)?,
+                    "--vertical" => a.vertical = true,
+                    "--max-block" => {
+                        a.max_block =
+                            Some(parse_num("--max-block", take_value("--max-block", &mut it)?)?)
+                    }
+                    "--seam-window" => {
+                        a.seam_window =
+                            Some(parse_num("--seam-window", take_value("--seam-window", &mut it)?)?)
+                    }
                     "--kmer" => a.kmer = Some(parse_num("--kmer", take_value("--kmer", &mut it)?)?),
                     "--band" => {
                         let v = take_value("--band", &mut it)?;
@@ -440,6 +465,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                     }
                     "--engine" => a.engine = parse_engine(take_value("--engine", &mut it)?)?,
                     "--backend" => {
+                        backend_set = true;
                         a.backend = match take_value("--backend", &mut it)? {
                             "sequential" => Backend::Sequential,
                             "rayon" => Backend::Rayon,
@@ -468,6 +494,26 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
             }
             if a.nodes.is_some() && a.backend != Backend::Distributed {
                 return Err(ParseError("--nodes only applies to --backend distributed".into()));
+            }
+            if !a.vertical && (a.max_block.is_some() || a.seam_window.is_some()) {
+                return Err(ParseError("--max-block/--seam-window require --vertical".into()));
+            }
+            if a.max_block == Some(0) {
+                return Err(ParseError("--max-block must be at least 1".into()));
+            }
+            if a.vertical {
+                if a.backend == Backend::Distributed && backend_set {
+                    return Err(ParseError(
+                        "--vertical is not supported on the distributed backend \
+                         (use --backend sequential or rayon)"
+                            .into(),
+                    ));
+                }
+                if !backend_set {
+                    // The distributed default rejects vertical mode; run the
+                    // blocks on the shared-memory pool instead.
+                    a.backend = Backend::Rayon;
+                }
             }
             Ok(Args { command: Command::Align(a) })
         }
@@ -1006,6 +1052,45 @@ mod tests {
             Command::Align(a) => assert!(a.progress),
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn vertical_flags_parse_and_validate() {
+        match parse(["align", "x.fa"]).unwrap().command {
+            Command::Align(a) => {
+                assert!(!a.vertical, "vertical is opt-in");
+                assert_eq!((a.max_block, a.seam_window), (None, None));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(["align", "x.fa", "--vertical", "--max-block", "256", "--seam-window", "8"])
+            .unwrap()
+            .command
+        {
+            Command::Align(a) => {
+                assert!(a.vertical);
+                assert_eq!(a.max_block, Some(256));
+                assert_eq!(a.seam_window, Some(8));
+                assert_eq!(a.backend, Backend::Rayon, "vertical defaults to rayon");
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(["align", "x.fa", "--vertical", "--backend", "sequential"]).unwrap().command {
+            Command::Align(a) => assert_eq!(a.backend, Backend::Sequential),
+            _ => panic!("wrong command"),
+        }
+        // A zero half-window disables seam refinement but still parses.
+        match parse(["align", "x.fa", "--vertical", "--seam-window", "0"]).unwrap().command {
+            Command::Align(a) => assert_eq!(a.seam_window, Some(0)),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["align", "x.fa", "--max-block", "256"]).is_err(), "needs --vertical");
+        assert!(parse(["align", "x.fa", "--seam-window", "4"]).is_err(), "needs --vertical");
+        assert!(parse(["align", "x.fa", "--vertical", "--max-block", "0"]).is_err());
+        assert!(
+            parse(["align", "x.fa", "--vertical", "--backend", "distributed"]).is_err(),
+            "vertical is rejected on the virtual cluster"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@ use crate::args::{
 use bioseq::{fasta, Sequence};
 use qbench::{evaluate_engine, evaluate_with, mean_read_pair_q, Benchmark, BenchmarkConfig};
 use rosegen::{Family, FamilyConfig, ReadSet, ReadSimConfig};
-use sad_core::{rank_experiment, Aligner, Backend as SadBackend, BatchJob, RunReport, SadConfig};
+use sad_core::{
+    rank_experiment, Aligner, Backend as SadBackend, BatchJob, RunReport, SadConfig, VerticalConfig,
+};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use vcluster::{CostModel, VirtualCluster};
@@ -47,6 +49,16 @@ pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
         .with_dp_kernel(a.kernel);
     if let Some(k) = a.kmer {
         cfg = cfg.with_kmer_k(k);
+    }
+    if a.vertical {
+        let mut v = VerticalConfig::default();
+        if let Some(cap) = a.max_block {
+            v.max_block_len = cap;
+        }
+        if let Some(w) = a.seam_window {
+            v.seam_window = w;
+        }
+        cfg = cfg.with_vertical(v);
     }
     // Fail loudly (typed) rather than silently degrading short sequences;
     // `--kmer` lowers k below the shortest sequence when inputs are short.

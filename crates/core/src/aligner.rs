@@ -235,6 +235,11 @@ impl Aligner {
                 if self.cfg.max_bucket.is_some() {
                     return Err(SadError::MaxBucketUnsupported { backend: "distributed" });
                 }
+                // Likewise no block-scheduling collective for vertical
+                // decomposition yet (see SadConfig::vertical).
+                if self.cfg.vertical.is_some() {
+                    return Err(SadError::VerticalUnsupported { backend: "distributed" });
+                }
                 cluster.p()
             }
         };
@@ -245,14 +250,19 @@ impl Aligner {
         }
         let ctx = PipelineCtx::new(backend.name(), width, self.observer.clone(), cancel, budget);
         ctx.run_started(seqs.len());
-        let result = match backend {
-            Backend::Sequential => {
+        let result = match (backend, &self.cfg.vertical) {
+            (Backend::Sequential | Backend::Rayon { .. }, Some(vertical)) => {
+                crate::decomp::vertical_pipeline(
+                    seqs, &self.cfg, vertical, backend, width, &ctx, scratch,
+                )
+            }
+            (Backend::Sequential, None) => {
                 crate::sequential::sequential_pipeline(seqs, &self.cfg, &ctx, scratch)
             }
-            Backend::Rayon { threads } => {
+            (Backend::Rayon { threads }, None) => {
                 crate::rayon_impl::rayon_pipeline(seqs, *threads, &self.cfg, &ctx)
             }
-            Backend::Distributed(cluster) => {
+            (Backend::Distributed(cluster), _) => {
                 crate::distributed::distributed_pipeline(cluster, seqs, &self.cfg, &ctx)
             }
         };

@@ -10,6 +10,7 @@
 //! lets the paper "just join" the tweaked sub-alignments.
 
 use crate::messages::AnchoredBlockMsg;
+use align::anchor::{anchored_profile_ops, AnchorSpec};
 use align::papro::{align_profiles_with_kernel, ColOp};
 use align::{BandPolicy, DpArena, DpKernel, Profile};
 use bioseq::alphabet::GAP_CODE;
@@ -44,11 +45,55 @@ pub fn anchor_to_ancestor(
         &mut DpArena::new(),
     );
     *work += aln.work;
+    apply_anchor_ops(local, ancestor, &aln.ops, work)
+}
+
+/// Like [`anchor_to_ancestor`], but seeds the profile DP with conserved
+/// consensus anchors ([`anchored_profile_ops`]): k-mers shared (and
+/// unique) between the bucket's consensus and the ancestor are pinned as
+/// matched columns, and only the stretches in between run the affine DP.
+/// With zero detected anchors the script degrades to exactly the
+/// whole-width DP of [`anchor_to_ancestor`].
+#[allow(clippy::too_many_arguments)]
+pub fn anchor_to_ancestor_seeded(
+    local: &Msa,
+    ancestor: &Sequence,
+    spec: &AnchorSpec,
+    matrix: &SubstMatrix,
+    gaps: GapPenalties,
+    band: BandPolicy,
+    kernel: DpKernel,
+    work: &mut Work,
+) -> AnchoredBlockMsg {
+    let anc_msa = Msa::from_sequence(ancestor);
+    let ops = anchored_profile_ops(
+        local,
+        &anc_msa,
+        spec,
+        matrix,
+        gaps,
+        band,
+        kernel,
+        &mut DpArena::new(),
+        work,
+    );
+    apply_anchor_ops(local, ancestor, &ops, work)
+}
+
+/// Rewrite `local`'s rows along a merge script against the ancestor:
+/// `Both`/`FromA` columns carry the bucket's residues (anchored/private),
+/// `FromB` columns are ancestor-only and get gaps.
+fn apply_anchor_ops(
+    local: &Msa,
+    ancestor: &Sequence,
+    ops: &[ColOp],
+    work: &mut Work,
+) -> AnchoredBlockMsg {
     let mut rows: Vec<Vec<u8>> =
-        (0..local.num_rows()).map(|_| Vec::with_capacity(aln.ops.len())).collect();
-    let mut is_anchor = Vec::with_capacity(aln.ops.len());
+        (0..local.num_rows()).map(|_| Vec::with_capacity(ops.len())).collect();
+    let mut is_anchor = Vec::with_capacity(ops.len());
     let mut col = 0usize;
-    for op in &aln.ops {
+    for op in ops {
         match op {
             // Local column aligned to an ancestor column.
             ColOp::Both => {
@@ -81,7 +126,7 @@ pub fn anchor_to_ancestor(
         ancestor.len(),
         "every ancestor column must appear exactly once"
     );
-    work.col_ops += (aln.ops.len() * local.num_rows()) as u64;
+    work.col_ops += (ops.len() * local.num_rows()) as u64;
     AnchoredBlockMsg { ids: local.ids().to_vec(), rows, is_anchor }
 }
 
@@ -338,6 +383,68 @@ mod tests {
             anchored.sp_score(&mat, gaps) > diagonal.sp_score(&mat, gaps),
             "ancestor fine-tuning must beat naive concatenation"
         );
+    }
+
+    #[test]
+    fn seeded_anchoring_without_anchors_matches_unseeded() {
+        // A spec too long to ever match degrades the seeded script to the
+        // one whole-width profile DP — byte-identical blocks.
+        let (mat, gaps) = setup();
+        let local = msa(">a\nMKVLAWMKVLAW\n>b\nMKV-AWMKVLAW\n");
+        let anc = Sequence::from_str("GA", "MKVAWMKVLAW").unwrap();
+        let mut w1 = Work::ZERO;
+        let plain = anchor_to_ancestor(
+            &local,
+            &anc,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w1,
+        );
+        let mut w2 = Work::ZERO;
+        let seeded = anchor_to_ancestor_seeded(
+            &local,
+            &anc,
+            &AnchorSpec { k: 64, ..Default::default() },
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w2,
+        );
+        assert_eq!(plain, seeded);
+    }
+
+    #[test]
+    fn seeded_anchoring_preserves_rows_and_anchor_count() {
+        let (mat, gaps) = setup();
+        // A long shared core so the consensus scan actually anchors.
+        let core = "MKVLAWHEQRNDCGIFPSTYMKWHQRLAVE";
+        let local = msa(&format!(">a\n{core}\n>b\n{core}\n"));
+        let anc = Sequence::from_str("GA", core).unwrap();
+        let mut w = Work::ZERO;
+        let spec = AnchorSpec { k: 6, min_spacing: 8, min_confidence: 0.2 };
+        let block = anchor_to_ancestor_seeded(
+            &local,
+            &anc,
+            &spec,
+            &mat,
+            gaps,
+            BandPolicy::Auto,
+            DpKernel::default(),
+            &mut w,
+        );
+        assert_eq!(block.ids, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(block.is_anchor.iter().filter(|&&a| a).count(), anc.len());
+        for r in 0..2 {
+            let got: String = block.rows[r]
+                .iter()
+                .filter(|&&c| c != GAP_CODE)
+                .map(|&c| bioseq::alphabet::code_to_char(c))
+                .collect();
+            assert_eq!(got, core, "row {r} must ungap to its input");
+        }
     }
 
     #[test]

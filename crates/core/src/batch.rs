@@ -201,6 +201,45 @@ fn default_workers() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
+/// Run `n` indexed tasks on a self-scheduling worker pool — the shared
+/// scheduling substrate of [`run_batch`] and of the vertical block
+/// dispatch ([`crate::decomp`]). Idle workers steal the next unclaimed
+/// index, each worker owns one long-lived [`DpArena`] of DP scratch, and
+/// results come back in index order. `workers == 1` runs inline on the
+/// caller's thread (no pool, deterministic event order).
+pub(crate) fn pool_map<T, F>(n: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut DpArena) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        let mut arena = DpArena::new();
+        return (0..n).map(|i| run(i, &mut arena)).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (next, slots, run) = (&next, &slots, &run);
+            scope.spawn(move || {
+                let mut arena = DpArena::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock().expect("pool slot poisoned") = Some(run(i, &mut arena));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("pool slot poisoned").expect("every task was scheduled"))
+        .collect()
+}
+
 /// One worker's execution of one job: emit the `JobStarted`/`JobFinished`
 /// pair around the shared single-run path, fusing the batch-wide token
 /// with the job's own so either can stop it. The aligner's deadline is
@@ -270,24 +309,27 @@ pub(crate) fn run_batch(
     let t0 = Instant::now();
     let deadline_at = aligner.deadline_budget().map(|d| t0 + d);
     let workers = workers.unwrap_or_else(default_workers).clamp(1, jobs.len().max(1));
-    // One slot per job keeps the report in submission order whatever
-    // order workers finish in.
-    let slots: Vec<Mutex<Option<JobReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
-    if workers == 1 {
+    let jobs_out: Vec<JobReport> = if workers == 1 {
         // Inline fast path: no pool, one arena, deterministic event order.
         let mut arena = DpArena::new();
-        for (i, (job, slot)) in jobs.iter().zip(&slots).enumerate() {
-            *slot.lock().expect("batch slot poisoned") =
-                Some(run_job(aligner, i, job, aligner.backend_ref(), deadline_at, &mut arena));
-        }
+        jobs.iter()
+            .enumerate()
+            .map(|(i, job)| {
+                run_job(aligner, i, job, aligner.backend_ref(), deadline_at, &mut arena)
+            })
+            .collect()
     } else {
         match aligner.backend_ref() {
             Backend::Distributed(cluster) => {
                 // Round-robin over per-worker cluster clones: worker `w`
                 // owns one virtual cluster and runs jobs w, w+W, w+2W, …
                 // serially on it, so every job sees a dedicated cluster
-                // and virtual clocks stay deterministic.
+                // and virtual clocks stay deterministic. One slot per job
+                // keeps the report in submission order whatever order
+                // workers finish in.
+                let slots: Vec<Mutex<Option<JobReport>>> =
+                    jobs.iter().map(|_| Mutex::new(None)).collect();
                 std::thread::scope(|scope| {
                     for w in 0..workers {
                         let cluster = cluster.clone();
@@ -310,44 +352,25 @@ pub(crate) fn run_batch(
                         });
                     }
                 });
+                slots
+                    .into_iter()
+                    .map(|slot| {
+                        slot.into_inner()
+                            .expect("batch slot poisoned")
+                            .expect("every job was scheduled")
+                    })
+                    .collect()
             }
             backend => {
                 // Shared-queue self-scheduling: idle workers steal the
                 // next unclaimed job, so a long job never strands its
                 // worker's queue the way static chunking would.
-                let next = AtomicUsize::new(0);
-                std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        let (next, slots) = (&next, &slots);
-                        scope.spawn(move || {
-                            let mut arena = DpArena::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::SeqCst);
-                                if i >= jobs.len() {
-                                    break;
-                                }
-                                *slots[i].lock().expect("batch slot poisoned") = Some(run_job(
-                                    aligner,
-                                    i,
-                                    &jobs[i],
-                                    backend,
-                                    deadline_at,
-                                    &mut arena,
-                                ));
-                            }
-                        });
-                    }
-                });
+                pool_map(jobs.len(), workers, |i, arena| {
+                    run_job(aligner, i, &jobs[i], backend, deadline_at, arena)
+                })
             }
         }
-    }
-
-    let jobs_out: Vec<JobReport> = slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner().expect("batch slot poisoned").expect("every job was scheduled")
-        })
-        .collect();
+    };
     // Aggregate with Work::add so banded/full DP counters move in step;
     // the audit invariant catches any future double-counting regression.
     let work: Work = jobs_out.iter().filter_map(|j| j.outcome.as_ref().ok()).map(|r| r.work).sum();

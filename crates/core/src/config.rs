@@ -1,5 +1,6 @@
 //! Sample-Align-D configuration.
 
+use crate::decomp::VerticalConfig;
 use crate::error::SadError;
 use align::{BandPolicy, DpKernel, EngineChoice};
 use bioseq::{CompressedAlphabet, GapPenalties, RankTransform, Sequence, SubstMatrix};
@@ -52,6 +53,21 @@ pub struct SadConfig {
     /// has no buckets and ignores it; the distributed backend rejects it
     /// with [`SadError::MaxBucketUnsupported`].
     pub max_bucket: Option<usize>,
+    /// Vertical (length-wise) domain decomposition: when set, the run
+    /// scans for conserved anchors ([`crate::Phase::AnchorScan`]), slices
+    /// every sequence at the chained anchors into consistent blocks,
+    /// aligns each block as an independent job on the worker pool
+    /// ([`crate::Phase::BlockAlign`]), and glues the block alignments
+    /// with seam-window refinement ([`crate::Phase::Glue`]). `None` (the
+    /// default) aligns whole sequences. Supported on the sequential and
+    /// rayon backends; the distributed backend rejects it with
+    /// [`SadError::VerticalUnsupported`].
+    pub vertical: Option<VerticalConfig>,
+    /// Seed profile merges in the capped-bucket read path with the
+    /// conserved-anchor scan (pinning agreeing consensus columns and
+    /// aligning only the stretches in between). On by default; only
+    /// takes effect when [`SadConfig::max_bucket`] is set.
+    pub anchored_merge: bool,
 }
 
 impl Default for SadConfig {
@@ -68,6 +84,8 @@ impl Default for SadConfig {
             band_policy: BandPolicy::default(),
             dp_kernel: DpKernel::default(),
             max_bucket: None,
+            vertical: None,
+            anchored_merge: true,
         }
     }
 }
@@ -141,6 +159,27 @@ impl SadConfig {
         self
     }
 
+    /// Enable vertical (length-wise) domain decomposition with the given
+    /// knobs. Use [`SadConfig::without_vertical`] to restore whole-length
+    /// alignment.
+    pub fn with_vertical(mut self, vertical: VerticalConfig) -> Self {
+        self.vertical = Some(vertical);
+        self
+    }
+
+    /// Disable vertical decomposition (the default).
+    pub fn without_vertical(mut self) -> Self {
+        self.vertical = None;
+        self
+    }
+
+    /// Enable or disable anchor-seeded profile merges in the
+    /// capped-bucket read path.
+    pub fn with_anchored_merge(mut self, anchored: bool) -> Self {
+        self.anchored_merge = anchored;
+        self
+    }
+
     /// Effective sample count per rank for a cluster of `p`.
     pub fn samples_for(&self, p: usize) -> usize {
         self.samples_per_rank.unwrap_or_else(|| p.saturating_sub(1)).max(1)
@@ -161,6 +200,9 @@ impl SadConfig {
         }
         if self.max_bucket == Some(0) {
             return Err(SadError::ZeroMaxBucket);
+        }
+        if let Some(vertical) = &self.vertical {
+            vertical.validate()?;
         }
         Ok(())
     }
@@ -215,7 +257,9 @@ mod tests {
             .with_gaps(GapPenalties::default())
             .with_band_policy(BandPolicy::Fixed(48))
             .with_dp_kernel(DpKernel::Striped)
-            .with_max_bucket(Some(256));
+            .with_max_bucket(Some(256))
+            .with_vertical(VerticalConfig { seam_window: 8, ..Default::default() })
+            .with_anchored_merge(false);
         assert_eq!(cfg.kmer_k, 4);
         assert_eq!(cfg.samples_per_rank, Some(3));
         assert_eq!(cfg.engine, EngineChoice::Clustal);
@@ -223,6 +267,25 @@ mod tests {
         assert_eq!(cfg.band_policy, BandPolicy::Fixed(48));
         assert_eq!(cfg.dp_kernel, DpKernel::Striped);
         assert_eq!(cfg.max_bucket, Some(256));
+        assert_eq!(cfg.vertical.as_ref().map(|v| v.seam_window), Some(8));
+        assert!(!cfg.anchored_merge);
+        assert_eq!(cfg.without_vertical().vertical, None);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_vertical() {
+        let zero_anchor = VerticalConfig { min_anchor_len: 0, ..Default::default() };
+        assert_eq!(
+            SadConfig::default().with_vertical(zero_anchor).validate(),
+            Err(SadError::InvalidVertical { what: "min_anchor_len" })
+        );
+        let zero_block = VerticalConfig { max_block_len: 0, ..Default::default() };
+        assert_eq!(
+            SadConfig::default().with_vertical(zero_block).validate(),
+            Err(SadError::InvalidVertical { what: "max_block_len" })
+        );
+        let ok = VerticalConfig::default();
+        assert_eq!(SadConfig::default().with_vertical(ok).validate(), Ok(()));
     }
 
     #[test]

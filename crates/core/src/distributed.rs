@@ -76,6 +76,7 @@ pub(crate) fn distributed_pipeline(
         samples_per_rank: cfg.samples_for(cluster.p()),
         decomposition_depth: 0,
         kernel: cfg.dp_kernel.label(),
+        vertical: None,
         extras: BackendExtras::Distributed { makespan: run.makespan, traces: run.traces },
     })
 }
@@ -451,9 +452,13 @@ mod tests {
             ]
         );
         let table = report.phase_table();
-        // SubPartition is opt-in (max_bucket) and rayon-only; every other
-        // phase must show up in a default run's table.
-        for phase in Phase::ALL.into_iter().filter(|&p| p != Phase::SubPartition) {
+        // SubPartition (max_bucket) and the vertical phases (AnchorScan,
+        // BlockAlign) are opt-in; every other phase must show up in a
+        // default run's table.
+        for phase in Phase::ALL
+            .into_iter()
+            .filter(|&p| !matches!(p, Phase::SubPartition | Phase::AnchorScan | Phase::BlockAlign))
+        {
             assert!(table.contains(phase.name()), "missing phase {phase}:\n{table}");
         }
         // Compute-bearing phases carry their work in the unified report.

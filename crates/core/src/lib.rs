@@ -52,6 +52,7 @@ pub mod ancestor;
 pub mod audit;
 pub mod batch;
 pub mod config;
+pub mod decomp;
 pub mod distributed;
 pub mod error;
 pub mod messages;
@@ -65,6 +66,7 @@ pub use align::BandPolicy;
 pub use aligner::{Aligner, Backend};
 pub use batch::{BatchJob, BatchReport, JobReport};
 pub use config::SadConfig;
+pub use decomp::{VerticalConfig, VerticalPlan, VerticalReport};
 pub use error::SadError;
 pub use pipeline::{CancelToken, Event, Observer, Phase};
 pub use rank::{rank_experiment, RankExperiment};

@@ -40,6 +40,10 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum Phase {
+    /// Step 0: vertical decomposition's conserved-anchor scan — colinear
+    /// k-mer chaining across all sequences, before any rank/sort work.
+    /// Only recorded when [`crate::SadConfig::vertical`] is configured.
+    AnchorScan,
     /// Step 1: each rank computes local k-mer ranks for its block.
     LocalKmerRank,
     /// Step 2: each rank sorts its block by local rank.
@@ -55,6 +59,11 @@ pub enum Phase {
     /// re-partitioned until every leaf bucket fits the cap. Only recorded
     /// when a cap is configured (the Pyro-Align large-N read mode).
     SubPartition,
+    /// Step 8 (vertical mode): each anchor-delimited block aligned as an
+    /// independent job on the worker pool. Replaces the whole-length
+    /// engine run of [`Phase::LocalAlign`] when vertical decomposition
+    /// produced more than one block.
+    BlockAlign,
     /// Step 8: the sequential MSA engine on each bucket.
     LocalAlign,
     /// Step 9: consensus ("local ancestor") extraction per bucket.
@@ -69,13 +78,15 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase in pipeline order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 13] = [
+        Phase::AnchorScan,
         Phase::LocalKmerRank,
         Phase::LocalSort,
         Phase::SampleExchange,
         Phase::GlobalizedRank,
         Phase::Redistribute,
         Phase::SubPartition,
+        Phase::BlockAlign,
         Phase::LocalAlign,
         Phase::LocalAncestor,
         Phase::GlobalAncestor,
@@ -87,12 +98,14 @@ impl Phase {
     /// magic strings, e.g. `"8-local-align"`).
     pub fn name(self) -> &'static str {
         match self {
+            Phase::AnchorScan => "0-anchor-scan",
             Phase::LocalKmerRank => "1-local-kmer-rank",
             Phase::LocalSort => "2-local-sort",
             Phase::SampleExchange => "3-sample-exchange",
             Phase::GlobalizedRank => "5-globalized-rank",
             Phase::Redistribute => "6-redistribute",
             Phase::SubPartition => "7-sub-partition",
+            Phase::BlockAlign => "8-block-align",
             Phase::LocalAlign => "8-local-align",
             Phase::LocalAncestor => "9-local-ancestor",
             Phase::GlobalAncestor => "10-global-ancestor",
@@ -104,12 +117,14 @@ impl Phase {
     /// The paper's Section 2 step number this phase implements.
     pub fn step(self) -> u8 {
         match self {
+            Phase::AnchorScan => 0,
             Phase::LocalKmerRank => 1,
             Phase::LocalSort => 2,
             Phase::SampleExchange => 3,
             Phase::GlobalizedRank => 5,
             Phase::Redistribute => 6,
             Phase::SubPartition => 7,
+            Phase::BlockAlign => 8,
             Phase::LocalAlign => 8,
             Phase::LocalAncestor => 9,
             Phase::GlobalAncestor => 10,
@@ -177,6 +192,30 @@ pub enum Event {
         size: usize,
         /// Sub-buckets the split produced.
         parts: usize,
+    },
+    /// One conserved anchor survived chaining (inside
+    /// [`Phase::AnchorScan`], vertical mode only). Anchors arrive in
+    /// increasing position order.
+    AnchorFound {
+        /// Index of the anchor along the chain (0-based).
+        index: usize,
+        /// Start position of the anchor's k-mer in the first sequence.
+        ref_pos: usize,
+        /// Positional-agreement confidence in `[0, 1]`.
+        confidence: f64,
+    },
+    /// One vertical block finished its alignment (inside
+    /// [`Phase::BlockAlign`]). Blocks run on worker threads, so arrival
+    /// order between blocks is not deterministic.
+    BlockAligned {
+        /// Block index along the sequence length (0-based).
+        block: usize,
+        /// Rows in the block's alignment (= number of input sequences).
+        rows: usize,
+        /// Columns in the block's alignment.
+        cols: usize,
+        /// Real wall-clock seconds the block's engine run took.
+        seconds: f64,
     },
     /// One bucket finished its local alignment (inside
     /// [`Phase::LocalAlign`]). Decomposed backends emit these from worker
@@ -482,6 +521,17 @@ impl PipelineCtx {
     /// Emit [`Event::BucketSplit`] (inside [`Phase::SubPartition`]).
     pub(crate) fn bucket_split(&self, bucket: usize, depth: usize, size: usize, parts: usize) {
         self.emit(Event::BucketSplit { bucket, depth, size, parts });
+    }
+
+    /// Emit [`Event::AnchorFound`] (inside [`Phase::AnchorScan`]).
+    pub(crate) fn anchor_found(&self, index: usize, ref_pos: usize, confidence: f64) {
+        self.emit(Event::AnchorFound { index, ref_pos, confidence });
+    }
+
+    /// Emit [`Event::BlockAligned`]. Safe to call from worker threads
+    /// inside [`Phase::BlockAlign`].
+    pub(crate) fn block_aligned(&self, block: usize, rows: usize, cols: usize, seconds: f64) {
+        self.emit(Event::BlockAligned { block, rows, cols, seconds });
     }
 
     /// Close the recorder: the finished phases in pipeline order plus

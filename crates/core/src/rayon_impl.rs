@@ -7,11 +7,14 @@
 //! through the shared [`PipelineCtx`], so the typed phase sequence matches
 //! the message-passing backend event for event.
 
-use crate::ancestor::{anchor_to_ancestor, glue_anchored, glue_block_diagonal};
+use crate::ancestor::{
+    anchor_to_ancestor, anchor_to_ancestor_seeded, glue_anchored, glue_block_diagonal,
+};
 use crate::config::SadConfig;
 use crate::error::SadError;
 use crate::pipeline::{Phase, PipelineCtx};
 use crate::report::{BackendExtras, PhaseStat, RunReport};
+use align::anchor::AnchorSpec;
 use align::consensus::consensus_sequence;
 use bioseq::kmer::{self, KmerProfile};
 use bioseq::{Msa, Sequence, Work};
@@ -45,6 +48,7 @@ pub(crate) fn rayon_pipeline(
                 samples_per_rank: cfg.samples_for(p),
                 decomposition_depth: depth,
                 kernel: cfg.dp_kernel.label(),
+                vertical: None,
                 extras: BackendExtras::Rayon { threads: p },
             }
         };
@@ -240,21 +244,40 @@ pub(crate) fn rayon_pipeline(
     })?;
 
     // Step 11: fine-tune each bucket against the global ancestor, in
-    // parallel.
+    // parallel. On the capped (reads) path the bucket MSAs are gappy
+    // fragment stacks, where the whole-width profile DP wastes most of its
+    // bill on conserved stretches — seed it with the decomp anchor scan
+    // so shared consensus k-mers are pinned and only the gaps in between
+    // are aligned. The uncapped path (and the distributed backend, which
+    // rejects `max_bucket`) keeps the unseeded DP, preserving parity.
+    let seeded = cfg.max_bucket.is_some() && cfg.anchored_merge;
     let anchored = ctx.phase(Phase::FineTune, || {
         let blocks: Vec<(crate::messages::AnchoredBlockMsg, Work)> = local_msas
             .par_iter()
             .map(|msa| {
                 let mut w = Work::ZERO;
-                let b = anchor_to_ancestor(
-                    msa,
-                    &ga,
-                    &cfg.matrix,
-                    cfg.gaps,
-                    cfg.band_policy,
-                    cfg.dp_kernel,
-                    &mut w,
-                );
+                let b = if seeded {
+                    anchor_to_ancestor_seeded(
+                        msa,
+                        &ga,
+                        &AnchorSpec::default(),
+                        &cfg.matrix,
+                        cfg.gaps,
+                        cfg.band_policy,
+                        cfg.dp_kernel,
+                        &mut w,
+                    )
+                } else {
+                    anchor_to_ancestor(
+                        msa,
+                        &ga,
+                        &cfg.matrix,
+                        cfg.gaps,
+                        cfg.band_policy,
+                        cfg.dp_kernel,
+                        &mut w,
+                    )
+                };
                 (b, w)
             })
             .collect();

@@ -7,6 +7,7 @@
 //! backend-specific extras (virtual makespan, per-rank traces) behind
 //! [`BackendExtras`].
 
+use crate::decomp::VerticalReport;
 use crate::pipeline::Phase;
 use bioseq::{Msa, Work};
 use vcluster::RankTrace;
@@ -89,6 +90,10 @@ pub struct RunReport {
     /// `"auto"`). The kernel never changes results or work accounting —
     /// this label records which fill implementation produced them.
     pub kernel: &'static str,
+    /// Vertical (length-wise) decomposition census — anchors found, block
+    /// widths, seam windows refined. `None` when the run aligned whole
+    /// sequences ([`crate::SadConfig::vertical`] unset).
+    pub vertical: Option<VerticalReport>,
     /// Backend-specific extras.
     pub extras: BackendExtras,
 }
@@ -180,6 +185,15 @@ impl RunReport {
             dp_pair(&self.work)
         );
         let _ = writeln!(out, "dp kernel: {}", self.kernel);
+        if let Some(v) = &self.vertical {
+            let _ = writeln!(
+                out,
+                "decomposition: {} blocks x mean len {:.1}, {} seam windows refined",
+                v.blocks(),
+                v.mean_block_cols(),
+                v.seam_windows
+            );
+        }
         out
     }
 }
@@ -212,6 +226,7 @@ mod tests {
             samples_per_rank: 1,
             decomposition_depth: 0,
             kernel: "auto",
+            vertical: None,
             extras: BackendExtras::Rayon { threads: 2 },
         }
     }
@@ -230,6 +245,17 @@ mod tests {
         assert!(table.contains("wall (s)"));
         assert!(table.contains("10/10"), "Work::dp sets both counters:\n{table}");
         assert!(table.contains("dp kernel: auto"), "kernel label renders:\n{table}");
+        assert!(!table.contains("decomposition:"), "no vertical line without a vertical run");
+    }
+
+    #[test]
+    fn phase_table_prints_decomposition_census() {
+        let mut r = report();
+        r.vertical =
+            Some(VerticalReport { anchors: 3, block_cols: vec![100, 150, 110], seam_windows: 2 });
+        let table = r.phase_table();
+        assert!(table.contains("decomposition: 3 blocks x mean len 120.0"), "{table}");
+        assert!(table.contains("2 seam windows refined"), "{table}");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub(crate) fn sequential_pipeline(
         samples_per_rank: cfg.samples_for(1),
         decomposition_depth: 0,
         kernel: cfg.dp_kernel.label(),
+        vertical: None,
         extras: BackendExtras::Sequential,
     })
 }

@@ -81,4 +81,35 @@ mod tests {
         let c4 = Backend::Distributed(VirtualCluster::new(4, CostModel::beowulf_2008()));
         assert_ne!(config_fingerprint(&cfg, &c2), config_fingerprint(&cfg, &c4));
     }
+
+    #[test]
+    fn fingerprint_covers_every_post_pr6_knob() {
+        // The cache key must change whenever any knob added since the
+        // serve daemon landed changes: `max_bucket`, `dp_kernel`, the
+        // vertical mode and each of its fields, and the anchored-merge
+        // toggle. Configs differing only in one of these must never share
+        // a cache key (stale hits would silently serve wrong alignments).
+        use align::DpKernel;
+        use sad_core::VerticalConfig;
+        let base = SadConfig::default();
+        let variants: Vec<SadConfig> = vec![
+            base.clone(),
+            base.clone().with_max_bucket(Some(128)),
+            base.clone().with_max_bucket(Some(256)),
+            base.clone().with_dp_kernel(DpKernel::Scalar),
+            base.clone().with_dp_kernel(DpKernel::Striped),
+            base.clone().with_anchored_merge(false),
+            base.clone().with_vertical(VerticalConfig::default()),
+            base.clone().with_vertical(VerticalConfig { seam_window: 8, ..Default::default() }),
+            base.clone().with_vertical(VerticalConfig { max_block_len: 256, ..Default::default() }),
+            base.clone().with_vertical(VerticalConfig { min_anchor_len: 12, ..Default::default() }),
+        ];
+        let prints: Vec<String> =
+            variants.iter().map(|c| config_fingerprint(c, &Backend::Sequential)).collect();
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(prints[i], prints[j], "variants {i} and {j} collide");
+            }
+        }
+    }
 }

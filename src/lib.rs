@@ -70,7 +70,8 @@ pub mod prelude {
     pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample, ReadSet, ReadSimConfig};
     pub use sad_core::{
         Aligner, Backend, BackendExtras, BatchJob, BatchReport, CancelToken, Event, JobReport,
-        Observer, Phase, PhaseStat, RunReport, SadConfig, SadError,
+        Observer, Phase, PhaseStat, RunReport, SadConfig, SadError, VerticalConfig, VerticalPlan,
+        VerticalReport,
     };
     pub use vcluster::{CostModel, VirtualCluster};
 }
