@@ -19,6 +19,9 @@
 //! * [`refine`] — MUSCLE-style tree-bipartition iterative refinement;
 //! * [`consensus`] — consensus/“ancestor” extraction from an alignment
 //!   (the local/global ancestors of the paper);
+//! * [`trim`] — MaxAlign-style alignment-area optimization: bit-packed
+//!   gap masks, greedy sequence exclusion with synergy lookahead and an
+//!   optional bounded branch-and-bound refinement;
 //! * [`anchor`] — conserved-anchor detection by colinear k-mer chaining,
 //!   the substrate of vertical (length-wise) domain decomposition and of
 //!   anchor-seeded profile merges;
@@ -46,6 +49,7 @@ pub mod papro;
 pub mod profile;
 pub mod progressive;
 pub mod refine;
+pub mod trim;
 
 pub use anchor::{Anchor, AnchorSpec};
 pub use clustal::ClustalLite;
@@ -53,3 +57,4 @@ pub use dp::{BandPolicy, DpArena, DpKernel};
 pub use engine::{EngineChoice, MsaEngine};
 pub use muscle::MuscleLite;
 pub use profile::Profile;
+pub use trim::{trim_msa, TrimConfig, TrimOutcome};

@@ -302,6 +302,13 @@ pub fn write_alignment(msa: &Msa) -> String {
 
 fn wrap_into(out: &mut String, letters: &str) {
     let bytes = letters.as_bytes();
+    if bytes.is_empty() {
+        // `chunks(60)` yields nothing for an empty body, which would glue
+        // the header straight onto the next record's header. Emit one
+        // blank body line so every record owns at least one line.
+        out.push('\n');
+        return;
+    }
     for chunk in bytes.chunks(60) {
         out.push_str(std::str::from_utf8(chunk).expect("ASCII"));
         out.push('\n');
@@ -346,6 +353,33 @@ mod tests {
         assert_eq!(lines.len(), 1 + 3); // header + 60 + 60 + 30
         assert_eq!(lines[1].len(), 60);
         assert_eq!(lines[3].len(), 30);
+    }
+
+    #[test]
+    fn zero_length_record_still_owns_a_body_line() {
+        // `chunks(60)` yields nothing for an empty body; without the
+        // explicit blank line the header would glue straight onto the
+        // next record's header and the text would stop round-tripping.
+        let mut out = String::new();
+        wrap_into(&mut out, "");
+        assert_eq!(out, "\n", "an empty body writes exactly one blank line");
+        // A record after an empty one keeps its own header line.
+        let mut text = String::from(">empty\n");
+        wrap_into(&mut text, "");
+        text.push_str(">b\n");
+        wrap_into(&mut text, "MKVL");
+        assert_eq!(text, ">empty\n\n>b\nMKVL\n");
+        // Both parsers see the same two records: the empty one is
+        // rejected as empty (never silently merged into its neighbour),
+        // and the healthy one survives untouched.
+        assert!(matches!(
+            parse(&text),
+            Err(FastaError::BadSequence { ref id, source: SequenceError::Empty }) if id == "empty"
+        ));
+        assert!(matches!(
+            parse_alignment(&text),
+            Err(FastaError::EmptyRecord { ref id }) if id == "empty"
+        ));
     }
 
     #[test]

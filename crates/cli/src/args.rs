@@ -27,6 +27,9 @@ pub enum Command {
     /// [--p N] [--threads N] [--nodes N] [--engine E] [--kmer K]
     /// [--band B] [--kernel K] [--no-fine-tune] [--progress]`
     Reads(ReadsArgs),
+    /// `sad trim <aligned.fa> [--out FILE] [--max-dropped N]
+    /// [--branch-bound]`
+    Trim(TrimArgs),
     /// `sad generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]`
     Generate(GenerateArgs),
     /// `sad scaling [--n N] [--procs 1,4,8,16]`
@@ -83,6 +86,9 @@ pub struct AlignArgs {
     /// Seam-polish half-window (`--seam-window W`; requires `--vertical`;
     /// `0` disables seam refinement).
     pub seam_window: Option<usize>,
+    /// Run the MaxAlign-style area-maximizing trim stage on the finished
+    /// alignment (`--trim`).
+    pub trim: bool,
 }
 
 impl AlignArgs {
@@ -132,6 +138,9 @@ pub struct BatchArgs {
     pub kernel: DpKernel,
     /// Stream job/phase progress to stderr (`--progress`).
     pub progress: bool,
+    /// Run the area-maximizing trim stage on every job's alignment
+    /// (`--trim`).
+    pub trim: bool,
 }
 
 impl BatchArgs {
@@ -199,6 +208,9 @@ pub struct ReadsArgs {
     pub kernel: DpKernel,
     /// Stream a live per-phase progress display to stderr (`--progress`).
     pub progress: bool,
+    /// Run the area-maximizing trim stage on the finished alignment
+    /// (`--trim`).
+    pub trim: bool,
 }
 
 impl ReadsArgs {
@@ -212,6 +224,21 @@ impl ReadsArgs {
             Backend::Distributed => self.nodes.unwrap_or(self.p),
         }
     }
+}
+
+/// Options of `sad trim` — MaxAlign-style area optimization over an
+/// already-aligned FASTA file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrimArgs {
+    /// Input aligned (gapped) FASTA path.
+    pub input: String,
+    /// Write the trimmed alignment here (`--out`); stdout otherwise.
+    pub out: Option<String>,
+    /// Cap on dropped sequences (`--max-dropped N`).
+    pub max_dropped: Option<usize>,
+    /// Refine the greedy result with bounded branch-and-bound
+    /// (`--branch-bound`).
+    pub branch_bound: bool,
 }
 
 /// Execution backend.
@@ -359,7 +386,7 @@ usage: sad <command> [options]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>]
-                   [--kernel scalar|striped|auto] [--progress]
+                   [--kernel scalar|striped|auto] [--progress] [--trim]
                    [--vertical [--max-block N] [--seam-window W]]
                    (--vertical needs sequential or rayon; defaults to rayon)
   batch <dir|manifest> [--out DIR] [--jobs N]
@@ -367,7 +394,7 @@ usage: sad <command> [options]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>]
-                   [--kernel scalar|striped|auto] [--progress]
+                   [--kernel scalar|striped|auto] [--progress] [--trim]
   reads [in.fasta] [--reads N] [--coverage C] [--read-len L] [--error-rate E]
                    [--sources N] [--source-len L] [--seed S]
                    [--max-bucket N|none] [--min-q Q] [--out FILE]
@@ -375,7 +402,9 @@ usage: sad <command> [options]
                    [--threads N] [--nodes N] [--no-fine-tune] [--kmer K]
                    [--engine muscle-fast|muscle|clustalw]
                    [--band auto|full|<width>]
-                   [--kernel scalar|striped|auto] [--progress]
+                   [--kernel scalar|striped|auto] [--progress] [--trim]
+                   (an explicit --max-bucket needs the rayon backend)
+  trim <aligned.fa> [--out FILE] [--max-dropped N] [--branch-bound]
   generate [--n N] [--len L] [--relatedness R] [--seed S] [--reference PATH]
   scaling  [--n N] [--procs 1,4,8,16]
   eval     [--cases C] [--p N]
@@ -433,6 +462,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 vertical: false,
                 max_block: None,
                 seam_window: None,
+                trim: false,
             };
             let mut backend_set = false;
             while let Some(tok) = it.next() {
@@ -476,6 +506,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                     }
                     "--no-fine-tune" => a.no_fine_tune = true,
                     "--progress" => a.progress = true,
+                    "--trim" => a.trim = true,
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -533,6 +564,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 band: BandPolicy::default(),
                 kernel: DpKernel::default(),
                 progress: false,
+                trim: false,
             };
             while let Some(tok) = it.next() {
                 match tok {
@@ -566,6 +598,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                     }
                     "--no-fine-tune" => b.no_fine_tune = true,
                     "--progress" => b.progress = true,
+                    "--trim" => b.trim = true,
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -615,10 +648,13 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                 band: BandPolicy::default(),
                 kernel: DpKernel::default(),
                 progress: false,
+                trim: false,
             };
+            let mut cap_set = false;
             while let Some(tok) = it.next() {
                 match tok {
                     "--max-bucket" => {
+                        cap_set = true;
                         r.max_bucket = match take_value("--max-bucket", &mut it)? {
                             "none" => None,
                             v => Some(parse_num("--max-bucket", v)?),
@@ -677,6 +713,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
                     }
                     "--no-fine-tune" => r.no_fine_tune = true,
                     "--progress" => r.progress = true,
+                    "--trim" => r.trim = true,
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(other.to_string())
                     }
@@ -723,7 +760,46 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Args, ParseE
             if r.nodes.is_some() && r.backend != Backend::Distributed {
                 return Err(ParseError("--nodes only applies to --backend distributed".into()));
             }
+            // The hierarchical cap only runs on the rayon backend. An
+            // explicit cap elsewhere is a contradiction worth a parse
+            // error (mirroring --vertical); the mere *default* is not —
+            // drop it so `--backend distributed` works out of the box.
+            if r.backend == Backend::Distributed && r.max_bucket.is_some() {
+                if cap_set {
+                    return Err(ParseError(
+                        "--max-bucket is not supported on the distributed backend \
+                         (use --backend rayon or --max-bucket none)"
+                            .into(),
+                    ));
+                }
+                r.max_bucket = None;
+            }
             Ok(Args { command: Command::Reads(r) })
+        }
+        "trim" => {
+            let mut input = None;
+            let mut t = TrimArgs {
+                input: String::new(),
+                out: None,
+                max_dropped: None,
+                branch_bound: false,
+            };
+            while let Some(tok) = it.next() {
+                match tok {
+                    "--out" => t.out = Some(take_value("--out", &mut it)?.to_string()),
+                    "--max-dropped" => {
+                        t.max_dropped =
+                            Some(parse_num("--max-dropped", take_value("--max-dropped", &mut it)?)?)
+                    }
+                    "--branch-bound" => t.branch_bound = true,
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(other.to_string())
+                    }
+                    other => return Err(ParseError(format!("unexpected argument {other:?}"))),
+                }
+            }
+            t.input = input.ok_or_else(|| ParseError("trim needs an aligned FASTA file".into()))?;
+            Ok(Args { command: Command::Trim(t) })
         }
         "generate" => {
             let mut g =
@@ -1395,6 +1471,88 @@ mod tests {
         assert!(parse(["reads", "in.fa", "--min-q", "0.9"]).is_err(), "gate needs the truth");
         assert!(parse(["reads", "--threads", "4", "--backend", "sequential"]).is_err());
         assert!(parse(["reads", "--nodes", "4"]).is_err(), "nodes need distributed");
+    }
+
+    #[test]
+    fn reads_default_cap_yields_to_distributed_but_explicit_cap_errors() {
+        // The default cap silently steps aside: distributed runs work out
+        // of the box, no `--max-bucket none` incantation required.
+        match parse(["reads", "--backend", "distributed"]).unwrap().command {
+            Command::Reads(r) => {
+                assert_eq!(r.backend, Backend::Distributed);
+                assert_eq!(r.max_bucket, None, "default cap dropped for distributed");
+            }
+            _ => panic!("wrong command"),
+        }
+        // An explicit cap on distributed is a contradiction: parse error,
+        // like --vertical on distributed.
+        let err = parse(["reads", "--max-bucket", "64", "--backend", "distributed"]).unwrap_err();
+        assert!(err.0.contains("not supported on the distributed backend"), "{}", err.0);
+        // Flag order must not matter.
+        assert!(parse(["reads", "--backend", "distributed", "--max-bucket", "64"]).is_err());
+        // An explicit `none` on distributed is fine — it asks for exactly
+        // what the backend does anyway.
+        match parse(["reads", "--backend", "distributed", "--max-bucket", "none"]).unwrap().command
+        {
+            Command::Reads(r) => assert_eq!(r.max_bucket, None),
+            _ => panic!("wrong command"),
+        }
+        // Rayon keeps the default and explicit caps untouched.
+        match parse(["reads"]).unwrap().command {
+            Command::Reads(r) => assert_eq!(r.max_bucket, Some(512)),
+            _ => panic!("wrong command"),
+        }
+        match parse(["reads", "--max-bucket", "64"]).unwrap().command {
+            Command::Reads(r) => assert_eq!(r.max_bucket, Some(64)),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn trim_defaults_and_flags() {
+        match parse(["trim", "aligned.fa"]).unwrap().command {
+            Command::Trim(t) => {
+                assert_eq!(t.input, "aligned.fa");
+                assert_eq!(t.out, None);
+                assert_eq!(t.max_dropped, None);
+                assert!(!t.branch_bound);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(["trim", "a.fa", "--out", "b.fa", "--max-dropped", "3", "--branch-bound"])
+            .unwrap()
+            .command
+        {
+            Command::Trim(t) => {
+                assert_eq!(t.out.as_deref(), Some("b.fa"));
+                assert_eq!(t.max_dropped, Some(3));
+                assert!(t.branch_bound);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(["trim"]).is_err(), "input is required");
+        assert!(parse(["trim", "a.fa", "--max-dropped"]).is_err(), "flag needs a value");
+        assert!(parse(["trim", "a.fa", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn trim_flag_parses_on_every_aligning_command() {
+        match parse(["align", "x.fa"]).unwrap().command {
+            Command::Align(a) => assert!(!a.trim, "trim is opt-in"),
+            _ => panic!("wrong command"),
+        }
+        match parse(["align", "x.fa", "--trim"]).unwrap().command {
+            Command::Align(a) => assert!(a.trim),
+            _ => panic!("wrong command"),
+        }
+        match parse(["batch", "d/", "--trim"]).unwrap().command {
+            Command::Batch(b) => assert!(b.trim),
+            _ => panic!("wrong command"),
+        }
+        match parse(["reads", "--trim"]).unwrap().command {
+            Command::Reads(r) => assert!(r.trim),
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

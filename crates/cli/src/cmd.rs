@@ -2,13 +2,14 @@
 
 use crate::args::{
     AlignArgs, Backend, BatchArgs, EvalArgs, GenerateArgs, RankArgs, ReadsArgs, ScalingArgs,
-    ServeArgs, SubmitArgs,
+    ServeArgs, SubmitArgs, TrimArgs,
 };
 use bioseq::{fasta, Sequence};
 use qbench::{evaluate_engine, evaluate_with, mean_read_pair_q, Benchmark, BenchmarkConfig};
 use rosegen::{Family, FamilyConfig, ReadSet, ReadSimConfig};
 use sad_core::{
-    rank_experiment, Aligner, Backend as SadBackend, BatchJob, RunReport, SadConfig, VerticalConfig,
+    rank_experiment, Aligner, Backend as SadBackend, BatchJob, RunReport, SadConfig, TrimConfig,
+    VerticalConfig,
 };
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -59,6 +60,9 @@ pub fn align(a: AlignArgs, out: Out) -> Result<(), String> {
             v.seam_window = w;
         }
         cfg = cfg.with_vertical(v);
+    }
+    if a.trim {
+        cfg = cfg.with_trim(TrimConfig::default());
     }
     // Fail loudly (typed) rather than silently degrading short sequences;
     // `--kmer` lowers k below the shortest sequence when inputs are short.
@@ -135,8 +139,8 @@ pub fn reads(r: ReadsArgs, out: Out) -> Result<(), String> {
     };
     let n = seqs.len();
 
-    // 2. Configure. The cap flows into the pipeline; the distributed
-    //    backend rejects it with a typed error (use `--max-bucket none`).
+    // 2. Configure. The cap flows into the pipeline; argument parsing
+    //    already cleared it for backends that don't support it.
     let mut cfg = SadConfig::default()
         .with_engine(r.engine)
         .with_fine_tune(!r.no_fine_tune)
@@ -145,6 +149,9 @@ pub fn reads(r: ReadsArgs, out: Out) -> Result<(), String> {
         .with_max_bucket(r.max_bucket);
     if let Some(k) = r.kmer {
         cfg = cfg.with_kmer_k(k);
+    }
+    if r.trim {
+        cfg = cfg.with_trim(TrimConfig::default());
     }
     cfg.validate_for(&seqs).map_err(|e| e.to_string())?;
 
@@ -232,6 +239,42 @@ pub fn reads(r: ReadsArgs, out: Out) -> Result<(), String> {
     match gate_failure {
         Some(err) => Err(err),
         None => Ok(()),
+    }
+}
+
+/// `sad trim` — MaxAlign-style alignment-area optimization over an
+/// already-aligned FASTA file: drop the sequences whose exclusion grows
+/// `retained rows × gap-free columns`, remove the freed all-gap columns,
+/// and write the trimmed alignment (stdout, or `--out`). The trim census
+/// and the dropped ids ride along as FASTA `;` comments, so stdout stays
+/// parseable either way.
+pub fn trim(t: TrimArgs, out: Out) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(&t.input).map_err(|e| format!("cannot read {}: {e}", t.input))?;
+    let msa =
+        fasta::parse_alignment(&text).map_err(|e| format!("bad alignment in {}: {e}", t.input))?;
+    let cfg = TrimConfig { max_dropped: t.max_dropped, branch_bound: t.branch_bound };
+    let outcome = align::trim_msa(&msa, &cfg);
+    writeln!(
+        out,
+        "; trim: dropped {} rows, gained {} gap-free columns, area {} -> {}",
+        outcome.rows_dropped(),
+        outcome.cols_gained(),
+        outcome.area_before,
+        outcome.area_after
+    )
+    .ok();
+    for d in &outcome.dropped {
+        writeln!(out, "; dropped {} (area {:+})", d.id, d.area_gain).ok();
+    }
+    let fasta_text = fasta::write_alignment(&outcome.msa);
+    match &t.out {
+        Some(path) => {
+            std::fs::write(path, fasta_text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            writeln!(out, "wrote {path}").ok();
+            Ok(())
+        }
+        None => write!(out, "{fasta_text}").map_err(|e| e.to_string()),
     }
 }
 
@@ -326,6 +369,9 @@ pub fn batch(b: BatchArgs, out: Out) -> Result<(), String> {
         .with_dp_kernel(b.kernel);
     if let Some(k) = b.kmer {
         cfg = cfg.with_kmer_k(k);
+    }
+    if b.trim {
+        cfg = cfg.with_trim(TrimConfig::default());
     }
     let backend = match b.backend {
         Backend::Sequential => SadBackend::Sequential,
@@ -1007,13 +1053,10 @@ mod tests {
     }
 
     #[test]
-    fn reads_rejects_the_cap_on_distributed() {
-        let args =
-            parse(["reads", "--reads", "40", "--backend", "distributed", "--kmer", "3"]).unwrap();
-        let mut buf = Vec::new();
-        let err = crate::run(args, &mut buf).unwrap_err();
-        assert!(err.contains("not supported on the distributed backend"), "{err}");
-        // Disabling the cap lets distributed run the same input.
+    fn reads_distributed_works_without_an_explicit_cap() {
+        // The default cap steps aside at parse time, so the virtual
+        // cluster aligns a read set out of the box — no `--max-bucket
+        // none` incantation to discover.
         let out = run_str(&[
             "reads",
             "--reads",
@@ -1024,12 +1067,83 @@ mod tests {
             "150",
             "--backend",
             "distributed",
-            "--max-bucket",
-            "none",
             "--kmer",
             "3",
         ]);
         assert!(out.contains("backend           distributed"), "{out}");
+        // An explicit cap on distributed never reaches the pipeline: it
+        // is rejected while parsing, like --vertical.
+        let err = parse(["reads", "--backend", "distributed", "--max-bucket", "512"]).unwrap_err();
+        assert!(err.0.contains("not supported on the distributed backend"), "{}", err.0);
+    }
+
+    #[test]
+    fn trim_drops_gap_heavy_rows_and_grows_the_area() {
+        let dir = tmpdir().join("trim-cli");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("gappy.fa");
+        // Rows c and d share the same four gap columns: neither single
+        // drop pays off (area 8), only the pair unlocks them (area 12).
+        std::fs::write(&input, ">a\nMKVLAW\n>b\nMKILAW\n>c\n--VL--\n>d\n--KL--\n").unwrap();
+        let out = run_str(&["trim", input.to_str().unwrap()]);
+        assert!(
+            out.contains("; trim: dropped 2 rows, gained 4 gap-free columns, area 8 -> 12"),
+            "{out}"
+        );
+        assert!(out.contains("; dropped c"), "{out}");
+        assert!(out.contains("; dropped d"), "{out}");
+        let body: String =
+            out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+        let msa = fasta::parse_alignment(&body).unwrap();
+        assert_eq!((msa.num_rows(), msa.num_cols()), (2, 6));
+        assert_eq!(msa.ids(), ["a", "b"]);
+        // --out sends the FASTA to disk; stdout keeps only the census.
+        let outfile = dir.join("trimmed.fa");
+        let with_out =
+            run_str(&["trim", input.to_str().unwrap(), "--out", outfile.to_str().unwrap()]);
+        assert!(with_out.contains("; trim: dropped 2 rows"), "{with_out}");
+        let written = std::fs::read_to_string(&outfile).unwrap();
+        assert_eq!(fasta::parse_alignment(&written).unwrap().num_rows(), 2);
+        // --max-dropped 0 makes the run a no-op that keeps every row.
+        let frozen = run_str(&["trim", input.to_str().unwrap(), "--max-dropped", "0"]);
+        assert!(frozen.contains("; trim: dropped 0 rows"), "{frozen}");
+        // --branch-bound never does worse than the greedy pass.
+        let bb = run_str(&["trim", input.to_str().unwrap(), "--branch-bound"]);
+        assert!(bb.contains("area 8 -> 12"), "{bb}");
+    }
+
+    #[test]
+    fn trim_rejects_bad_inputs_cleanly() {
+        let args = parse(["trim", "/nonexistent/xyz.fa"]).unwrap();
+        let mut buf = Vec::new();
+        assert!(crate::run(args, &mut buf).unwrap_err().contains("cannot read"));
+        let dir = tmpdir().join("trim-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ragged = dir.join("ragged.fa");
+        std::fs::write(&ragged, ">a\nMK-VL\n>b\nMKIL\n").unwrap();
+        let args = parse(["trim", ragged.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        let err = crate::run(args, &mut buf).unwrap_err();
+        assert!(err.contains("bad alignment"), "{err}");
+        assert!(err.contains("ragged"), "{err}");
+    }
+
+    #[test]
+    fn trim_flag_runs_the_stage_inside_align() {
+        let dir = tmpdir();
+        let input = dir.join("trimflag.fa");
+        std::fs::write(&input, run_str(&["generate", "--n", "8", "--len", "40", "--seed", "13"]))
+            .unwrap();
+        let out = run_str(&["align", input.to_str().unwrap(), "--p", "2", "--trim"]);
+        // The census joins the phase table whether or not rows fall.
+        assert!(out.contains("; trim: dropped"), "{out}");
+        assert!(out.contains("13-trim"), "{out}");
+        let body: String =
+            out.lines().filter(|l| !l.starts_with(';')).collect::<Vec<_>>().join("\n");
+        fasta::parse_alignment(&body).unwrap();
+        // Without the flag the stage stays out of the run.
+        let plain = run_str(&["align", input.to_str().unwrap(), "--p", "2"]);
+        assert!(!plain.contains("; trim:"), "{plain}");
     }
 
     #[test]

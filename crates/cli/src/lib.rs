@@ -18,6 +18,11 @@
 //!   `--max-bucket` on the rayon backend; prints the bucket census,
 //!   decomposition depth and phase table, gates simulated runs on mean
 //!   pair-Q with `--min-q`, and writes the alignment via `--out`;
+//! * `sad trim <aligned.fa>` — MaxAlign-style alignment-area
+//!   optimization over an existing aligned FASTA: drop the sequences
+//!   whose exclusion grows `retained rows × gap-free columns`
+//!   (`--max-dropped N`, `--branch-bound`, `--out FILE`); the same stage
+//!   runs inside `sad align`/`sad batch`/`sad reads` via `--trim`;
 //! * `sad generate` — emit a rose-style synthetic family as FASTA
 //!   (`--n`, `--len`, `--relatedness`, `--seed`, `--reference <path>`);
 //! * `sad scaling` — print a Fig. 4/5-style scaling table (`--n`,
@@ -52,6 +57,7 @@ pub fn run(args: Args, out: &mut dyn std::io::Write) -> Result<(), String> {
         Command::Align(a) => cmd::align(a, out),
         Command::Batch(b) => cmd::batch(b, out),
         Command::Reads(r) => cmd::reads(r, out),
+        Command::Trim(t) => cmd::trim(t, out),
         Command::Generate(g) => cmd::generate(g, out),
         Command::Scaling(s) => cmd::scaling(s, out),
         Command::Eval(e) => cmd::eval(e, out),

@@ -250,7 +250,7 @@ impl Aligner {
         }
         let ctx = PipelineCtx::new(backend.name(), width, self.observer.clone(), cancel, budget);
         ctx.run_started(seqs.len());
-        let result = match (backend, &self.cfg.vertical) {
+        let mut result = match (backend, &self.cfg.vertical) {
             (Backend::Sequential | Backend::Rayon { .. }, Some(vertical)) => {
                 crate::decomp::vertical_pipeline(
                     seqs, &self.cfg, vertical, backend, width, &ctx, scratch,
@@ -266,8 +266,49 @@ impl Aligner {
                 crate::distributed::distributed_pipeline(cluster, seqs, &self.cfg, &ctx)
             }
         };
+        // The trim stage runs on the finished root alignment, so it is a
+        // shared post-pass: one implementation, every backend (the
+        // distributed protocol needs no collective — the root already
+        // holds the glued MSA). The recorder was drained by the pipeline,
+        // so a second drain yields exactly the trim phase's stat.
+        if let Some(trim_cfg) = &self.cfg.trim {
+            result = result.and_then(|mut report| {
+                Self::trim_pass(&mut report, trim_cfg, &ctx)?;
+                Ok(report)
+            });
+        }
         ctx.run_finished(matches!(result, Err(SadError::Cancelled { .. })));
         result
+    }
+
+    /// Apply the [`Phase::Trim`](crate::Phase::Trim) post-pass to a
+    /// finished report: run the optimizer as a recorded phase, emit one
+    /// [`Event::SequenceExcluded`](crate::Event::SequenceExcluded) per
+    /// dropped row, and fold the phase's stat and work into the report.
+    fn trim_pass(
+        report: &mut RunReport,
+        trim_cfg: &align::TrimConfig,
+        ctx: &PipelineCtx,
+    ) -> Result<(), SadError> {
+        let outcome = ctx.phase(crate::Phase::Trim, || {
+            let out = align::trim_msa(&report.msa, trim_cfg);
+            for d in &out.dropped {
+                ctx.sequence_excluded(d.id.clone(), d.area_gain);
+            }
+            let work = out.work;
+            (out, work)
+        })?;
+        let (mut stats, extra) = ctx.drain();
+        report.phases.append(&mut stats);
+        report.work += extra;
+        report.trim = Some(crate::report::TrimReport {
+            rows_dropped: outcome.rows_dropped(),
+            cols_gained: outcome.cols_gained(),
+            area_before: outcome.area_before,
+            area_after: outcome.area_after,
+        });
+        report.msa = outcome.msa;
+        Ok(())
     }
 
     /// The selected backend (the batch runner's scheduling key).
@@ -413,6 +454,61 @@ mod tests {
         assert!(ray.unwrap().bucket_sizes.iter().all(|&b| b <= 4));
         let seq = Aligner::new(cfg).run(&seqs).unwrap();
         assert_eq!(seq.bucket_sizes, vec![12]);
+    }
+
+    #[test]
+    fn trim_stage_runs_on_every_backend() {
+        let seqs = family(12, 11);
+        let cfg = SadConfig::default().with_trim(align::TrimConfig::default());
+        let cluster = VirtualCluster::new(2, CostModel::beowulf_2008());
+        for backend in
+            [Backend::Sequential, Backend::Rayon { threads: 2 }, Backend::Distributed(cluster)]
+        {
+            let report = Aligner::new(cfg.clone()).backend(backend).run(&seqs).unwrap();
+            let trim = report.trim.expect("trim census present");
+            assert!(trim.area_after >= trim.area_before, "area must never decrease");
+            assert_eq!(report.msa.num_rows(), 12 - trim.rows_dropped);
+            let stat = report.phase(Phase::Trim).expect("trim phase recorded");
+            assert!(stat.seconds.is_some());
+            // The report invariant survives the post-pass.
+            assert_eq!(report.work, report.phases.iter().map(|p| p.work).sum());
+            assert_eq!(report.phases.last().unwrap().phase, Phase::Trim);
+        }
+        // Untrimmed runs carry no census and no phase.
+        let plain = Aligner::new(SadConfig::default()).run(&seqs).unwrap();
+        assert_eq!(plain.trim, None);
+        assert_eq!(plain.phase(Phase::Trim), None);
+    }
+
+    #[test]
+    fn trim_events_name_the_dropped_rows() {
+        let seqs = family(12, 12);
+        let events: Arc<Mutex<Vec<Event>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let report = Aligner::new(SadConfig::default().with_trim(align::TrimConfig::default()))
+            .observer(Arc::new(move |e: &Event| sink.lock().unwrap().push(e.clone())))
+            .run(&seqs)
+            .unwrap();
+        let evs = events.lock().unwrap();
+        let excluded: Vec<&Event> =
+            evs.iter().filter(|e| matches!(e, Event::SequenceExcluded { .. })).collect();
+        assert_eq!(excluded.len(), report.trim.unwrap().rows_dropped);
+        // Exclusions arrive inside the Trim phase bracket.
+        if !excluded.is_empty() {
+            let started = evs
+                .iter()
+                .position(|e| matches!(e, Event::PhaseStarted { phase: Phase::Trim }))
+                .expect("trim started");
+            let finished = evs
+                .iter()
+                .position(|e| matches!(e, Event::PhaseFinished { phase: Phase::Trim, .. }))
+                .expect("trim finished");
+            let first = evs
+                .iter()
+                .position(|e| matches!(e, Event::SequenceExcluded { .. }))
+                .expect("non-empty");
+            assert!(started < first && first < finished);
+        }
     }
 
     #[test]

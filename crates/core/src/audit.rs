@@ -267,7 +267,12 @@ mod tests {
         let phases: Vec<Phase> = points[0].phases.iter().map(|&(p, _)| p).collect();
         let expected: Vec<Phase> = Phase::ALL
             .into_iter()
-            .filter(|&p| !matches!(p, Phase::SubPartition | Phase::AnchorScan | Phase::BlockAlign))
+            .filter(|&p| {
+                !matches!(
+                    p,
+                    Phase::SubPartition | Phase::AnchorScan | Phase::BlockAlign | Phase::Trim
+                )
+            })
             .collect();
         assert_eq!(phases, expected, "a default p=2 run executes every non-opt-in phase");
     }

@@ -2,7 +2,7 @@
 
 use crate::decomp::VerticalConfig;
 use crate::error::SadError;
-use align::{BandPolicy, DpKernel, EngineChoice};
+use align::{BandPolicy, DpKernel, EngineChoice, TrimConfig};
 use bioseq::{CompressedAlphabet, GapPenalties, RankTransform, Sequence, SubstMatrix};
 use serde::Serialize;
 
@@ -68,6 +68,15 @@ pub struct SadConfig {
     /// aligning only the stretches in between). On by default; only
     /// takes effect when [`SadConfig::max_bucket`] is set.
     pub anchored_merge: bool,
+    /// MaxAlign-style alignment-area trim ([`crate::Phase::Trim`]): when
+    /// set, the finished root alignment is post-processed by
+    /// [`align::trim::trim_msa`] — rows are greedily excluded (with
+    /// synergy lookahead, and optional branch-and-bound refinement) to
+    /// maximise `retained rows × gap-free columns`; the reported area
+    /// never decreases. Runs on every backend: the stage operates on the
+    /// root MSA after glue, so the distributed backend needs no
+    /// collective. `None` (the default) leaves the alignment untouched.
+    pub trim: Option<TrimConfig>,
 }
 
 impl Default for SadConfig {
@@ -86,6 +95,7 @@ impl Default for SadConfig {
             max_bucket: None,
             vertical: None,
             anchored_merge: true,
+            trim: None,
         }
     }
 }
@@ -180,6 +190,20 @@ impl SadConfig {
         self
     }
 
+    /// Post-process the finished alignment with the MaxAlign-style
+    /// area trim. Use [`SadConfig::without_trim`] to restore the
+    /// untouched output (the default).
+    pub fn with_trim(mut self, trim: TrimConfig) -> Self {
+        self.trim = Some(trim);
+        self
+    }
+
+    /// Disable the trim stage (the default).
+    pub fn without_trim(mut self) -> Self {
+        self.trim = None;
+        self
+    }
+
     /// Effective sample count per rank for a cluster of `p`.
     pub fn samples_for(&self, p: usize) -> usize {
         self.samples_per_rank.unwrap_or_else(|| p.saturating_sub(1)).max(1)
@@ -259,7 +283,8 @@ mod tests {
             .with_dp_kernel(DpKernel::Striped)
             .with_max_bucket(Some(256))
             .with_vertical(VerticalConfig { seam_window: 8, ..Default::default() })
-            .with_anchored_merge(false);
+            .with_anchored_merge(false)
+            .with_trim(TrimConfig { max_dropped: Some(2), branch_bound: true });
         assert_eq!(cfg.kmer_k, 4);
         assert_eq!(cfg.samples_per_rank, Some(3));
         assert_eq!(cfg.engine, EngineChoice::Clustal);
@@ -269,7 +294,10 @@ mod tests {
         assert_eq!(cfg.max_bucket, Some(256));
         assert_eq!(cfg.vertical.as_ref().map(|v| v.seam_window), Some(8));
         assert!(!cfg.anchored_merge);
-        assert_eq!(cfg.without_vertical().vertical, None);
+        assert_eq!(cfg.trim, Some(TrimConfig { max_dropped: Some(2), branch_bound: true }));
+        let cfg = cfg.without_vertical();
+        assert_eq!(cfg.vertical, None);
+        assert_eq!(cfg.clone().without_trim().trim, None);
     }
 
     #[test]

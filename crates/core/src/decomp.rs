@@ -271,6 +271,7 @@ pub(crate) fn vertical_pipeline(
         decomposition_depth: 0,
         kernel: cfg.dp_kernel.label(),
         vertical: Some(VerticalReport { anchors: plan.anchors.len(), block_cols, seam_windows }),
+        trim: None,
         extras,
     })
 }

@@ -77,6 +77,7 @@ pub(crate) fn distributed_pipeline(
         decomposition_depth: 0,
         kernel: cfg.dp_kernel.label(),
         vertical: None,
+        trim: None,
         extras: BackendExtras::Distributed { makespan: run.makespan, traces: run.traces },
     })
 }
@@ -452,13 +453,12 @@ mod tests {
             ]
         );
         let table = report.phase_table();
-        // SubPartition (max_bucket) and the vertical phases (AnchorScan,
-        // BlockAlign) are opt-in; every other phase must show up in a
-        // default run's table.
-        for phase in Phase::ALL
-            .into_iter()
-            .filter(|&p| !matches!(p, Phase::SubPartition | Phase::AnchorScan | Phase::BlockAlign))
-        {
+        // SubPartition (max_bucket), the vertical phases (AnchorScan,
+        // BlockAlign) and Trim are opt-in; every other phase must show up
+        // in a default run's table.
+        for phase in Phase::ALL.into_iter().filter(|&p| {
+            !matches!(p, Phase::SubPartition | Phase::AnchorScan | Phase::BlockAlign | Phase::Trim)
+        }) {
             assert!(table.contains(phase.name()), "missing phase {phase}:\n{table}");
         }
         // Compute-bearing phases carry their work in the unified report.

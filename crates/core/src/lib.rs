@@ -62,7 +62,7 @@ pub mod rayon_impl;
 pub mod report;
 pub mod sequential;
 
-pub use align::BandPolicy;
+pub use align::{BandPolicy, TrimConfig};
 pub use aligner::{Aligner, Backend};
 pub use batch::{BatchJob, BatchReport, JobReport};
 pub use config::SadConfig;
@@ -70,4 +70,4 @@ pub use decomp::{VerticalConfig, VerticalPlan, VerticalReport};
 pub use error::SadError;
 pub use pipeline::{CancelToken, Event, Observer, Phase};
 pub use rank::{rank_experiment, RankExperiment};
-pub use report::{BackendExtras, PhaseStat, RunReport};
+pub use report::{BackendExtras, PhaseStat, RunReport, TrimReport};

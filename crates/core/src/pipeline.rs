@@ -74,11 +74,16 @@ pub enum Phase {
     FineTune,
     /// Step 12: glue the anchored buckets into one global alignment.
     Glue,
+    /// Step 13: MaxAlign-style alignment-area trim of the finished root
+    /// alignment — greedy sequence exclusion maximising `retained rows ×
+    /// gap-free columns`. Only recorded when [`crate::SadConfig::trim`]
+    /// is configured; runs at the root on every backend.
+    Trim,
 }
 
 impl Phase {
     /// Every phase in pipeline order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::AnchorScan,
         Phase::LocalKmerRank,
         Phase::LocalSort,
@@ -92,6 +97,7 @@ impl Phase {
         Phase::GlobalAncestor,
         Phase::FineTune,
         Phase::Glue,
+        Phase::Trim,
     ];
 
     /// The stable label used in tables, traces and logs (the pre-0.3
@@ -111,6 +117,7 @@ impl Phase {
             Phase::GlobalAncestor => "10-global-ancestor",
             Phase::FineTune => "11-fine-tune",
             Phase::Glue => "12-glue",
+            Phase::Trim => "13-trim",
         }
     }
 
@@ -130,6 +137,7 @@ impl Phase {
             Phase::GlobalAncestor => 10,
             Phase::FineTune => 11,
             Phase::Glue => 12,
+            Phase::Trim => 13,
         }
     }
 
@@ -227,6 +235,15 @@ pub enum Event {
         rows: usize,
         /// Real wall-clock seconds the bucket's engine run took.
         seconds: f64,
+    },
+    /// One row was excluded by the alignment-area trim (inside
+    /// [`Phase::Trim`], trim mode only). Rows arrive in drop order.
+    SequenceExcluded {
+        /// Identifier of the dropped sequence.
+        id: String,
+        /// Marginal area change from this drop. Negative values can
+        /// appear inside a synergy move (the move as a whole gains).
+        area_gain: i64,
     },
     /// The run ended, successfully or via cancellation.
     RunFinished {
@@ -532,6 +549,11 @@ impl PipelineCtx {
     /// inside [`Phase::BlockAlign`].
     pub(crate) fn block_aligned(&self, block: usize, rows: usize, cols: usize, seconds: f64) {
         self.emit(Event::BlockAligned { block, rows, cols, seconds });
+    }
+
+    /// Emit [`Event::SequenceExcluded`] (inside [`Phase::Trim`]).
+    pub(crate) fn sequence_excluded(&self, id: String, area_gain: i64) {
+        self.emit(Event::SequenceExcluded { id, area_gain });
     }
 
     /// Close the recorder: the finished phases in pipeline order plus

@@ -49,6 +49,7 @@ pub(crate) fn rayon_pipeline(
                 decomposition_depth: depth,
                 kernel: cfg.dp_kernel.label(),
                 vertical: None,
+                trim: None,
                 extras: BackendExtras::Rayon { threads: p },
             }
         };

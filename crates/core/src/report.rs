@@ -41,6 +41,30 @@ impl PhaseStat {
     }
 }
 
+/// Census of the alignment-area trim stage ([`Phase::Trim`]): what the
+/// MaxAlign-style optimizer dropped and what it bought. The invariant
+/// `area_after >= area_before` always holds — dropping nothing is always
+/// a candidate move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TrimReport {
+    /// Rows excluded from the alignment.
+    pub rows_dropped: usize,
+    /// Gap-free columns gained by the exclusions.
+    pub cols_gained: usize,
+    /// `rows × gap-free columns` before the trim.
+    pub area_before: u64,
+    /// `rows × gap-free columns` after the trim (never smaller).
+    pub area_after: u64,
+}
+
+impl TrimReport {
+    /// Net area gained by the trim.
+    pub fn area_gain(&self) -> u64 {
+        self.area_after - self.area_before
+    }
+}
+
 /// What only one backend can report.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -94,6 +118,10 @@ pub struct RunReport {
     /// widths, seam windows refined. `None` when the run aligned whole
     /// sequences ([`crate::SadConfig::vertical`] unset).
     pub vertical: Option<VerticalReport>,
+    /// Alignment-area trim census — rows dropped, columns gained, area
+    /// before/after. `None` when the run did not trim
+    /// ([`crate::SadConfig::trim`] unset).
+    pub trim: Option<TrimReport>,
     /// Backend-specific extras.
     pub extras: BackendExtras,
 }
@@ -194,6 +222,13 @@ impl RunReport {
                 v.seam_windows
             );
         }
+        if let Some(t) = &self.trim {
+            let _ = writeln!(
+                out,
+                "trim: dropped {} rows, gained {} gap-free columns, area {} -> {}",
+                t.rows_dropped, t.cols_gained, t.area_before, t.area_after
+            );
+        }
         out
     }
 }
@@ -227,6 +262,7 @@ mod tests {
             decomposition_depth: 0,
             kernel: "auto",
             vertical: None,
+            trim: None,
             extras: BackendExtras::Rayon { threads: 2 },
         }
     }
@@ -246,6 +282,20 @@ mod tests {
         assert!(table.contains("10/10"), "Work::dp sets both counters:\n{table}");
         assert!(table.contains("dp kernel: auto"), "kernel label renders:\n{table}");
         assert!(!table.contains("decomposition:"), "no vertical line without a vertical run");
+        assert!(!table.contains("trim:"), "no trim line without a trim run");
+    }
+
+    #[test]
+    fn phase_table_prints_trim_census() {
+        let mut r = report();
+        r.trim =
+            Some(TrimReport { rows_dropped: 2, cols_gained: 14, area_before: 96, area_after: 180 });
+        let table = r.phase_table();
+        assert!(
+            table.contains("trim: dropped 2 rows, gained 14 gap-free columns, area 96 -> 180"),
+            "{table}"
+        );
+        assert_eq!(r.trim.unwrap().area_gain(), 84);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub(crate) fn sequential_pipeline(
         decomposition_depth: 0,
         kernel: cfg.dp_kernel.label(),
         vertical: None,
+        trim: None,
         extras: BackendExtras::Sequential,
     })
 }

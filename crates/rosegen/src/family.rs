@@ -27,9 +27,13 @@ pub struct FamilyConfig {
     pub avg_len: usize,
     /// Standard deviation of the root length.
     pub len_sd: f64,
-    /// Rose-style relatedness: expected pairwise substitutions per site
-    /// `≈ relatedness / 500` (800 reproduces the paper's "not very close"
-    /// setting).
+    /// Divergence knob — despite the name, **larger values mean more
+    /// divergent families**, not more related ones.
+    ///
+    /// The knob keeps rose's convention: the expected pairwise
+    /// substitutions per site are `≈ relatedness / 500`, so `100.0`
+    /// yields a tight family, `800.0` reproduces the paper's "not very
+    /// close" setting, and `1500.0` barely-alignable sequences.
     pub relatedness: f64,
     /// Expected indel events per site per unit branch length.
     pub indel_rate: f64,
@@ -83,6 +87,8 @@ impl Family {
         assert!(cfg.avg_len >= MIN_LEN, "avg_len too small");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let model = MutationModel::blosum62();
+        // `relatedness` scales divergence (larger = further apart); see
+        // the field's rustdoc for the rose convention it preserves.
         let subs_per_site = cfg.relatedness / 500.0;
         let tree = random_ultrametric_tree(&mut rng, cfg.n_seqs, subs_per_site / 2.0);
 

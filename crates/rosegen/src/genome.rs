@@ -20,8 +20,9 @@ pub struct GenomeConfig {
     pub avg_len: usize,
     /// Log-scale length spread (ORF lengths are right-skewed).
     pub len_log_sd: f64,
-    /// Within-family relatedness (diverse: the paper's genome set is far
-    /// from a tight family).
+    /// Within-family divergence — rose semantics, so **larger = more
+    /// divergent** (the default is high: the paper's genome set is far
+    /// from a tight family). See [`FamilyConfig::relatedness`].
     pub relatedness: f64,
     /// RNG seed.
     pub seed: u64,

@@ -20,9 +20,20 @@
 //!   short overlapping reads with homopolymer-biased indel errors — the
 //!   Pyro-Align large-N workload, with per-read alignment truth.
 //!
-//! The *relatedness* knob follows rose's convention: larger values mean
-//! more divergent families (`expected substitutions per site ≈
-//! relatedness / 500`).
+//! The *relatedness* knob reads backwards: **larger values mean more
+//! divergent families**, not more related ones. It follows rose's
+//! convention — expected substitutions per site `≈ relatedness / 500` —
+//! so `100.0` is a tight family and `1500.0` barely-alignable sequences:
+//!
+//! ```
+//! use rosegen::{Family, FamilyConfig};
+//!
+//! let base = FamilyConfig { n_seqs: 8, avg_len: 80, seed: 7, ..Default::default() };
+//! let close = Family::generate(&FamilyConfig { relatedness: 100.0, ..base.clone() });
+//! let far = Family::generate(&FamilyConfig { relatedness: 1500.0, ..base });
+//! // Higher relatedness ⇒ lower pairwise identity.
+//! assert!(close.reference.average_identity() > far.reference.average_identity());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -86,11 +86,12 @@ mod tests {
     fn fingerprint_covers_every_post_pr6_knob() {
         // The cache key must change whenever any knob added since the
         // serve daemon landed changes: `max_bucket`, `dp_kernel`, the
-        // vertical mode and each of its fields, and the anchored-merge
-        // toggle. Configs differing only in one of these must never share
-        // a cache key (stale hits would silently serve wrong alignments).
+        // vertical mode and each of its fields, the anchored-merge
+        // toggle, and the trim stage and each of its fields. Configs
+        // differing only in one of these must never share a cache key
+        // (stale hits would silently serve wrong alignments).
         use align::DpKernel;
-        use sad_core::VerticalConfig;
+        use sad_core::{TrimConfig, VerticalConfig};
         let base = SadConfig::default();
         let variants: Vec<SadConfig> = vec![
             base.clone(),
@@ -103,6 +104,9 @@ mod tests {
             base.clone().with_vertical(VerticalConfig { seam_window: 8, ..Default::default() }),
             base.clone().with_vertical(VerticalConfig { max_block_len: 256, ..Default::default() }),
             base.clone().with_vertical(VerticalConfig { min_anchor_len: 12, ..Default::default() }),
+            base.clone().with_trim(TrimConfig::default()),
+            base.clone().with_trim(TrimConfig { max_dropped: Some(4), ..Default::default() }),
+            base.clone().with_trim(TrimConfig { branch_bound: true, ..Default::default() }),
         ];
         let prints: Vec<String> =
             variants.iter().map(|c| config_fingerprint(c, &Backend::Sequential)).collect();

@@ -64,14 +64,17 @@ pub use vcluster;
 
 /// The most common imports for working with the system.
 pub mod prelude {
-    pub use align::{BandPolicy, ClustalLite, DpArena, EngineChoice, MsaEngine, MuscleLite};
+    pub use align::{
+        trim_msa, BandPolicy, ClustalLite, DpArena, EngineChoice, MsaEngine, MuscleLite,
+        TrimOutcome,
+    };
     pub use bioseq::{fasta, CompressedAlphabet, GapPenalties, Msa, Sequence, SubstMatrix};
     pub use qbench::mean_read_pair_q;
     pub use rosegen::{Family, FamilyConfig, GenomeConfig, GenomeSample, ReadSet, ReadSimConfig};
     pub use sad_core::{
         Aligner, Backend, BackendExtras, BatchJob, BatchReport, CancelToken, Event, JobReport,
-        Observer, Phase, PhaseStat, RunReport, SadConfig, SadError, VerticalConfig, VerticalPlan,
-        VerticalReport,
+        Observer, Phase, PhaseStat, RunReport, SadConfig, SadError, TrimConfig, TrimReport,
+        VerticalConfig, VerticalPlan, VerticalReport,
     };
     pub use vcluster::{CostModel, VirtualCluster};
 }

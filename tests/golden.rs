@@ -166,6 +166,25 @@ fn reads_summary_matches_golden() {
 }
 
 #[test]
+fn trim_summary_matches_golden() {
+    // `sad trim` on the committed gappy fixture: six full-length rows
+    // plus two fragments whose exclusion only pays off as a pair, so the
+    // golden pins the census line, the per-drop comments (the
+    // pair-synergy path) and the trimmed FASTA body. There are no
+    // wall-clock tokens here — the whole output is compared verbatim.
+    // The fixture lives in `aligned/`, not `fixtures/`: the CI batch and
+    // serve smoke steps feed every `fixtures/*.fa` to the aligner, which
+    // rejects pre-gapped records.
+    let input = golden_dir().join("aligned/gappy.fa");
+    let (out, result) = run_cli(&["trim", input.to_str().unwrap()]);
+    result.expect("golden trim succeeds");
+    // The acceptance bar: trim strictly grows the alignment area on this
+    // fixture (8 rows x 10 free cols -> 6 rows x 30 free cols).
+    assert!(out.contains("area 80 -> 180"), "fixture must trim 80 -> 180:\n{out}");
+    assert_matches_golden("trim_summary.txt", &out);
+}
+
+#[test]
 fn normalizer_touches_only_float_tokens() {
     let sample =
         "; 8-local-align 123 456/789 0.0042 1.5000\ntotal 99 jobs, 1.25 jobs/s;\n>seq0\nMKVL.AW\n";

@@ -178,3 +178,120 @@ proptest! {
         }
     }
 }
+
+/// Strategy: an arbitrary gapped alignment — 2..=9 rows, 6..=49 columns
+/// (ragged draws are truncated to the shortest row), roughly a quarter of
+/// the cells gaps, never an all-gap row (column 0 is forced to a residue
+/// when a row comes out all gaps).
+fn arb_gapped_msa() -> impl Strategy<Value = Msa> {
+    prop::collection::vec(prop::collection::vec(0u8..26, 6..50), 2..10).prop_map(|raw| {
+        let width = raw.iter().map(Vec::len).min().expect("at least two rows");
+        let rows: Vec<Vec<u8>> = raw
+            .into_iter()
+            .map(|mut row| {
+                row.truncate(width);
+                for cell in row.iter_mut() {
+                    if *cell >= 20 {
+                        *cell = bioseq::GAP_CODE;
+                    }
+                }
+                if row.iter().all(|&c| c == bioseq::GAP_CODE) {
+                    row[0] = 0;
+                }
+                row
+            })
+            .collect();
+        let ids = (0..rows.len()).map(|i| format!("r{i}")).collect();
+        Msa::from_rows(ids, rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trim_never_shrinks_the_area_and_output_validates(
+        msa in arb_gapped_msa(),
+        branch_bound in 0u8..2,
+        max_dropped_raw in 0usize..5,
+    ) {
+        // 0 encodes "no cap"; n encodes an explicit cap of n - 1.
+        let max_dropped = max_dropped_raw.checked_sub(1);
+        let cfg = TrimConfig { max_dropped, branch_bound: branch_bound == 1 };
+        let out = trim_msa(&msa, &cfg);
+        prop_assert!(out.area_after >= out.area_before,
+            "area {} -> {}", out.area_before, out.area_after);
+        prop_assert!(out.msa.validate().is_ok());
+        if let Some(cap) = max_dropped {
+            prop_assert!(out.rows_dropped() <= cap);
+        }
+        // The reported areas are real: recomputing from the trimmed MSA
+        // reproduces area_after exactly.
+        let (area, free) = align::trim::alignment_area(&out.msa);
+        prop_assert_eq!(area, out.area_after);
+        prop_assert_eq!(free, out.free_cols_after);
+    }
+
+    #[test]
+    fn trim_keeps_retained_rows_byte_identical(msa in arb_gapped_msa()) {
+        let out = trim_msa(&msa, &TrimConfig::default());
+        let dropped: std::collections::HashSet<usize> =
+            out.dropped.iter().map(|d| d.index).collect();
+        let kept: Vec<usize> =
+            (0..msa.num_rows()).filter(|i| !dropped.contains(i)).collect();
+        prop_assert_eq!(kept.len(), out.msa.num_rows());
+        // Columns that are all-gap among the kept rows vanish; everything
+        // else survives byte for byte, in the original row order.
+        let keep_col: Vec<bool> = (0..msa.num_cols())
+            .map(|c| kept.iter().any(|&r| msa.row(r)[c] != bioseq::GAP_CODE))
+            .collect();
+        for (new_r, &old_r) in kept.iter().enumerate() {
+            prop_assert_eq!(&out.msa.ids()[new_r], &msa.ids()[old_r]);
+            let expected: Vec<u8> = msa
+                .row(old_r)
+                .iter()
+                .zip(&keep_col)
+                .filter_map(|(&cell, &keep)| keep.then_some(cell))
+                .collect();
+            prop_assert_eq!(out.msa.row(new_r), &expected[..], "row {}", old_r);
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_never_loses_to_greedy(msa in arb_gapped_msa()) {
+        let greedy = trim_msa(&msa, &TrimConfig::default());
+        let refined = trim_msa(&msa, &TrimConfig { max_dropped: None, branch_bound: true });
+        prop_assert!(refined.area_after >= greedy.area_after,
+            "branch-and-bound {} lost to greedy {}", refined.area_after, greedy.area_after);
+    }
+
+    #[test]
+    fn trim_outcome_arithmetic_is_consistent(msa in arb_gapped_msa()) {
+        let out = trim_msa(&msa, &TrimConfig::default());
+        prop_assert_eq!(out.rows_dropped(), out.dropped.len());
+        prop_assert_eq!(out.msa.num_rows(), msa.num_rows() - out.rows_dropped());
+        prop_assert_eq!(out.area_before, (msa.num_rows() * out.free_cols_before) as u64);
+        prop_assert_eq!(out.area_after, (out.msa.num_rows() * out.free_cols_after) as u64);
+        prop_assert_eq!(out.cols_gained(), out.free_cols_after - out.free_cols_before);
+        // The per-row marginal gains decompose the total exactly.
+        let total: i64 = out.dropped.iter().map(|d| d.area_gain).sum();
+        prop_assert_eq!(total, out.area_after as i64 - out.area_before as i64);
+    }
+
+    #[test]
+    fn fasta_write_roundtrips_arbitrary_alignments(msa in arb_gapped_msa()) {
+        let text = fasta::write_alignment(&msa);
+        let parsed = fasta::parse_alignment(&text).unwrap();
+        prop_assert_eq!(parsed.ids(), msa.ids());
+        prop_assert_eq!(parsed.rows(), msa.rows());
+        // Writing the re-parsed alignment is a fixpoint.
+        prop_assert_eq!(fasta::write_alignment(&parsed), text);
+    }
+
+    #[test]
+    fn fasta_write_roundtrips_arbitrary_sequences(seqs in arb_sequences()) {
+        let text = fasta::write(&seqs);
+        let parsed = fasta::parse(&text).unwrap();
+        prop_assert_eq!(parsed, seqs);
+    }
+}

@@ -1,0 +1,41 @@
+//! Pins the *direction* of rosegen's `relatedness` knob: larger values
+//! mean more divergent families (rose's convention, backwards from the
+//! name). The anchor scanner sees divergence directly — conserved
+//! colinear k-mers vanish as sequences drift apart — so anchor counts
+//! must fall as `relatedness` grows.
+
+use align::anchor::{scan_anchors, AnchorSpec};
+use bioseq::Work;
+use rosegen::{Family, FamilyConfig};
+
+/// Total anchors found across a handful of seeds, so the comparison is
+/// about the knob rather than one lucky draw.
+fn anchors_at(relatedness: f64) -> usize {
+    let spec = AnchorSpec { k: 6, min_spacing: 12, min_confidence: 0.3 };
+    let mut total = 0;
+    for seed in 0..4 {
+        let fam = Family::generate(&FamilyConfig {
+            n_seqs: 6,
+            avg_len: 200,
+            relatedness,
+            seed,
+            ..Default::default()
+        });
+        let rows: Vec<&[u8]> = fam.seqs.iter().map(|s| s.codes()).collect();
+        let mut work = Work::default();
+        total += scan_anchors(&rows, &spec, &mut work).len();
+    }
+    total
+}
+
+#[test]
+fn anchor_counts_decrease_as_relatedness_grows() {
+    let close = anchors_at(120.0);
+    let mid = anchors_at(800.0);
+    let far = anchors_at(2000.0);
+    assert!(close > 0, "a tight family should carry conserved anchors");
+    assert!(
+        close > mid && mid >= far,
+        "relatedness is a divergence knob: {close} anchors at 120, {mid} at 800, {far} at 2000"
+    );
+}
